@@ -1,0 +1,64 @@
+"""Fig. 3 — similarity of Linux syscalls across ISAs.
+
+Regenerates the per-ISA common-vs-arch-specific counts from the syscall
+number tables.  The paper's claim: aarch64 and riscv64 are nearly identical
+and largely a subset of x86-64, so a single name-bound union spec covers
+all three with minimal arch-specific effort.
+"""
+
+from common import save_report
+
+from repro.kernel import (
+    ARCH_SYSCALLS, ARCHES, LEGACY_EQUIVALENTS, arch_specific,
+    common_syscalls, isa_similarity_report, syscall_names,
+)
+from repro.metrics import bar, table
+from repro.wali import coverage_report
+
+
+def test_fig3_isa_similarity(benchmark):
+    report = benchmark.pedantic(isa_similarity_report, rounds=5,
+                                iterations=1)
+    common = common_syscalls()
+    rows = []
+    maxtotal = max(r["total"] for r in report.values())
+    lines = []
+    for arch in ARCHES:
+        r = report[arch]
+        rows.append((arch, r["total"], r["common"], r["arch_specific"]))
+        lines.append(f"{arch:<10} |{bar(r['common'], maxtotal, 40, '#')}"
+                     f"{bar(r['arch_specific'], maxtotal, 40, '+')}| "
+                     f"common={r['common']} arch-specific="
+                     f"{r['arch_specific']}")
+    cov = coverage_report()
+    out = [
+        "Syscall implementation similarity across ISAs "
+        "(#=common, +=arch-specific)",
+        "",
+        *lines,
+        "",
+        table(["arch", "total", "common core", "arch-specific"], rows),
+        "",
+        f"common core size: {len(common)}",
+        f"WALI union spec: {cov['spec_size']} syscalls; "
+        f"{cov['in_union']} present in at least one ISA table",
+        f"legacy x86-64-only calls emulatable via modern equivalents: "
+        f"{len(LEGACY_EQUIVALENTS)} (e.g. access->faccessat, "
+        f"stat->newfstatat)",
+        "",
+        "paper: arm64/riscv64 nearly identical, largely a subset of x86-64.",
+    ]
+    save_report("fig3_isa_similarity.txt", "\n".join(out))
+
+    # shape assertions matching the paper
+    aarch = syscall_names("aarch64")
+    riscv = syscall_names("riscv64")
+    x86 = syscall_names("x86_64")
+    assert len(aarch ^ riscv) <= 2              # nearly identical
+    assert len(aarch & x86) / len(aarch) > 0.9  # largely a subset of x86-64
+    assert report["x86_64"]["arch_specific"] > \
+        report["aarch64"]["arch_specific"]      # x86 keeps the legacy tail
+    # every legacy call has a modern equivalent in the common core
+    for legacy, modern in LEGACY_EQUIVALENTS.items():
+        if modern in ARCH_SYSCALLS["x86_64"]:
+            assert modern in common or modern in aarch

@@ -1,0 +1,10 @@
+"""Test bootstrap: make ``src/`` importable without an installed wheel.
+
+The benchmark environment has no network, so ``pip install -e .`` cannot
+fetch the PEP 517 build backend; this path shim is the offline equivalent.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""WAZI: the thin-kernel-interface recipe applied to Zephyr RTOS (§5.1).
+
+A guest application samples a virtual temperature sensor, blinks an LED,
+logs readings to the flash filesystem and prints over the console — the
+paper's "Lua on a Nucleo-F767ZI" class of deployment.  Every WAZI handler
+is auto-generated from the syscall encoding (the >85%-generated claim; for
+Zephyr it is 100%).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import WaziRuntime, compile_source
+from repro.wazi import SYSCALL_ENCODING
+
+APP = r"""
+extern func k_uptime_get() -> i64 from "wazi";
+extern func k_yield() -> i32 from "wazi";
+extern func console_write(buf: i32, len: i32) -> i32 from "wazi";
+extern func fs_open(name: i32, flags: i32) -> i32 from "wazi";
+extern func fs_write(fd: i32, buf: i32, len: i32) -> i32 from "wazi";
+extern func fs_close(fd: i32) -> i32 from "wazi";
+extern func device_get_binding(name: i32) -> i32 from "wazi";
+extern func gpio_pin_configure(dev: i32, dir: i32) -> i32 from "wazi";
+extern func gpio_pin_set(dev: i32, value: i32) -> i32 from "wazi";
+extern func sensor_sample_fetch(dev: i32) -> i32 from "wazi";
+extern func sensor_channel_get(dev: i32, ch: i32) -> i32 from "wazi";
+
+buffer line[64];
+buffer num[16];
+
+func wstrlen(s: i32) -> i32 {
+    var n: i32 = 0;
+    while (load8u(s + n) != 0) { n = n + 1; }
+    return n;
+}
+
+func printk(s: i32) { console_write(s, wstrlen(s)); }
+
+func fmt_num(v: i32) -> i32 {
+    var p: i32 = num;
+    if (v == 0) { store8(p, '0'); store8(p + 1, 0); return num; }
+    var n: i32 = 0;
+    var t: i32 = v;
+    while (t > 0) { n = n + 1; t = t / 10; }
+    store8(p + n, 0);
+    var i: i32 = n - 1;
+    while (v > 0) { store8(p + i, '0' + v % 10); v = v / 10; i = i - 1; }
+    return num;
+}
+
+export func _start() {
+    printk("*** WAZI sensor node ***\n");
+    var temp: i32 = device_get_binding("TEMP_0");
+    var led: i32 = device_get_binding("GPIO_0");
+    gpio_pin_configure(led, 1);
+    var log: i32 = fs_open("telemetry.log", 0x10);
+    var i: i32 = 0;
+    while (i < 8) {
+        sensor_sample_fetch(temp);
+        var milli: i32 = sensor_channel_get(temp, 0);
+        printk("sample ");
+        printk(fmt_num(i));
+        printk(": ");
+        printk(fmt_num(milli));
+        printk(" mC\n");
+        fs_write(log, fmt_num(milli), wstrlen(num));
+        fs_write(log, "\n", 1);
+        gpio_pin_set(led, i % 2);
+        k_yield();
+        i = i + 1;
+    }
+    fs_close(log);
+    printk("telemetry stored to flash\n");
+}
+"""
+
+
+def main():
+    print(f"WAZI interface: {len(SYSCALL_ENCODING)} syscalls, all "
+          "auto-generated from the Zephyr syscall encoding:")
+    for name, args, ret in SYSCALL_ENCODING[:6]:
+        print(f"  {name}({', '.join(args)}) -> {ret}")
+    print("  ...")
+
+    rt = WaziRuntime()
+    status = rt.run(compile_source(APP, name="sensor-node"))
+
+    print(f"\nexit status: {status}")
+    print("Zephyr console:")
+    print(rt.console_output().decode())
+    print(f"flash file size: {rt.kernel.fs_size('telemetry.log')} bytes")
+    led = rt.kernel.devices["GPIO_0"].obj
+    print(f"LED toggles observed by the GPIO driver: {led.toggles}")
+    print(f"WAZI syscall counts: {rt.kernel.syscall_counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""``repro.apps`` — guest software: libc plus the application suite the
+evaluation runs on WALI (shell, interpreter, database, KV server, MQTT)."""
+
+from .libc import LIBC_SOURCE, with_libc
+from .registry import (
+    APP_SOURCES, PAPER_ANALOG, app_names, build, clear_cache, install_all,
+)
+
+__all__ = ["APP_SOURCES", "LIBC_SOURCE", "PAPER_ANALOG", "app_names",
+           "build", "clear_cache", "install_all", "with_libc"]

@@ -1,0 +1,128 @@
+"""Small guest coreutils: echo, cat, true, false, wc.
+
+These are the "intermediate binaries" complex builds execute (the paper's
+amusing ``bash`` build anecdote) and the external commands the mini shell
+spawns via fork/execve.
+"""
+
+from .libc import with_libc
+
+ECHO_SOURCE = with_libc(r"""
+export func _start() {
+    __init_args();
+    var i: i32 = 1;
+    while (i < argc()) {
+        if (i > 1) { print(" "); }
+        print(argv(i));
+        i = i + 1;
+    }
+    println("");
+    exit(0);
+}
+""")
+
+CAT_SOURCE = with_libc(r"""
+buffer iobuf[4096];
+
+func cat_fd(fd: i32) {
+    while (1) {
+        var n: i32 = read(fd, iobuf, 4096);
+        if (n <= 0) { break; }
+        write_all(STDOUT, iobuf, n);
+    }
+}
+
+export func _start() {
+    __init_args();
+    if (argc() < 2) {
+        cat_fd(STDIN);
+        exit(0);
+    }
+    var i: i32 = 1;
+    var status: i32 = 0;
+    while (i < argc()) {
+        var fd: i32 = open(argv(i), O_RDONLY, 0);
+        if (fd < 0) {
+            eprint("cat: cannot open ");
+            eprint(argv(i));
+            eprint("\n");
+            status = 1;
+        } else {
+            cat_fd(fd);
+            close(fd);
+        }
+        i = i + 1;
+    }
+    exit(status);
+}
+""")
+
+TRUE_SOURCE = with_libc(r"""
+export func _start() { exit(0); }
+""")
+
+FALSE_SOURCE = with_libc(r"""
+export func _start() { exit(1); }
+""")
+
+# zlib analog: a pure-compute RLE compressor over stdin/stdout — the one
+# codebase in the paper's Table 1 that ports to every API (no mmap, no argv).
+RLE_SOURCE = with_libc(r"""
+buffer inbuf[4096];
+buffer outbuf[8192];
+
+// run-length encode: (count u8, byte) pairs
+export func _start() {
+    while (1) {
+        var n: i32 = read(STDIN, inbuf, 4096);
+        if (n <= 0) { break; }
+        var out: i32 = 0;
+        var i: i32 = 0;
+        while (i < n) {
+            var b: i32 = load8u(inbuf + i);
+            var run: i32 = 1;
+            while (i + run < n && run < 255 && load8u(inbuf + i + run) == b) {
+                run = run + 1;
+            }
+            store8(outbuf + out, run);
+            store8(outbuf + out + 1, b);
+            out = out + 2;
+            i = i + run;
+        }
+        write_all(STDOUT, outbuf, out);
+    }
+    SYS_exit_group(0);
+}
+""")
+
+WC_SOURCE = with_libc(r"""
+buffer iobuf[4096];
+buffer numbuf[32];
+
+export func _start() {
+    __init_args();
+    var fd: i32 = STDIN;
+    if (argc() > 1) {
+        fd = open(argv(1), O_RDONLY, 0);
+        if (fd < 0) { eprint("wc: cannot open\n"); exit(1); }
+    }
+    var lines: i32 = 0;
+    var bytes: i32 = 0;
+    while (1) {
+        var n: i32 = read(fd, iobuf, 4096);
+        if (n <= 0) { break; }
+        bytes = bytes + n;
+        var i: i32 = 0;
+        while (i < n) {
+            if (load8u(iobuf + i) == 10) { lines = lines + 1; }
+            i = i + 1;
+        }
+    }
+    itoa(lines, numbuf);
+    print(numbuf);
+    print(" ");
+    itoa(bytes, numbuf);
+    println(numbuf);
+    exit(0);
+}
+""")

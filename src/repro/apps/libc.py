@@ -1,0 +1,519 @@
+"""The guest C library: mini-C source compiled against WALI imports.
+
+This is the repository's ``wali-musl`` analog (§4 "Coverage"): everything
+above the syscall boundary — malloc over mmap, string routines, buffered-ish
+stdio, process spawning, signals, futex-based mutexes and threads — is guest
+code inside the sandbox, written only against ``wali.*`` imports.
+
+Applications concatenate :data:`LIBC_SOURCE` with their own source and
+compile with :func:`repro.cc.compile_source`.
+"""
+
+LIBC_EXTERNS = r"""
+// ---- WALI syscall imports (the complete set libc and apps rely on) ----
+extern func SYS_read(fd: i32, buf: i32, n: i32) -> i64 from "wali";
+extern func SYS_write(fd: i32, buf: i32, n: i32) -> i64 from "wali";
+extern func SYS_openat(dirfd: i32, path: i32, flags: i32, mode: i32) -> i64 from "wali";
+extern func SYS_close(fd: i32) -> i64 from "wali";
+extern func SYS_lseek(fd: i32, off: i64, whence: i32) -> i64 from "wali";
+extern func SYS_pread64(fd: i32, buf: i32, n: i32, off: i64) -> i64 from "wali";
+extern func SYS_pwrite64(fd: i32, buf: i32, n: i32, off: i64) -> i64 from "wali";
+extern func SYS_fstat(fd: i32, st: i32) -> i64 from "wali";
+extern func SYS_newfstatat(dirfd: i32, path: i32, st: i32, flags: i32) -> i64 from "wali";
+extern func SYS_access(path: i32, mode: i32) -> i64 from "wali";
+extern func SYS_unlink(path: i32) -> i64 from "wali";
+extern func SYS_mkdir(path: i32, mode: i32) -> i64 from "wali";
+extern func SYS_rmdir(path: i32) -> i64 from "wali";
+extern func SYS_rename(old: i32, new: i32) -> i64 from "wali";
+extern func SYS_chdir(path: i32) -> i64 from "wali";
+extern func SYS_getcwd(buf: i32, size: i32) -> i64 from "wali";
+extern func SYS_getdents64(fd: i32, dirp: i32, count: i32) -> i64 from "wali";
+extern func SYS_dup(fd: i32) -> i64 from "wali";
+extern func SYS_dup2(oldfd: i32, newfd: i32) -> i64 from "wali";
+extern func SYS_pipe2(fds: i32, flags: i32) -> i64 from "wali";
+extern func SYS_fcntl(fd: i32, cmd: i32, arg: i32) -> i64 from "wali";
+extern func SYS_ftruncate(fd: i32, len: i64) -> i64 from "wali";
+extern func SYS_fsync(fd: i32) -> i64 from "wali";
+extern func SYS_ioctl(fd: i32, req: i32, arg: i32) -> i64 from "wali";
+extern func SYS_poll(fds: i32, nfds: i32, timeout: i32) -> i64 from "wali";
+
+extern func SYS_mmap(addr: i32, len: i32, prot: i32, flags: i32, fd: i32, off: i64) -> i64 from "wali";
+extern func SYS_munmap(addr: i32, len: i32) -> i64 from "wali";
+extern func SYS_mremap(old: i32, oldsz: i32, newsz: i32, flags: i32, newaddr: i32) -> i64 from "wali";
+extern func SYS_msync(addr: i32, len: i32, flags: i32) -> i64 from "wali";
+
+extern func SYS_fork() -> i64 from "wali";
+extern func SYS_execve(path: i32, argv: i32, envp: i32) -> i64 from "wali";
+extern func SYS_exit(code: i32) -> i64 from "wali";
+extern func SYS_exit_group(code: i32) -> i64 from "wali";
+extern func SYS_wait4(pid: i32, status: i32, options: i32, rusage: i32) -> i64 from "wali";
+extern func SYS_kill(pid: i32, sig: i32) -> i64 from "wali";
+extern func SYS_getpid() -> i64 from "wali";
+extern func SYS_gettid() -> i64 from "wali";
+extern func SYS_getppid() -> i64 from "wali";
+extern func SYS_getuid() -> i64 from "wali";
+extern func SYS_clone(flags: i32, stack: i32, fn: i32, arg: i32) -> i64 from "wali";
+extern func SYS_futex(uaddr: i32, op: i32, val: i32, timeout: i32, uaddr2: i32, val3: i32) -> i64 from "wali";
+extern func SYS_sched_yield() -> i64 from "wali";
+extern func SYS_getrandom(buf: i32, len: i32, flags: i32) -> i64 from "wali";
+extern func SYS_getrusage(who: i32, ru: i32) -> i64 from "wali";
+extern func SYS_prlimit64(pid: i32, res: i32, newl: i32, oldl: i32) -> i64 from "wali";
+extern func SYS_uname(buf: i32) -> i64 from "wali";
+extern func SYS_sysinfo(buf: i32) -> i64 from "wali";
+
+extern func SYS_rt_sigaction(sig: i32, act: i32, oldact: i32, size: i32) -> i64 from "wali";
+extern func SYS_rt_sigprocmask(how: i32, set: i32, oldset: i32, size: i32) -> i64 from "wali";
+extern func SYS_pause() -> i64 from "wali";
+extern func SYS_alarm(sec: i32) -> i64 from "wali";
+extern func SYS_nanosleep(req: i32, rem: i32) -> i64 from "wali";
+extern func SYS_clock_gettime(clk: i32, ts: i32) -> i64 from "wali";
+
+extern func SYS_socket(family: i32, type: i32, proto: i32) -> i64 from "wali";
+extern func SYS_bind(fd: i32, addr: i32, len: i32) -> i64 from "wali";
+extern func SYS_listen(fd: i32, backlog: i32) -> i64 from "wali";
+extern func SYS_accept(fd: i32, addr: i32, lenp: i32) -> i64 from "wali";
+extern func SYS_connect(fd: i32, addr: i32, len: i32) -> i64 from "wali";
+extern func SYS_sendto(fd: i32, buf: i32, len: i32, flags: i32, addr: i32, alen: i32) -> i64 from "wali";
+extern func SYS_recvfrom(fd: i32, buf: i32, len: i32, flags: i32, addr: i32, alenp: i32) -> i64 from "wali";
+extern func SYS_shutdown(fd: i32, how: i32) -> i64 from "wali";
+extern func SYS_setsockopt(fd: i32, level: i32, opt: i32, val: i32, len: i32) -> i64 from "wali";
+
+extern func get_argc() -> i32 from "wali";
+extern func get_argv_len(i: i32) -> i32 from "wali";
+extern func copy_argv(buf: i32, i: i32) -> i32 from "wali";
+extern func get_envc() -> i32 from "wali";
+extern func get_env_len(i: i32) -> i32 from "wali";
+extern func copy_env(buf: i32, i: i32) -> i32 from "wali";
+"""
+
+LIBC_CORE = r"""
+// ---- constants (Linux ABI) ----
+const AT_FDCWD = -100;
+const O_RDONLY = 0;
+const O_WRONLY = 1;
+const O_RDWR = 2;
+const O_CREAT = 64;
+const O_TRUNC = 512;
+const O_APPEND = 1024;
+const O_NONBLOCK = 2048;
+const SEEK_SET = 0;
+const SEEK_CUR = 1;
+const SEEK_END = 2;
+const PROT_READ = 1;
+const PROT_WRITE = 2;
+const MAP_PRIVATE = 2;
+const MAP_ANONYMOUS = 32;
+const SIGINT = 2;
+const SIGKILL = 9;
+const SIGUSR1 = 10;
+const SIGUSR2 = 12;
+const SIGALRM = 14;
+const SIGTERM = 15;
+const SIGCHLD = 17;
+const SIG_BLOCK = 0;
+const SIG_UNBLOCK = 1;
+const SIG_SETMASK = 2;
+const FUTEX_WAIT = 0;
+const FUTEX_WAKE = 1;
+const CLONE_THREAD_FLAGS = 0x10f00;  // VM|FS|FILES|SIGHAND|THREAD
+const AF_INET = 2;
+const SOCK_STREAM = 1;
+const STDIN = 0;
+const STDOUT = 1;
+const STDERR = 2;
+
+global errno: i32 = 0;
+
+// ---- errno plumbing: negative syscall results become errno ----
+func cret(r: i64) -> i32 {
+    if (r < i64(0)) {
+        errno = i32(i64(0) - r);
+        return -1;
+    }
+    return i32(r);
+}
+
+// ---- string routines ----
+func strlen(s: i32) -> i32 {
+    var n: i32 = 0;
+    while (load8u(s + n) != 0) { n = n + 1; }
+    return n;
+}
+
+func strcmp(a: i32, b: i32) -> i32 {
+    var i: i32 = 0;
+    while (1) {
+        var ca: i32 = load8u(a + i);
+        var cb: i32 = load8u(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func strncmp(a: i32, b: i32, n: i32) -> i32 {
+    var i: i32 = 0;
+    while (i < n) {
+        var ca: i32 = load8u(a + i);
+        var cb: i32 = load8u(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func strcpy(dst: i32, src: i32) -> i32 {
+    var n: i32 = strlen(src);
+    memcopy(dst, src, n + 1);
+    return dst;
+}
+
+func strcat(dst: i32, src: i32) -> i32 {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+func strchr(s: i32, c: i32) -> i32 {
+    var i: i32 = 0;
+    while (1) {
+        var ch: i32 = load8u(s + i);
+        if (ch == c) { return s + i; }
+        if (ch == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func memcmp(a: i32, b: i32, n: i32) -> i32 {
+    var i: i32 = 0;
+    while (i < n) {
+        var d: i32 = load8u(a + i) - load8u(b + i);
+        if (d != 0) { return d; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func atoi(s: i32) -> i32 {
+    var v: i32 = 0;
+    var i: i32 = 0;
+    var neg: i32 = 0;
+    if (load8u(s) == '-') { neg = 1; i = 1; }
+    while (load8u(s + i) >= '0' && load8u(s + i) <= '9') {
+        v = v * 10 + (load8u(s + i) - '0');
+        i = i + 1;
+    }
+    if (neg) { return 0 - v; }
+    return v;
+}
+
+func itoa(v: i32, buf: i32) -> i32 {
+    var p: i32 = buf;
+    var x: i32 = v;
+    if (x < 0) { store8(p, '-'); p = p + 1; x = 0 - x; }
+    if (x == 0) { store8(p, '0'); store8(p + 1, 0); return (p + 1) - buf; }
+    var n: i32 = 0;
+    var t: i32 = x;
+    while (t > 0) { n = n + 1; t = t / 10; }
+    store8(p + n, 0);
+    var i: i32 = n - 1;
+    while (x > 0) {
+        store8(p + i, '0' + x % 10);
+        x = x / 10;
+        i = i - 1;
+    }
+    return (p + n) - buf;
+}
+
+// djb2 string hash
+func strhash(s: i32) -> i32 {
+    var h: i32 = 5381;
+    var i: i32 = 0;
+    while (load8u(s + i) != 0) {
+        h = h * 33 + load8u(s + i);
+        i = i + 1;
+    }
+    return h;
+}
+
+// ---- heap: first-fit free list over WALI mmap (§3.2: allocators work
+// unmodified over kernel interfaces) ----
+global heap_lo: i32 = 0;
+global heap_hi: i32 = 0;
+global free_list: i32 = 0;   // node: {i32 size, i32 next}
+const HEAP_CHUNK = 262144;   // 256 KiB mmap granules
+
+func brk_more(need: i32) -> i32 {
+    var sz: i32 = HEAP_CHUNK;
+    while (sz < need) { sz = sz * 2; }
+    var r: i64 = SYS_mmap(0, sz, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, i64(0));
+    if (r < i64(0)) { return 0; }
+    var base: i32 = i32(r);
+    heap_lo = base;
+    heap_hi = base + sz;
+    return base;
+}
+
+func malloc(size: i32) -> i32 {
+    if (size < 8) { size = 8; }
+    size = (size + 7) & (0 - 8);
+    // search free list (first fit)
+    var prev: i32 = 0;
+    var cur: i32 = free_list;
+    while (cur != 0) {
+        if (load32(cur) >= size) {
+            if (prev == 0) { free_list = load32(cur + 4); }
+            else { store32(prev + 4, load32(cur + 4)); }
+            return cur + 8;
+        }
+        prev = cur;
+        cur = load32(cur + 4);
+    }
+    // bump allocate
+    if (heap_lo == 0 || heap_lo + size + 8 > heap_hi) {
+        if (brk_more(size + 8) == 0) { errno = 12; return 0; }
+    }
+    var node: i32 = heap_lo;
+    heap_lo = heap_lo + size + 8;
+    store32(node, size);
+    store32(node + 4, 0);
+    return node + 8;
+}
+
+func free(p: i32) {
+    if (p == 0) { return; }
+    var node: i32 = p - 8;
+    store32(node + 4, free_list);
+    free_list = node;
+}
+
+func calloc(n: i32, size: i32) -> i32 {
+    var p: i32 = malloc(n * size);
+    if (p != 0) { memfill(p, 0, n * size); }
+    return p;
+}
+
+func realloc(p: i32, size: i32) -> i32 {
+    if (p == 0) { return malloc(size); }
+    var old: i32 = load32(p - 8);
+    if (old >= size) { return p; }
+    var q: i32 = malloc(size);
+    if (q == 0) { return 0; }
+    memcopy(q, p, old);
+    free(p);
+    return q;
+}
+
+// ---- stdio ----
+buffer __io_buf[64];
+
+func write_all(fd: i32, buf: i32, n: i32) -> i32 {
+    var done: i32 = 0;
+    while (done < n) {
+        var r: i32 = cret(SYS_write(fd, buf + done, n - done));
+        if (r < 0) { return -1; }
+        done = done + r;
+    }
+    return done;
+}
+
+func fputs(fd: i32, s: i32) -> i32 {
+    return write_all(fd, s, strlen(s));
+}
+
+func print(s: i32) { fputs(STDOUT, s); }
+
+func println(s: i32) {
+    fputs(STDOUT, s);
+    fputs(STDOUT, "\n");
+}
+
+func print_int(v: i32) {
+    itoa(v, __io_buf);
+    fputs(STDOUT, __io_buf);
+}
+
+func eprint(s: i32) { fputs(STDERR, s); }
+
+func open(path: i32, flags: i32, mode: i32) -> i32 {
+    return cret(SYS_openat(AT_FDCWD, path, flags, mode));
+}
+
+func close(fd: i32) -> i32 { return cret(SYS_close(fd)); }
+
+func read(fd: i32, buf: i32, n: i32) -> i32 {
+    return cret(SYS_read(fd, buf, n));
+}
+
+func write(fd: i32, buf: i32, n: i32) -> i32 {
+    return cret(SYS_write(fd, buf, n));
+}
+
+// read one line (up to n-1 bytes); returns length, -1 on EOF
+func read_line(fd: i32, buf: i32, n: i32) -> i32 {
+    var i: i32 = 0;
+    while (i < n - 1) {
+        var r: i32 = read(fd, buf + i, 1);
+        if (r <= 0) {
+            if (i == 0) { return -1; }
+            break;
+        }
+        if (load8u(buf + i) == 10) { break; }
+        i = i + 1;
+    }
+    store8(buf + i, 0);
+    return i;
+}
+
+// ---- process helpers ----
+func exit(code: i32) { SYS_exit_group(code); }
+
+func fork() -> i32 { return cret(SYS_fork()); }
+
+func waitpid(pid: i32, status_ptr: i32) -> i32 {
+    return cret(SYS_wait4(pid, status_ptr, 0, 0));
+}
+
+func execve(path: i32, argv: i32, envp: i32) -> i32 {
+    return cret(SYS_execve(path, argv, envp));
+}
+
+// ---- argv/env (§3.4: libc owns the argument vectors) ----
+global __argc: i32 = 0;
+global __argv: i32 = 0;   // i32* array of pointers
+
+func __init_args() {
+    __argc = get_argc();
+    __argv = malloc((__argc + 1) * 4);
+    var i: i32 = 0;
+    while (i < __argc) {
+        var len: i32 = get_argv_len(i);
+        var s: i32 = malloc(len);
+        copy_argv(s, i);
+        store32(__argv + i * 4, s);
+        i = i + 1;
+    }
+    store32(__argv + __argc * 4, 0);
+}
+
+func argc() -> i32 { return __argc; }
+func argv(i: i32) -> i32 { return load32(__argv + i * 4); }
+
+buffer __env_tmp[256];
+
+func getenv(name: i32) -> i32 {
+    var n: i32 = get_envc();
+    var nl: i32 = strlen(name);
+    var i: i32 = 0;
+    while (i < n) {
+        copy_env(__env_tmp, i);
+        if (strncmp(__env_tmp, name, nl) == 0 && load8u(__env_tmp + nl) == '=') {
+            return __env_tmp + nl + 1;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+// ---- signals ----
+buffer __sa_buf[16];
+
+func signal(sig: i32, handler_ref: i32) -> i32 {
+    store32(__sa_buf, handler_ref);
+    store32(__sa_buf + 4, 0);
+    store64(__sa_buf + 8, i64(0));
+    return cret(SYS_rt_sigaction(sig, __sa_buf, 0, 8));
+}
+
+buffer __mask_buf[8];
+
+func sigblock(sig: i32) -> i32 {
+    store64(__mask_buf, i64(1) << i64(sig - 1));
+    return cret(SYS_rt_sigprocmask(SIG_BLOCK, __mask_buf, 0, 8));
+}
+
+func sigunblock(sig: i32) -> i32 {
+    store64(__mask_buf, i64(1) << i64(sig - 1));
+    return cret(SYS_rt_sigprocmask(SIG_UNBLOCK, __mask_buf, 0, 8));
+}
+
+// ---- threads & locks (instance-per-thread over WALI clone, §3.1) ----
+func thread_create(fn_ref: i32, arg: i32) -> i32 {
+    return cret(SYS_clone(CLONE_THREAD_FLAGS, 0, fn_ref, arg));
+}
+
+func mutex_lock(m: i32) {
+    while (atomic_cas32(m, 0, 1) != 0) {
+        SYS_futex(m, FUTEX_WAIT, 1, 0, 0, 0);
+    }
+}
+
+func mutex_unlock(m: i32) {
+    atomic_cas32(m, 1, 0);
+    SYS_futex(m, FUTEX_WAKE, 1, 0, 0, 0);
+}
+
+// ---- sockets ----
+buffer __sa_in[16];
+
+func make_sockaddr(ip_a: i32, ip_b: i32, ip_c: i32, ip_d: i32, port: i32) -> i32 {
+    store16(__sa_in, AF_INET);
+    store8(__sa_in + 2, (port >> 8) & 255);
+    store8(__sa_in + 3, port & 255);
+    store8(__sa_in + 4, ip_a);
+    store8(__sa_in + 5, ip_b);
+    store8(__sa_in + 6, ip_c);
+    store8(__sa_in + 7, ip_d);
+    store64(__sa_in + 8, i64(0));
+    return __sa_in;
+}
+
+func tcp_listen(port: i32, backlog: i32) -> i32 {
+    var fd: i32 = cret(SYS_socket(AF_INET, SOCK_STREAM, 0));
+    if (fd < 0) { return -1; }
+    if (cret(SYS_bind(fd, make_sockaddr(127, 0, 0, 1, port), 16)) < 0) {
+        close(fd);
+        return -1;
+    }
+    if (cret(SYS_listen(fd, backlog)) < 0) { close(fd); return -1; }
+    return fd;
+}
+
+buffer __optval[4];
+
+func tcp_connect(port: i32) -> i32 {
+    var fd: i32 = cret(SYS_socket(AF_INET, SOCK_STREAM, 0));
+    if (fd < 0) { return -1; }
+    store32(__optval, 1);
+    SYS_setsockopt(fd, 6, 1, __optval, 4);  // IPPROTO_TCP, TCP_NODELAY
+    if (cret(SYS_connect(fd, make_sockaddr(127, 0, 0, 1, port), 16)) < 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+// ---- time ----
+buffer __ts_buf[16];
+
+func monotime_ms() -> i32 {
+    SYS_clock_gettime(1, __ts_buf);
+    return i32(load64(__ts_buf) * i64(1000) + load64(__ts_buf + 8) / i64(1000000));
+}
+
+func sleep_ms(ms: i32) {
+    store64(__ts_buf, i64(ms / 1000));
+    store64(__ts_buf + 8, i64(ms % 1000) * i64(1000000));
+    SYS_nanosleep(__ts_buf, 0);
+}
+"""
+
+LIBC_SOURCE = LIBC_EXTERNS + LIBC_CORE
+
+
+def with_libc(app_source: str) -> str:
+    """Concatenate the guest libc with application source."""
+    return LIBC_SOURCE + "\n" + app_source

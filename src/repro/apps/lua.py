@@ -1,0 +1,238 @@
+"""mini-lua: the repository's ``lua`` analog — a scripting interpreter.
+
+Interprets a small line-oriented language with 26 integer registers (a-z),
+arithmetic, bounded loops, while loops and printing.  The workload profile
+matches the paper's Fig. 7 ``lua`` row: almost all time is interpreter
+(app) work, with only light I/O at the edges.
+
+Language::
+
+    set a 100        # a = 100
+    mov b a          # b = a
+    add c a b        # c = a + b   (also sub/mul/div/mod)
+    addi a 5         # a = a + 5   (also subi/muli)
+    print a
+    loop 10          # repeat the block 10 times (nestable)
+      ...
+    end
+    while a          # repeat while a != 0
+      ...
+    end
+"""
+
+from .libc import with_libc
+
+LUA_SOURCE = with_libc(r"""
+const MAX_LINES = 4096;
+const MAX_PROG = 65536;
+
+buffer regs[104];          // 26 x i32
+buffer prog[65536];        // script text
+buffer line_starts[16384]; // i32 offsets per line
+buffer loop_stack[256];    // (line, remaining) pairs; while uses remaining=-1
+buffer numbuf[32];
+
+global nlines: i32 = 0;
+global loop_top: i32 = 0;
+
+func reg_of(p: i32) -> i32 {
+    return load8u(p) - 'a';
+}
+
+func get_reg(i: i32) -> i32 { return load32(regs + i * 4); }
+func set_reg(i: i32, v: i32) { store32(regs + i * 4, v); }
+
+// skip spaces, return pointer to next token start
+func skip_ws(p: i32) -> i32 {
+    while (load8u(p) == ' ') { p = p + 1; }
+    return p;
+}
+
+func next_tok(p: i32) -> i32 {
+    while (load8u(p) != ' ' && load8u(p) != 0) { p = p + 1; }
+    return skip_ws(p);
+}
+
+// parse integer or register reference at p
+func operand(p: i32) -> i32 {
+    var c: i32 = load8u(p);
+    if (c >= 'a' && c <= 'z' && (load8u(p + 1) == ' ' || load8u(p + 1) == 0)) {
+        return get_reg(c - 'a');
+    }
+    return atoi(p);
+}
+
+func index_lines() {
+    nlines = 0;
+    var off: i32 = 0;
+    store32(line_starts, 0);
+    var i: i32 = 0;
+    while (load8u(prog + i) != 0) {
+        if (load8u(prog + i) == 10) {
+            store8(prog + i, 0);
+            store32(line_starts + (nlines + 1) * 4, i + 1);
+            nlines = nlines + 1;
+        }
+        i = i + 1;
+    }
+    nlines = nlines + 1;
+}
+
+func line_at(idx: i32) -> i32 {
+    return prog + load32(line_starts + idx * 4);
+}
+
+// find the matching 'end' for the block opened at line idx
+func find_end(idx: i32) -> i32 {
+    var depth: i32 = 1;
+    var i: i32 = idx + 1;
+    while (i < nlines) {
+        var p: i32 = skip_ws(line_at(i));
+        if (strncmp(p, "loop", 4) == 0 || strncmp(p, "while", 5) == 0) {
+            depth = depth + 1;
+        }
+        if (strncmp(p, "end", 3) == 0) {
+            depth = depth - 1;
+            if (depth == 0) { return i; }
+        }
+        i = i + 1;
+    }
+    return nlines;
+}
+
+func run() -> i32 {
+    var pc: i32 = 0;
+    var steps: i32 = 0;
+    while (pc < nlines) {
+        var p: i32 = skip_ws(line_at(pc));
+        var c0: i32 = load8u(p);
+        steps = steps + 1;
+        if (c0 == 0 || c0 == '#') { pc = pc + 1; continue; }
+
+        if (strncmp(p, "set ", 4) == 0) {
+            var t1: i32 = next_tok(p);
+            set_reg(reg_of(t1), operand(next_tok(t1)));
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "mov ", 4) == 0) {
+            var t1: i32 = next_tok(p);
+            set_reg(reg_of(t1), operand(next_tok(t1)));
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "add ", 4) == 0 || strncmp(p, "sub ", 4) == 0 ||
+            strncmp(p, "mul ", 4) == 0 || strncmp(p, "div ", 4) == 0 ||
+            strncmp(p, "mod ", 4) == 0) {
+            var t1: i32 = next_tok(p);
+            var t2: i32 = next_tok(t1);
+            var t3: i32 = next_tok(t2);
+            var x: i32 = operand(t2);
+            var y: i32 = operand(t3);
+            var r: i32 = 0;
+            if (c0 == 'a') { r = x + y; }
+            if (c0 == 's') { r = x - y; }
+            if (c0 == 'm' && load8u(p + 1) == 'u') { r = x * y; }
+            if (c0 == 'd') { if (y != 0) { r = x / y; } }
+            if (c0 == 'm' && load8u(p + 1) == 'o') { if (y != 0) { r = x % y; } }
+            set_reg(reg_of(t1), r);
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "addi ", 5) == 0 || strncmp(p, "subi ", 5) == 0 ||
+            strncmp(p, "muli ", 5) == 0) {
+            var t1: i32 = next_tok(p);
+            var t2: i32 = next_tok(t1);
+            var ri: i32 = reg_of(t1);
+            var imm: i32 = atoi(t2);
+            if (c0 == 'a') { set_reg(ri, get_reg(ri) + imm); }
+            if (c0 == 's') { set_reg(ri, get_reg(ri) - imm); }
+            if (c0 == 'm') { set_reg(ri, get_reg(ri) * imm); }
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "print", 5) == 0) {
+            var t1: i32 = next_tok(p);
+            itoa(operand(t1), numbuf);
+            println(numbuf);
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "loop ", 5) == 0) {
+            var count: i32 = operand(next_tok(p));
+            if (count <= 0) { pc = find_end(pc) + 1; continue; }
+            store32(loop_stack + loop_top * 8, pc);
+            store32(loop_stack + loop_top * 8 + 4, count);
+            loop_top = loop_top + 1;
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "while", 5) == 0) {
+            var cond: i32 = operand(next_tok(p));
+            if (cond == 0) { pc = find_end(pc) + 1; continue; }
+            store32(loop_stack + loop_top * 8, pc);
+            store32(loop_stack + loop_top * 8 + 4, -1);
+            loop_top = loop_top + 1;
+            pc = pc + 1; continue;
+        }
+        if (strncmp(p, "end", 3) == 0) {
+            if (loop_top == 0) { pc = pc + 1; continue; }
+            var head: i32 = load32(loop_stack + (loop_top - 1) * 8);
+            var remaining: i32 = load32(loop_stack + (loop_top - 1) * 8 + 4);
+            if (remaining == -1) {
+                // while: re-evaluate the condition at the head line
+                var hp: i32 = skip_ws(line_at(head));
+                if (operand(next_tok(hp)) != 0) { pc = head + 1; continue; }
+                loop_top = loop_top - 1;
+                pc = pc + 1; continue;
+            }
+            remaining = remaining - 1;
+            if (remaining > 0) {
+                store32(loop_stack + (loop_top - 1) * 8 + 4, remaining);
+                pc = head + 1; continue;
+            }
+            loop_top = loop_top - 1;
+            pc = pc + 1; continue;
+        }
+        eprint("mini-lua: bad instruction: ");
+        eprint(p);
+        eprint("\n");
+        return 1;
+    }
+    return 0;
+}
+
+export func _start() {
+    __init_args();
+    var fd: i32 = STDIN;
+    if (argc() > 1) {
+        fd = open(argv(1), O_RDONLY, 0);
+        if (fd < 0) { eprint("mini-lua: cannot open script\n"); exit(2); }
+    }
+    var total: i32 = 0;
+    while (total < MAX_PROG - 1) {
+        var n: i32 = read(fd, prog + total, MAX_PROG - 1 - total);
+        if (n <= 0) { break; }
+        total = total + n;
+    }
+    store8(prog + total, 0);
+    index_lines();
+    exit(run());
+}
+""")
+
+
+def fib_script(n: int) -> bytes:
+    """A mini-lua script computing Fibonacci iteratively n times."""
+    return (
+        f"set a 0\nset b 1\nset i {n}\n"
+        "while i\n"
+        "  add c a b\n  mov a b\n  mov b c\n  subi i 1\n"
+        "end\n"
+        "print a\n"
+    ).encode()
+
+
+def arith_benchmark_script(iterations: int) -> bytes:
+    """CPU-bound interpreter workload (Fig. 7 / Fig. 8 lua benchmark)."""
+    return (
+        f"set i {iterations}\nset s 0\n"
+        "while i\n"
+        "  mov t i\n  mul t t 3\n  mod t t 7919\n  add s s t\n  subi i 1\n"
+        "end\n"
+        "print s\n"
+    ).encode()

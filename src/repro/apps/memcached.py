@@ -1,0 +1,246 @@
+"""mini-memcached: the repository's ``memcached`` analog.
+
+A threaded TCP key-value server: the main thread accepts connections and
+spawns one worker LWP per client via WALI ``clone`` (the instance-per-thread
+model of §3.1 — and the source of the clone overhead the paper calls out in
+Table 2).  A hash table in guest heap memory is guarded by a futex-based
+mutex built on the engine's atomic RMW subset.
+
+Protocol (newline-terminated)::
+
+    set <key> <value>   -> STORED
+    get <key>           -> VALUE <value> | NOT_FOUND
+    del <key>           -> DELETED | NOT_FOUND
+    stats               -> STATS <items> <ops>
+    quit                -> closes this connection
+    shutdown            -> terminates the server
+
+The companion client drives N set/get pairs and prints a checksum.
+"""
+
+from .libc import with_libc
+
+MEMCACHED_SOURCE = with_libc(r"""
+const NBUCKETS = 256;
+// node layout: {i32 next, i32 key_ptr, i32 val_ptr}
+buffer table[1024];        // 256 buckets x i32
+buffer lock[4];
+global n_items: i32 = 0;
+global n_ops: i32 = 0;
+global running: i32 = 1;
+global listen_fd: i32 = -1;
+
+func bucket_of(key: i32) -> i32 {
+    return (strhash(key) & 0x7fffffff) % NBUCKETS;
+}
+
+func ht_find(key: i32) -> i32 {
+    var node: i32 = load32(table + bucket_of(key) * 4);
+    while (node != 0) {
+        if (strcmp(load32(node + 4), key) == 0) { return node; }
+        node = load32(node);
+    }
+    return 0;
+}
+
+func ht_set(key: i32, value: i32) {
+    mutex_lock(lock);
+    n_ops = n_ops + 1;
+    var node: i32 = ht_find(key);
+    if (node != 0) {
+        free(load32(node + 8));
+        var nv: i32 = malloc(strlen(value) + 1);
+        strcpy(nv, value);
+        store32(node + 8, nv);
+        mutex_unlock(lock);
+        return;
+    }
+    node = malloc(12);
+    var kp: i32 = malloc(strlen(key) + 1);
+    strcpy(kp, key);
+    var vp: i32 = malloc(strlen(value) + 1);
+    strcpy(vp, value);
+    var b: i32 = bucket_of(key);
+    store32(node, load32(table + b * 4));
+    store32(node + 4, kp);
+    store32(node + 8, vp);
+    store32(table + b * 4, node);
+    n_items = n_items + 1;
+    mutex_unlock(lock);
+}
+
+// returns value pointer or 0 (caller must hold no references after next set)
+func ht_get(key: i32) -> i32 {
+    mutex_lock(lock);
+    n_ops = n_ops + 1;
+    var node: i32 = ht_find(key);
+    var v: i32 = 0;
+    if (node != 0) { v = load32(node + 8); }
+    mutex_unlock(lock);
+    return v;
+}
+
+func ht_del(key: i32) -> i32 {
+    mutex_lock(lock);
+    n_ops = n_ops + 1;
+    var b: i32 = bucket_of(key);
+    var node: i32 = load32(table + b * 4);
+    var prev: i32 = 0;
+    while (node != 0) {
+        if (strcmp(load32(node + 4), key) == 0) {
+            if (prev == 0) { store32(table + b * 4, load32(node)); }
+            else { store32(prev, load32(node)); }
+            free(load32(node + 4));
+            free(load32(node + 8));
+            free(node);
+            n_items = n_items - 1;
+            mutex_unlock(lock);
+            return 1;
+        }
+        prev = node;
+        node = load32(node);
+    }
+    mutex_unlock(lock);
+    return 0;
+}
+
+// ---- per-connection worker (thread entry; funcref target) ----
+buffer workbufs[16384];   // 16 workers x 1024 bytes
+buffer slot_lock[4];
+global next_slot: i32 = 0;
+
+func reply(fd: i32, s: i32) { write_all(fd, s, strlen(s)); }
+
+func conn_worker(fd: i32) {
+    // carve a private line buffer per worker
+    mutex_lock(slot_lock);
+    var slot: i32 = next_slot % 16;
+    next_slot = next_slot + 1;
+    mutex_unlock(slot_lock);
+    var buf: i32 = workbufs + slot * 1024;
+
+    while (1) {
+        var n: i32 = read_line(fd, buf, 512);
+        if (n < 0) { break; }
+        // split: cmd key value
+        var cmd: i32 = buf;
+        var key: i32 = strchr(buf, ' ');
+        var value: i32 = 0;
+        if (key != 0) {
+            store8(key, 0);
+            key = key + 1;
+            value = strchr(key, ' ');
+            if (value != 0) { store8(value, 0); value = value + 1; }
+        }
+        if (strcmp(cmd, "set") == 0 && key != 0 && value != 0) {
+            ht_set(key, value);
+            reply(fd, "STORED\n");
+        } else { if (strcmp(cmd, "get") == 0 && key != 0) {
+            var v: i32 = ht_get(key);
+            if (v == 0) { reply(fd, "NOT_FOUND\n"); }
+            else {
+                reply(fd, "VALUE ");
+                reply(fd, v);
+                reply(fd, "\n");
+            }
+        } else { if (strcmp(cmd, "del") == 0 && key != 0) {
+            if (ht_del(key)) { reply(fd, "DELETED\n"); }
+            else { reply(fd, "NOT_FOUND\n"); }
+        } else { if (strcmp(cmd, "stats") == 0) {
+            reply(fd, "STATS ");
+            itoa(n_items, buf + 600);
+            reply(fd, buf + 600);
+            reply(fd, " ");
+            itoa(n_ops, buf + 600);
+            reply(fd, buf + 600);
+            reply(fd, "\n");
+        } else { if (strcmp(cmd, "quit") == 0) {
+            break;
+        } else { if (strcmp(cmd, "shutdown") == 0) {
+            reply(fd, "BYE\n");
+            running = 0;
+            close(fd);
+            exit(0);
+        } else {
+            reply(fd, "ERROR\n");
+        }}}}}}
+    }
+    close(fd);
+}
+
+export func _start() {
+    __init_args();
+    // real memcached refuses to run as root without -u (privilege check)
+    if (i32(SYS_getuid()) == 0) {
+        eprint("memcached: can not run as root\n");
+        exit(71);
+    }
+    var port: i32 = 11211;
+    if (argc() > 1) { port = atoi(argv(1)); }
+    listen_fd = tcp_listen(port, 16);
+    if (listen_fd < 0) { eprint("memcached: cannot listen\n"); exit(1); }
+    println("memcached: ready");
+    while (running) {
+        var conn: i32 = cret(SYS_accept(listen_fd, 0, 0));
+        if (conn < 0) { break; }
+        thread_create(funcref(conn_worker), conn);
+    }
+    exit(0);
+}
+""")
+
+MEMCACHED_CLIENT_SOURCE = with_libc(r"""
+buffer buf[1024];
+buffer keybuf[64];
+buffer valbuf[64];
+
+func send_line(fd: i32, s: i32) {
+    write_all(fd, s, strlen(s));
+    write_all(fd, "\n", 1);
+}
+
+export func _start() {
+    __init_args();
+    var port: i32 = 11211;
+    var n: i32 = 100;
+    var do_shutdown: i32 = 0;
+    if (argc() > 1) { port = atoi(argv(1)); }
+    if (argc() > 2) { n = atoi(argv(2)); }
+    if (argc() > 3) { do_shutdown = atoi(argv(3)); }
+    var fd: i32 = tcp_connect(port);
+    if (fd < 0) { eprint("client: cannot connect\n"); exit(1); }
+
+    var checksum: i32 = 0;
+    var i: i32 = 0;
+    while (i < n) {
+        strcpy(buf, "set k");
+        itoa(i, keybuf);
+        strcat(buf, keybuf);
+        strcat(buf, " v");
+        itoa(i * 31 % 997, valbuf);
+        strcat(buf, valbuf);
+        send_line(fd, buf);
+        read_line(fd, buf, 1024);            // STORED
+        i = i + 1;
+    }
+    i = 0;
+    while (i < n) {
+        strcpy(buf, "get k");
+        itoa(i, keybuf);
+        strcat(buf, keybuf);
+        send_line(fd, buf);
+        read_line(fd, buf, 1024);            // VALUE vXXX
+        if (strncmp(buf, "VALUE v", 7) == 0) {
+            checksum = checksum + atoi(buf + 7);
+        }
+        i = i + 1;
+    }
+    if (do_shutdown) { send_line(fd, "shutdown"); }
+    else { send_line(fd, "quit"); }
+    print("client ok checksum=");
+    print_int(checksum);
+    println("");
+    close(fd);
+    exit(0);
+}
+""")

@@ -1,0 +1,256 @@
+"""paho-bench analog: an MQTT-style pub/sub broker and benchmark client.
+
+Frames are length-prefixed binary (type, topic, payload with an FNV-1a
+checksum trailer); the client publishes N messages to a topic it also
+subscribes to and verifies every echoed checksum.  The heavy lifting —
+frame encode/decode and checksum arithmetic — happens in guest code, which
+is why the paper's Fig. 7 shows paho-bench at ~97% app time.
+
+Frame wire format::
+
+    u8 type (1=CONNECT 2=SUB 3=PUB 4=MSG 5=DISCONNECT)
+    u8 topic_len, topic bytes
+    u16 payload_len (LE), payload bytes
+"""
+
+from .libc import with_libc
+
+MQTT_BROKER_SOURCE = with_libc(r"""
+const MAX_CLIENTS = 16;
+// per-client: {i32 fd, i32 topic_ptr}
+buffer subs[128];
+buffer lock[4];
+global running: i32 = 1;
+
+buffer framebufs[32768];   // 16 workers x 2048
+buffer slot_lock[4];
+global next_slot: i32 = 0;
+
+func read_exact(fd: i32, buf: i32, n: i32) -> i32 {
+    var got: i32 = 0;
+    while (got < n) {
+        var r: i32 = read(fd, buf + got, n - got);
+        if (r <= 0) { return -1; }
+        got = got + r;
+    }
+    return n;
+}
+
+// returns frame length written into buf: [type, tlen, topic, plen16, payload]
+func read_frame(fd: i32, buf: i32) -> i32 {
+    if (read_exact(fd, buf, 2) < 0) { return -1; }
+    var tlen: i32 = load8u(buf + 1);
+    if (read_exact(fd, buf + 2, tlen) < 0) { return -1; }
+    if (read_exact(fd, buf + 2 + tlen, 2) < 0) { return -1; }
+    var plen: i32 = load16u(buf + 2 + tlen);
+    if (plen > 1500) { return -1; }
+    if (read_exact(fd, buf + 4 + tlen, plen) < 0) { return -1; }
+    return 4 + tlen + plen;
+}
+
+func subscribe(fd: i32, topic: i32, tlen: i32) {
+    mutex_lock(lock);
+    var i: i32 = 0;
+    while (i < MAX_CLIENTS) {
+        if (load32(subs + i * 8) == 0) {
+            var t: i32 = malloc(tlen + 1);
+            memcopy(t, topic, tlen);
+            store8(t + tlen, 0);
+            store32(subs + i * 8, fd);
+            store32(subs + i * 8 + 4, t);
+            break;
+        }
+        i = i + 1;
+    }
+    mutex_unlock(lock);
+}
+
+func unsubscribe(fd: i32) {
+    mutex_lock(lock);
+    var i: i32 = 0;
+    while (i < MAX_CLIENTS) {
+        if (load32(subs + i * 8) == fd) {
+            free(load32(subs + i * 8 + 4));
+            store32(subs + i * 8, 0);
+            store32(subs + i * 8 + 4, 0);
+        }
+        i = i + 1;
+    }
+    mutex_unlock(lock);
+}
+
+// deliver a PUB frame (rewritten as MSG) to all matching subscribers
+func route(frame: i32, flen: i32) {
+    var tlen: i32 = load8u(frame + 1);
+    mutex_lock(lock);
+    var i: i32 = 0;
+    while (i < MAX_CLIENTS) {
+        var sfd: i32 = load32(subs + i * 8);
+        if (sfd != 0) {
+            var stopic: i32 = load32(subs + i * 8 + 4);
+            if (strlen(stopic) == tlen &&
+                strncmp(stopic, frame + 2, tlen) == 0) {
+                store8(frame, 4);   // type = MSG
+                write_all(sfd, frame, flen);
+            }
+        }
+        i = i + 1;
+    }
+    mutex_unlock(lock);
+}
+
+func broker_worker(fd: i32) {
+    mutex_lock(slot_lock);
+    var slot: i32 = next_slot % 16;
+    next_slot = next_slot + 1;
+    mutex_unlock(slot_lock);
+    var buf: i32 = framebufs + slot * 2048;
+
+    while (1) {
+        var n: i32 = read_frame(fd, buf);
+        if (n < 0) { break; }
+        var type: i32 = load8u(buf);
+        if (type == 2) {           // SUBSCRIBE
+            subscribe(fd, buf + 2, load8u(buf + 1));
+        } else { if (type == 3) {  // PUBLISH
+            route(buf, n);
+        } else { if (type == 5) {  // DISCONNECT
+            break;
+        } else { if (type == 9) {  // admin shutdown
+            running = 0;
+            close(fd);
+            exit(0);
+        }}}}
+    }
+    unsubscribe(fd);
+    close(fd);
+}
+
+export func _start() {
+    __init_args();
+    var port: i32 = 1883;
+    if (argc() > 1) { port = atoi(argv(1)); }
+    var lfd: i32 = tcp_listen(port, 8);
+    if (lfd < 0) { eprint("mqtt-broker: cannot listen\n"); exit(1); }
+    println("mqtt-broker: ready");
+    while (running) {
+        var conn: i32 = cret(SYS_accept(lfd, 0, 0));
+        if (conn < 0) { break; }
+        thread_create(funcref(broker_worker), conn);
+    }
+    exit(0);
+}
+""")
+
+MQTT_BENCH_SOURCE = with_libc(r"""
+buffer frame[2048];
+buffer inframe[2048];
+
+func read_exact(fd: i32, buf: i32, n: i32) -> i32 {
+    var got: i32 = 0;
+    while (got < n) {
+        var r: i32 = read(fd, buf + got, n - got);
+        if (r <= 0) { return -1; }
+        got = got + r;
+    }
+    return n;
+}
+
+func read_frame(fd: i32, buf: i32) -> i32 {
+    if (read_exact(fd, buf, 2) < 0) { return -1; }
+    var tlen: i32 = load8u(buf + 1);
+    if (read_exact(fd, buf + 2, tlen) < 0) { return -1; }
+    if (read_exact(fd, buf + 2 + tlen, 2) < 0) { return -1; }
+    var plen: i32 = load16u(buf + 2 + tlen);
+    if (read_exact(fd, buf + 4 + tlen, plen) < 0) { return -1; }
+    return 4 + tlen + plen;
+}
+
+// FNV-1a over the payload body (app-space checksum work)
+func fnv1a(p: i32, n: i32) -> i32 {
+    var h: i32 = 0x811c9dc5;
+    var i: i32 = 0;
+    while (i < n) {
+        h = (h ^ load8u(p + i)) * 0x01000193;
+        i = i + 1;
+    }
+    return h;
+}
+
+// build PUB frame for topic with seq-stamped payload; returns length
+func build_pub(topic: i32, seq: i32, payload_size: i32) -> i32 {
+    var tlen: i32 = strlen(topic);
+    store8(frame, 3);
+    store8(frame + 1, tlen);
+    memcopy(frame + 2, topic, tlen);
+    var body: i32 = frame + 4 + tlen;
+    var plen: i32 = payload_size + 8;    // body + seq + checksum
+    store16(frame + 2 + tlen, plen);
+    var i: i32 = 0;
+    while (i < payload_size) {
+        store8(body + i, (seq * 31 + i * 7) & 255);
+        i = i + 1;
+    }
+    store32(body + payload_size, seq);
+    store32(body + payload_size + 4, fnv1a(body, payload_size + 4));
+    return 4 + tlen + plen;
+}
+
+export func _start() {
+    __init_args();
+    var port: i32 = 1883;
+    var n: i32 = 100;
+    var payload_size: i32 = 64;
+    var do_shutdown: i32 = 0;
+    if (argc() > 1) { port = atoi(argv(1)); }
+    if (argc() > 2) { n = atoi(argv(2)); }
+    if (argc() > 3) { payload_size = atoi(argv(3)); }
+    if (argc() > 4) { do_shutdown = atoi(argv(4)); }
+
+    var fd: i32 = tcp_connect(port);
+    if (fd < 0) { eprint("mqtt-bench: cannot connect\n"); exit(1); }
+
+    // subscribe to the echo topic
+    store8(frame, 2);
+    store8(frame + 1, 9);
+    memcopy(frame + 2, "bench/top", 9);
+    store16(frame + 11, 0);
+    write_all(fd, frame, 13);
+    sleep_ms(5);
+
+    var ok: i32 = 0;
+    var bad: i32 = 0;
+    var seq: i32 = 0;
+    while (seq < n) {
+        var flen: i32 = build_pub("bench/top", seq, payload_size);
+        write_all(fd, frame, flen);
+        var rlen: i32 = read_frame(fd, inframe);
+        if (rlen < 0) { break; }
+        var tlen: i32 = load8u(inframe + 1);
+        var body: i32 = inframe + 4 + tlen;
+        var plen: i32 = load16u(inframe + 2 + tlen);
+        var want: i32 = load32(body + plen - 4);
+        if (fnv1a(body, plen - 4) == want) { ok = ok + 1; }
+        else { bad = bad + 1; }
+        seq = seq + 1;
+    }
+    if (do_shutdown) {
+        store8(frame, 9);
+        store8(frame + 1, 0);
+        store16(frame + 2, 0);
+        write_all(fd, frame, 4);
+    } else {
+        store8(frame, 5);
+        store8(frame + 1, 0);
+        store16(frame + 2, 0);
+        write_all(fd, frame, 4);
+    }
+    print("bench ok=");
+    print_int(ok);
+    print(" bad=");
+    print_int(bad);
+    println("");
+    close(fd);
+    exit(0);
+}
+""")

@@ -1,0 +1,216 @@
+"""mini-sh: the repository's ``bash`` analog.
+
+A line-oriented shell exercising the syscall families the paper credits to
+bash (Table 1 "signals"; Fig. 2 profile): fork/execve/wait4 process control,
+pipes with dup2 plumbing, output/input redirection, SIGINT handling via a
+registered guest signal handler, cd/pwd/echo/exit builtins, and direct
+execution of installed ``.wasm`` binaries (the binfmt trick).
+
+Scripts come from stdin (fed through the kernel console) or from a file via
+``mini_sh <script>``.
+"""
+
+from .libc import with_libc
+
+SH_SOURCE = with_libc(r"""
+buffer line[1024];
+buffer cwdbuf[256];
+buffer pathbuf[256];
+buffer tokens[256];      // up to 32 i32 pointers + NUL terminator
+buffer argvbuf[136];     // child argv array (32 entries + NULL)
+buffer envpbuf[8];       // empty envp
+global interrupted: i32 = 0;
+global last_status: i32 = 0;
+global script_fd: i32 = 0;
+
+func on_sigint(sig: i32) {
+    interrupted = 1;
+    print("^C\n");
+}
+
+// split the line buffer into NUL-terminated tokens; returns count
+func tokenize(buf: i32) -> i32 {
+    var n: i32 = 0;
+    var p: i32 = buf;
+    while (load8u(p) != 0 && n < 32) {
+        while (load8u(p) == ' ') { store8(p, 0); p = p + 1; }
+        if (load8u(p) == 0) { break; }
+        store32(tokens + n * 4, p);
+        n = n + 1;
+        while (load8u(p) != ' ' && load8u(p) != 0) { p = p + 1; }
+    }
+    store32(tokens + n * 4, 0);
+    return n;
+}
+
+func tok(i: i32) -> i32 { return load32(tokens + i * 4); }
+
+// resolve a command name to an executable path
+func resolve(cmd: i32) -> i32 {
+    if (strchr(cmd, '/') != 0) { return cmd; }
+    strcpy(pathbuf, "/bin/");
+    strcat(pathbuf, cmd);
+    strcat(pathbuf, ".wasm");
+    return pathbuf;
+}
+
+// run tokens [first, last) with optional redirects; returns exit status
+func run_simple(first: i32, last: i32, in_fd: i32, out_fd: i32) -> i32 {
+    // scan for redirections
+    var nargs: i32 = 0;
+    var i: i32 = first;
+    var redir_out: i32 = 0;
+    var redir_in: i32 = 0;
+    var append: i32 = 0;
+    while (i < last) {
+        var t: i32 = tok(i);
+        if (strcmp(t, ">") == 0) { redir_out = tok(i + 1); i = i + 2; continue; }
+        if (strcmp(t, ">>") == 0) { redir_out = tok(i + 1); append = 1; i = i + 2; continue; }
+        if (strcmp(t, "<") == 0) { redir_in = tok(i + 1); i = i + 2; continue; }
+        store32(argvbuf + nargs * 4, t);
+        nargs = nargs + 1;
+        i = i + 1;
+    }
+    store32(argvbuf + nargs * 4, 0);
+    if (nargs == 0) { return 0; }
+
+    var pid: i32 = fork();
+    if (pid == 0) {
+        // child: wire stdio then exec
+        if (in_fd != STDIN) { SYS_dup2(in_fd, STDIN); close(in_fd); }
+        if (out_fd != STDOUT) { SYS_dup2(out_fd, STDOUT); close(out_fd); }
+        if (redir_in != 0) {
+            var rfd: i32 = open(redir_in, O_RDONLY, 0);
+            if (rfd < 0) { eprint("sh: cannot open input\n"); exit(1); }
+            SYS_dup2(rfd, STDIN);
+            close(rfd);
+        }
+        if (redir_out != 0) {
+            var flags: i32 = O_WRONLY | O_CREAT;
+            if (append) { flags = flags | O_APPEND; }
+            else { flags = flags | O_TRUNC; }
+            var wfd: i32 = open(redir_out, flags, 0x1b4);  // 0644
+            if (wfd < 0) { eprint("sh: cannot open output\n"); exit(1); }
+            SYS_dup2(wfd, STDOUT);
+            close(wfd);
+        }
+        execve(resolve(load32(argvbuf)), argvbuf, envpbuf);
+        eprint("sh: command not found: ");
+        eprint(load32(argvbuf));
+        eprint("\n");
+        exit(127);
+    }
+    if (in_fd != STDIN) { close(in_fd); }
+    if (out_fd != STDOUT) { close(out_fd); }
+    var status: i32 = 0;
+    waitpid(pid, __io_buf);
+    status = load32(__io_buf);
+    return (status >> 8) & 255;
+}
+
+buffer pipefds[8];
+
+func run_line(ntok: i32) -> i32 {
+    if (ntok == 0) { return 0; }
+    var cmd: i32 = tok(0);
+
+    // pipes/redirections force the external path (even for echo)
+    var has_plumbing: i32 = 0;
+    var j: i32 = 0;
+    while (j < ntok) {
+        var tj: i32 = tok(j);
+        if (strcmp(tj, "|") == 0 || strcmp(tj, ">") == 0 ||
+            strcmp(tj, ">>") == 0 || strcmp(tj, "<") == 0) {
+            has_plumbing = 1;
+        }
+        j = j + 1;
+    }
+
+    // builtins
+    if (strcmp(cmd, "exit") == 0) {
+        var code: i32 = 0;
+        if (ntok > 1) { code = atoi(tok(1)); }
+        exit(code);
+    }
+    if (strcmp(cmd, "cd") == 0) {
+        if (ntok > 1) {
+            if (cret(SYS_chdir(tok(1))) < 0) {
+                eprint("cd: no such directory\n");
+                return 1;
+            }
+        }
+        return 0;
+    }
+    if (strcmp(cmd, "pwd") == 0) {
+        cret(SYS_getcwd(cwdbuf, 256));
+        println(cwdbuf);
+        return 0;
+    }
+    if (strcmp(cmd, "echo") == 0 && has_plumbing == 0) {
+        var i: i32 = 1;
+        while (i < ntok) {
+            if (i > 1) { print(" "); }
+            print(tok(i));
+            i = i + 1;
+        }
+        println("");
+        return 0;
+    }
+    if (strcmp(cmd, "status") == 0) {
+        print_int(last_status);
+        println("");
+        return 0;
+    }
+    if (strcmp(cmd, "kill") == 0) {
+        if (ntok > 2) { cret(SYS_kill(atoi(tok(2)), atoi(tok(1)))); }
+        return 0;
+    }
+
+    // find a pipe
+    var bar: i32 = -1;
+    var i: i32 = 0;
+    while (i < ntok) {
+        if (strcmp(tok(i), "|") == 0) { bar = i; break; }
+        i = i + 1;
+    }
+    if (bar < 0) {
+        return run_simple(0, ntok, STDIN, STDOUT);
+    }
+    // two-stage pipeline: left | right
+    cret(SYS_pipe2(pipefds, 0));
+    var rfd: i32 = load32(pipefds);
+    var wfd: i32 = load32(pipefds + 4);
+    var left_pid: i32 = fork();
+    if (left_pid == 0) {
+        close(rfd);
+        SYS_dup2(wfd, STDOUT);
+        close(wfd);
+        exit(run_simple(0, bar, STDIN, STDOUT));
+    }
+    close(wfd);
+    var st: i32 = run_simple(bar + 1, ntok, rfd, STDOUT);
+    waitpid(left_pid, __io_buf);
+    return st;
+}
+
+export func _start() {
+    __init_args();
+    signal(SIGINT, funcref(on_sigint));
+    script_fd = STDIN;
+    if (argc() > 1) {
+        script_fd = open(argv(1), O_RDONLY, 0);
+        if (script_fd < 0) {
+            eprint("sh: cannot open script\n");
+            exit(2);
+        }
+    }
+    while (1) {
+        var n: i32 = read_line(script_fd, line, 1024);
+        if (n < 0) { break; }
+        if (load8u(line) == '#') { continue; }
+        interrupted = 0;
+        last_status = run_line(tokenize(line));
+    }
+    exit(last_status);
+}
+""")

@@ -1,0 +1,239 @@
+"""mini-sqlite: the repository's ``sqlite`` analog — a file-backed KV store.
+
+A log-structured single-file database with fixed 64-byte records, an
+mmap/mremap-grown in-memory index (Table 1: ``mremap`` is exactly the
+feature WASI lacks that blocks sqlite), pread-based page scans and
+pwrite-based deletes, plus a vacuum pass using ftruncate.  The workload is
+deliberately kernel-I/O heavy — the paper's Fig. 7 shows sqlite spending
+over half its time in the kernel.
+
+Record layout (64 bytes): key[24] NUL-padded | value[32] NUL-padded |
+flags u32 (1 = live, 2 = deleted) | pad u32.
+
+Commands (stdin script or file via argv[2]; db path = argv[1])::
+
+    insert <key> <value>
+    get <key>
+    delete <key>
+    count
+    vacuum
+    exit
+"""
+
+from .libc import with_libc
+
+SQLITE_SOURCE = with_libc(r"""
+const REC_SIZE = 64;
+const KEY_SIZE = 24;
+const VAL_SIZE = 32;
+const PAGE = 4096;
+const FLAG_LIVE = 1;
+const FLAG_DEAD = 2;
+const MREMAP_MAYMOVE = 1;
+
+buffer line[512];
+buffer rec[64];
+buffer page_buf[4096];
+buffer tokens[64];
+
+global db_fd: i32 = -1;
+global nrecords: i32 = 0;
+// index: array of i64 file offsets, grown with mremap (the WASI-blocking
+// feature sqlite needs)
+global index_base: i32 = 0;
+global index_cap: i32 = 0;   // capacity in entries
+
+func index_init() {
+    index_cap = 512;
+    index_base = i32(SYS_mmap(0, index_cap * 8, PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS, -1, i64(0)));
+}
+
+func index_grow() {
+    var new_cap: i32 = index_cap * 2;
+    var r: i64 = SYS_mremap(index_base, index_cap * 8, new_cap * 8,
+                            MREMAP_MAYMOVE, 0);
+    if (r < i64(0)) { eprint("mini-sqlite: mremap failed\n"); exit(1); }
+    index_base = i32(r);
+    index_cap = new_cap;
+}
+
+func index_add(off: i64) {
+    if (nrecords >= index_cap) { index_grow(); }
+    store64(index_base + nrecords * 8, off);
+    nrecords = nrecords + 1;
+}
+
+func index_off(i: i32) -> i64 {
+    return load64(index_base + i * 8);
+}
+
+func tokenize(buf: i32) -> i32 {
+    var n: i32 = 0;
+    var p: i32 = buf;
+    while (load8u(p) != 0 && n < 8) {
+        while (load8u(p) == ' ') { store8(p, 0); p = p + 1; }
+        if (load8u(p) == 0) { break; }
+        store32(tokens + n * 4, p);
+        n = n + 1;
+        while (load8u(p) != ' ' && load8u(p) != 0) { p = p + 1; }
+    }
+    return n;
+}
+
+func tok(i: i32) -> i32 { return load32(tokens + i * 4); }
+
+// build the in-memory offset index by scanning the file page by page
+func load_index() {
+    var off: i64 = i64(0);
+    while (1) {
+        var n: i32 = cret(SYS_pread64(db_fd, page_buf, PAGE, off));
+        if (n <= 0) { break; }
+        var i: i32 = 0;
+        while (i + REC_SIZE <= n) {
+            index_add(off + i64(i));
+            i = i + REC_SIZE;
+        }
+        off = off + i64(n);
+    }
+}
+
+func key_matches(record: i32, key: i32) -> i32 {
+    return strncmp(record, key, KEY_SIZE) == 0;
+}
+
+func db_insert(key: i32, value: i32) {
+    memfill(rec, 0, REC_SIZE);
+    var klen: i32 = strlen(key);
+    if (klen > KEY_SIZE - 1) { klen = KEY_SIZE - 1; }
+    memcopy(rec, key, klen);
+    var vlen: i32 = strlen(value);
+    if (vlen > VAL_SIZE - 1) { vlen = VAL_SIZE - 1; }
+    memcopy(rec + KEY_SIZE, value, vlen);
+    store32(rec + KEY_SIZE + VAL_SIZE, FLAG_LIVE);
+    var off: i64 = i64(nrecords) * i64(REC_SIZE);
+    cret(SYS_pwrite64(db_fd, rec, REC_SIZE, off));
+    index_add(off);
+}
+
+// returns the index of the newest live record for key, or -1
+func db_find(key: i32) -> i32 {
+    var i: i32 = nrecords - 1;
+    while (i >= 0) {
+        cret(SYS_pread64(db_fd, rec, REC_SIZE, index_off(i)));
+        if (load32(rec + KEY_SIZE + VAL_SIZE) == FLAG_LIVE &&
+            key_matches(rec, key)) {
+            return i;
+        }
+        i = i - 1;
+    }
+    return -1;
+}
+
+func db_get(key: i32) {
+    var i: i32 = db_find(key);
+    if (i < 0) { println("(nil)"); return; }
+    println(rec + KEY_SIZE);  // rec still holds the record from db_find
+}
+
+func db_delete(key: i32) {
+    var i: i32 = db_find(key);
+    if (i < 0) { println("NOT_FOUND"); return; }
+    store32(rec + KEY_SIZE + VAL_SIZE, FLAG_DEAD);
+    cret(SYS_pwrite64(db_fd, rec, REC_SIZE, index_off(i)));
+    println("DELETED");
+}
+
+func db_count() -> i32 {
+    var live: i32 = 0;
+    var i: i32 = 0;
+    while (i < nrecords) {
+        cret(SYS_pread64(db_fd, rec, REC_SIZE, index_off(i)));
+        if (load32(rec + KEY_SIZE + VAL_SIZE) == FLAG_LIVE) {
+            live = live + 1;
+        }
+        i = i + 1;
+    }
+    return live;
+}
+
+// drop dead records: compact live ones to the front, truncate the tail
+func db_vacuum() {
+    var write_off: i64 = i64(0);
+    var kept: i32 = 0;
+    var i: i32 = 0;
+    while (i < nrecords) {
+        cret(SYS_pread64(db_fd, rec, REC_SIZE, index_off(i)));
+        if (load32(rec + KEY_SIZE + VAL_SIZE) == FLAG_LIVE) {
+            cret(SYS_pwrite64(db_fd, rec, REC_SIZE, write_off));
+            store64(index_base + kept * 8, write_off);
+            write_off = write_off + i64(REC_SIZE);
+            kept = kept + 1;
+        }
+        i = i + 1;
+    }
+    cret(SYS_ftruncate(db_fd, write_off));
+    cret(SYS_fsync(db_fd));
+    nrecords = kept;
+}
+
+export func _start() {
+    __init_args();
+    if (argc() < 2) { eprint("usage: mini_sqlite <db> [script]\n"); exit(2); }
+    db_fd = open(argv(1), O_RDWR | O_CREAT, 0x1b4);
+    if (db_fd < 0) { eprint("mini-sqlite: cannot open db\n"); exit(1); }
+    index_init();
+    load_index();
+
+    var in_fd: i32 = STDIN;
+    if (argc() > 2) {
+        in_fd = open(argv(2), O_RDONLY, 0);
+        if (in_fd < 0) { eprint("mini-sqlite: cannot open script\n"); exit(2); }
+    }
+
+    while (1) {
+        var n: i32 = read_line(in_fd, line, 512);
+        if (n < 0) { break; }
+        var ntok: i32 = tokenize(line);
+        if (ntok == 0) { continue; }
+        var cmd: i32 = tok(0);
+        if (strcmp(cmd, "insert") == 0 && ntok >= 3) {
+            db_insert(tok(1), tok(2));
+            println("OK");
+        } else {
+        if (strcmp(cmd, "get") == 0 && ntok >= 2) {
+            db_get(tok(1));
+        } else {
+        if (strcmp(cmd, "delete") == 0 && ntok >= 2) {
+            db_delete(tok(1));
+        } else {
+        if (strcmp(cmd, "count") == 0) {
+            print_int(db_count());
+            println("");
+        } else {
+        if (strcmp(cmd, "vacuum") == 0) {
+            db_vacuum();
+            println("VACUUMED");
+        } else {
+        if (strcmp(cmd, "exit") == 0) {
+            break;
+        } else {
+            eprint("mini-sqlite: bad command\n");
+        }}}}}}
+    }
+    close(db_fd);
+    exit(0);
+}
+""")
+
+
+def workload_script(n_inserts: int, n_gets: int) -> bytes:
+    """Generate an insert+get workload (Fig. 7 / Fig. 8 sqlite benchmark)."""
+    lines = []
+    for i in range(n_inserts):
+        lines.append(f"insert key{i:05d} value{i * 7 % 9973}")
+    for i in range(n_gets):
+        lines.append(f"get key{(i * 37) % max(n_inserts, 1):05d}")
+    lines.append("count")
+    lines.append("exit")
+    return ("\n".join(lines) + "\n").encode()

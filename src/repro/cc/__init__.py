@@ -1,0 +1,11 @@
+"""``repro.cc`` — the mini-C compiler targeting WALI (the clang analog).
+
+Guest software in this repository (libc, applications, WASI adapters) is
+written in a small C-like language and compiled to Wasm modules with
+:func:`compile_source`.
+"""
+
+from .compiler import Compiler, compile_source
+from .lexer import CompileError
+
+__all__ = ["CompileError", "Compiler", "compile_source"]

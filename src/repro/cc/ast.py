@@ -1,0 +1,165 @@
+"""AST node definitions for the mini-C guest language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ---- expressions ----
+
+
+@dataclass
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Float:
+    value: float
+    line: int = 0
+
+
+@dataclass
+class Str:
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Bin:
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class Un:
+    op: str
+    operand: object
+    line: int = 0
+
+
+@dataclass
+class Call:
+    name: str
+    args: List[object]
+    line: int = 0
+
+
+@dataclass
+class Cast:
+    target: str  # "i32" | "i64" | "f64"
+    operand: object
+    line: int = 0
+
+
+# ---- statements ----
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type: str
+    init: object
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    name: str
+    expr: object
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: object
+    then: List[object]
+    els: List[object]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: object
+    body: List[object]
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class Return:
+    expr: Optional[object]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+    line: int = 0
+
+
+# ---- top-level declarations ----
+
+
+@dataclass
+class ExternFunc:
+    name: str
+    params: List[Tuple[str, str]]
+    ret: Optional[str]
+    module: str
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[Tuple[str, str]]
+    ret: Optional[str]
+    body: List[object]
+    export: bool = False
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: str
+    init: object
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    value: int
+    line: int = 0
+
+
+@dataclass
+class BufferDecl:
+    name: str
+    size: int
+    line: int = 0
+
+
+@dataclass
+class Program:
+    decls: List[object] = field(default_factory=list)

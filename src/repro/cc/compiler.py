@@ -1,0 +1,617 @@
+"""Code generation: mini-C AST → WebAssembly module.
+
+Target conventions:
+
+* All pointers are i32 offsets into linear memory; there is no address-of,
+  so scalars live on the Wasm operand stack and aggregates live in
+  ``buffer`` declarations or heap allocations (malloc over WALI mmap).
+* String literals are interned into the data segment, NUL-terminated.
+* ``funcref(name)`` yields a table index (used for signal handlers and
+  thread entry points — the WALI process model needs real funcrefs).
+* ``__heap_base`` / ``__data_end`` are implicit globals marking the end of
+  static data; the guest libc starts its heap there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..wasm import Module, ModuleBuilder, validate_module
+from ..wasm.opt import gc_functions
+from ..wasm.builder import FuncBuilder
+from ..wasm.types import F64, I32, I64, PAGE_SIZE
+from . import ast
+from .lexer import CompileError
+from .parser import parse
+
+_LOADS = {
+    "load8u": ("i32.load8_u", I32), "load8s": ("i32.load8_s", I32),
+    "load16u": ("i32.load16_u", I32), "load16s": ("i32.load16_s", I32),
+    "load32": ("i32.load", I32), "load64": ("i64.load", I64),
+    "loadf64": ("f64.load", F64),
+}
+_STORES = {
+    "store8": ("i32.store8", I32), "store16": ("i32.store16", I32),
+    "store32": ("i32.store", I32), "store64": ("i64.store", I64),
+    "storef64": ("f64.store", F64),
+}
+_UNSIGNED_BIN = {"divu": "div_u", "remu": "rem_u", "shru": "shr_u",
+                 "rotl": "rotl", "rotr": "rotr"}
+_UNSIGNED_CMP = {"ltu": "lt_u", "gtu": "gt_u", "leu": "le_u", "geu": "ge_u"}
+_BIT_UN = {"clz": "clz", "ctz": "ctz", "popcnt": "popcnt"}
+_F64_UN = {"sqrt": "sqrt", "floor": "floor", "ceil": "ceil",
+           "fabs": "abs", "fnearest": "nearest", "ftrunc": "trunc"}
+
+_INT_BIN = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div_s", "%": "rem_s",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr_s",
+}
+_INT_CMP = {"==": "eq", "!=": "ne", "<": "lt_s", ">": "gt_s",
+            "<=": "le_s", ">=": "ge_s"}
+_F64_BIN = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+_F64_CMP = {"==": "eq", "!=": "ne", "<": "lt", ">": "gt", "<=": "le",
+            ">=": "ge"}
+
+
+class _FuncCtx:
+    def __init__(self, decl: ast.FuncDecl, fb: FuncBuilder):
+        self.decl = decl
+        self.fb = fb
+        self.locals: Dict[str, Tuple[int, str]] = {}
+        self.depth = 0
+        self.loop_stack: List[Tuple[int, int]] = []  # (break_d, continue_d)
+
+
+class Compiler:
+    def __init__(self, name: str = "app", memory_pages: int = 16,
+                 max_pages: int = 4096, data_base: int = 1024):
+        self.mb = ModuleBuilder(name)
+        self.memory_pages = memory_pages
+        self.max_pages = max_pages
+        self.data_base = data_base
+        self.data_ptr = data_base
+        self.data_chunks: List[Tuple[int, bytes]] = []
+        self.strings: Dict[bytes, int] = {}
+        self.consts: Dict[str, int] = {}
+        self.buffers: Dict[str, int] = {}
+        self.globals: Dict[str, Tuple[int, str]] = {}
+        self.funcs: Dict[str, ast.ExternFunc | ast.FuncDecl] = {}
+        self.table_map: Dict[str, int] = {}
+        self._heap_base_idx: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # data layout
+    # ------------------------------------------------------------------
+
+    def _alloc_data(self, size: int, align: int = 16) -> int:
+        addr = (self.data_ptr + align - 1) & ~(align - 1)
+        self.data_ptr = addr + size
+        return addr
+
+    def intern_string(self, s: str) -> int:
+        data = s.encode("utf-8") + b"\x00"
+        if data in self.strings:
+            return self.strings[data]
+        addr = self._alloc_data(len(data), align=1)
+        self.data_chunks.append((addr, data))
+        self.strings[data] = addr
+        return addr
+
+    def table_index(self, name: str, line: int) -> int:
+        if name not in self.funcs or isinstance(self.funcs[name],
+                                                ast.ExternFunc):
+            raise CompileError(f"funcref of unknown function {name!r}", line)
+        if name not in self.table_map:
+            # slots 0 and 1 stay null: they collide with SIG_DFL/SIG_IGN
+            # when a funcref is used as a signal handler token
+            self.table_map[name] = len(self.table_map) + 2
+        return self.table_map[name]
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def compile(self, source: str) -> Module:
+        prog = parse(source)
+
+        # pass 1: declarations
+        func_decls: List[ast.FuncDecl] = []
+        for decl in prog.decls:
+            if isinstance(decl, ast.ExternFunc):
+                if decl.name in self.funcs:
+                    raise CompileError(f"duplicate function {decl.name!r}",
+                                       decl.line)
+                self.funcs[decl.name] = decl
+                self.mb.import_func(
+                    decl.module, decl.name,
+                    [t for _, t in decl.params],
+                    [decl.ret] if decl.ret else [])
+            elif isinstance(decl, ast.FuncDecl):
+                if decl.name in self.funcs:
+                    raise CompileError(f"duplicate function {decl.name!r}",
+                                       decl.line)
+                self.funcs[decl.name] = decl
+                func_decls.append(decl)
+            elif isinstance(decl, ast.ConstDecl):
+                self.consts[decl.name] = decl.value
+            elif isinstance(decl, ast.BufferDecl):
+                self.buffers[decl.name] = self._alloc_data(decl.size)
+            elif isinstance(decl, ast.GlobalDecl):
+                init = decl.init.value
+                idx = self.mb.add_global(decl.type, init)
+                self.globals[decl.name] = (idx, decl.type)
+
+        self._heap_base_idx = self.mb.add_global(I32, 0, mutable=False)
+        self.globals["__heap_base"] = (self._heap_base_idx, I32)
+        self.globals["__data_end"] = (self._heap_base_idx, I32)
+
+        # pass 2: function signatures (builder indices), then bodies
+        builders: List[Tuple[ast.FuncDecl, FuncBuilder]] = []
+        for decl in func_decls:
+            fb = self.mb.func(decl.name, [t for _, t in decl.params],
+                              [decl.ret] if decl.ret else [],
+                              export=decl.export)
+            builders.append((decl, fb))
+        for decl, fb in builders:
+            self._compile_func(decl, fb)
+
+        # finalise data, memory, table
+        module = self.mb.build()
+        heap_base = (self.data_ptr + 15) & ~15
+        module.globals[self._heap_base_idx -
+                       module.num_imported_globals].init = \
+            ("i32.const", heap_base)
+        pages_needed = (heap_base + PAGE_SIZE - 1) // PAGE_SIZE
+        self.mb.add_memory(max(self.memory_pages, pages_needed),
+                           self.max_pages)
+        for addr, data in self.data_chunks:
+            self.mb.add_data(addr, data)
+        if self.table_map:
+            ordered = sorted(self.table_map.items(), key=lambda kv: kv[1])
+            self.mb.add_elem(2, [self.mb.func_index(n) for n, _ in ordered])
+        else:
+            self.mb.add_table(2)
+        gc_functions(module)  # static linking: strip unreachable code/imports
+        validate_module(module)
+        return module
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+
+    def _compile_func(self, decl: ast.FuncDecl, fb: FuncBuilder) -> None:
+        ctx = _FuncCtx(decl, fb)
+        for i, (pname, ptype) in enumerate(decl.params):
+            if pname in ctx.locals:
+                raise CompileError(f"duplicate parameter {pname!r}",
+                                   decl.line)
+            ctx.locals[pname] = (i, ptype)
+        self._stmts(ctx, decl.body)
+        if decl.ret:
+            # default result for fall-through paths (dead after return)
+            const_op = {"i32": "i32.const", "i64": "i64.const",
+                        "f64": "f64.const"}[decl.ret]
+            fb.op(const_op, 0 if decl.ret != "f64" else 0.0)
+        fb.end()
+
+    def _stmts(self, ctx: _FuncCtx, stmts: List[object]) -> None:
+        for stmt in stmts:
+            self._stmt(ctx, stmt)
+
+    def _stmt(self, ctx: _FuncCtx, stmt) -> None:
+        fb = ctx.fb
+        if isinstance(stmt, ast.VarDecl):
+            t = self._expr(ctx, stmt.init, want=stmt.type)
+            self._check(t, stmt.type, stmt.line, "initialiser")
+            if stmt.name in ctx.locals:
+                # re-declaration in a sibling block: reuse the slot
+                # (locals are function-scoped; the type must agree)
+                idx, ltype = ctx.locals[stmt.name]
+                if ltype != stmt.type:
+                    raise CompileError(
+                        f"local {stmt.name!r} redeclared with a different "
+                        f"type ({ltype} vs {stmt.type})", stmt.line)
+            else:
+                idx = fb.add_local(stmt.type)
+                ctx.locals[stmt.name] = (idx, stmt.type)
+            fb.local_set(idx)
+            return
+        if isinstance(stmt, ast.Assign):
+            if stmt.name in ctx.locals:
+                idx, ltype = ctx.locals[stmt.name]
+                t = self._expr(ctx, stmt.expr, want=ltype)
+                self._check(t, ltype, stmt.line, f"assignment to {stmt.name}")
+                fb.local_set(idx)
+                return
+            if stmt.name in self.globals:
+                idx, gtype = self.globals[stmt.name]
+                t = self._expr(ctx, stmt.expr, want=gtype)
+                self._check(t, gtype, stmt.line, f"assignment to {stmt.name}")
+                fb.global_set(idx)
+                return
+            raise CompileError(f"assignment to unknown name {stmt.name!r}",
+                               stmt.line)
+        if isinstance(stmt, ast.If):
+            self._condition(ctx, stmt.cond)
+            ctx.depth += 1
+            with fb.if_():
+                self._stmts(ctx, stmt.then)
+                if stmt.els:
+                    fb.else_()
+                    self._stmts(ctx, stmt.els)
+            ctx.depth -= 1
+            return
+        if isinstance(stmt, ast.While):
+            ctx.depth += 1
+            with fb.block():
+                break_depth = ctx.depth
+                ctx.depth += 1
+                with fb.loop():
+                    continue_depth = ctx.depth
+                    ctx.loop_stack.append((break_depth, continue_depth))
+                    self._condition(ctx, stmt.cond)
+                    fb.op("i32.eqz")
+                    fb.br_if(ctx.depth - break_depth)
+                    self._stmts(ctx, stmt.body)
+                    fb.br(ctx.depth - continue_depth)
+                    ctx.loop_stack.pop()
+                ctx.depth -= 1
+            ctx.depth -= 1
+            return
+        if isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside a loop", stmt.line)
+            fb.br(ctx.depth - ctx.loop_stack[-1][0])
+            return
+        if isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside a loop", stmt.line)
+            fb.br(ctx.depth - ctx.loop_stack[-1][1])
+            return
+        if isinstance(stmt, ast.Return):
+            ret = ctx.decl.ret
+            if stmt.expr is not None:
+                if ret is None:
+                    raise CompileError("return with value in void function",
+                                       stmt.line)
+                t = self._expr(ctx, stmt.expr, want=ret)
+                self._check(t, ret, stmt.line, "return value")
+            elif ret is not None:
+                raise CompileError("missing return value", stmt.line)
+            fb.ret()
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            t = self._expr_or_void(ctx, stmt.expr)
+            if t is not None:
+                fb.op("drop")
+            return
+        raise CompileError(f"unknown statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _check(self, found: Optional[str], want: str, line: int,
+               what: str) -> None:
+        if found != want:
+            raise CompileError(
+                f"type mismatch in {what}: expected {want}, found {found}",
+                line)
+
+    def _condition(self, ctx: _FuncCtx, expr) -> None:
+        """Emit expr coerced to an i32 truth value."""
+        t = self._expr(ctx, expr)
+        if t == I64:
+            ctx.fb.op("i64.eqz").op("i32.eqz")
+        elif t == F64:
+            ctx.fb.f64_const(0.0).op("f64.ne")
+        elif t != I32:
+            raise CompileError("condition must be numeric")
+
+    def _expr_or_void(self, ctx: _FuncCtx, expr) -> Optional[str]:
+        """Like _expr but allows void calls (statement position)."""
+        if isinstance(expr, ast.Call):
+            return self._call(ctx, expr, allow_void=True)
+        return self._expr(ctx, expr)
+
+    def _expr(self, ctx: _FuncCtx, expr, want: Optional[str] = None) -> str:
+        fb = ctx.fb
+        if isinstance(expr, ast.Num):
+            if want == I64:
+                fb.i64_const(expr.value)
+                return I64
+            if want == F64:
+                fb.f64_const(float(expr.value))
+                return F64
+            fb.i32_const(expr.value)
+            return I32
+        if isinstance(expr, ast.Float):
+            fb.f64_const(expr.value)
+            return F64
+        if isinstance(expr, ast.Str):
+            fb.i32_const(self.intern_string(expr.value))
+            return I32
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            if name in ctx.locals:
+                idx, t = ctx.locals[name]
+                fb.local_get(idx)
+                return t
+            if name in self.globals:
+                idx, t = self.globals[name]
+                fb.global_get(idx)
+                return t
+            if name in self.consts:
+                if want == I64:
+                    fb.i64_const(self.consts[name])
+                    return I64
+                fb.i32_const(self.consts[name])
+                return I32
+            if name in self.buffers:
+                fb.i32_const(self.buffers[name])
+                return I32
+            raise CompileError(f"unknown name {name!r}", expr.line)
+        if isinstance(expr, ast.Un):
+            return self._unary(ctx, expr)
+        if isinstance(expr, ast.Bin):
+            return self._binary(ctx, expr, want)
+        if isinstance(expr, ast.Cast):
+            return self._cast(ctx, expr)
+        if isinstance(expr, ast.Call):
+            t = self._call(ctx, expr, allow_void=False)
+            assert t is not None
+            return t
+        raise CompileError(f"unknown expression {type(expr).__name__}")
+
+    def _unary(self, ctx: _FuncCtx, expr: ast.Un) -> str:
+        fb = ctx.fb
+        if expr.op == "-":
+            if isinstance(expr.operand, (ast.Num, ast.Float)):
+                return self._expr(ctx, type(expr.operand)(
+                    -expr.operand.value, expr.line))
+            t = self._expr(ctx, expr.operand)
+            if t == F64:
+                fb.op("f64.neg")
+                return F64
+            prefix = "i64" if t == I64 else "i32"
+            const = fb.i64_const if t == I64 else fb.i32_const
+            # -x == 0 - x
+            tmp = fb.add_local(t)
+            fb.local_set(tmp)
+            const(0)
+            fb.local_get(tmp)
+            fb.op(f"{prefix}.sub")
+            return t
+        if expr.op == "!":
+            t = self._expr(ctx, expr.operand)
+            if t == I32:
+                fb.op("i32.eqz")
+            elif t == I64:
+                fb.op("i64.eqz")
+            else:
+                raise CompileError("! on float", expr.line)
+            return I32
+        raise CompileError(f"unknown unary {expr.op!r}", expr.line)
+
+    def _binary(self, ctx: _FuncCtx, expr: ast.Bin,
+                want: Optional[str]) -> str:
+        fb = ctx.fb
+        op = expr.op
+        if op == "&&":
+            self._condition(ctx, expr.left)
+            ctx.depth += 1
+            with fb.if_(I32):
+                self._condition(ctx, expr.right)
+                fb.else_()
+                fb.i32_const(0)
+            ctx.depth -= 1
+            return I32
+        if op == "||":
+            self._condition(ctx, expr.left)
+            ctx.depth += 1
+            with fb.if_(I32):
+                fb.i32_const(1)
+                fb.else_()
+                self._condition(ctx, expr.right)
+            ctx.depth -= 1
+            return I32
+        # literal adaption: compile the non-literal side first when possible
+        lt = self._expr(ctx, expr.left, want=want)
+        rt = self._expr(ctx, expr.right, want=lt)
+        if lt != rt:
+            raise CompileError(
+                f"operand type mismatch for {op!r}: {lt} vs {rt}", expr.line)
+        if lt == F64:
+            if op in _F64_BIN:
+                fb.op(f"f64.{_F64_BIN[op]}")
+                return F64
+            if op in _F64_CMP:
+                fb.op(f"f64.{_F64_CMP[op]}")
+                return I32
+            raise CompileError(f"operator {op!r} not valid on f64", expr.line)
+        prefix = "i64" if lt == I64 else "i32"
+        if op in _INT_BIN:
+            fb.op(f"{prefix}.{_INT_BIN[op]}")
+            return lt
+        if op in _INT_CMP:
+            fb.op(f"{prefix}.{_INT_CMP[op]}")
+            return I32
+        raise CompileError(f"unknown operator {op!r}", expr.line)
+
+    def _cast(self, ctx: _FuncCtx, expr: ast.Cast) -> str:
+        fb = ctx.fb
+        src = self._expr(ctx, expr.operand,
+                         want=expr.target if isinstance(expr.operand,
+                                                        ast.Num) else None)
+        dst = expr.target
+        if src == dst:
+            return dst
+        table = {
+            (I32, I64): "i64.extend_i32_s",
+            (I64, I32): "i32.wrap_i64",
+            (I32, F64): "f64.convert_i32_s",
+            (I64, F64): "f64.convert_i64_s",
+            (F64, I32): "i32.trunc_f64_s",
+            (F64, I64): "i64.trunc_f64_s",
+        }
+        fb.op(table[(src, dst)])
+        return dst
+
+    # ------------------------------------------------------------------
+    # calls & builtins
+    # ------------------------------------------------------------------
+
+    def _call(self, ctx: _FuncCtx, expr: ast.Call,
+              allow_void: bool) -> Optional[str]:
+        fb = ctx.fb
+        name = expr.name
+        args = expr.args
+
+        # memory builtins
+        if name in _LOADS:
+            self._expect_args(expr, 1)
+            self._check(self._expr(ctx, args[0]), I32, expr.line,
+                        f"{name} address")
+            opname, t = _LOADS[name]
+            fb.op(opname, 0, 0)
+            return t
+        if name in _STORES:
+            self._expect_args(expr, 2)
+            opname, t = _STORES[name]
+            self._check(self._expr(ctx, args[0]), I32, expr.line,
+                        f"{name} address")
+            self._check(self._expr(ctx, args[1], want=t), t, expr.line,
+                        f"{name} value")
+            fb.op(opname, 0, 0)
+            return None
+        if name == "memsize":
+            self._expect_args(expr, 0)
+            fb.op("memory.size")
+            return I32
+        if name == "memgrow":
+            self._expect_args(expr, 1)
+            self._expr(ctx, args[0])
+            fb.op("memory.grow")
+            return I32
+        if name == "memcopy" or name == "memfill":
+            self._expect_args(expr, 3)
+            for a in args:
+                self._check(self._expr(ctx, a), I32, expr.line, name)
+            fb.op(f"memory.{'copy' if name == 'memcopy' else 'fill'}")
+            return None
+        if name == "unreachable":
+            fb.op("unreachable")
+            return None
+        if name == "atomic_add32":
+            self._expect_args(expr, 2)
+            for a in args:
+                self._check(self._expr(ctx, a), I32, expr.line, name)
+            fb.op("i32.atomic.rmw.add", 0, 0)
+            return I32
+        if name == "atomic_cas32":
+            self._expect_args(expr, 3)
+            for a in args:
+                self._check(self._expr(ctx, a), I32, expr.line, name)
+            fb.op("i32.atomic.rmw.cmpxchg", 0, 0)
+            return I32
+
+        # typed numeric builtins
+        if name in _UNSIGNED_BIN or name in _UNSIGNED_CMP:
+            self._expect_args(expr, 2)
+            lt = self._expr(ctx, args[0])
+            rt = self._expr(ctx, args[1], want=lt)
+            self._check(rt, lt, expr.line, name)
+            prefix = "i64" if lt == I64 else "i32"
+            if name in _UNSIGNED_BIN:
+                fb.op(f"{prefix}.{_UNSIGNED_BIN[name]}")
+                return lt
+            fb.op(f"{prefix}.{_UNSIGNED_CMP[name]}")
+            return I32
+        if name in _BIT_UN:
+            self._expect_args(expr, 1)
+            t = self._expr(ctx, args[0])
+            prefix = "i64" if t == I64 else "i32"
+            fb.op(f"{prefix}.{_BIT_UN[name]}")
+            return t
+        if name in _F64_UN:
+            self._expect_args(expr, 1)
+            self._check(self._expr(ctx, args[0]), F64, expr.line, name)
+            fb.op(f"f64.{_F64_UN[name]}")
+            return F64
+        if name == "i64u":  # unsigned extension for pointer-ish values
+            self._expect_args(expr, 1)
+            self._check(self._expr(ctx, args[0]), I32, expr.line, name)
+            fb.op("i64.extend_i32_u")
+            return I64
+
+        # funcref / indirect calls
+        if name == "funcref":
+            if len(args) != 1 or not isinstance(args[0], ast.Var):
+                raise CompileError("funcref(name) takes a function name",
+                                   expr.line)
+            fb.i32_const(self.table_index(args[0].name, expr.line))
+            return I32
+        if name.startswith("icall_"):
+            return self._icall(ctx, expr, allow_void)
+
+        # user / extern functions
+        decl = self.funcs.get(name)
+        if decl is None:
+            raise CompileError(f"call to unknown function {name!r}",
+                               expr.line)
+        if len(args) != len(decl.params):
+            raise CompileError(
+                f"{name} expects {len(decl.params)} args, got {len(args)}",
+                expr.line)
+        for a, (_, ptype) in zip(args, decl.params):
+            self._check(self._expr(ctx, a, want=ptype), ptype, expr.line,
+                        f"argument to {name}")
+        fb.call(name)
+        if decl.ret is None:
+            if not allow_void:
+                raise CompileError(f"void call {name!r} used as a value",
+                                   expr.line)
+            return None
+        return decl.ret
+
+    def _icall(self, ctx: _FuncCtx, expr: ast.Call,
+               allow_void: bool) -> Optional[str]:
+        # icall_<ret>_<params>(index, args...); letters: v i l f
+        fb = ctx.fb
+        parts = expr.name.split("_")
+        if len(parts) not in (2, 3):
+            raise CompileError(f"bad icall name {expr.name!r}", expr.line)
+        charmap = {"i": I32, "l": I64, "f": F64}
+        ret = None if parts[1] == "v" else charmap.get(parts[1])
+        if parts[1] != "v" and ret is None:
+            raise CompileError(f"bad icall return {parts[1]!r}", expr.line)
+        params = []
+        if len(parts) == 3:
+            for c in parts[2]:
+                if c not in charmap:
+                    raise CompileError(f"bad icall param {c!r}", expr.line)
+                params.append(charmap[c])
+        if len(expr.args) != len(params) + 1:
+            raise CompileError(
+                f"{expr.name} expects {len(params) + 1} args", expr.line)
+        for a, ptype in zip(expr.args[1:], params):
+            self._check(self._expr(ctx, a, want=ptype), ptype, expr.line,
+                        "icall argument")
+        self._check(self._expr(ctx, expr.args[0]), I32, expr.line,
+                    "icall index")
+        fb.call_indirect(params, [ret] if ret else [])
+        if ret is None and not allow_void:
+            raise CompileError("void icall used as a value", expr.line)
+        return ret
+
+    @staticmethod
+    def _expect_args(expr: ast.Call, n: int) -> None:
+        if len(expr.args) != n:
+            raise CompileError(f"{expr.name} expects {n} args, got "
+                               f"{len(expr.args)}", expr.line)
+
+
+def compile_source(source: str, name: str = "app", memory_pages: int = 16,
+                   max_pages: int = 4096, data_base: int = 1024) -> Module:
+    """Compile mini-C source to a validated Wasm module."""
+    return Compiler(name, memory_pages, max_pages, data_base).compile(source)

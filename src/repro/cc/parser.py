@@ -1,0 +1,305 @@
+"""Recursive-descent parser for the mini-C guest language.
+
+Grammar sketch::
+
+    program   := decl*
+    decl      := extern | funcdecl | globaldecl | constdecl | bufferdecl
+    extern    := "extern" "func" IDENT "(" params ")" ["->" type]
+                 "from" STR ";"
+    funcdecl  := ["export"] "func" IDENT "(" params ")" ["->" type] block
+    globaldecl:= "global" IDENT ":" type "=" const_expr ";"
+    constdecl := "const" IDENT "=" const_expr ";"
+    bufferdecl:= "buffer" IDENT "[" const_expr "]" ";"
+    stmt      := vardecl | assign | if | while | break | continue
+               | return | exprstmt
+    expr      := Pratt with ||, &&, |, ^, &, ==/!=, relational, shifts,
+                 additive, multiplicative, unary, call/primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import CompileError, Token, tokenize
+
+_TYPES = ("i32", "i64", "f64")
+
+# binary operator precedence (higher binds tighter)
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    # ---- token plumbing ----
+
+    def peek(self, k: int = 0) -> Token:
+        return self.toks[min(self.pos + k, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise CompileError(f"expected {kind!r}, found {tok.kind!r}",
+                               tok.line, tok.col)
+        return tok
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def error(self, message: str) -> CompileError:
+        tok = self.peek()
+        return CompileError(message + f" (at {tok.kind!r})", tok.line,
+                            tok.col)
+
+    # ---- program ----
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program()
+        while self.peek().kind != "eof":
+            prog.decls.append(self.parse_decl())
+        return prog
+
+    def parse_decl(self):
+        tok = self.peek()
+        if tok.kind == "extern":
+            return self.parse_extern()
+        if tok.kind == "export" or tok.kind == "func":
+            return self.parse_func()
+        if tok.kind == "global":
+            return self.parse_global()
+        if tok.kind == "const":
+            return self.parse_const()
+        if tok.kind == "buffer":
+            return self.parse_buffer()
+        raise self.error("expected a declaration")
+
+    def parse_type(self) -> str:
+        tok = self.next()
+        if tok.kind not in _TYPES:
+            raise CompileError(f"expected a type, found {tok.kind!r}",
+                               tok.line, tok.col)
+        return tok.kind
+
+    def parse_params(self) -> List[Tuple[str, str]]:
+        self.expect("(")
+        params = []
+        while self.peek().kind != ")":
+            name = self.expect("ident").value
+            self.expect(":")
+            params.append((name, self.parse_type()))
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return params
+
+    def parse_ret(self) -> Optional[str]:
+        if self.accept("->"):
+            return self.parse_type()
+        return None
+
+    def parse_extern(self) -> ast.ExternFunc:
+        tok = self.expect("extern")
+        self.expect("func")
+        name = self.expect("ident").value
+        params = self.parse_params()
+        ret = self.parse_ret()
+        self.expect("from")
+        module = self.expect("str").value
+        self.expect(";")
+        return ast.ExternFunc(name, params, ret, module, tok.line)
+
+    def parse_func(self) -> ast.FuncDecl:
+        export = bool(self.accept("export"))
+        tok = self.expect("func")
+        name = self.expect("ident").value
+        params = self.parse_params()
+        ret = self.parse_ret()
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, ret, body, export, tok.line)
+
+    def parse_const_value(self) -> int:
+        neg = bool(self.accept("-"))
+        tok = self.next()
+        if tok.kind == "num":
+            return -tok.value if neg else tok.value
+        raise CompileError("expected an integer constant", tok.line, tok.col)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        tok = self.expect("global")
+        name = self.expect("ident").value
+        self.expect(":")
+        gtype = self.parse_type()
+        self.expect("=")
+        if gtype == "f64":
+            neg = bool(self.accept("-"))
+            vt = self.next()
+            if vt.kind not in ("float", "num"):
+                raise CompileError("expected a numeric constant",
+                                   vt.line, vt.col)
+            value = float(vt.value)
+            init = ast.Float(-value if neg else value, vt.line)
+        else:
+            init = ast.Num(self.parse_const_value(), tok.line)
+        self.expect(";")
+        return ast.GlobalDecl(name, gtype, init, tok.line)
+
+    def parse_const(self) -> ast.ConstDecl:
+        tok = self.expect("const")
+        name = self.expect("ident").value
+        self.expect("=")
+        value = self.parse_const_value()
+        self.expect(";")
+        return ast.ConstDecl(name, value, tok.line)
+
+    def parse_buffer(self) -> ast.BufferDecl:
+        tok = self.expect("buffer")
+        name = self.expect("ident").value
+        self.expect("[")
+        size = self.parse_const_value()
+        self.expect("]")
+        self.expect(";")
+        return ast.BufferDecl(name, size, tok.line)
+
+    # ---- statements ----
+
+    def parse_block(self) -> List[object]:
+        self.expect("{")
+        stmts = []
+        while self.peek().kind != "}":
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def parse_stmt(self):
+        tok = self.peek()
+        if tok.kind == "var":
+            self.next()
+            name = self.expect("ident").value
+            self.expect(":")
+            vtype = self.parse_type()
+            self.expect("=")
+            init = self.parse_expr()
+            self.expect(";")
+            return ast.VarDecl(name, vtype, init, tok.line)
+        if tok.kind == "if":
+            return self.parse_if()
+        if tok.kind == "while":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return ast.While(cond, self.parse_block(), tok.line)
+        if tok.kind == "break":
+            self.next()
+            self.expect(";")
+            return ast.Break(tok.line)
+        if tok.kind == "continue":
+            self.next()
+            self.expect(";")
+            return ast.Continue(tok.line)
+        if tok.kind == "return":
+            self.next()
+            if self.accept(";"):
+                return ast.Return(None, tok.line)
+            expr = self.parse_expr()
+            self.expect(";")
+            return ast.Return(expr, tok.line)
+        if tok.kind == "ident" and self.peek(1).kind == "=":
+            name = self.next().value
+            self.next()  # "="
+            expr = self.parse_expr()
+            self.expect(";")
+            return ast.Assign(name, expr, tok.line)
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(expr, tok.line)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block()
+        els: List[object] = []
+        if self.accept("else"):
+            if self.peek().kind == "if":
+                els = [self.parse_if()]
+            else:
+                els = self.parse_block()
+        return ast.If(cond, then, els, tok.line)
+
+    # ---- expressions (precedence climbing) ----
+
+    def parse_expr(self, min_prec: int = 1):
+        left = self.parse_unary()
+        while True:
+            op = self.peek().kind
+            prec = _PREC.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            tok = self.next()
+            right = self.parse_expr(prec + 1)
+            left = ast.Bin(op, left, right, tok.line)
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == "-":
+            self.next()
+            return ast.Un("-", self.parse_unary(), tok.line)
+        if tok.kind == "!":
+            self.next()
+            return ast.Un("!", self.parse_unary(), tok.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.next()
+        if tok.kind == "num":
+            return ast.Num(tok.value, tok.line)
+        if tok.kind == "float":
+            return ast.Float(tok.value, tok.line)
+        if tok.kind == "str":
+            return ast.Str(tok.value, tok.line)
+        if tok.kind in _TYPES:  # cast: i64(expr)
+            self.expect("(")
+            inner = self.parse_expr()
+            self.expect(")")
+            return ast.Cast(tok.kind, inner, tok.line)
+        if tok.kind == "ident":
+            if self.peek().kind == "(":
+                self.next()
+                args = []
+                while self.peek().kind != ")":
+                    args.append(self.parse_expr())
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+                return ast.Call(tok.value, args, tok.line)
+            return ast.Var(tok.value, tok.line)
+        if tok.kind == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise CompileError(f"unexpected token {tok.kind!r} in expression",
+                           tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Program:
+    return Parser(tokenize(source)).parse_program()

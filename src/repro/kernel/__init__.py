@@ -1,0 +1,51 @@
+"""``repro.kernel`` — the virtual Linux substrate WALI targets.
+
+A self-contained, in-process model of the Linux userspace ABI: VFS (+procfs,
+devices), file descriptors and pipes, processes/threads with clone-flag
+resource sharing, signals, the mmap family, futexes, loopback sockets, and
+per-ISA syscall number tables.
+"""
+
+from .arch import (
+    AARCH64, ARCH_SYSCALLS, ARCHES, LEGACY_EQUIVALENTS, RISCV64, X86_64,
+    arch_specific, common_syscalls, isa_similarity_report, syscall_names,
+    union_syscalls,
+)
+from .errno import KernelError, errno_name
+from .fdtable import FDTable, OpenFile, Pipe
+from .kernel import Kernel
+from .mm import (
+    AddressSpace, MAP_ANONYMOUS, MAP_FIXED, MAP_PRIVATE, MAP_SHARED,
+    MREMAP_MAYMOVE, PROT_EXEC, PROT_NONE, PROT_READ, PROT_WRITE, VMA,
+)
+from .process import (
+    CLONE_FILES, CLONE_FS, CLONE_SIGHAND, CLONE_THREAD, CLONE_VM, Process,
+    RLIMIT_NOFILE, RLIMIT_STACK, WNOHANG,
+)
+from .signals import (
+    NSIG, SIG_BLOCK, SIG_DFL, SIG_IGN, SIG_SETMASK, SIG_UNBLOCK, SIGALRM,
+    SIGCHLD, SIGINT, SIGKILL, SIGPIPE, SIGSEGV, SIGTERM, SIGUSR1, SIGUSR2,
+    SigAction, sig_bit,
+)
+from .sockets import AF_INET, AF_UNIX, NetStack, SOCK_DGRAM, SOCK_STREAM
+from .vfs import (
+    AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_EXCL, O_NONBLOCK,
+    O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, S_IFDIR, S_IFREG, VFS,
+)
+
+__all__ = [
+    "AARCH64", "AF_INET", "AF_UNIX", "ARCHES", "ARCH_SYSCALLS", "AT_FDCWD",
+    "AddressSpace", "CLONE_FILES", "CLONE_FS", "CLONE_SIGHAND",
+    "CLONE_THREAD", "CLONE_VM", "FDTable", "Inode", "Kernel", "KernelError",
+    "LEGACY_EQUIVALENTS", "MAP_ANONYMOUS", "MAP_FIXED", "MAP_PRIVATE",
+    "MAP_SHARED", "MREMAP_MAYMOVE", "NSIG", "NetStack", "O_APPEND",
+    "O_CLOEXEC", "O_CREAT", "O_EXCL", "O_NONBLOCK", "O_RDONLY", "O_RDWR",
+    "O_TRUNC", "O_WRONLY", "OpenFile", "PROT_EXEC", "PROT_NONE", "PROT_READ",
+    "PROT_WRITE", "Pipe", "Process", "RISCV64", "RLIMIT_NOFILE",
+    "RLIMIT_STACK", "S_IFDIR", "S_IFREG", "SIGALRM", "SIGCHLD", "SIGINT",
+    "SIGKILL", "SIGPIPE", "SIGSEGV", "SIGTERM", "SIGUSR1", "SIGUSR2",
+    "SIG_BLOCK", "SIG_DFL", "SIG_IGN", "SIG_SETMASK", "SIG_UNBLOCK",
+    "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "VFS", "VMA", "WNOHANG",
+    "X86_64", "arch_specific", "common_syscalls", "errno_name",
+    "isa_similarity_report", "sig_bit", "syscall_names", "union_syscalls",
+]

@@ -1,0 +1,194 @@
+"""Per-ISA Linux syscall number tables.
+
+Linux officially supports ~500 syscalls, but not all are available on every
+ISA (§2 of the paper, Fig. 3): ``aarch64`` and ``riscv64`` use the *generic*
+numbering and omit the legacy calls that ``x86_64`` keeps for backward
+compatibility (``open``, ``stat``, ``fork``, ``access``...), which modern
+code replaces with the ``*at`` variants.
+
+These tables carry a representative, realistically-numbered subset used by:
+
+* Fig. 3 (syscall commonality across ISAs),
+* WALI's union-spec construction (name-bound syscalls are the union across
+  architectures, §3.5),
+* layout translation (per-ISA struct encodings keyed by arch name).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+X86_64 = "x86_64"
+AARCH64 = "aarch64"
+RISCV64 = "riscv64"
+ARCHES = (X86_64, AARCH64, RISCV64)
+
+# --- x86_64 table (legacy-rich) -------------------------------------------
+
+_X86_64: Dict[str, int] = {
+    "read": 0, "write": 1, "open": 2, "close": 3, "stat": 4, "fstat": 5,
+    "lstat": 6, "poll": 7, "lseek": 8, "mmap": 9, "mprotect": 10,
+    "munmap": 11, "brk": 12, "rt_sigaction": 13, "rt_sigprocmask": 14,
+    "rt_sigreturn": 15, "ioctl": 16, "pread64": 17, "pwrite64": 18,
+    "readv": 19, "writev": 20, "access": 21, "pipe": 22, "select": 23,
+    "sched_yield": 24, "mremap": 25, "msync": 26, "mincore": 27,
+    "madvise": 28, "dup": 32, "dup2": 33, "pause": 34, "nanosleep": 35,
+    "getitimer": 36, "alarm": 37, "setitimer": 38, "getpid": 39,
+    "sendfile": 40, "socket": 41, "connect": 42, "accept": 43, "sendto": 44,
+    "recvfrom": 45, "sendmsg": 46, "recvmsg": 47, "shutdown": 48, "bind": 49,
+    "listen": 50, "getsockname": 51, "getpeername": 52, "socketpair": 53,
+    "setsockopt": 54, "getsockopt": 55, "clone": 56, "fork": 57, "vfork": 58,
+    "execve": 59, "exit": 60, "wait4": 61, "kill": 62, "uname": 63,
+    "fcntl": 72, "flock": 73, "fsync": 74, "fdatasync": 75, "truncate": 76,
+    "ftruncate": 77, "getdents": 78, "getcwd": 79, "chdir": 80, "fchdir": 81,
+    "rename": 82, "mkdir": 83, "rmdir": 84, "creat": 85, "link": 86,
+    "unlink": 87, "symlink": 88, "readlink": 89, "chmod": 90, "fchmod": 91,
+    "chown": 92, "fchown": 93, "lchown": 94, "umask": 95,
+    "gettimeofday": 96, "getrlimit": 97, "getrusage": 98, "sysinfo": 99,
+    "times": 100, "getuid": 102, "syslog": 103, "getgid": 104, "setuid": 105,
+    "setgid": 106, "geteuid": 107, "getegid": 108, "setpgid": 109,
+    "getppid": 110, "getpgrp": 111, "setsid": 112, "getpgid": 121,
+    "getsid": 124, "sigaltstack": 131, "utime": 132, "mknod": 133,
+    "statfs": 137, "fstatfs": 138, "getpriority": 140, "setpriority": 141,
+    "prctl": 157, "arch_prctl": 158, "setrlimit": 160, "chroot": 161,
+    "sync": 162, "gettid": 186, "readahead": 187, "futex": 202,
+    "sched_setaffinity": 203, "sched_getaffinity": 204, "getdents64": 217,
+    "set_tid_address": 218, "fadvise64": 221, "clock_settime": 227,
+    "clock_gettime": 228, "clock_getres": 229, "clock_nanosleep": 230,
+    "exit_group": 231, "epoll_wait": 232, "epoll_ctl": 233, "tgkill": 234,
+    "utimes": 235, "openat": 257, "mkdirat": 258, "mknodat": 259,
+    "fchownat": 260, "futimesat": 261, "newfstatat": 262, "unlinkat": 263,
+    "renameat": 264, "linkat": 265, "symlinkat": 266, "readlinkat": 267,
+    "fchmodat": 268, "faccessat": 269, "pselect6": 270, "ppoll": 271,
+    "set_robust_list": 273, "utimensat": 280, "epoll_pwait": 281,
+    "accept4": 288, "eventfd2": 290, "epoll_create1": 291, "dup3": 292,
+    "pipe2": 293, "prlimit64": 302, "renameat2": 316, "getrandom": 318,
+    "memfd_create": 319, "execveat": 322, "statx": 332, "rseq": 334,
+    "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
+}
+
+# --- generic table (aarch64 / riscv64) ------------------------------------
+
+_GENERIC: Dict[str, int] = {
+    "getcwd": 17, "eventfd2": 19, "epoll_create1": 20, "epoll_ctl": 21,
+    "epoll_pwait": 22, "dup": 23, "dup3": 24, "fcntl": 25, "ioctl": 29,
+    "flock": 32, "mknodat": 33, "mkdirat": 34, "unlinkat": 35,
+    "symlinkat": 36, "linkat": 37, "renameat": 38, "statfs": 43,
+    "fstatfs": 44, "truncate": 45, "ftruncate": 46, "faccessat": 48,
+    "chdir": 49, "fchdir": 50, "chroot": 51, "fchmod": 52, "fchmodat": 53,
+    "fchownat": 54, "fchown": 55, "openat": 56, "close": 57, "pipe2": 59,
+    "getdents64": 61, "lseek": 62, "read": 63, "write": 64, "readv": 65,
+    "writev": 66, "pread64": 67, "pwrite64": 68, "sendfile": 71,
+    "pselect6": 72, "ppoll": 73, "readlinkat": 78, "newfstatat": 79,
+    "fstat": 80, "sync": 81, "fsync": 82, "fdatasync": 83, "utimensat": 88,
+    "exit": 93, "exit_group": 94, "waitid": 95, "set_tid_address": 96,
+    "futex": 98, "set_robust_list": 99, "nanosleep": 101, "getitimer": 102,
+    "setitimer": 103, "clock_settime": 112, "clock_gettime": 113,
+    "clock_getres": 114, "clock_nanosleep": 115, "syslog": 116,
+    "sched_setaffinity": 122, "sched_getaffinity": 123, "sched_yield": 124,
+    "kill": 129, "tgkill": 131, "sigaltstack": 132, "rt_sigaction": 134,
+    "rt_sigprocmask": 135, "rt_sigreturn": 139, "setpriority": 140,
+    "getpriority": 141, "setgid": 144, "setuid": 146, "times": 153,
+    "setpgid": 154, "getpgid": 155, "getsid": 156, "setsid": 157,
+    "uname": 160, "getrlimit": 163, "setrlimit": 164, "getrusage": 165,
+    "umask": 166, "prctl": 167, "gettimeofday": 169, "getpid": 172,
+    "getppid": 173, "getuid": 174, "geteuid": 175, "getgid": 176,
+    "getegid": 177, "gettid": 178, "sysinfo": 179, "socket": 198,
+    "socketpair": 199, "bind": 200, "listen": 201, "accept": 202,
+    "connect": 203, "getsockname": 204, "getpeername": 205, "sendto": 206,
+    "recvfrom": 207, "setsockopt": 208, "getsockopt": 209, "shutdown": 210,
+    "sendmsg": 211, "recvmsg": 212, "readahead": 213, "brk": 214,
+    "munmap": 215, "mremap": 216, "clone": 220, "execve": 221, "mmap": 222,
+    "fadvise64": 223, "mprotect": 226, "msync": 227, "mincore": 232,
+    "madvise": 233, "accept4": 242, "wait4": 260, "prlimit64": 261,
+    "renameat2": 276, "getrandom": 278, "memfd_create": 279, "statx": 291,
+    "rseq": 293, "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
+}
+
+# riscv64 omits a handful of calls aarch64 kept (it was added to Linux after
+# the renameat->renameat2 consolidation).
+_RISCV_OMIT = frozenset({"renameat"})
+
+ARCH_SYSCALLS: Dict[str, Dict[str, int]] = {
+    X86_64: dict(_X86_64),
+    AARCH64: dict(_GENERIC),
+    RISCV64: {k: v for k, v in _GENERIC.items() if k not in _RISCV_OMIT},
+}
+
+
+def syscall_names(arch: str) -> FrozenSet[str]:
+    return frozenset(ARCH_SYSCALLS[arch])
+
+
+def union_syscalls() -> FrozenSet[str]:
+    """The WALI virtual syscall set: the union across supported ISAs (§3.5)."""
+    out = set()
+    for table in ARCH_SYSCALLS.values():
+        out.update(table)
+    return frozenset(out)
+
+
+def common_syscalls() -> FrozenSet[str]:
+    """Syscalls available on every supported ISA."""
+    names = [set(t) for t in ARCH_SYSCALLS.values()]
+    out = names[0]
+    for s in names[1:]:
+        out &= s
+    return frozenset(out)
+
+
+def arch_specific(arch: str) -> FrozenSet[str]:
+    """Syscalls only reachable on ``arch`` by number (not in the common core)."""
+    return syscall_names(arch) - common_syscalls()
+
+
+def isa_similarity_report() -> Dict[str, dict]:
+    """Data behind Fig. 3: per-ISA counts of common vs arch-specific calls."""
+    common = common_syscalls()
+    report = {}
+    for arch in ARCHES:
+        names = syscall_names(arch)
+        report[arch] = {
+            "total": len(names),
+            "common": len(names & common),
+            "arch_specific": len(names - common),
+        }
+    return report
+
+
+# Emulation map (§2): legacy x86-64-only calls expressible via the modern
+# generic equivalents — how WALI implements them portably.
+LEGACY_EQUIVALENTS: Dict[str, str] = {
+    "open": "openat",
+    "creat": "openat",
+    "stat": "newfstatat",
+    "lstat": "newfstatat",
+    "access": "faccessat",
+    "pipe": "pipe2",
+    "dup2": "dup3",
+    "fork": "clone",
+    "vfork": "clone",
+    "getdents": "getdents64",
+    "rename": "renameat",
+    "mkdir": "mkdirat",
+    "rmdir": "unlinkat",
+    "link": "linkat",
+    "unlink": "unlinkat",
+    "symlink": "symlinkat",
+    "readlink": "readlinkat",
+    "chmod": "fchmodat",
+    "chown": "fchownat",
+    "lchown": "fchownat",
+    "mknod": "mknodat",
+    "poll": "ppoll",
+    "select": "pselect6",
+    "epoll_wait": "epoll_pwait",
+    "utime": "utimensat",
+    "utimes": "utimensat",
+    "futimesat": "utimensat",
+    "alarm": "setitimer",
+    "pause": "rt_sigsuspend",
+    "getpgrp": "getpgid",
+    "epoll_create": "epoll_create1",
+    "eventfd": "eventfd2",
+}

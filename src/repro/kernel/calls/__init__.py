@@ -1,0 +1,11 @@
+"""Syscall implementation mixins composing the :class:`repro.kernel.Kernel`."""
+
+from .fs import FSCalls
+from .memsys import MemCalls
+from .misc import MiscCalls
+from .net import NetCalls
+from .proc import ProcCalls
+from .sig import SigCalls
+
+__all__ = ["FSCalls", "MemCalls", "MiscCalls", "NetCalls", "ProcCalls",
+           "SigCalls"]

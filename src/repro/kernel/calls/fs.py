@@ -1,0 +1,597 @@
+"""Filesystem syscalls.
+
+Kernel-level signatures use Python types (str paths, bytes buffers); the
+WALI layer performs the pointer translation and struct encoding (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errno import (
+    EACCES, EBADF, EEXIST, EINVAL, EISDIR, ELOOP, ENOENT, ENOSYS, ENOTDIR,
+    ENOTTY, EPERM, ESPIPE, KernelError,
+)
+from ..fdtable import (
+    F_DUPFD, F_DUPFD_CLOEXEC, F_GETFD, F_GETFL, F_SETFD, F_SETFL, FD_CLOEXEC,
+    OpenFile, Pipe, SEEK_CUR, SEEK_END, SEEK_SET,
+)
+from ..process import Process, RLIMIT_FSIZE, RLIM_INFINITY
+from ..vfs import (
+    AT_FDCWD, AT_REMOVEDIR, AT_SYMLINK_NOFOLLOW, DirEntry, Inode,
+    O_ACCMODE, O_APPEND, O_CLOEXEC, O_CREAT, O_DIRECTORY, O_EXCL,
+    O_NOFOLLOW, O_NONBLOCK, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY,
+    S_IFDIR, S_IFIFO, S_IFLNK, S_IFMT, S_IFREG,
+)
+
+# ioctl requests we answer
+TCGETS = 0x5401
+TIOCGWINSZ = 0x5413
+FIONREAD = 0x541B
+FIONBIO = 0x5421
+
+
+@dataclass
+class Stat:
+    """ISA-independent stat payload; WALI encodes the per-ISA kstat layout."""
+
+    st_dev: int = 0
+    st_ino: int = 0
+    st_mode: int = 0
+    st_nlink: int = 0
+    st_uid: int = 0
+    st_gid: int = 0
+    st_rdev: int = 0
+    st_size: int = 0
+    st_blksize: int = 4096
+    st_blocks: int = 0
+    st_atime_ns: int = 0
+    st_mtime_ns: int = 0
+    st_ctime_ns: int = 0
+
+
+@dataclass
+class StatFS:
+    f_type: int = 0x01021994  # TMPFS_MAGIC
+    f_bsize: int = 4096
+    f_blocks: int = 262144
+    f_bfree: int = 131072
+    f_bavail: int = 131072
+    f_files: int = 65536
+    f_ffree: int = 32768
+    f_namelen: int = 255
+
+
+def _stat_of(node: Inode) -> Stat:
+    return Stat(
+        st_dev=1, st_ino=node.ino, st_mode=node.mode, st_nlink=node.nlink,
+        st_uid=node.uid, st_gid=node.gid, st_rdev=node.rdev,
+        st_size=node.size, st_blocks=(node.size + 511) // 512,
+        st_atime_ns=node.atime_ns, st_mtime_ns=node.mtime_ns,
+        st_ctime_ns=node.ctime_ns)
+
+
+class FSCalls:
+    """Mixin with filesystem syscalls; mixed into :class:`Kernel`."""
+
+    # ---- path helpers ----
+
+    def _at_dir(self, proc: Process, dirfd: int) -> Inode:
+        if dirfd == AT_FDCWD:
+            return proc.cwd or self.vfs.root
+        file = proc.fdtable.get(dirfd)
+        if file.inode is None or not file.inode.is_dir:
+            raise KernelError(ENOTDIR, f"dirfd {dirfd}")
+        return file.inode
+
+    def _resolve_at(self, proc: Process, dirfd: int, path: str,
+                    follow: bool = True) -> Inode:
+        return self.vfs.resolve(path, self._at_dir(proc, dirfd), follow, proc)
+
+    # ---- open/close ----
+
+    def sys_openat(self, proc: Process, dirfd: int, path: str, flags: int,
+                   mode: int = 0o644) -> int:
+        base = self._at_dir(proc, dirfd)
+        try:
+            node = self.vfs.resolve(path, base,
+                                    follow=not flags & O_NOFOLLOW, proc=proc)
+            if flags & O_CREAT and flags & O_EXCL:
+                raise KernelError(EEXIST, path)
+        except KernelError as exc:
+            if exc.errno != ENOENT or not flags & O_CREAT:
+                raise
+            parent, name = self.vfs.resolve_parent(path, base, proc)
+            node = Inode(S_IFREG | (mode & ~proc.umask & 0o7777),
+                         proc.euid, proc.egid)
+            fsize = proc.getrlimit(RLIMIT_FSIZE)[0]
+            if fsize != RLIM_INFINITY:
+                node.fs_limit = fsize
+            parent.entries[name] = node
+        if node.is_symlink and flags & O_NOFOLLOW:
+            raise KernelError(ELOOP, path)
+        if flags & O_DIRECTORY and not node.is_dir:
+            raise KernelError(ENOTDIR, path)
+        accmode = flags & O_ACCMODE
+        if node.is_dir:
+            if accmode != O_RDONLY:
+                raise KernelError(EISDIR, path)
+            kind = OpenFile.KIND_DIR
+        elif node.is_chr:
+            kind = OpenFile.KIND_CHR
+        else:
+            kind = OpenFile.KIND_REG
+        if flags & O_TRUNC and node.is_file and accmode != O_RDONLY:
+            node.truncate(0)
+        file = OpenFile(kind, flags, inode=node, path=path)
+        if node.generator is not None:
+            file.set_proc_content(node.generator(proc))
+        return proc.fdtable.install(file, cloexec=bool(flags & O_CLOEXEC))
+
+    def sys_open(self, proc: Process, path: str, flags: int,
+                 mode: int = 0o644) -> int:
+        return self.sys_openat(proc, AT_FDCWD, path, flags, mode)
+
+    def sys_creat(self, proc: Process, path: str, mode: int) -> int:
+        return self.sys_openat(proc, AT_FDCWD, path,
+                               O_CREAT | O_WRONLY | O_TRUNC, mode)
+
+    def sys_close(self, proc: Process, fd: int) -> int:
+        proc.fdtable.close(fd)
+        return 0
+
+    # ---- read/write ----
+
+    def sys_read(self, proc: Process, fd: int, length: int) -> bytes:
+        if length < 0:
+            raise KernelError(EINVAL, "negative length")
+        file = proc.fdtable.get(fd)
+        if not file.readable_mode:
+            raise KernelError(EBADF, "fd not open for reading")
+        data = self._blocking_io(proc, file, lambda: file.read(length))
+        if file.kind == OpenFile.KIND_REG:
+            self.storage_charge(len(data))
+        return data
+
+    def sys_write(self, proc: Process, fd: int, data) -> int:
+        file = proc.fdtable.get(fd)
+        if not file.writable_mode:
+            raise KernelError(EBADF, "fd not open for writing")
+        data = bytes(data)
+        total = 0
+        while total < len(data):
+            n = self._blocking_io(
+                proc, file, lambda: file.write(data[total:]), on_pipe_full=True)
+            total += n
+            if file.kind not in (OpenFile.KIND_PIPE_W, OpenFile.KIND_SOCK):
+                break  # regular files/devices write everything in one step
+        if file.kind == OpenFile.KIND_REG:
+            self.storage_charge(total)
+        return total
+
+    def sys_pread64(self, proc: Process, fd: int, length: int,
+                    offset: int) -> bytes:
+        file = proc.fdtable.get(fd)
+        if not file.readable_mode:
+            raise KernelError(EBADF)
+        data = file.pread(length, offset)
+        self.storage_charge(len(data))
+        return data
+
+    def sys_pwrite64(self, proc: Process, fd: int, data, offset: int) -> int:
+        file = proc.fdtable.get(fd)
+        if not file.writable_mode:
+            raise KernelError(EBADF)
+        n = file.pwrite(bytes(data), offset)
+        self.storage_charge(n)
+        return n
+
+    def sys_readv(self, proc: Process, fd: int, lengths: List[int]) -> bytes:
+        return self.sys_read(proc, fd, sum(lengths))
+
+    def sys_writev(self, proc: Process, fd: int, bufs: List[bytes]) -> int:
+        return self.sys_write(proc, fd, b"".join(bytes(b) for b in bufs))
+
+    def sys_lseek(self, proc: Process, fd: int, offset: int,
+                  whence: int) -> int:
+        return proc.fdtable.get(fd).seek(offset, whence)
+
+    def sys_sendfile(self, proc: Process, out_fd: int, in_fd: int,
+                     offset: Optional[int], count: int) -> int:
+        infile = proc.fdtable.get(in_fd)
+        if offset is None:
+            data = infile.read(count)
+        else:
+            data = infile.pread(count, offset)
+        return self.sys_write(proc, out_fd, data)
+
+    # ---- fd management ----
+
+    def sys_dup(self, proc: Process, fd: int) -> int:
+        return proc.fdtable.dup(fd)
+
+    def sys_dup2(self, proc: Process, oldfd: int, newfd: int) -> int:
+        return proc.fdtable.dup2(oldfd, newfd)
+
+    def sys_dup3(self, proc: Process, oldfd: int, newfd: int,
+                 flags: int) -> int:
+        if oldfd == newfd:
+            raise KernelError(EINVAL, "dup3 with equal fds")
+        return proc.fdtable.dup2(oldfd, newfd,
+                                 cloexec=bool(flags & O_CLOEXEC))
+
+    def sys_fcntl(self, proc: Process, fd: int, cmd: int, arg: int = 0) -> int:
+        table = proc.fdtable
+        if cmd == F_DUPFD:
+            return table.dup(fd, lowest=arg)
+        if cmd == F_DUPFD_CLOEXEC:
+            return table.dup(fd, lowest=arg, cloexec=True)
+        if cmd == F_GETFD:
+            return FD_CLOEXEC if table.get_cloexec(fd) else 0
+        if cmd == F_SETFD:
+            table.set_cloexec(fd, bool(arg & FD_CLOEXEC))
+            return 0
+        if cmd == F_GETFL:
+            return table.get(fd).flags
+        if cmd == F_SETFL:
+            file = table.get(fd)
+            settable = O_APPEND | O_NONBLOCK
+            file.flags = (file.flags & ~settable) | (arg & settable)
+            return 0
+        raise KernelError(EINVAL, f"fcntl cmd {cmd}")
+
+    def sys_pipe2(self, proc: Process, flags: int = 0) -> Tuple[int, int]:
+        pipe = Pipe()
+        cloexec = bool(flags & O_CLOEXEC)
+        r = proc.fdtable.install(
+            OpenFile(OpenFile.KIND_PIPE_R, flags & O_NONBLOCK, pipe=pipe),
+            cloexec)
+        w = proc.fdtable.install(
+            OpenFile(OpenFile.KIND_PIPE_W, flags & O_NONBLOCK, pipe=pipe),
+            cloexec)
+        return r, w
+
+    def sys_pipe(self, proc: Process) -> Tuple[int, int]:
+        return self.sys_pipe2(proc, 0)
+
+    # ---- metadata ----
+
+    def sys_fstat(self, proc: Process, fd: int) -> Stat:
+        file = proc.fdtable.get(fd)
+        if file.inode is None:
+            return Stat(st_mode=S_IFIFO | 0o600, st_ino=0)
+        return _stat_of(file.inode)
+
+    def sys_newfstatat(self, proc: Process, dirfd: int, path: str,
+                       flags: int = 0) -> Stat:
+        if not path and flags & 0x1000:  # AT_EMPTY_PATH
+            return self.sys_fstat(proc, dirfd)
+        follow = not flags & AT_SYMLINK_NOFOLLOW
+        return _stat_of(self._resolve_at(proc, dirfd, path, follow))
+
+    def sys_stat(self, proc: Process, path: str) -> Stat:
+        return self.sys_newfstatat(proc, AT_FDCWD, path)
+
+    def sys_lstat(self, proc: Process, path: str) -> Stat:
+        return self.sys_newfstatat(proc, AT_FDCWD, path, AT_SYMLINK_NOFOLLOW)
+
+    def sys_faccessat(self, proc: Process, dirfd: int, path: str,
+                      mode: int = 0) -> int:
+        node = self._resolve_at(proc, dirfd, path)
+        if mode & 0o2 and not node.mode & 0o222 and proc.euid != 0:
+            raise KernelError(EACCES, path)
+        return 0
+
+    def sys_access(self, proc: Process, path: str, mode: int) -> int:
+        return self.sys_faccessat(proc, AT_FDCWD, path, mode)
+
+    def sys_statfs(self, proc: Process, path: str) -> StatFS:
+        self.vfs.resolve(path, proc.cwd or self.vfs.root, proc=proc)
+        return StatFS()
+
+    def sys_fstatfs(self, proc: Process, fd: int) -> StatFS:
+        proc.fdtable.get(fd)
+        return StatFS()
+
+    def sys_statx(self, proc: Process, dirfd: int, path: str,
+                  flags: int = 0) -> Stat:
+        return self.sys_newfstatat(proc, dirfd, path, flags)
+
+    # ---- directories & links ----
+
+    def sys_getdents64(self, proc: Process, fd: int) -> List[DirEntry]:
+        file = proc.fdtable.get(fd)
+        if file.kind != OpenFile.KIND_DIR:
+            raise KernelError(ENOTDIR, str(fd))
+        if file._dir_snapshot is None:
+            file._dir_snapshot = self.vfs.readdir(file.inode)
+        out = file._dir_snapshot[file.offset:]
+        file.offset = len(file._dir_snapshot)
+        return out
+
+    def sys_getcwd(self, proc: Process) -> str:
+        return self.vfs.path_of(proc.cwd or self.vfs.root)
+
+    def sys_chdir(self, proc: Process, path: str) -> int:
+        node = self.vfs.resolve(path, proc.cwd or self.vfs.root, proc=proc)
+        if not node.is_dir:
+            raise KernelError(ENOTDIR, path)
+        proc.cwd = node
+        return 0
+
+    def sys_fchdir(self, proc: Process, fd: int) -> int:
+        file = proc.fdtable.get(fd)
+        if file.inode is None or not file.inode.is_dir:
+            raise KernelError(ENOTDIR, str(fd))
+        proc.cwd = file.inode
+        return 0
+
+    def sys_mkdirat(self, proc: Process, dirfd: int, path: str,
+                    mode: int) -> int:
+        base = self._at_dir(proc, dirfd)
+        parent, name = self.vfs.resolve_parent(path, base, proc)
+        if name in parent.entries:
+            raise KernelError(EEXIST, path)
+        node = Inode(S_IFDIR | (mode & ~proc.umask & 0o7777),
+                     proc.euid, proc.egid)
+        parent.entries[name] = node
+        parent.nlink += 1
+        return 0
+
+    def sys_mkdir(self, proc: Process, path: str, mode: int) -> int:
+        return self.sys_mkdirat(proc, AT_FDCWD, path, mode)
+
+    def sys_unlinkat(self, proc: Process, dirfd: int, path: str,
+                     flags: int = 0) -> int:
+        base = self._at_dir(proc, dirfd)
+        self.vfs.unlink(path, base, rmdir=bool(flags & AT_REMOVEDIR))
+        return 0
+
+    def sys_unlink(self, proc: Process, path: str) -> int:
+        return self.sys_unlinkat(proc, AT_FDCWD, path, 0)
+
+    def sys_rmdir(self, proc: Process, path: str) -> int:
+        return self.sys_unlinkat(proc, AT_FDCWD, path, AT_REMOVEDIR)
+
+    def sys_renameat(self, proc: Process, olddirfd: int, old: str,
+                     newdirfd: int, new: str) -> int:
+        obase = self._at_dir(proc, olddirfd)
+        nbase = self._at_dir(proc, newdirfd)
+        if obase is not nbase and (old.startswith("/") != new.startswith("/")):
+            pass  # both resolved independently below anyway
+        # VFS rename resolves both paths from their own bases:
+        op, oname = self.vfs.resolve_parent(old, obase, proc)
+        node = op.entries.get(oname)
+        if node is None:
+            raise KernelError(ENOENT, old)
+        np, nname = self.vfs.resolve_parent(new, nbase, proc)
+        del op.entries[oname]
+        np.entries[nname] = node
+        return 0
+
+    def sys_rename(self, proc: Process, old: str, new: str) -> int:
+        return self.sys_renameat(proc, AT_FDCWD, old, AT_FDCWD, new)
+
+    def sys_renameat2(self, proc: Process, olddirfd: int, old: str,
+                      newdirfd: int, new: str, flags: int = 0) -> int:
+        return self.sys_renameat(proc, olddirfd, old, newdirfd, new)
+
+    def sys_linkat(self, proc: Process, olddirfd: int, old: str,
+                   newdirfd: int, new: str, flags: int = 0) -> int:
+        self.vfs.link(old, new, self._at_dir(proc, olddirfd))
+        return 0
+
+    def sys_link(self, proc: Process, old: str, new: str) -> int:
+        return self.sys_linkat(proc, AT_FDCWD, old, AT_FDCWD, new, 0)
+
+    def sys_symlinkat(self, proc: Process, target: str, dirfd: int,
+                      path: str) -> int:
+        self.vfs.symlink(target, path, self._at_dir(proc, dirfd))
+        return 0
+
+    def sys_symlink(self, proc: Process, target: str, path: str) -> int:
+        return self.sys_symlinkat(proc, target, AT_FDCWD, path)
+
+    def sys_readlinkat(self, proc: Process, dirfd: int, path: str) -> str:
+        node = self._resolve_at(proc, dirfd, path, follow=False)
+        if not node.is_symlink:
+            raise KernelError(EINVAL, path)
+        if node.target is None and node.generator is not None:
+            return node.generator(proc)
+        return node.target or ""
+
+    def sys_readlink(self, proc: Process, path: str) -> str:
+        return self.sys_readlinkat(proc, AT_FDCWD, path)
+
+    # ---- permissions / ownership / sizes ----
+
+    def sys_fchmodat(self, proc: Process, dirfd: int, path: str,
+                     mode: int) -> int:
+        node = self._resolve_at(proc, dirfd, path)
+        node.mode = (node.mode & S_IFMT) | (mode & 0o7777)
+        return 0
+
+    def sys_chmod(self, proc: Process, path: str, mode: int) -> int:
+        return self.sys_fchmodat(proc, AT_FDCWD, path, mode)
+
+    def sys_fchmod(self, proc: Process, fd: int, mode: int) -> int:
+        node = proc.fdtable.get(fd).inode
+        if node is None:
+            raise KernelError(EBADF)
+        node.mode = (node.mode & S_IFMT) | (mode & 0o7777)
+        return 0
+
+    def sys_fchownat(self, proc: Process, dirfd: int, path: str, uid: int,
+                     gid: int, flags: int = 0) -> int:
+        follow = not flags & AT_SYMLINK_NOFOLLOW
+        node = self._resolve_at(proc, dirfd, path, follow)
+        if uid != 0xFFFFFFFF:
+            node.uid = uid
+        if gid != 0xFFFFFFFF:
+            node.gid = gid
+        return 0
+
+    def sys_chown(self, proc: Process, path: str, uid: int, gid: int) -> int:
+        return self.sys_fchownat(proc, AT_FDCWD, path, uid, gid)
+
+    def sys_lchown(self, proc: Process, path: str, uid: int, gid: int) -> int:
+        return self.sys_fchownat(proc, AT_FDCWD, path, uid, gid,
+                                 AT_SYMLINK_NOFOLLOW)
+
+    def sys_fchown(self, proc: Process, fd: int, uid: int, gid: int) -> int:
+        node = proc.fdtable.get(fd).inode
+        if node is None:
+            raise KernelError(EBADF)
+        if uid != 0xFFFFFFFF:
+            node.uid = uid
+        if gid != 0xFFFFFFFF:
+            node.gid = gid
+        return 0
+
+    def sys_truncate(self, proc: Process, path: str, length: int) -> int:
+        node = self.vfs.resolve(path, proc.cwd or self.vfs.root, proc=proc)
+        if not node.is_file:
+            raise KernelError(EISDIR, path)
+        node.truncate(length)
+        return 0
+
+    def sys_ftruncate(self, proc: Process, fd: int, length: int) -> int:
+        file = proc.fdtable.get(fd)
+        if file.kind != OpenFile.KIND_REG:
+            raise KernelError(EINVAL)
+        file.inode.truncate(length)
+        return 0
+
+    def sys_umask(self, proc: Process, mask: int) -> int:
+        old = proc.umask
+        proc.umask = mask & 0o777
+        return old
+
+    def sys_utimensat(self, proc: Process, dirfd: int, path: str,
+                      atime_ns: Optional[int], mtime_ns: Optional[int],
+                      flags: int = 0) -> int:
+        node = self._resolve_at(proc, dirfd, path or ".",
+                                follow=not flags & AT_SYMLINK_NOFOLLOW)
+        if atime_ns is not None:
+            node.atime_ns = atime_ns
+        if mtime_ns is not None:
+            node.mtime_ns = mtime_ns
+        return 0
+
+    # ---- sync & ioctl (benign no-ops / tty answers) ----
+
+    def sys_sync(self, proc: Process) -> int:
+        return 0
+
+    def sys_fsync(self, proc: Process, fd: int) -> int:
+        proc.fdtable.get(fd)
+        return 0
+
+    def sys_fdatasync(self, proc: Process, fd: int) -> int:
+        proc.fdtable.get(fd)
+        return 0
+
+    def sys_flock(self, proc: Process, fd: int, op: int) -> int:
+        proc.fdtable.get(fd)
+        return 0
+
+    def sys_fadvise64(self, proc: Process, fd: int, offset: int, length: int,
+                      advice: int) -> int:
+        proc.fdtable.get(fd)
+        return 0
+
+    def sys_readahead(self, proc: Process, fd: int, offset: int,
+                      count: int) -> int:
+        proc.fdtable.get(fd)
+        return 0
+
+    def sys_ioctl(self, proc: Process, fd: int, request: int,
+                  arg: int = 0) -> object:
+        file = proc.fdtable.get(fd)
+        if request == TIOCGWINSZ:
+            if file.kind != OpenFile.KIND_CHR:
+                raise KernelError(ENOTTY)
+            return (24, 80)  # rows, cols
+        if request == TCGETS:
+            if file.kind != OpenFile.KIND_CHR:
+                raise KernelError(ENOTTY)
+            return 0
+        if request == FIONREAD:
+            if file.kind == OpenFile.KIND_PIPE_R:
+                return len(file.pipe.buf)
+            if file.kind == OpenFile.KIND_SOCK:
+                return len(file.sock.rbuf)
+            if file.kind == OpenFile.KIND_REG:
+                return max(file.inode.size - file.offset, 0)
+            return 0
+        if request == FIONBIO:
+            if arg:
+                file.flags |= O_NONBLOCK
+            else:
+                file.flags &= ~O_NONBLOCK
+            return 0
+        raise KernelError(ENOTTY, f"ioctl 0x{request:x}")
+
+    # ---- poll ----
+
+    def sys_ppoll(self, proc: Process, fds: List[Tuple[int, int]],
+                  timeout_ns: Optional[int]) -> List[Tuple[int, int]]:
+        """``fds`` is [(fd, events)]; returns [(fd, revents)] (POLLIN=1,
+        POLLOUT=4, POLLERR=8, POLLHUP=0x10, POLLNVAL=0x20)."""
+        POLLIN, POLLOUT, POLLERR, POLLHUP, POLLNVAL = 1, 4, 8, 0x10, 0x20
+
+        def scan():
+            out = []
+            for fd, events in fds:
+                revents = 0
+                try:
+                    file = proc.fdtable.get(fd)
+                except KernelError:
+                    out.append((fd, POLLNVAL))
+                    continue
+                readable, writable = file.poll()
+                if events & POLLIN and readable:
+                    revents |= POLLIN
+                if events & POLLOUT and writable:
+                    revents |= POLLOUT
+                if file.kind == OpenFile.KIND_PIPE_R and \
+                        file.pipe.writers == 0:
+                    revents |= POLLHUP
+                if revents:
+                    out.append((fd, revents))
+            return out or None  # None = keep blocking
+
+        return self.block_until(proc, scan, timeout_ns=timeout_ns,
+                                empty=list)
+
+    def sys_poll(self, proc: Process, fds, timeout_ms: int):
+        timeout_ns = None if timeout_ms < 0 else timeout_ms * 1_000_000
+        return self.sys_ppoll(proc, fds, timeout_ns)
+
+    def sys_pselect6(self, proc: Process, rfds: List[int], wfds: List[int],
+                     timeout_ns: Optional[int]) -> Tuple[List[int], List[int]]:
+        def scan():
+            r_ready, w_ready = [], []
+            for fd in rfds:
+                try:
+                    if proc.fdtable.get(fd).poll()[0]:
+                        r_ready.append(fd)
+                except KernelError:
+                    pass
+            for fd in wfds:
+                try:
+                    if proc.fdtable.get(fd).poll()[1]:
+                        w_ready.append(fd)
+                except KernelError:
+                    pass
+            if r_ready or w_ready:
+                return r_ready, w_ready
+            return None
+
+        res = self.block_until(proc, scan, timeout_ns=timeout_ns,
+                               empty=lambda: ([], []))
+        return res
+
+    def sys_select(self, proc, rfds, wfds, timeout_ns=None):
+        return self.sys_pselect6(proc, rfds, wfds, timeout_ns)

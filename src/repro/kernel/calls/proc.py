@@ -1,0 +1,395 @@
+"""Process-model syscalls: clone/fork, execve bookkeeping, exit, wait4,
+identity, scheduling, rlimits, futex.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import List, Optional, Tuple
+
+from ..errno import (
+    EAGAIN, ECHILD, EINTR, EINVAL, ENOSYS, EPERM, ESRCH, KernelError,
+)
+from ..process import (
+    CLONE_FILES, CLONE_FS, CLONE_SIGHAND, CLONE_THREAD, CLONE_VM, CSIGNAL,
+    Process, RLIM_INFINITY, STATE_DEAD, STATE_RUNNING, STATE_ZOMBIE,
+    WNOHANG, wait_status_exited, wait_status_signaled,
+)
+from ..signals import SIGCHLD, SIGKILL
+
+# futex ops
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+FUTEX_PRIVATE_FLAG = 128
+
+
+class ProcCalls:
+    """Mixin with process syscalls; mixed into :class:`Kernel`."""
+
+    # ---- creation ----
+
+    def sys_clone(self, proc: Process, flags: int) -> Process:
+        """Create a child LWP; returns the new Process (the runtime decides
+        how to run it — WALI spawns an instance-per-thread machine)."""
+        child_pid = self.alloc_pid()
+        tgid = proc.tgid if flags & CLONE_THREAD else child_pid
+        fdtable = proc.fdtable if flags & CLONE_FILES \
+            else proc.fdtable.fork_copy()
+        dispositions = proc.dispositions if flags & CLONE_SIGHAND \
+            else proc.dispositions.copy()
+        mm = proc.mm if flags & CLONE_VM else \
+            (proc.mm.fork_copy() if proc.mm is not None else None)
+        child = Process(child_pid, proc.pid, tgid=tgid, fdtable=fdtable,
+                        cwd=proc.cwd, dispositions=dispositions, mm=mm)
+        child.uid, child.euid = proc.uid, proc.euid
+        child.gid, child.egid = proc.gid, proc.egid
+        child.pgid = proc.pgid
+        child.sid = proc.sid
+        child.comm = proc.comm
+        child.argv = list(proc.argv)
+        child.environ = dict(proc.environ)
+        child.umask = proc.umask
+        child.blocked_mask = proc.blocked_mask  # masks are inherited (§3.3)
+        child.exit_signal = flags & CSIGNAL
+        if flags & CLONE_THREAD:
+            leader = self.processes.get(proc.tgid, proc)
+            leader.thread_group.append(child_pid)
+            child.thread_group = leader.thread_group
+        else:
+            proc.children.append(child_pid)
+        with self.table_lock:
+            self.processes[child_pid] = child
+        self.register_procfs(child)
+        return child
+
+    def sys_fork(self, proc: Process) -> Process:
+        return self.sys_clone(proc, SIGCHLD)
+
+    def sys_vfork(self, proc: Process) -> Process:
+        return self.sys_clone(proc, SIGCHLD)
+
+    def sys_execve(self, proc: Process, path: str, argv: List[str],
+                   envp: List[str]) -> int:
+        """Kernel-side bookkeeping of execve; image replacement is done by
+        the runtime (WALI instantiates the new module, §3.4)."""
+        node = self.vfs.resolve(path, proc.cwd or self.vfs.root, proc=proc)
+        if not node.is_file:
+            raise KernelError(EINVAL, path)
+        proc.comm = path.rsplit("/", 1)[-1][:15]
+        proc.argv = list(argv)
+        proc.environ = dict(
+            e.split("=", 1) for e in envp if "=" in e)
+        proc.dispositions.reset_on_exec()
+        proc.fdtable.close_on_exec()
+        return 0
+
+    # ---- termination & reaping ----
+
+    def sys_exit(self, proc: Process, status: int) -> None:
+        self._terminate(proc, wait_status_exited(status))
+
+    def sys_exit_group(self, proc: Process, status: int) -> None:
+        # terminate every LWP in the thread group
+        for pid in list(proc.thread_group):
+            lwp = self.processes.get(pid)
+            if lwp is not None and lwp is not proc and \
+                    lwp.state == STATE_RUNNING:
+                lwp.generate_signal(SIGKILL)
+        self._terminate(proc, wait_status_exited(status))
+
+    def terminate_by_signal(self, proc: Process, sig: int) -> None:
+        self._terminate(proc, wait_status_signaled(sig))
+
+    def _terminate(self, proc: Process, wait_status: int) -> None:
+        proc.exit_status = wait_status
+        proc.fdtable.close_all() if not self._fdtable_shared(proc) else None
+        proc.state = STATE_ZOMBIE
+        # reparent children to init
+        init = self.processes.get(1)
+        for cpid in proc.children:
+            child = self.processes.get(cpid)
+            if child is not None:
+                child.ppid = 1
+                if init is not None:
+                    init.children.append(cpid)
+        proc.children.clear()
+        parent = self.processes.get(proc.ppid)
+        if parent is not None:
+            if proc.exit_signal:
+                parent.generate_signal(proc.exit_signal)
+            with parent.wake:
+                parent.wake.notify_all()
+        if proc.is_thread:
+            # threads are auto-reaped; nothing waits on them via wait4
+            self.reap(proc.pid)
+        with proc.wake:
+            proc.wake.notify_all()
+
+    def _fdtable_shared(self, proc: Process) -> bool:
+        return any(p.fdtable is proc.fdtable and p.pid != proc.pid
+                   and p.state == STATE_RUNNING
+                   for p in self.processes.values())
+
+    def reap(self, pid: int) -> None:
+        with self.table_lock:
+            p = self.processes.pop(pid, None)
+        if p is not None:
+            p.state = STATE_DEAD
+            self.unregister_procfs(p)
+
+    def sys_wait4(self, proc: Process, pid: int,
+                  options: int = 0) -> Tuple[int, int, object]:
+        """Returns (pid, wait_status, rusage); raises ECHILD when there is
+        nothing to wait for."""
+        def candidates():
+            out = []
+            for cpid in proc.children:
+                child = self.processes.get(cpid)
+                if child is None:
+                    continue
+                if pid > 0 and child.pid != pid:
+                    continue
+                if pid == 0 and child.pgid != proc.pgid:
+                    continue
+                if pid < -1 and child.pgid != -pid:
+                    continue
+                out.append(child)
+            return out
+
+        def scan():
+            kids = candidates()
+            if not kids:
+                raise KernelError(ECHILD, "no matching children")
+            for child in kids:
+                if child.state == STATE_ZOMBIE:
+                    return child
+            return None
+
+        if options & WNOHANG:
+            child = scan()
+            if child is None:
+                return 0, 0, None
+        else:
+            child = self.block_until(proc, scan)
+        proc.children.remove(child.pid)
+        status = child.exit_status
+        rusage = child.rusage
+        self.reap(child.pid)
+        return child.pid, status, rusage
+
+    # ---- signals routed by pid ----
+
+    def sys_kill(self, proc: Process, pid: int, sig: int) -> int:
+        if sig < 0 or sig > 64:
+            raise KernelError(EINVAL, f"signal {sig}")
+        targets: List[Process] = []
+        if pid > 0:
+            t = self.processes.get(pid)
+            if t is None or t.state != STATE_RUNNING:
+                raise KernelError(ESRCH, str(pid))
+            targets = [t]
+        elif pid == 0 or pid < -1:
+            pgid = proc.pgid if pid == 0 else -pid
+            targets = [p for p in self.processes.values()
+                       if p.pgid == pgid and p.state == STATE_RUNNING]
+            if not targets:
+                raise KernelError(ESRCH, f"pgid {pgid}")
+        else:  # pid == -1: everyone except init and self’s kernel
+            targets = [p for p in self.processes.values()
+                       if p.pid != 1 and p.state == STATE_RUNNING]
+        if sig == 0:
+            return 0
+        for t in targets:
+            t.generate_signal(sig)
+        return 0
+
+    def sys_tgkill(self, proc: Process, tgid: int, tid: int, sig: int) -> int:
+        t = self.processes.get(tid)
+        if t is None or t.tgid != tgid:
+            raise KernelError(ESRCH, f"{tgid}:{tid}")
+        if sig:
+            t.generate_signal(sig)
+        return 0
+
+    def sys_tkill(self, proc: Process, tid: int, sig: int) -> int:
+        t = self.processes.get(tid)
+        if t is None:
+            raise KernelError(ESRCH, str(tid))
+        if sig:
+            t.generate_signal(sig)
+        return 0
+
+    # ---- identity ----
+
+    def sys_getpid(self, proc: Process) -> int:
+        return proc.tgid
+
+    def sys_gettid(self, proc: Process) -> int:
+        return proc.pid
+
+    def sys_getppid(self, proc: Process) -> int:
+        return proc.ppid
+
+    def sys_getuid(self, proc: Process) -> int:
+        return proc.uid
+
+    def sys_geteuid(self, proc: Process) -> int:
+        return proc.euid
+
+    def sys_getgid(self, proc: Process) -> int:
+        return proc.gid
+
+    def sys_getegid(self, proc: Process) -> int:
+        return proc.egid
+
+    def sys_setuid(self, proc: Process, uid: int) -> int:
+        if proc.euid != 0 and uid not in (proc.uid, proc.euid):
+            raise KernelError(EPERM)
+        proc.uid = proc.euid = uid
+        return 0
+
+    def sys_setgid(self, proc: Process, gid: int) -> int:
+        if proc.euid != 0 and gid not in (proc.gid, proc.egid):
+            raise KernelError(EPERM)
+        proc.gid = proc.egid = gid
+        return 0
+
+    def sys_setpgid(self, proc: Process, pid: int, pgid: int) -> int:
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH)
+        target.pgid = pgid or target.pid
+        return 0
+
+    def sys_getpgid(self, proc: Process, pid: int) -> int:
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH)
+        return target.pgid
+
+    def sys_getpgrp(self, proc: Process) -> int:
+        return proc.pgid
+
+    def sys_setsid(self, proc: Process) -> int:
+        proc.sid = proc.pid
+        proc.pgid = proc.pid
+        return proc.sid
+
+    def sys_getsid(self, proc: Process, pid: int = 0) -> int:
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH)
+        return target.sid
+
+    # ---- limits & usage ----
+
+    def sys_prlimit64(self, proc: Process, pid: int, resource: int,
+                      new_limit: Optional[Tuple[int, int]]) -> Tuple[int, int]:
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH, str(pid))
+        old = target.getrlimit(resource)
+        if new_limit is not None:
+            cur, maxv = new_limit
+            if cur > maxv:
+                raise KernelError(EINVAL, "rlim_cur > rlim_max")
+            target.setrlimit(resource, cur, maxv)
+        return old
+
+    def sys_getrlimit(self, proc: Process, resource: int) -> Tuple[int, int]:
+        return proc.getrlimit(resource)
+
+    def sys_setrlimit(self, proc: Process, resource: int, cur: int,
+                      maxv: int) -> int:
+        self.sys_prlimit64(proc, 0, resource, (cur, maxv))
+        return 0
+
+    def sys_getrusage(self, proc: Process, who: int = 0):
+        return proc.rusage
+
+    def sys_times(self, proc: Process) -> Tuple[int, int, int, int]:
+        hz = 100
+        u = proc.rusage.utime_ns * hz // 1_000_000_000
+        s = proc.rusage.stime_ns * hz // 1_000_000_000
+        return u, s, 0, 0
+
+    # ---- scheduling ----
+
+    def sys_sched_yield(self, proc: Process) -> int:
+        _time.sleep(0)
+        return 0
+
+    def sys_sched_getaffinity(self, proc: Process, pid: int) -> int:
+        return (1 << self.ncpus) - 1
+
+    def sys_sched_setaffinity(self, proc: Process, pid: int,
+                              mask: int) -> int:
+        return 0
+
+    def sys_getpriority(self, proc: Process, which: int, who: int) -> int:
+        return 0
+
+    def sys_setpriority(self, proc: Process, which: int, who: int,
+                        prio: int) -> int:
+        return 0
+
+    def sys_prctl(self, proc: Process, option: int, arg2=0) -> int:
+        PR_SET_NAME, PR_GET_NAME = 15, 16
+        if option == PR_SET_NAME:
+            proc.comm = str(arg2)[:15]
+            return 0
+        if option == PR_GET_NAME:
+            return 0
+        return 0
+
+    def sys_set_tid_address(self, proc: Process, addr: int) -> int:
+        proc.tid_address = addr
+        return proc.pid
+
+    def sys_set_robust_list(self, proc: Process, head: int,
+                            length: int) -> int:
+        proc.robust_list = head
+        return 0
+
+    def sys_rseq(self, proc: Process, *args) -> int:
+        raise KernelError(ENOSYS, "rseq")
+
+    def sys_pidfd_open(self, proc: Process, pid: int, flags: int) -> int:
+        raise KernelError(ENOSYS, "pidfd_open")
+
+    def sys_clone3(self, proc: Process, flags: int) -> Process:
+        return self.sys_clone(proc, flags)
+
+    # ---- futex ----
+
+    def sys_futex(self, proc: Process, uaddr: int, op: int, val: int,
+                  current_value: int, timeout_ns: Optional[int] = None) -> int:
+        """``current_value`` is the word read from guest memory by the caller
+        under the kernel lock (the WALI layer does the linear-memory read)."""
+        base_op = op & ~FUTEX_PRIVATE_FLAG
+        key = (id(proc.mm) if proc.mm is not None else proc.tgid, uaddr)
+        if base_op == FUTEX_WAIT:
+            if current_value != val:
+                raise KernelError(EAGAIN, "futex value changed")
+            waiters = self.futex_waiters.setdefault(key, [])
+            token = object()
+            waiters.append(token)
+
+            def scan():
+                return True if token not in waiters else None
+
+            try:
+                self.block_until(proc, scan, timeout_ns=timeout_ns,
+                                 empty=lambda: (_ for _ in ()).throw(
+                                     KernelError(110, "futex timeout")))
+            finally:
+                if token in waiters:
+                    waiters.remove(token)
+            return 0
+        if base_op == FUTEX_WAKE:
+            waiters = self.futex_waiters.get(key, [])
+            n = min(val, len(waiters))
+            del waiters[:n]
+            self.notify_all_blocked()
+            return n
+        raise KernelError(ENOSYS, f"futex op {base_op}")

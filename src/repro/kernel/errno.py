@@ -1,0 +1,103 @@
+"""Linux errno values and the kernel-internal error exception.
+
+Syscall implementations raise :class:`KernelError`; the dispatcher converts
+it to the Linux convention of returning ``-errno``.
+"""
+
+from __future__ import annotations
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+ENXIO = 6
+E2BIG = 7
+ENOEXEC = 8
+EBADF = 9
+ECHILD = 10
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+ENOTBLK = 15
+EBUSY = 16
+EEXIST = 17
+EXDEV = 18
+ENODEV = 19
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+ETXTBSY = 26
+EFBIG = 27
+ENOSPC = 28
+ESPIPE = 29
+EROFS = 30
+EMLINK = 31
+EPIPE = 32
+EDOM = 33
+ERANGE = 34
+EDEADLK = 35
+ENAMETOOLONG = 36
+ENOLCK = 37
+ENOSYS = 38
+ENOTEMPTY = 39
+ELOOP = 40
+EWOULDBLOCK = EAGAIN
+ENOMSG = 42
+EIDRM = 43
+ENOSTR = 60
+ENODATA = 61
+ETIME = 62
+ENOSR = 63
+ENOTSOCK = 88
+EDESTADDRREQ = 89
+EMSGSIZE = 90
+EPROTOTYPE = 91
+ENOPROTOOPT = 92
+EPROTONOSUPPORT = 93
+ESOCKTNOSUPPORT = 94
+EOPNOTSUPP = 95
+ENOTSUP = EOPNOTSUPP
+EPFNOSUPPORT = 96
+EAFNOSUPPORT = 97
+EADDRINUSE = 98
+EADDRNOTAVAIL = 99
+ENETDOWN = 100
+ENETUNREACH = 101
+ENETRESET = 102
+ECONNABORTED = 103
+ECONNRESET = 104
+ENOBUFS = 105
+EISCONN = 106
+ENOTCONN = 107
+ESHUTDOWN = 108
+ETOOMANYREFS = 109
+ETIMEDOUT = 110
+ECONNREFUSED = 111
+EHOSTDOWN = 112
+EHOSTUNREACH = 113
+EALREADY = 114
+EINPROGRESS = 115
+
+ERRNO_NAMES = {
+    v: k for k, v in list(globals().items())
+    if k.isupper() and isinstance(v, int) and not k.startswith("_")
+    and k not in ("EWOULDBLOCK", "ENOTSUP")
+}
+
+
+class KernelError(Exception):
+    """Raised by syscall implementations; carries the errno."""
+
+    def __init__(self, errno: int, message: str = ""):
+        self.errno = errno
+        name = ERRNO_NAMES.get(errno, str(errno))
+        super().__init__(f"{name}" + (f": {message}" if message else ""))
+
+
+def errno_name(errno: int) -> str:
+    return ERRNO_NAMES.get(errno, f"E{errno}")

@@ -1,0 +1,308 @@
+"""File descriptors: open-file descriptions, the per-process fd table, pipes.
+
+Follows the Linux split: an :class:`OpenFile` is the *open file description*
+(shared by ``dup`` and inherited by ``fork``); the :class:`FDTable` maps
+small integers to descriptions plus the per-fd ``CLOEXEC`` flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from .errno import (
+    EAGAIN, EBADF, EINVAL, EISDIR, ENOTDIR, EPIPE, ESPIPE, KernelError,
+)
+from .vfs import (
+    Inode, O_ACCMODE, O_APPEND, O_NONBLOCK, O_RDONLY, O_RDWR, O_WRONLY, VFS,
+)
+
+PIPE_BUF_CAPACITY = 65536
+
+# lseek whence
+SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
+
+# fcntl commands
+F_DUPFD = 0
+F_GETFD = 1
+F_SETFD = 2
+F_GETFL = 3
+F_SETFL = 4
+F_DUPFD_CLOEXEC = 1030
+FD_CLOEXEC = 1
+
+
+class Pipe:
+    """A unidirectional byte channel with bounded capacity."""
+
+    def __init__(self, capacity: int = PIPE_BUF_CAPACITY):
+        self.buf = bytearray()
+        self.capacity = capacity
+        self.readers = 0
+        self.writers = 0
+        self.cond = threading.Condition()
+
+    def readable(self) -> bool:
+        return bool(self.buf) or self.writers == 0
+
+    def writable(self) -> bool:
+        return len(self.buf) < self.capacity or self.readers == 0
+
+
+class OpenFile:
+    """An open file description."""
+
+    KIND_REG = "reg"
+    KIND_DIR = "dir"
+    KIND_CHR = "chr"
+    KIND_PIPE_R = "pipe_r"
+    KIND_PIPE_W = "pipe_w"
+    KIND_SOCK = "sock"
+
+    def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
+                 pipe: Optional[Pipe] = None, sock=None, path: str = ""):
+        self.kind = kind
+        self.flags = flags
+        self.inode = inode
+        self.pipe = pipe
+        self.sock = sock
+        self.path = path
+        self.offset = 0
+        self.refcount = 0
+        self._dir_snapshot = None
+        if kind == self.KIND_PIPE_R:
+            pipe.readers += 1
+        elif kind == self.KIND_PIPE_W:
+            pipe.writers += 1
+        # Snapshot procfs content at open time, like reading /proc does.
+        self._proc_content: Optional[bytes] = None
+
+    # ---- refcounting (dup/fork share descriptions) ----
+
+    def incref(self) -> "OpenFile":
+        self.refcount += 1
+        return self
+
+    def decref(self) -> None:
+        self.refcount -= 1
+        if self.refcount <= 0:
+            self._release()
+
+    def _release(self) -> None:
+        if self.kind == self.KIND_PIPE_R:
+            with self.pipe.cond:
+                self.pipe.readers -= 1
+                self.pipe.cond.notify_all()
+        elif self.kind == self.KIND_PIPE_W:
+            with self.pipe.cond:
+                self.pipe.writers -= 1
+                self.pipe.cond.notify_all()
+        elif self.kind == self.KIND_SOCK and self.sock is not None:
+            self.sock.close()
+
+    # ---- access-mode checks ----
+
+    @property
+    def readable_mode(self) -> bool:
+        if self.kind == self.KIND_SOCK:
+            return True
+        return (self.flags & O_ACCMODE) in (O_RDONLY, O_RDWR) or \
+            self.kind == self.KIND_PIPE_R
+
+    @property
+    def writable_mode(self) -> bool:
+        if self.kind == self.KIND_SOCK:
+            return True
+        return (self.flags & O_ACCMODE) in (O_WRONLY, O_RDWR) or \
+            self.kind == self.KIND_PIPE_W
+
+    @property
+    def nonblocking(self) -> bool:
+        return bool(self.flags & O_NONBLOCK)
+
+    # ---- I/O ----
+
+    def read(self, length: int) -> bytes:
+        """Non-blocking read step; pipes raise EAGAIN when empty (the caller
+        in the kernel loops with the blocking machinery)."""
+        if self.kind == self.KIND_REG:
+            data = self._reg_content()
+            out = bytes(data[self.offset : self.offset + length])
+            self.offset += len(out)
+            return out
+        if self.kind == self.KIND_CHR:
+            return self.inode.device.read(length)
+        if self.kind == self.KIND_PIPE_R:
+            pipe = self.pipe
+            with pipe.cond:
+                if pipe.buf:
+                    out = bytes(pipe.buf[:length])
+                    del pipe.buf[:length]
+                    pipe.cond.notify_all()
+                    return out
+                if pipe.writers == 0:
+                    return b""
+                raise KernelError(EAGAIN, "pipe empty")
+        if self.kind == self.KIND_SOCK:
+            return self.sock.recv_step(length)
+        if self.kind == self.KIND_DIR:
+            raise KernelError(EISDIR)
+        raise KernelError(EBADF, f"read on {self.kind}")
+
+    def pread(self, length: int, offset: int) -> bytes:
+        if self.kind != self.KIND_REG:
+            raise KernelError(ESPIPE)
+        data = self._reg_content()
+        return bytes(data[offset : offset + length])
+
+    def write(self, buf: bytes) -> int:
+        if self.kind == self.KIND_REG:
+            if self.flags & O_APPEND:
+                self.offset = self.inode.size
+            n = self.inode.write_at(self.offset, buf)
+            self.offset += n
+            return n
+        if self.kind == self.KIND_CHR:
+            return self.inode.device.write(bytes(buf))
+        if self.kind == self.KIND_PIPE_W:
+            pipe = self.pipe
+            with pipe.cond:
+                if pipe.readers == 0:
+                    raise KernelError(EPIPE, "no readers")
+                space = pipe.capacity - len(pipe.buf)
+                if space <= 0:
+                    raise KernelError(EAGAIN, "pipe full")
+                chunk = bytes(buf[:space])
+                pipe.buf.extend(chunk)
+                pipe.cond.notify_all()
+                return len(chunk)
+        if self.kind == self.KIND_SOCK:
+            return self.sock.send_step(bytes(buf))
+        raise KernelError(EBADF, f"write on {self.kind}")
+
+    def pwrite(self, buf: bytes, offset: int) -> int:
+        if self.kind != self.KIND_REG:
+            raise KernelError(ESPIPE)
+        return self.inode.write_at(offset, buf)
+
+    def seek(self, offset: int, whence: int) -> int:
+        if self.kind not in (self.KIND_REG, self.KIND_DIR):
+            raise KernelError(ESPIPE)
+        size = len(self._reg_content()) if self.kind == self.KIND_REG else 0
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = size + offset
+        else:
+            raise KernelError(EINVAL, f"whence {whence}")
+        if new < 0:
+            raise KernelError(EINVAL, "negative offset")
+        self.offset = new
+        return new
+
+    def _reg_content(self):
+        if self.inode.generator is not None:  # procfs
+            if self._proc_content is None:
+                self._proc_content = self.inode.generator(None)
+            return self._proc_content
+        return self.inode.data
+
+    def set_proc_content(self, content: bytes) -> None:
+        self._proc_content = content
+
+    # ---- poll readiness ----
+
+    def poll(self) -> Tuple[bool, bool]:
+        """(readable, writable) now."""
+        if self.kind == self.KIND_REG or self.kind == self.KIND_CHR:
+            return True, True
+        if self.kind == self.KIND_PIPE_R:
+            return self.pipe.readable(), False
+        if self.kind == self.KIND_PIPE_W:
+            return False, self.pipe.writable()
+        if self.kind == self.KIND_SOCK:
+            return self.sock.poll()
+        return False, False
+
+
+class FDTable:
+    """Per-process (or shared, with CLONE_FILES) descriptor table."""
+
+    def __init__(self, max_fds: int = 1024):
+        self.entries: Dict[int, Tuple[OpenFile, bool]] = {}
+        self.max_fds = max_fds
+
+    def _lowest_free(self, start: int = 0) -> int:
+        fd = start
+        while fd in self.entries:
+            fd += 1
+        if fd >= self.max_fds:
+            raise KernelError(EBADF, "fd table full")
+        return fd
+
+    def install(self, file: OpenFile, cloexec: bool = False,
+                lowest: int = 0) -> int:
+        fd = self._lowest_free(lowest)
+        self.entries[fd] = (file.incref(), cloexec)
+        return fd
+
+    def install_at(self, fd: int, file: OpenFile, cloexec: bool = False) -> int:
+        if fd < 0 or fd >= self.max_fds:
+            raise KernelError(EBADF, str(fd))
+        old = self.entries.get(fd)
+        self.entries[fd] = (file.incref(), cloexec)
+        if old is not None:
+            old[0].decref()
+        return fd
+
+    def get(self, fd: int) -> OpenFile:
+        entry = self.entries.get(fd)
+        if entry is None:
+            raise KernelError(EBADF, str(fd))
+        return entry[0]
+
+    def close(self, fd: int) -> None:
+        entry = self.entries.pop(fd, None)
+        if entry is None:
+            raise KernelError(EBADF, str(fd))
+        entry[0].decref()
+
+    def dup(self, fd: int, lowest: int = 0, cloexec: bool = False) -> int:
+        return self.install(self.get(fd), cloexec, lowest)
+
+    def dup2(self, oldfd: int, newfd: int, cloexec: bool = False) -> int:
+        file = self.get(oldfd)
+        if oldfd == newfd:
+            return newfd
+        return self.install_at(newfd, file, cloexec)
+
+    def get_cloexec(self, fd: int) -> bool:
+        entry = self.entries.get(fd)
+        if entry is None:
+            raise KernelError(EBADF, str(fd))
+        return entry[1]
+
+    def set_cloexec(self, fd: int, value: bool) -> None:
+        entry = self.entries.get(fd)
+        if entry is None:
+            raise KernelError(EBADF, str(fd))
+        self.entries[fd] = (entry[0], value)
+
+    def close_on_exec(self) -> None:
+        for fd in [fd for fd, (_, ce) in self.entries.items() if ce]:
+            self.close(fd)
+
+    def fork_copy(self) -> "FDTable":
+        t = FDTable(self.max_fds)
+        for fd, (file, ce) in self.entries.items():
+            t.entries[fd] = (file.incref(), ce)
+        return t
+
+    def close_all(self) -> None:
+        for fd in list(self.entries):
+            self.close(fd)
+
+    def fds(self):
+        return sorted(self.entries)

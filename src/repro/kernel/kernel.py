@@ -1,0 +1,323 @@
+"""The kernel object: boot, process table, syscall dispatch, blocking.
+
+One :class:`Kernel` instance is a self-contained Linux-like OS.  Syscalls are
+methods named ``sys_<name>`` (provided by the mixins in
+:mod:`repro.kernel.calls`); :meth:`Kernel.call` dispatches by name, counts
+invocations (Fig. 2), and accounts kernel time per thread group (Fig. 7).
+
+Blocking syscalls use slice-polling on the calling process's wake condition:
+every blocking loop re-checks for deliverable signals, so signal generation
+interrupts syscalls with ``EINTR`` exactly like Linux.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time as _time
+from collections import Counter, defaultdict
+from typing import Callable, Dict, List, Optional
+
+from .arch import X86_64
+from .calls import FSCalls, MemCalls, MiscCalls, NetCalls, ProcCalls, SigCalls
+from .errno import EAGAIN, EINTR, ENOSYS, EPIPE, ETIMEDOUT, KernelError
+from .fdtable import FDTable, OpenFile
+from .process import Process, STATE_RUNNING
+from .signals import SIGPIPE
+from .vfs import (
+    Inode, NullDevice, O_RDWR, RandomDevice, S_IFCHR, TTYDevice, VFS,
+    ZeroDevice,
+)
+
+_BLOCK_SLICE_S = 0.002  # blocking syscalls re-check readiness every 2 ms
+
+
+class _TimedOut(Exception):
+    pass
+
+
+class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls):
+    """A self-contained virtual Linux kernel."""
+
+    def __init__(self, machine: str = X86_64, ncpus: int = 4,
+                 rng_seed: int = 0xC0FFEE,
+                 storage_latency_ns_per_4k: int = 0):
+        from .sockets import NetStack
+
+        self.machine = machine
+        self.ncpus = ncpus
+        # storage device model: simulated latency per 4 KiB of regular-file
+        # I/O (0 = infinitely fast in-memory storage).  Used by benchmarks
+        # so I/O-heavy workloads show realistic kernel-time shares (the
+        # paper's testbed has real disks; see DESIGN.md substitutions).
+        self.storage_latency_ns_per_4k = storage_latency_ns_per_4k
+        self.vfs = VFS()
+        self.net = NetStack()
+        self.processes: Dict[int, Process] = {}
+        self.table_lock = threading.RLock()
+        self._next_pid = 1
+        self.futex_waiters: Dict[tuple, list] = {}
+        self.syslog_buffer: List[str] = []
+        self.rng = random.Random(rng_seed)
+        self.boot_monotonic_ns = _time.monotonic_ns()
+
+        # tracing / accounting
+        self.syscall_counts: Counter = Counter()
+        self.proc_syscall_counts: Dict[int, Counter] = defaultdict(Counter)
+        self.kernel_time_ns: Dict[int, int] = defaultdict(int)
+        self.blocked_time_ns: Dict[int, int] = defaultdict(int)
+        self.trace_hooks: List[Callable] = []
+        self.trace_log: Optional[list] = None  # set to [] to record calls
+
+        self.console = TTYDevice()
+        self._boot_fs()
+        self._init_proc = self._make_init()
+
+    # ------------------------------------------------------------------
+    # boot
+    # ------------------------------------------------------------------
+
+    def _boot_fs(self) -> None:
+        v = self.vfs
+        for d in ("/tmp", "/home", "/etc", "/dev", "/proc", "/bin",
+                  "/usr/bin", "/usr/lib", "/var/log", "/root"):
+            v.mkdirs(d)
+        v.write_file("/etc/hostname", b"wali-repro\n")
+        v.write_file("/etc/passwd",
+                     b"root:x:0:0:root:/root:/bin/sh\n"
+                     b"user:x:1000:1000:user:/home/user:/bin/sh\n")
+        v.write_file("/etc/group", b"root:x:0:\nuser:x:1000:\n")
+        v.write_file("/etc/hosts", b"127.0.0.1 localhost\n")
+        v.mknod_device("/dev/null", NullDevice())
+        v.mknod_device("/dev/zero", ZeroDevice())
+        v.mknod_device("/dev/random", RandomDevice())
+        v.mknod_device("/dev/urandom", RandomDevice())
+        v.mknod_device("/dev/tty", self.console)
+        v.mknod_device("/dev/console", self.console)
+        v.add_proc_file("/proc/version",
+                        lambda p: b"Linux version 6.1.0-repro (wali)\n")
+        v.add_proc_file("/proc/meminfo",
+                        lambda p: b"MemTotal: 1048576 kB\n"
+                                  b"MemFree: 524288 kB\n")
+        v.add_proc_file(
+            "/proc/cpuinfo",
+            lambda p: b"".join(
+                f"processor\t: {i}\nmodel name\t: repro-cpu\n\n".encode()
+                for i in range(self.ncpus)))
+        v.add_proc_file(
+            "/proc/uptime",
+            lambda p: f"{(_time.monotonic_ns() - self.boot_monotonic_ns) / 1e9:.2f} 0.00\n".encode())
+        v.add_dynamic_symlink(
+            "/proc/self",
+            lambda p: f"/proc/{p.tgid}" if p is not None else "/proc/1")
+
+    def _make_init(self) -> Process:
+        init = Process(self.alloc_pid(), 0)
+        init.comm = "init"
+        init.cwd = self.vfs.root
+        init.uid = init.euid = 0
+        init.gid = init.egid = 0
+        self.processes[init.pid] = init
+        self.register_procfs(init)
+        return init
+
+    # ------------------------------------------------------------------
+    # process table
+    # ------------------------------------------------------------------
+
+    def alloc_pid(self) -> int:
+        with self.table_lock:
+            pid = self._next_pid
+            self._next_pid += 1
+            return pid
+
+    def create_process(self, argv: Optional[List[str]] = None,
+                       environ: Optional[Dict[str, str]] = None,
+                       cwd: str = "/", ppid: Optional[int] = None,
+                       stdio: bool = True) -> Process:
+        """Spawn a fresh userspace process (what the runtime does per app)."""
+        proc = Process(self.alloc_pid(),
+                       ppid if ppid is not None else self._init_proc.pid)
+        proc.argv = list(argv or [])
+        proc.environ = dict(environ or {})
+        proc.comm = (proc.argv[0].rsplit("/", 1)[-1] if proc.argv else "")[:15]
+        proc.cwd = self.vfs.lookup(cwd)
+        if stdio:
+            tty = self.vfs.lookup("/dev/tty")
+            for _ in range(3):
+                proc.fdtable.install(
+                    OpenFile(OpenFile.KIND_CHR, O_RDWR, inode=tty,
+                             path="/dev/tty"))
+        with self.table_lock:
+            self.processes[proc.pid] = proc
+        self._init_proc.children.append(proc.pid)
+        self.register_procfs(proc)
+        return proc
+
+    def process(self, pid: int) -> Process:
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise KeyError(f"no process {pid}")
+        return proc
+
+    # ---- procfs per-process entries ----
+
+    def register_procfs(self, proc: Process) -> None:
+        base = f"/proc/{proc.pid}"
+        try:
+            self.vfs.mkdirs(base)
+        except KernelError:
+            return
+        self.vfs.add_proc_file(
+            f"{base}/comm", lambda p, pr=proc: (pr.comm + "\n").encode())
+        self.vfs.add_proc_file(
+            f"{base}/cmdline",
+            lambda p, pr=proc: b"\x00".join(a.encode() for a in pr.argv))
+        self.vfs.add_proc_file(
+            f"{base}/stat",
+            lambda p, pr=proc: (
+                f"{pr.pid} ({pr.comm}) "
+                f"{'R' if pr.state == STATE_RUNNING else 'Z'} "
+                f"{pr.ppid} {pr.pgid} {pr.sid}\n").encode())
+        self.vfs.add_proc_file(
+            f"{base}/status",
+            lambda p, pr=proc: (
+                f"Name:\t{pr.comm}\nPid:\t{pr.pid}\nTgid:\t{pr.tgid}\n"
+                f"PPid:\t{pr.ppid}\nUid:\t{pr.uid}\t{pr.euid}\n"
+                f"SigBlk:\t{pr.blocked_mask:016x}\n"
+                f"SigPnd:\t{pr.pending.bits:016x}\n").encode())
+        self.vfs.add_proc_file(
+            f"{base}/maps",
+            lambda p, pr=proc: (pr.mm.maps_text() if pr.mm else "").encode())
+        # the dangerous endpoint WALI must interpose on (§3.6 pitfall 1):
+        self.vfs.add_proc_file(
+            f"{base}/mem",
+            lambda p, pr=proc: b"<process memory image>")
+
+    def unregister_procfs(self, proc: Process) -> None:
+        try:
+            self.vfs.unlink(f"/proc/{proc.pid}/comm")
+        except KernelError:
+            return
+        for name in ("cmdline", "stat", "status", "maps", "mem"):
+            try:
+                self.vfs.unlink(f"/proc/{proc.pid}/{name}")
+            except KernelError:
+                pass
+        try:
+            self.vfs.unlink(f"/proc/{proc.pid}", rmdir=True)
+        except KernelError:
+            pass
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def call(self, proc: Process, name: str, *args, **kwargs):
+        """Invoke syscall ``name`` with tracing and time accounting."""
+        method = getattr(self, f"sys_{name}", None)
+        if method is None:
+            raise KernelError(ENOSYS, name)
+        t0 = _time.perf_counter_ns()
+        try:
+            return method(proc, *args, **kwargs)
+        finally:
+            dt = _time.perf_counter_ns() - t0
+            self.syscall_counts[name] += 1
+            self.proc_syscall_counts[proc.tgid][name] += 1
+            self.kernel_time_ns[proc.tgid] += dt
+            proc.rusage.stime_ns += dt
+            if self.trace_log is not None:
+                self.trace_log.append((proc.pid, name))
+            for hook in self.trace_hooks:
+                hook(proc, name, dt)
+
+    def has_syscall(self, name: str) -> bool:
+        return hasattr(self, f"sys_{name}")
+
+    def implemented_syscalls(self) -> List[str]:
+        return sorted(n[4:] for n in dir(self) if n.startswith("sys_"))
+
+    # ------------------------------------------------------------------
+    # blocking machinery
+    # ------------------------------------------------------------------
+
+    def block_until(self, proc: Process, scan: Callable,
+                    timeout_ns: Optional[int] = None,
+                    empty: Optional[Callable] = None):
+        """Run ``scan`` until it returns non-None.
+
+        Between scans, sleep briefly on the process wake condition.  A
+        deliverable signal interrupts the wait with ``EINTR``; a timeout
+        returns ``empty()`` when provided, else raises ``ETIMEDOUT``.
+        """
+        deadline = None
+        if timeout_ns is not None:
+            deadline = _time.monotonic_ns() + timeout_ns
+        while True:
+            result = scan()
+            if result is not None:
+                return result
+            if proc.has_deliverable_signal() or proc.state != STATE_RUNNING:
+                raise KernelError(EINTR, "interrupted by signal")
+            if deadline is not None and _time.monotonic_ns() >= deadline:
+                if empty is not None:
+                    return empty()
+                raise KernelError(ETIMEDOUT)
+            w0 = _time.perf_counter_ns()
+            with proc.wake:
+                proc.wake.wait(_BLOCK_SLICE_S)
+            self.blocked_time_ns[proc.tgid] += _time.perf_counter_ns() - w0
+
+    def _blocking_io(self, proc: Process, file: OpenFile, step: Callable,
+                     on_pipe_full: bool = False):
+        """Retry a non-blocking I/O step until it succeeds.
+
+        ``EAGAIN`` means "would block": re-raise for O_NONBLOCK files, else
+        wait and retry.  ``EPIPE`` generates SIGPIPE, like Linux.
+        """
+        while True:
+            try:
+                return step()
+            except KernelError as exc:
+                if exc.errno == EPIPE:
+                    proc.generate_signal(SIGPIPE)
+                    raise
+                if exc.errno != EAGAIN:
+                    raise
+                if file.nonblocking:
+                    raise
+            if proc.has_deliverable_signal() or proc.state != STATE_RUNNING:
+                raise KernelError(EINTR, "interrupted by signal")
+            w0 = _time.perf_counter_ns()
+            with proc.wake:
+                proc.wake.wait(_BLOCK_SLICE_S)
+            self.blocked_time_ns[proc.tgid] += _time.perf_counter_ns() - w0
+
+    def storage_charge(self, nbytes: int) -> None:
+        """Burn the storage device's simulated service time (kernel time)."""
+        cost = self.storage_latency_ns_per_4k
+        if not cost or nbytes <= 0:
+            return
+        total = cost * ((nbytes + 4095) // 4096)
+        deadline = _time.perf_counter_ns() + total
+        while _time.perf_counter_ns() < deadline:
+            pass
+
+    def notify_all_blocked(self) -> None:
+        for p in list(self.processes.values()):
+            with p.wake:
+                p.wake.notify_all()
+
+    # ------------------------------------------------------------------
+    # console helpers (tests & examples)
+    # ------------------------------------------------------------------
+
+    def console_output(self) -> bytes:
+        return bytes(self.console.output)
+
+    def console_feed(self, data: bytes) -> None:
+        self.console.feed(data)
+
+    def clear_console(self) -> None:
+        self.console.output.clear()

@@ -1,0 +1,282 @@
+"""Memory management: VMAs and the mmap family.
+
+The kernel tracks *placement* (which address ranges are mapped, with what
+protection and backing); the bytes themselves live in the owner's memory —
+for WALI processes that is the Wasm linear memory, into which the WALI layer
+maps every allocation (§3.2: all mappings are sandboxed inside linear
+memory, placed with MAP_FIXED at engine-chosen addresses).
+
+File-backed mappings return the initial content as ``populate`` bytes; on
+``munmap``/``msync`` of a MAP_SHARED mapping the caller passes the live bytes
+back for write-through to the inode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .errno import EINVAL, ENOMEM, KernelError
+from .vfs import Inode
+
+MM_PAGE = 4096
+
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+
+MAP_SHARED = 0x01
+MAP_PRIVATE = 0x02
+MAP_FIXED = 0x10
+MAP_ANONYMOUS = 0x20
+MAP_GROWSDOWN = 0x0100
+MAP_NORESERVE = 0x4000
+
+MREMAP_MAYMOVE = 1
+MREMAP_FIXED = 2
+
+
+def page_align_up(n: int) -> int:
+    return (n + MM_PAGE - 1) & ~(MM_PAGE - 1)
+
+
+@dataclass
+class VMA:
+    start: int
+    length: int
+    prot: int
+    flags: int
+    inode: Optional[Inode] = None
+    file_offset: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def shared(self) -> bool:
+        return bool(self.flags & MAP_SHARED)
+
+    def overlaps(self, start: int, length: int) -> bool:
+        return self.start < start + length and start < self.end
+
+
+@dataclass
+class MapResult:
+    addr: int
+    populate: Optional[bytes]  # initial content (file-backed), else None
+
+
+@dataclass
+class WritebackSpec:
+    """A region whose live bytes must be written back to a file."""
+
+    inode: Inode
+    file_offset: int
+    addr: int
+    length: int
+
+
+class AddressSpace:
+    """One process's mmap arena: ``[base, limit)``."""
+
+    def __init__(self, base: int, limit: int):
+        if base % MM_PAGE or limit % MM_PAGE:
+            raise ValueError("arena bounds must be page-aligned")
+        self.base = base
+        self.limit = limit
+        self.vmas: List[VMA] = []
+        self.grow_hook = None  # callable(new_end) -> bool; set by WALI
+
+    # ---- queries ----
+
+    def find(self, addr: int) -> Optional[VMA]:
+        for v in self.vmas:
+            if v.start <= addr < v.end:
+                return v
+        return None
+
+    def total_mapped(self) -> int:
+        return sum(v.length for v in self.vmas)
+
+    def peak_address(self) -> int:
+        return max((v.end for v in self.vmas), default=self.base)
+
+    def _free_range(self, length: int) -> int:
+        """First-fit address allocation."""
+        addr = self.base
+        for v in sorted(self.vmas, key=lambda v: v.start):
+            if addr + length <= v.start:
+                break
+            addr = max(addr, v.end)
+        if addr + length > self.limit:
+            raise KernelError(ENOMEM, "address space exhausted")
+        return addr
+
+    def _conflicts(self, start: int, length: int) -> List[VMA]:
+        return [v for v in self.vmas if v.overlaps(start, length)]
+
+    # ---- operations ----
+
+    def mmap(self, addr: int, length: int, prot: int, flags: int,
+             inode: Optional[Inode] = None, offset: int = 0) -> MapResult:
+        if length <= 0:
+            raise KernelError(EINVAL, "zero-length mmap")
+        if not (flags & (MAP_PRIVATE | MAP_SHARED)):
+            raise KernelError(EINVAL, "mmap needs MAP_PRIVATE or MAP_SHARED")
+        if offset % MM_PAGE:
+            raise KernelError(EINVAL, "offset not page-aligned")
+        length = page_align_up(length)
+        if flags & MAP_FIXED:
+            if addr % MM_PAGE:
+                raise KernelError(EINVAL, "MAP_FIXED address not aligned")
+            if addr < self.base or addr + length > self.limit:
+                raise KernelError(ENOMEM, "MAP_FIXED outside arena")
+            # MAP_FIXED silently unmaps existing overlaps
+            self._unmap_range(addr, length)
+        else:
+            addr = self._free_range(length)
+        if self.grow_hook is not None and not self.grow_hook(addr + length):
+            raise KernelError(ENOMEM, "backing store grow failed")
+        populate = None
+        if not flags & MAP_ANONYMOUS:
+            if inode is None or inode.data is None:
+                raise KernelError(EINVAL, "file mapping without file")
+            content = bytes(inode.data[offset : offset + length])
+            populate = content + b"\x00" * (length - len(content))
+        self.vmas.append(VMA(addr, length, prot, flags, inode, offset))
+        self.vmas.sort(key=lambda v: v.start)
+        return MapResult(addr, populate)
+
+    def munmap(self, addr: int, length: int) -> List[WritebackSpec]:
+        if addr % MM_PAGE:
+            raise KernelError(EINVAL, "munmap address not aligned")
+        if length <= 0:
+            raise KernelError(EINVAL, "zero-length munmap")
+        return self._unmap_range(addr, page_align_up(length))
+
+    def _unmap_range(self, addr: int, length: int) -> List[WritebackSpec]:
+        end = addr + length
+        writebacks: List[WritebackSpec] = []
+        new_vmas: List[VMA] = []
+        for v in self.vmas:
+            if not v.overlaps(addr, length):
+                new_vmas.append(v)
+                continue
+            cut_lo = max(v.start, addr)
+            cut_hi = min(v.end, end)
+            if v.shared and v.inode is not None:
+                writebacks.append(WritebackSpec(
+                    v.inode, v.file_offset + (cut_lo - v.start),
+                    cut_lo, cut_hi - cut_lo))
+            if v.start < cut_lo:  # left remainder
+                new_vmas.append(VMA(v.start, cut_lo - v.start, v.prot,
+                                    v.flags, v.inode, v.file_offset))
+            if cut_hi < v.end:    # right remainder
+                new_vmas.append(VMA(
+                    cut_hi, v.end - cut_hi, v.prot, v.flags, v.inode,
+                    v.file_offset + (cut_hi - v.start)))
+        self.vmas = sorted(new_vmas, key=lambda v: v.start)
+        return writebacks
+
+    def mremap(self, old_addr: int, old_size: int, new_size: int,
+               flags: int) -> Tuple[int, bool]:
+        """Returns (new_addr, moved)."""
+        old_size = page_align_up(old_size)
+        new_size = page_align_up(new_size)
+        v = self.find(old_addr)
+        if v is None or v.start != old_addr or v.length != old_size:
+            raise KernelError(EINVAL, "mremap of unmapped region")
+        if new_size <= old_size:
+            if new_size < old_size:
+                self._unmap_range(old_addr + new_size, old_size - new_size)
+                v2 = self.find(old_addr)
+                if v2 is not None:
+                    v2.length = new_size
+            return old_addr, False
+        grow = new_size - old_size
+        tail = old_addr + old_size
+        if not self._conflicts(tail, grow) and tail + grow <= self.limit:
+            if self.grow_hook is not None and not self.grow_hook(tail + grow):
+                raise KernelError(ENOMEM, "backing store grow failed")
+            v.length = new_size
+            return old_addr, False
+        if not flags & MREMAP_MAYMOVE:
+            raise KernelError(ENOMEM, "cannot grow in place")
+        self.vmas.remove(v)
+        try:
+            new_addr = self._free_range(new_size)
+        except KernelError:
+            self.vmas.append(v)
+            raise
+        if self.grow_hook is not None and \
+                not self.grow_hook(new_addr + new_size):
+            self.vmas.append(v)
+            raise KernelError(ENOMEM, "backing store grow failed")
+        self.vmas.append(VMA(new_addr, new_size, v.prot, v.flags, v.inode,
+                             v.file_offset))
+        self.vmas.sort(key=lambda x: x.start)
+        return new_addr, True
+
+    def mprotect(self, addr: int, length: int, prot: int) -> None:
+        if addr % MM_PAGE:
+            raise KernelError(EINVAL, "mprotect address not aligned")
+        length = page_align_up(length)
+        end = addr + length
+        covered = addr
+        for v in sorted(self._conflicts(addr, length), key=lambda v: v.start):
+            if v.start > covered:
+                raise KernelError(ENOMEM, "mprotect hole")
+            covered = max(covered, v.end)
+        if covered < end:
+            raise KernelError(ENOMEM, "mprotect past mapping")
+        # split VMAs so protection boundaries are exact
+        for v in list(self._conflicts(addr, length)):
+            pieces = []
+            if v.start < addr:
+                pieces.append(VMA(v.start, addr - v.start, v.prot, v.flags,
+                                  v.inode, v.file_offset))
+            lo = max(v.start, addr)
+            hi = min(v.end, end)
+            pieces.append(VMA(lo, hi - lo, prot, v.flags, v.inode,
+                              v.file_offset + (lo - v.start)))
+            if v.end > end:
+                pieces.append(VMA(end, v.end - end, v.prot, v.flags, v.inode,
+                                  v.file_offset + (end - v.start)))
+            self.vmas.remove(v)
+            self.vmas.extend(pieces)
+        self.vmas.sort(key=lambda v: v.start)
+
+    def msync(self, addr: int, length: int) -> List[WritebackSpec]:
+        length = page_align_up(length)
+        out = []
+        for v in self._conflicts(addr, length):
+            if v.shared and v.inode is not None:
+                lo = max(v.start, addr)
+                hi = min(v.end, addr + length)
+                out.append(WritebackSpec(
+                    v.inode, v.file_offset + (lo - v.start), lo, hi - lo))
+        return out
+
+    def fork_copy(self) -> "AddressSpace":
+        m = AddressSpace(self.base, self.limit)
+        m.vmas = [VMA(v.start, v.length, v.prot, v.flags, v.inode,
+                      v.file_offset) for v in self.vmas]
+        m.grow_hook = None  # rebound by the child's runtime
+        return m
+
+    def maps_text(self) -> str:
+        """/proc/<pid>/maps-style dump."""
+        lines = []
+        for v in self.vmas:
+            perms = "".join([
+                "r" if v.prot & PROT_READ else "-",
+                "w" if v.prot & PROT_WRITE else "-",
+                "x" if v.prot & PROT_EXEC else "-",
+                "s" if v.shared else "p",
+            ])
+            lines.append(f"{v.start:08x}-{v.end:08x} {perms} "
+                         f"{v.file_offset:08x} 00:00 "
+                         f"{v.inode.ino if v.inode else 0}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,174 @@
+"""Signal machinery: numbers, dispositions, pending state, masks.
+
+The kernel side of the paper's §3.3: generation marks a signal pending on the
+target process (bit-vector + queue); delivery happens when the WALI engine
+polls at a safepoint and the signal is not blocked by the thread mask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errno import EINVAL, KernelError
+
+# signal numbers (x86-64/generic)
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGABRT = 6
+SIGBUS = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGSTKFLT = 16
+SIGCHLD = 17
+SIGCONT = 18
+SIGSTOP = 19
+SIGTSTP = 20
+SIGTTIN = 21
+SIGTTOU = 22
+SIGURG = 23
+SIGXCPU = 24
+SIGXFSZ = 25
+SIGVTALRM = 26
+SIGPROF = 27
+SIGWINCH = 28
+SIGIO = 29
+SIGPWR = 30
+SIGSYS = 31
+NSIG = 64
+
+SIGNAL_NAMES = {
+    v: k for k, v in list(globals().items())
+    if k.startswith("SIG") and not k.startswith("SIG_") and isinstance(v, int)
+}
+
+# sigaction special handler values
+SIG_DFL = 0
+SIG_IGN = 1
+SIG_ERR = -1
+
+# sa_flags
+SA_NOCLDSTOP = 0x00000001
+SA_NOCLDWAIT = 0x00000002
+SA_SIGINFO = 0x00000004
+SA_RESTART = 0x10000000
+SA_NODEFER = 0x40000000
+SA_RESETHAND = 0x80000000
+SA_RESTORER = 0x04000000
+
+# rt_sigprocmask how
+SIG_BLOCK = 0
+SIG_UNBLOCK = 1
+SIG_SETMASK = 2
+
+# default dispositions
+DFL_TERM = "terminate"
+DFL_IGN = "ignore"
+DFL_CORE = "core"
+DFL_STOP = "stop"
+DFL_CONT = "continue"
+
+_DEFAULTS = {
+    SIGCHLD: DFL_IGN, SIGURG: DFL_IGN, SIGWINCH: DFL_IGN, SIGCONT: DFL_CONT,
+    SIGSTOP: DFL_STOP, SIGTSTP: DFL_STOP, SIGTTIN: DFL_STOP, SIGTTOU: DFL_STOP,
+    SIGQUIT: DFL_CORE, SIGILL: DFL_CORE, SIGABRT: DFL_CORE, SIGFPE: DFL_CORE,
+    SIGSEGV: DFL_CORE, SIGBUS: DFL_CORE, SIGSYS: DFL_CORE, SIGTRAP: DFL_CORE,
+    SIGXCPU: DFL_CORE, SIGXFSZ: DFL_CORE,
+}
+
+
+def default_action(sig: int) -> str:
+    return _DEFAULTS.get(sig, DFL_TERM)
+
+
+def sig_bit(sig: int) -> int:
+    return 1 << (sig - 1)
+
+
+def check_signum(sig: int) -> None:
+    if sig < 1 or sig > NSIG:
+        raise KernelError(EINVAL, f"signal {sig}")
+
+
+class SigAction:
+    """One registered disposition (kernel view: an opaque handler token)."""
+
+    __slots__ = ("handler", "mask", "flags")
+
+    def __init__(self, handler: int = SIG_DFL, mask: int = 0, flags: int = 0):
+        self.handler = handler  # SIG_DFL / SIG_IGN / guest funcref token
+        self.mask = mask
+        self.flags = flags
+
+    def copy(self) -> "SigAction":
+        return SigAction(self.handler, self.mask, self.flags)
+
+
+class SigDispositions:
+    """The sigaction table, shared by CLONE_SIGHAND threads."""
+
+    def __init__(self):
+        self.actions: Dict[int, SigAction] = {}
+
+    def get(self, sig: int) -> SigAction:
+        act = self.actions.get(sig)
+        return act if act is not None else SigAction()
+
+    def set(self, sig: int, act: SigAction) -> SigAction:
+        old = self.get(sig)
+        self.actions[sig] = act
+        return old
+
+    def reset_on_exec(self) -> None:
+        """execve resets caught signals to default; ignored stay ignored."""
+        for sig, act in list(self.actions.items()):
+            if act.handler not in (SIG_DFL, SIG_IGN):
+                self.actions[sig] = SigAction(SIG_DFL)
+
+    def copy(self) -> "SigDispositions":
+        d = SigDispositions()
+        d.actions = {s: a.copy() for s, a in self.actions.items()}
+        return d
+
+
+class PendingSignals:
+    """Per-process pending set: bit-vector + FIFO queue (§3.3 step 2)."""
+
+    def __init__(self):
+        self.bits = 0
+        self.queue: List[int] = []
+
+    def generate(self, sig: int) -> None:
+        if not self.bits & sig_bit(sig):
+            self.bits |= sig_bit(sig)
+            self.queue.append(sig)
+
+    def take(self, blocked_mask: int) -> Optional[int]:
+        """Pop the first pending signal not blocked, or None."""
+        for i, sig in enumerate(self.queue):
+            if not blocked_mask & sig_bit(sig):
+                del self.queue[i]
+                self.bits &= ~sig_bit(sig)
+                return sig
+        return None
+
+    def any_deliverable(self, blocked_mask: int) -> bool:
+        return bool(self.bits & ~blocked_mask)
+
+    def clear(self) -> None:
+        self.bits = 0
+        self.queue.clear()
+
+    def copy(self) -> "PendingSignals":
+        p = PendingSignals()
+        p.bits = self.bits
+        p.queue = list(self.queue)
+        return p

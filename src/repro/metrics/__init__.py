@@ -1,0 +1,15 @@
+"""``repro.metrics`` — measurement & rendering behind Fig. 2, Fig. 3 and
+Fig. 7: syscall profiling, runtime breakdown, text plotting."""
+
+from .breakdown import RuntimeBreakdown, measure_breakdown
+from .profile import (
+    SyscallProfile, aggregate_profiles, log_normalize, profile_app,
+    render_profile,
+)
+from .report import bar, percent_row, table
+
+__all__ = [
+    "RuntimeBreakdown", "SyscallProfile", "aggregate_profiles", "bar",
+    "log_normalize", "measure_breakdown", "percent_row", "profile_app",
+    "render_profile", "table",
+]

@@ -1,0 +1,72 @@
+"""Runtime breakdown (Fig. 7): wasm-app vs kernel vs WALI time split.
+
+The WALI host wrapper accounts its own translation time separately from
+kernel time (see :meth:`repro.wali.host.WaliHost._instrument`); total wall
+time minus both is guest (app) time.  The paper's claim: the WALI interface
+itself costs <~2.5% even for syscall-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..wali import WaliRuntime
+
+
+@dataclass
+class RuntimeBreakdown:
+    app: str
+    total_s: float
+    kernel_s: float
+    wali_s: float
+
+    @property
+    def app_s(self) -> float:
+        return max(self.total_s - self.kernel_s - self.wali_s, 0.0)
+
+    @property
+    def app_pct(self) -> float:
+        return 100.0 * self.app_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def kernel_pct(self) -> float:
+        return 100.0 * self.kernel_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def wali_pct(self) -> float:
+        return 100.0 * self.wali_s / self.total_s if self.total_s else 0.0
+
+    def row(self) -> str:
+        return (f"{self.app:<14} app={self.app_pct:5.1f}%  "
+                f"kernel={self.kernel_pct:5.1f}%  wali={self.wali_pct:5.1f}%")
+
+
+def measure_breakdown(app_name: str, module, argv=None, env=None,
+                      files=None, stdin: bytes = b"",
+                      runtime: Optional[WaliRuntime] = None,
+                      setup=None) -> RuntimeBreakdown:
+    rt = runtime or WaliRuntime()
+    for path, data in (files or {}).items():
+        rt.kernel.vfs.mkdirs(path.rsplit("/", 1)[0] or "/")
+        rt.kernel.vfs.write_file(path, data)
+    if stdin:
+        rt.kernel.console_feed(stdin)
+    if setup is not None:
+        setup(rt)
+    wp = rt.load(module, argv=argv or [app_name], env=env or {})
+    tgid = wp.proc.tgid
+    k0 = rt.kernel.kernel_time_ns.get(tgid, 0)
+    b0 = rt.kernel.blocked_time_ns.get(tgid, 0)
+    t0 = time.perf_counter_ns()
+    wp.run()
+    total = time.perf_counter_ns() - t0
+    kernel = rt.kernel.kernel_time_ns.get(tgid, 0) - k0
+    # Blocked waits (pipe/socket/futex sleeps) are not CPU time anywhere:
+    # breakdowns are over active time, like the paper's CPU-time split.
+    blocked = rt.kernel.blocked_time_ns.get(tgid, 0) - b0
+    total = max(total - blocked, 1)
+    kernel = max(kernel - blocked, 0)
+    wali = wp.wali_time_ns
+    return RuntimeBreakdown(app_name, total / 1e9, kernel / 1e9, wali / 1e9)

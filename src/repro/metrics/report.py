@@ -1,0 +1,45 @@
+"""Plain-text table and bar rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the output consistent and legible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def bar(value: float, maximum: float, width: int = 40,
+        char: str = "#") -> str:
+    if maximum <= 0:
+        return ""
+    n = int(round(width * min(value / maximum, 1.0)))
+    return char * n
+
+
+def table(headers: Sequence[str], rows: List[Sequence], pad: int = 2) -> str:
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            cols[i].append(str(cell))
+    widths = [max(len(c) for c in col) for col in cols]
+    sep = " " * pad
+
+    def fmt(row):
+        return sep.join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    for row in rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def percent_row(label: str, parts: List[tuple], width: int = 50) -> str:
+    """Render a stacked-percentage row: parts = [(name, pct)]."""
+    chars = {"app": "█", "kernel": "▒", "wali": "░"}
+    out = []
+    for name, pct in parts:
+        n = int(round(width * pct / 100.0))
+        out.append(chars.get(name, "?") * n)
+    detail = " ".join(f"{name}={pct:.1f}%" for name, pct in parts)
+    return f"{label:<14} |{''.join(out):<{width}}| {detail}"

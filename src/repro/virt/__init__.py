@@ -1,0 +1,23 @@
+"""``repro.virt`` — virtualization baselines for the Fig. 8 comparison:
+native execution, WALI (sandboxed interpreter), a Docker-like container
+runtime, and a QEMU-like decode-on-fetch emulator."""
+
+from .container import (
+    Container, ContainerRuntime, DOCKER_BASE_OVERHEAD_MB, Image, Layer,
+    base_image,
+)
+from .emulator import EmuCodeView, emulate_instance, encode_flat
+from .tiers import (
+    BASE_MEMORY_MB, RunResult, TIERS, Workload, compare_all, run_tier,
+)
+from .workloads import (
+    WORKLOADS, bash_workload, lua_workload, sqlite_workload,
+)
+
+__all__ = [
+    "BASE_MEMORY_MB", "Container", "ContainerRuntime",
+    "DOCKER_BASE_OVERHEAD_MB", "EmuCodeView", "Image", "Layer", "RunResult",
+    "TIERS", "WORKLOADS", "Workload", "bash_workload", "base_image",
+    "compare_all", "emulate_instance", "encode_flat", "lua_workload",
+    "run_tier", "sqlite_workload",
+]

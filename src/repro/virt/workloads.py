@@ -1,0 +1,67 @@
+"""Workload generators for the Fig. 7 / Fig. 8 benchmarks.
+
+Each generator takes a ``scale`` knob and produces a :class:`Workload`;
+the Fig. 8 sweeps grow scale so the x-axis ("native execution time")
+spans a range, exposing the startup-vs-slope crossover between WALI and
+Docker the paper highlights.
+"""
+
+from __future__ import annotations
+
+from ..apps.lua import arith_benchmark_script
+from ..apps.sqlite import workload_script
+from .tiers import Workload
+
+
+def lua_workload(scale: int = 2000) -> Workload:
+    """CPU-bound interpreter workload (lua row: ~97% app time)."""
+    return Workload(
+        app="mini_lua",
+        argv=["mini_lua", "/tmp/bench.lua"],
+        files={"/tmp/bench.lua": arith_benchmark_script(scale)},
+        label=f"lua-{scale}",
+    )
+
+
+def bash_workload(scale: int = 200) -> Workload:
+    """Shell line-processing workload (builtins only: every tier can run
+    it, including the non-forking compiled tier)."""
+    lines = []
+    for i in range(scale):
+        lines.append(f"echo line {i} of the benchmark run")
+        if i % 10 == 0:
+            lines.append("pwd")
+            lines.append("cd /tmp")
+            lines.append("cd /")
+        lines.append("status")
+    lines.append("exit 0")
+    script = ("\n".join(lines) + "\n").encode()
+    return Workload(
+        app="mini_sh",
+        argv=["mini_sh", "/tmp/bench.sh"],
+        files={"/tmp/bench.sh": script},
+        label=f"bash-{scale}",
+    )
+
+
+def sqlite_workload(scale: int = 150) -> Workload:
+    """Kernel-I/O heavy database workload (sqlite row: >50% kernel time)."""
+    return Workload(
+        app="mini_sqlite",
+        argv=["mini_sqlite", "/tmp/bench.db", "/tmp/bench.sql"],
+        files={"/tmp/bench.sql": workload_script(scale, scale * 2)},
+        label=f"sqlite-{scale}",
+    )
+
+
+def paho_script_workload(scale: int = 400) -> Workload:
+    """Frame encode/decode workload run standalone (no broker needed):
+    the mqtt client's checksum path driven by mini_lua arithmetic."""
+    return lua_workload(scale)
+
+
+WORKLOADS = {
+    "lua": lua_workload,
+    "bash": bash_workload,
+    "sqlite": sqlite_workload,
+}

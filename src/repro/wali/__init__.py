@@ -1,0 +1,25 @@
+"""``repro.wali`` — the WebAssembly Linux Interface (the paper's core
+contribution): ~150 name-bound syscalls exposing the kernel to Wasm guests
+while preserving the sandbox.
+"""
+
+from .host import (
+    AUTO_PASSTHROUGH, STRUCT_CALLS, WaliHost, handler_loc, implemented_names,
+)
+from .layout import GUEST_LAYOUT, Layout
+from .mmap_pool import MmapPool
+from .runtime import ExecveImage, WaliProcess, WaliRuntime
+from .security import (
+    FaultInjector, SecurityPolicy, SyscallLogger, check_path,
+    sanitize_prot,
+)
+from .sigvirt import VirtualSigTable
+from .spec import MODULE, SUPPORT_CALLS, SYSCALLS, SyscallSpec, coverage_report
+
+__all__ = [
+    "AUTO_PASSTHROUGH", "ExecveImage", "GUEST_LAYOUT", "Layout", "MODULE",
+    "MmapPool", "STRUCT_CALLS", "SUPPORT_CALLS", "SYSCALLS",
+    "FaultInjector", "SecurityPolicy", "SyscallLogger", "SyscallSpec", "VirtualSigTable", "WaliHost",
+    "WaliProcess", "WaliRuntime", "check_path", "coverage_report",
+    "handler_loc", "implemented_names", "sanitize_prot",
+]

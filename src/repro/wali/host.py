@@ -1,0 +1,907 @@
+"""The WALI host functions: ~150 name-bound syscalls over the kernel.
+
+Implementation shape mirrors the paper:
+
+* Most syscalls are **auto-generated passthroughs** (§5: >85%): their
+  arguments are plain integers, so the handler produced by
+  :func:`_make_passthrough` simply sign-converts and forwards.  Only calls
+  whose arguments reference guest memory, or which need engine state (mmap
+  pool, sigtable, process model), get explicit handlers — and most of those
+  are under 10 lines (Table 2's LOC column is measured from this file).
+* Pointer arguments undergo **address-space translation** (§3.2): a bounds
+  check against linear memory, then a zero-copy ``memoryview`` where
+  possible; struct-typed arguments (<10% of calls) go through the
+  :mod:`repro.wali.layout` codecs.
+* Every handler converts :class:`KernelError` to the Linux ``-errno``
+  convention, and accounts its own time separately from kernel time
+  (Fig. 7 / Table 2 instrumentation).
+"""
+
+from __future__ import annotations
+
+import struct
+import time as _time
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional
+
+from ..kernel.errno import (
+    EFAULT, EINVAL, ENOSYS, ERANGE, KernelError,
+)
+from ..kernel.mm import MAP_ANONYMOUS, MREMAP_MAYMOVE
+from ..kernel.process import CLONE_VM
+from ..kernel.signals import SIG_DFL, SIG_IGN, SigAction
+from ..wasm.errors import GuestExit, Trap, TrapOutOfBounds, TrapSyscall
+from ..wasm.interp import HostFunc
+from ..wasm.types import I32, FuncType, signed32, signed64
+from .layout import GUEST_LAYOUT, Layout
+from .security import OPEN_LIKE, check_path, deny_sigreturn, sanitize_prot
+from .spec import MODULE, SUPPORT_CALLS, SYSCALLS
+
+# syscalls whose arguments are all plain integers and whose kernel method has
+# the same shape: these are generated, not written (the paper's >85% story).
+AUTO_PASSTHROUGH = frozenset({
+    "close", "dup", "dup2", "dup3", "fcntl", "kill", "tgkill", "tkill",
+    "getpid", "gettid", "getppid", "getuid", "geteuid", "getgid", "getegid",
+    "setuid", "setgid", "setpgid", "getpgid", "getpgrp", "setsid", "getsid",
+    "sched_yield", "getpriority", "setpriority", "umask", "fsync",
+    "fdatasync", "flock", "fchmod", "fchown", "listen", "shutdown", "sync",
+    "fchdir", "alarm", "madvise", "readahead", "lseek", "ftruncate",
+    "set_tid_address", "set_robust_list", "arch_prctl", "sched_setaffinity",
+    "clock_getres", "syslog", "getitimer", "eventfd2", "epoll_create1",
+    "epoll_ctl", "epoll_pwait", "chroot", "mincore", "prctl", "fadvise64",
+})
+
+# process-model calls whose cost is engine work (instance duplication for
+# fork, execution-environment setup for threads, image replacement for
+# execve) rather than interface translation — Fig. 7 attributes this to the
+# engine/app share, exactly as the paper does for WAMR's thread manager.
+ENGINE_COST_CALLS = frozenset({"fork", "vfork", "clone", "clone3", "execve"})
+
+# calls that perform struct layout conversion (the <10% copy path, §3.2)
+STRUCT_CALLS = frozenset({
+    "fstat", "stat", "lstat", "newfstatat", "statx", "rt_sigaction",
+    "getrusage", "uname", "sysinfo", "statfs", "fstatfs", "times",
+    "prlimit64", "getrlimit", "setrlimit", "clock_gettime", "gettimeofday",
+    "nanosleep", "clock_nanosleep", "getdents64", "wait4", "bind", "connect",
+    "accept", "accept4", "getsockname", "getpeername", "sendto", "recvfrom",
+    "sendmsg", "recvmsg", "poll", "ppoll", "select", "pselect6", "utimensat",
+})
+
+_WINSIZE = struct.Struct("<HHHH")
+
+
+class WaliHost:
+    """Host-function provider for one WALI process."""
+
+    def __init__(self, runtime, wp):
+        self.rt = runtime
+        self.wp = wp
+        self.kernel = runtime.kernel
+        self.proc = wp.proc
+        self.layout = GUEST_LAYOUT
+        self.host_layout = Layout(runtime.arch)
+        self.policy = runtime.policy
+        # instrumentation
+        self.call_counts: Counter = Counter()
+        self.call_wali_ns: Dict[str, int] = defaultdict(int)
+        self.call_total_ns: Dict[str, int] = defaultdict(int)
+        self.zero_copy_calls = 0
+        self.struct_copy_calls = 0
+
+    # ------------------------------------------------------------------
+    # translation helpers (§3.2 address-space translation)
+    # ------------------------------------------------------------------
+
+    @property
+    def mem(self):
+        return self.wp.instance.memory
+
+    def cstr(self, ptr: int) -> str:
+        if ptr == 0:
+            raise KernelError(EFAULT, "NULL path")
+        return self.mem.read_cstr(ptr).decode("utf-8", "surrogateescape")
+
+    def path_arg(self, name: str, ptr: int) -> str:
+        path = self.cstr(ptr)
+        if name in OPEN_LIKE:
+            check_path(self._absolute(path))
+        return path
+
+    def _absolute(self, path: str) -> str:
+        if path.startswith("/"):
+            return path
+        cwd = self.kernel.vfs.path_of(self.proc.cwd or self.kernel.vfs.root)
+        return (cwd.rstrip("/") + "/" + path)
+
+    def view(self, ptr: int, length: int):
+        """Zero-copy translated view of guest memory."""
+        self.zero_copy_calls += 1
+        return self.mem.read(ptr, length)
+
+    def copy_out(self, ptr: int, data: bytes) -> None:
+        self.mem.write(ptr, data)
+
+    def u32_list(self, ptr: int) -> List[int]:
+        """Read a NULL-terminated array of u32 pointers (argv/envp style)."""
+        out = []
+        while True:
+            v = self.mem.load_i32(ptr)
+            if v == 0:
+                return out
+            out.append(v)
+            ptr += 4
+
+    def iovecs(self, iov_ptr: int, iovcnt: int):
+        out = []
+        for i in range(iovcnt):
+            base, length = Layout.decode_iovec(
+                self.mem.read_bytes(iov_ptr + 8 * i, 8))
+            out.append((base, length))
+        return out
+
+    def timespec_at(self, ptr: int) -> Optional[int]:
+        if ptr == 0:
+            return None
+        return Layout.decode_timespec(self.mem.read_bytes(ptr, 16))
+
+    def k(self, name: str, *args, **kwargs):
+        return self.kernel.call(self.proc, name, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # import-object construction
+    # ------------------------------------------------------------------
+
+    def imports(self) -> dict:
+        """Build the ``{"wali": {...}}`` import namespace."""
+        ns = {}
+        for spec in SYSCALLS.values():
+            method = getattr(self, f"w_{spec.name}", None)
+            if method is None:
+                if spec.name in AUTO_PASSTHROUGH:
+                    method = _make_passthrough(self, spec.name)
+                else:
+                    method = _make_enosys(spec.name)
+            ns[spec.import_name] = HostFunc(
+                spec.functype, self._instrument(spec.name, method),
+                spec.import_name)
+        for name, params, results in SUPPORT_CALLS:
+            fn = getattr(self, f"sup_{name}")
+            ns[name] = HostFunc(FuncType(params, results), fn, name)
+        return {MODULE: ns}
+
+    def _instrument(self, name: str, method):
+        """Wrap a handler with errno conversion + time split accounting."""
+        kernel_time = self.kernel.kernel_time_ns
+        tgid = self.proc.tgid
+
+        def call(*raw):
+            t0 = _time.perf_counter_ns()
+            k0 = kernel_time[tgid]
+            try:
+                # interposition point (§6): policies may deny (trap) or
+                # inject errno faults before the handler runs
+                if self.policy is not None:
+                    self.policy.check(name)
+                res = method(*raw)
+                return 0 if res is None else res
+            except KernelError as exc:
+                return -exc.errno
+            finally:
+                dt = _time.perf_counter_ns() - t0
+                kd = kernel_time[tgid] - k0
+                self.call_counts[name] += 1
+                self.call_total_ns[name] += dt
+                self.call_wali_ns[name] += max(dt - kd, 0)
+                if name not in ENGINE_COST_CALLS:
+                    self.wp.wali_time_ns += max(dt - kd, 0)
+                if name in STRUCT_CALLS:
+                    self.struct_copy_calls += 1
+
+        return call
+
+    # ------------------------------------------------------------------
+    # explicit handlers: file I/O
+    # ------------------------------------------------------------------
+
+    def w_read(self, fd, buf, count):
+        data = self.k("read", signed32(fd), signed32(count))
+        self.copy_out(buf, data)
+        return len(data)
+
+    def w_write(self, fd, buf, count):
+        return self.k("write", signed32(fd), self.view(buf, count))
+
+    def w_pread64(self, fd, buf, count, offset):
+        data = self.k("pread64", signed32(fd), count, signed64(offset))
+        self.copy_out(buf, data)
+        return len(data)
+
+    def w_pwrite64(self, fd, buf, count, offset):
+        return self.k("pwrite64", signed32(fd), self.view(buf, count),
+                      signed64(offset))
+
+    def w_readv(self, fd, iov, iovcnt):
+        vecs = self.iovecs(iov, iovcnt)
+        data = self.k("readv", signed32(fd), [n for _, n in vecs])
+        off = 0
+        for base, length in vecs:
+            chunk = data[off:off + length]
+            self.copy_out(base, chunk)
+            off += len(chunk)
+            if off >= len(data):
+                break
+        return len(data)
+
+    def w_writev(self, fd, iov, iovcnt):
+        vecs = self.iovecs(iov, iovcnt)
+        return self.k("writev", signed32(fd),
+                      [self.view(b, n) for b, n in vecs])
+
+    def w_open(self, path, flags, mode):
+        return self.k("open", self.path_arg("open", path), signed32(flags),
+                      mode)
+
+    def w_openat(self, dirfd, path, flags, mode):
+        return self.k("openat", signed32(dirfd),
+                      self.path_arg("openat", path), signed32(flags), mode)
+
+    def w_sendfile(self, out_fd, in_fd, off_ptr, count):
+        offset = self.mem.load_i64(off_ptr) if off_ptr else None
+        return self.k("sendfile", signed32(out_fd), signed32(in_fd), offset,
+                      count)
+
+    def w_ioctl(self, fd, request, arg):
+        res = self.k("ioctl", signed32(fd), request, arg)
+        if isinstance(res, tuple):  # TIOCGWINSZ
+            rows, cols = res
+            self.copy_out(arg, _WINSIZE.pack(rows, cols, 0, 0))
+            return 0
+        if request == 0x541B and arg:  # FIONREAD writes through the pointer
+            self.mem.store_i32(arg, res)
+            return 0
+        return res
+
+    def w_pipe(self, fds_ptr):
+        r, w = self.k("pipe2", 0)
+        self.copy_out(fds_ptr, struct.pack("<ii", r, w))
+        return 0
+
+    def w_pipe2(self, fds_ptr, flags):
+        r, w = self.k("pipe2", signed32(flags))
+        self.copy_out(fds_ptr, struct.pack("<ii", r, w))
+        return 0
+
+    def w_memfd_create(self, name_ptr, flags):
+        return self.k("memfd_create", self.cstr(name_ptr), flags)
+
+    # ---- paths & metadata ----
+
+    def w_access(self, path, mode):
+        return self.k("access", self.path_arg("access", path), mode)
+
+    def w_faccessat(self, dirfd, path, mode, flags):
+        return self.k("faccessat", signed32(dirfd),
+                      self.path_arg("faccessat", path), mode)
+
+    def w_faccessat2(self, dirfd, path, mode, flags):
+        return self.w_faccessat(dirfd, path, mode, flags)
+
+    def _stat_out(self, st, buf):
+        # host-side kstat -> portable WALI layout conversion (§3.5)
+        host_bytes = self.host_layout.encode_stat(st)
+        self.copy_out(buf, self.host_layout.convert_stat(host_bytes,
+                                                         self.layout))
+        return 0
+
+    def w_fstat(self, fd, buf):
+        return self._stat_out(self.k("fstat", signed32(fd)), buf)
+
+    def w_stat(self, path, buf):
+        return self._stat_out(
+            self.k("stat", self.path_arg("stat", path)), buf)
+
+    def w_lstat(self, path, buf):
+        return self._stat_out(
+            self.k("lstat", self.path_arg("lstat", path)), buf)
+
+    def w_newfstatat(self, dirfd, path, buf, flags):
+        st = self.k("newfstatat", signed32(dirfd),
+                    self.path_arg("newfstatat", path), signed32(flags))
+        return self._stat_out(st, buf)
+
+    def w_statx(self, dirfd, path, flags, mask, buf):
+        st = self.k("statx", signed32(dirfd),
+                    self.path_arg("statx", path), signed32(flags))
+        return self._stat_out(st, buf)
+
+    def w_statfs(self, path, buf):
+        sf = self.k("statfs", self.cstr(path))
+        self.copy_out(buf, Layout.encode_statfs(sf))
+        return 0
+
+    def w_fstatfs(self, fd, buf):
+        sf = self.k("fstatfs", signed32(fd))
+        self.copy_out(buf, Layout.encode_statfs(sf))
+        return 0
+
+    def w_getdents64(self, fd, dirp, count):
+        entries = self.k("getdents64", signed32(fd))
+        data, packed = Layout.encode_dirents(entries, count)
+        if packed < len(entries):  # push unread entries back
+            file = self.proc.fdtable.get(signed32(fd))
+            file.offset -= len(entries) - packed
+        self.copy_out(dirp, data)
+        return len(data)
+
+    def w_getcwd(self, buf, size):
+        cwd = self.k("getcwd").encode()
+        if len(cwd) + 1 > size:
+            return -ERANGE
+        self.mem.write_cstr(buf, cwd)
+        return len(cwd) + 1
+
+    def w_chdir(self, path):
+        return self.k("chdir", self.cstr(path))
+
+    def w_mkdir(self, path, mode):
+        return self.k("mkdir", self.cstr(path), mode)
+
+    def w_mkdirat(self, dirfd, path, mode):
+        return self.k("mkdirat", signed32(dirfd), self.cstr(path), mode)
+
+    def w_rmdir(self, path):
+        return self.k("rmdir", self.cstr(path))
+
+    def w_unlink(self, path):
+        return self.k("unlink", self.cstr(path))
+
+    def w_unlinkat(self, dirfd, path, flags):
+        return self.k("unlinkat", signed32(dirfd), self.cstr(path), flags)
+
+    def w_rename(self, old, new):
+        return self.k("rename", self.cstr(old), self.cstr(new))
+
+    def w_renameat(self, ofd, old, nfd, new):
+        return self.k("renameat", signed32(ofd), self.cstr(old),
+                      signed32(nfd), self.cstr(new))
+
+    def w_renameat2(self, ofd, old, nfd, new, flags):
+        return self.k("renameat2", signed32(ofd), self.cstr(old),
+                      signed32(nfd), self.cstr(new), flags)
+
+    def w_link(self, old, new):
+        return self.k("link", self.cstr(old), self.cstr(new))
+
+    def w_linkat(self, ofd, old, nfd, new, flags):
+        return self.k("linkat", signed32(ofd), self.cstr(old), signed32(nfd),
+                      self.cstr(new), flags)
+
+    def w_symlink(self, target, path):
+        return self.k("symlink", self.cstr(target), self.cstr(path))
+
+    def w_symlinkat(self, target, dirfd, path):
+        return self.k("symlinkat", self.cstr(target), signed32(dirfd),
+                      self.cstr(path))
+
+    def w_readlink(self, path, buf, size):
+        target = self.k("readlink",
+                        self.path_arg("readlink", path)).encode()
+        out = target[:size]
+        self.copy_out(buf, out)
+        return len(out)
+
+    def w_readlinkat(self, dirfd, path, buf, size):
+        target = self.k("readlinkat", signed32(dirfd),
+                        self.path_arg("readlinkat", path)).encode()
+        out = target[:size]
+        self.copy_out(buf, out)
+        return len(out)
+
+    def w_chmod(self, path, mode):
+        return self.k("chmod", self.cstr(path), mode)
+
+    def w_fchmodat(self, dirfd, path, mode):
+        return self.k("fchmodat", signed32(dirfd), self.cstr(path), mode)
+
+    def w_chown(self, path, uid, gid):
+        return self.k("chown", self.cstr(path), uid, gid)
+
+    def w_lchown(self, path, uid, gid):
+        return self.k("lchown", self.cstr(path), uid, gid)
+
+    def w_fchownat(self, dirfd, path, uid, gid, flags):
+        return self.k("fchownat", signed32(dirfd), self.cstr(path), uid, gid,
+                      flags)
+
+    def w_truncate(self, path, length):
+        return self.k("truncate",
+                      self.path_arg("truncate", path), signed64(length))
+
+    def w_utimensat(self, dirfd, path, times_ptr, flags):
+        if times_ptr:
+            atime = Layout.decode_timespec(self.mem.read_bytes(times_ptr, 16))
+            mtime = Layout.decode_timespec(
+                self.mem.read_bytes(times_ptr + 16, 16))
+        else:
+            atime = mtime = _time.time_ns()
+        path_s = self.cstr(path) if path else ""
+        return self.k("utimensat", signed32(dirfd), path_s, atime, mtime,
+                      flags)
+
+    # ---- poll/select ----
+
+    def w_poll(self, fds_ptr, nfds, timeout_ms):
+        return self._poll_common(fds_ptr, nfds,
+                                 None if signed32(timeout_ms) < 0
+                                 else signed32(timeout_ms) * 1_000_000)
+
+    def w_ppoll(self, fds_ptr, nfds, ts_ptr, sigmask_ptr):
+        return self._poll_common(fds_ptr, nfds, self.timespec_at(ts_ptr))
+
+    def _poll_common(self, fds_ptr, nfds, timeout_ns):
+        req = []
+        for i in range(nfds):
+            fd, events = Layout.decode_pollfd(
+                self.mem.read_bytes(fds_ptr + 8 * i, 8))
+            req.append((fd, events))
+        ready = dict(self.k("ppoll", req, timeout_ns))
+        for i, (fd, events) in enumerate(req):
+            self.copy_out(fds_ptr + 8 * i,
+                          Layout.encode_pollfd(fd, events, ready.get(fd, 0)))
+        return len(ready)
+
+    def w_select(self, n, rfds, wfds, efds, tv_ptr):
+        timeout_ns = None
+        if tv_ptr:
+            sec, usec = struct.unpack_from(
+                "<qq", self.mem.read_bytes(tv_ptr, 16))
+            timeout_ns = sec * 10**9 + usec * 1000
+        return self._select_common(n, rfds, wfds, efds, timeout_ns)
+
+    def w_pselect6(self, n, rfds, wfds, efds, ts_ptr, sigmask):
+        return self._select_common(n, rfds, wfds, efds,
+                                   self.timespec_at(ts_ptr))
+
+    def _select_common(self, n, rfds_ptr, wfds_ptr, efds_ptr, timeout_ns):
+        def read_set(ptr):
+            if not ptr:
+                return []
+            nbytes = (n + 7) // 8
+            bits = int.from_bytes(self.mem.read_bytes(ptr, nbytes), "little")
+            return [fd for fd in range(n) if bits & (1 << fd)]
+
+        def write_set(ptr, fds):
+            if not ptr:
+                return
+            nbytes = (n + 7) // 8
+            bits = 0
+            for fd in fds:
+                bits |= 1 << fd
+            self.copy_out(ptr, bits.to_bytes(nbytes, "little"))
+
+        r_ready, w_ready = self.k("pselect6", read_set(rfds_ptr),
+                                  read_set(wfds_ptr), timeout_ns)
+        write_set(rfds_ptr, r_ready)
+        write_set(wfds_ptr, w_ready)
+        write_set(efds_ptr, [])
+        return len(r_ready) + len(w_ready)
+
+    # ------------------------------------------------------------------
+    # memory management (§3.2) — stateful: the mmap pool
+    # ------------------------------------------------------------------
+
+    def w_mmap(self, addr, length, prot, flags, fd, offset):
+        prot = sanitize_prot(prot)
+        res = self.k("mmap", addr, length, prot, signed32(flags),
+                     signed32(fd), signed64(offset))
+        size = (length + 4095) & ~4095
+        self.mem.fill(res.addr, 0, size)  # fresh mappings are zeroed
+        if res.populate is not None:
+            self.copy_out(res.addr, res.populate)
+        return res.addr
+
+    def w_munmap(self, addr, length):
+        mem = self.mem
+        return self.k("munmap", addr, length,
+                      mem_reader=lambda a, n: bytes(mem.read(a, n)))
+
+    def w_mremap(self, old_addr, old_size, new_size, flags, new_addr):
+        new, moved = self.k("mremap", old_addr, old_size, new_size,
+                            signed32(flags))
+        if moved:
+            size = (new_size + 4095) & ~4095
+            self.mem.fill(new, 0, size)
+            self.mem.copy(new, old_addr, min(old_size, new_size))
+        return new
+
+    def w_mprotect(self, addr, length, prot):
+        return self.k("mprotect", addr, length, sanitize_prot(prot))
+
+    def w_msync(self, addr, length, flags):
+        mem = self.mem
+        return self.k("msync", addr, length, flags,
+                      mem_reader=lambda a, n: bytes(mem.read(a, n)))
+
+    def w_brk(self, addr):
+        return self.k("brk", addr)
+
+    # ------------------------------------------------------------------
+    # signals (§3.3) — stateful: the virtual sigtable
+    # ------------------------------------------------------------------
+
+    def w_rt_sigaction(self, sig, act_ptr, oldact_ptr, sigsetsize):
+        # the virtual sigtable registration *and* the native registration
+        # both happen here, as in the paper's Fig. 5 sequence
+        if act_ptr:
+            handler, flags, mask = Layout.decode_sigaction(
+                self.mem.read_bytes(act_ptr, 16))
+            old = self.k("rt_sigaction", sig,
+                         SigAction(_token(handler), mask, flags))
+        else:
+            old = self.k("rt_sigaction", sig, None)
+        if oldact_ptr:
+            self.copy_out(oldact_ptr, Layout.encode_sigaction(
+                old.handler if old.handler >= 0 else 0, old.flags, old.mask))
+        return 0
+
+    def w_rt_sigprocmask(self, how, set_ptr, oldset_ptr, size):
+        new_mask = self.mem.load_i64(set_ptr) if set_ptr else None
+        old = self.k("rt_sigprocmask", how, new_mask)
+        if oldset_ptr:
+            self.mem.store_i64(oldset_ptr, old)
+        # §3.3: poll immediately so newly-unblocked pending signals run
+        # before guest code resumes.
+        self.wp.poll_now()
+        return 0
+
+    def w_rt_sigpending(self, set_ptr, size):
+        self.mem.store_i64(set_ptr, self.k("rt_sigpending"))
+        return 0
+
+    def w_rt_sigsuspend(self, mask_ptr, size):
+        return self.k("rt_sigsuspend", self.mem.load_i64(mask_ptr))
+
+    def w_rt_sigreturn(self):
+        deny_sigreturn()
+
+    def w_rt_sigtimedwait(self, set_ptr, info_ptr, timeout_ptr, size):
+        mask = self.mem.load_i64(set_ptr)
+        return self.k("rt_sigtimedwait", mask,
+                      self.timespec_at(timeout_ptr))
+
+    def w_sigaltstack(self, ss, old):
+        return self.k("sigaltstack")
+
+    def w_pause(self):
+        return self.k("pause")
+
+    def w_setitimer(self, which, new_ptr, old_ptr):
+        value_ns = 0
+        if new_ptr:
+            # itimerval: interval timeval + value timeval
+            sec, usec = struct.unpack_from(
+                "<qq", self.mem.read_bytes(new_ptr + 16, 16))
+            value_ns = sec * 10**9 + usec * 1000
+        return self.k("setitimer", which, 0, value_ns)
+
+    # ------------------------------------------------------------------
+    # process model (§3.1) — stateful: instance-per-thread / fork
+    # ------------------------------------------------------------------
+
+    def w_clone(self, flags, stack, fn, arg):
+        if flags & CLONE_VM:
+            return self.rt.spawn_thread(self.wp, signed32(flags), fn, arg)
+        return self.rt.fork(self.wp, signed32(flags))
+
+    def w_clone3(self, flags, stack, fn, arg):
+        return self.w_clone(flags, stack, fn, arg)
+
+    def w_fork(self):
+        return self.rt.fork(self.wp)
+
+    def w_vfork(self):
+        return self.rt.fork(self.wp)
+
+    def w_execve(self, path_ptr, argv_ptr, envp_ptr):
+        path = self.cstr(path_ptr)
+        argv = [self.cstr(p) for p in self.u32_list(argv_ptr)] \
+            if argv_ptr else []
+        envp = [self.cstr(p) for p in self.u32_list(envp_ptr)] \
+            if envp_ptr else []
+        return self.rt.execve(self.wp, path, argv, envp)
+
+    def w_exit(self, status):
+        if self.proc.is_thread:
+            self.k("exit", status)
+            raise GuestExit(status)
+        return self.w_exit_group(status)
+
+    def w_exit_group(self, status):
+        self.k("exit_group", status)
+        raise GuestExit(status)
+
+    def w_wait4(self, pid, status_ptr, options, rusage_ptr):
+        cpid, status, rusage = self.k("wait4", signed32(pid),
+                                      signed32(options))
+        if status_ptr and cpid:
+            self.mem.store_i32(status_ptr, status)
+        if rusage_ptr and rusage is not None:
+            self.copy_out(rusage_ptr, Layout.encode_rusage(rusage))
+        return cpid
+
+    def w_futex(self, uaddr, op, val, timeout_ptr, uaddr2, val3):
+        current = self.mem.load_i32(uaddr)
+        return self.k("futex", uaddr, op, val, current,
+                      self.timespec_at(timeout_ptr))
+
+    def w_getrandom(self, buf, length, flags):
+        data = self.k("getrandom", length, flags)
+        self.copy_out(buf, data)
+        return len(data)
+
+    def w_prlimit64(self, pid, resource, new_ptr, old_ptr):
+        new_limit = None
+        if new_ptr:
+            new_limit = Layout.decode_rlimit(self.mem.read_bytes(new_ptr, 16))
+        cur, maxv = self.k("prlimit64", signed32(pid), resource, new_limit)
+        if old_ptr:
+            self.copy_out(old_ptr, Layout.encode_rlimit(cur, maxv))
+        return 0
+
+    def w_getrlimit(self, resource, ptr):
+        cur, maxv = self.k("getrlimit", resource)
+        self.copy_out(ptr, Layout.encode_rlimit(cur, maxv))
+        return 0
+
+    def w_setrlimit(self, resource, ptr):
+        cur, maxv = Layout.decode_rlimit(self.mem.read_bytes(ptr, 16))
+        return self.k("setrlimit", resource, cur, maxv)
+
+    def w_getrusage(self, who, ptr):
+        ru = self.k("getrusage", signed32(who))
+        self.copy_out(ptr, Layout.encode_rusage(ru))
+        return 0
+
+    def w_times(self, ptr):
+        u, s, cu, cs = self.k("times")
+        if ptr:
+            self.copy_out(ptr, Layout.encode_tms(u, s, cu, cs))
+        return u + s
+
+    def w_sched_getaffinity(self, pid, size, mask_ptr):
+        mask = self.k("sched_getaffinity", signed32(pid))
+        n = min(size, 8)
+        self.copy_out(mask_ptr, mask.to_bytes(8, "little")[:n])
+        return n
+
+    # ------------------------------------------------------------------
+    # sockets
+    # ------------------------------------------------------------------
+
+    def _addr_in(self, ptr, length):
+        family, addr = Layout.decode_sockaddr(self.mem.read_bytes(ptr, 8))
+        return addr
+
+    def _addr_out(self, ptr, len_ptr, addr):
+        if not ptr:
+            return
+        data = Layout.encode_sockaddr(addr)
+        self.copy_out(ptr, data)
+        if len_ptr:
+            self.mem.store_i32(len_ptr, len(data))
+
+    def w_socket(self, family, type_, protocol):
+        return self.k("socket", family, type_, protocol)
+
+    def w_bind(self, fd, addr_ptr, addrlen):
+        return self.k("bind", signed32(fd), self._addr_in(addr_ptr, addrlen))
+
+    def w_connect(self, fd, addr_ptr, addrlen):
+        return self.k("connect", signed32(fd),
+                      self._addr_in(addr_ptr, addrlen))
+
+    def w_accept4(self, fd, addr_ptr, len_ptr, flags):
+        conn = self.k("accept4", signed32(fd), flags)
+        if addr_ptr:
+            sock = self.proc.fdtable.get(conn).sock
+            self._addr_out(addr_ptr, len_ptr, sock.peer_addr or ("", 0))
+        return conn
+
+    def w_accept(self, fd, addr_ptr, len_ptr):
+        return self.w_accept4(fd, addr_ptr, len_ptr, 0)
+
+    def w_sendto(self, fd, buf, length, flags, addr_ptr, addrlen):
+        addr = self._addr_in(addr_ptr, addrlen) if addr_ptr else None
+        return self.k("sendto", signed32(fd), self.view(buf, length), addr)
+
+    def w_recvfrom(self, fd, buf, length, flags, addr_ptr, len_ptr):
+        data, src = self.k("recvfrom", signed32(fd), length)
+        self.copy_out(buf, data)
+        self._addr_out(addr_ptr, len_ptr, src)
+        return len(data)
+
+    def w_sendmsg(self, fd, msg_ptr, flags):
+        name_ptr, _namelen, iov_ptr, iovlen = struct.unpack_from(
+            "<IIII", self.mem.read_bytes(msg_ptr, 16))
+        vecs = self.iovecs(iov_ptr, iovlen)
+        addr = self._addr_in(name_ptr, 16) if name_ptr else None
+        return self.k("sendmsg", signed32(fd),
+                      [self.view(b, n) for b, n in vecs], addr)
+
+    def w_recvmsg(self, fd, msg_ptr, flags):
+        name_ptr, _namelen, iov_ptr, iovlen = struct.unpack_from(
+            "<IIII", self.mem.read_bytes(msg_ptr, 16))
+        vecs = self.iovecs(iov_ptr, iovlen)
+        data, src = self.k("recvmsg", signed32(fd),
+                           sum(n for _, n in vecs))
+        off = 0
+        for base, length in vecs:
+            chunk = data[off:off + length]
+            self.copy_out(base, chunk)
+            off += len(chunk)
+            if off >= len(data):
+                break
+        if name_ptr:
+            self._addr_out(name_ptr, 0, src)
+        return len(data)
+
+    def w_socketpair(self, family, type_, protocol, fds_ptr):
+        a, b = self.k("socketpair", family, type_)
+        self.copy_out(fds_ptr, struct.pack("<ii", a, b))
+        return 0
+
+    def w_setsockopt(self, fd, level, optname, val_ptr, optlen):
+        value = self.mem.load_i32(val_ptr) if val_ptr and optlen >= 4 else 0
+        return self.k("setsockopt", signed32(fd), level, optname, value)
+
+    def w_getsockopt(self, fd, level, optname, val_ptr, len_ptr):
+        value = self.k("getsockopt", signed32(fd), level, optname)
+        if val_ptr:
+            self.mem.store_i32(val_ptr, value)
+        if len_ptr:
+            self.mem.store_i32(len_ptr, 4)
+        return 0
+
+    def w_getsockname(self, fd, addr_ptr, len_ptr):
+        self._addr_out(addr_ptr, len_ptr, self.k("getsockname", signed32(fd)))
+        return 0
+
+    def w_getpeername(self, fd, addr_ptr, len_ptr):
+        self._addr_out(addr_ptr, len_ptr, self.k("getpeername", signed32(fd)))
+        return 0
+
+    # ------------------------------------------------------------------
+    # time & misc
+    # ------------------------------------------------------------------
+
+    def w_clock_gettime(self, clock_id, ts_ptr):
+        ns = self.k("clock_gettime", clock_id)
+        self.copy_out(ts_ptr, Layout.encode_timespec(ns))
+        return 0
+
+    def w_gettimeofday(self, tv_ptr, tz_ptr):
+        sec, usec = self.k("gettimeofday")
+        if tv_ptr:
+            self.copy_out(tv_ptr, Layout.encode_timeval(sec, usec))
+        return 0
+
+    def w_nanosleep(self, req_ptr, rem_ptr):
+        ns = self.timespec_at(req_ptr)
+        if ns is None:
+            return -EINVAL
+        return self.k("nanosleep", ns)
+
+    def w_clock_nanosleep(self, clock_id, flags, req_ptr, rem_ptr):
+        ns = self.timespec_at(req_ptr)
+        if ns is None:
+            return -EINVAL
+        return self.k("clock_nanosleep", clock_id, flags, ns)
+
+    def w_uname(self, buf):
+        self.copy_out(buf, Layout.encode_utsname(self.k("uname")))
+        return 0
+
+    def w_sysinfo(self, buf):
+        self.copy_out(buf, Layout.encode_sysinfo(self.k("sysinfo")))
+        return 0
+
+    # ------------------------------------------------------------------
+    # WALI support methods (§3.4 external parameters)
+    # ------------------------------------------------------------------
+
+    def sup_get_argc(self):
+        return len(self.proc.argv)
+
+    def sup_get_argv_len(self, i):
+        if i >= len(self.proc.argv):
+            return 0
+        return len(self.proc.argv[i].encode()) + 1
+
+    def sup_copy_argv(self, buf, i):
+        if i >= len(self.proc.argv):
+            return 0
+        data = self.proc.argv[i].encode()
+        self.mem.write_cstr(buf, data)
+        return len(data) + 1
+
+    def sup_get_envc(self):
+        return len(self.proc.environ)
+
+    def _env_items(self):
+        return [f"{k}={v}" for k, v in self.proc.environ.items()]
+
+    def sup_get_env_len(self, i):
+        items = self._env_items()
+        if i >= len(items):
+            return 0
+        return len(items[i].encode()) + 1
+
+    def sup_copy_env(self, buf, i):
+        items = self._env_items()
+        if i >= len(items):
+            return 0
+        data = items[i].encode()
+        self.mem.write_cstr(buf, data)
+        return len(data) + 1
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "calls": sum(self.call_counts.values()),
+            "unique_syscalls": len(self.call_counts),
+            "zero_copy_translations": self.zero_copy_calls,
+            "struct_copy_calls": self.struct_copy_calls,
+            "wali_time_ns": self.wp.wali_time_ns,
+        }
+
+
+def _token(handler: int) -> int:
+    """Map the guest-encoded handler value to a sigtable token."""
+    if handler in (SIG_DFL, SIG_IGN):
+        return handler
+    return handler  # a funcref table index
+
+
+def _make_passthrough(host: WaliHost, name: str):
+    """Auto-generate a pure-integer passthrough handler (§5 recipe, >85%)."""
+    nargs = len(SYSCALLS[name].params)
+
+    def passthrough(*raw):
+        return host.k(name, *(signed32(a) if isinstance(a, int) and
+                              a <= 0xFFFFFFFF else a for a in raw[:nargs]))
+
+    passthrough.__name__ = f"wali_{name}"
+    passthrough.auto_generated = True
+    return passthrough
+
+
+def _make_enosys(name: str):
+    def enosys(*raw):
+        return -ENOSYS
+
+    enosys.__name__ = f"wali_{name}_enosys"
+    return enosys
+
+
+def handler_loc(name: str) -> int:
+    """Lines of code of a handler (Table 2's LOC column): explicit handlers
+    are measured from source; auto-generated passthroughs count as 1."""
+    import inspect
+
+    method = getattr(WaliHost, f"w_{name}", None)
+    if method is None:
+        return 1 if name in AUTO_PASSTHROUGH else 0
+    src = inspect.getsource(method)
+    return sum(1 for line in src.splitlines()
+               if line.strip() and not line.strip().startswith("#"))
+
+
+def implemented_names():
+    out = []
+    for name in SYSCALLS:
+        if hasattr(WaliHost, f"w_{name}") or name in AUTO_PASSTHROUGH:
+            out.append(name)
+    return sorted(out)

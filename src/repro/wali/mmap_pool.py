@@ -1,0 +1,71 @@
+"""The engine-side mmap allocation pool (§3.2 "Memory Management").
+
+All guest mappings land *inside* Wasm linear memory: WALI reserves a region
+of the address space starting at the pool base (one bookkeeping variable, as
+the paper's implementation notes) and backs kernel-chosen placements with
+``memory.grow`` on demand, up to the module's declared maximum.  Mappings are
+placed with MAP_FIXED semantics by the kernel VMA allocator; the pool's
+``grow_hook`` extends linear memory when a placement lands past the current
+size, failing (ENOMEM) past the declared maximum — exactly the behaviour the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from ..kernel.mm import AddressSpace, MM_PAGE, page_align_up
+from ..wasm.memory import LinearMemory
+from ..wasm.types import PAGE_SIZE
+
+
+class MmapPool:
+    """Binds a kernel :class:`AddressSpace` to a Wasm linear memory."""
+
+    def __init__(self, memory: LinearMemory, base: int | None = None):
+        self.memory = memory
+        if base is None:
+            base = memory.size_bytes  # pool starts past the static image
+        base = page_align_up(base)
+        max_pages = memory.max_pages if memory.max_pages is not None else 65536
+        limit = max_pages * PAGE_SIZE
+        if limit < base:
+            raise ValueError("memory max below pool base")
+        self.space = AddressSpace(base, limit)
+        self.space.grow_hook = self._ensure_backing
+
+    @property
+    def base(self) -> int:
+        return self.space.base
+
+    @property
+    def limit(self) -> int:
+        return self.space.limit
+
+    def _ensure_backing(self, needed_end: int) -> bool:
+        """Grow linear memory so addresses below ``needed_end`` exist."""
+        cur = self.memory.size_bytes
+        if needed_end <= cur:
+            return True
+        delta_pages = (needed_end - cur + PAGE_SIZE - 1) // PAGE_SIZE
+        return self.memory.grow(delta_pages) >= 0
+
+    def rebind(self, memory: LinearMemory) -> None:
+        """After fork, the pool must point at the child's memory clone."""
+        self.memory = memory
+        self.space.grow_hook = self._ensure_backing
+
+    def fork_copy(self, memory: LinearMemory) -> "MmapPool":
+        pool = MmapPool.__new__(MmapPool)
+        pool.memory = memory
+        pool.space = self.space.fork_copy()
+        pool.space.grow_hook = pool._ensure_backing
+        return pool
+
+    def stats(self) -> dict:
+        return {
+            "base": self.base,
+            "limit": self.limit,
+            "mapped_bytes": self.space.total_mapped(),
+            "vma_count": len(self.space.vmas),
+            "memory_pages": self.memory.pages,
+            "peak_pages": self.memory.peak_pages,
+        }

@@ -1,0 +1,114 @@
+"""WALI security interpositions (§3.6 "Addressing Common Pitfalls").
+
+WALI keeps Wasm's intra-process guarantees and adds a handful of explicit
+checks where OS abstractions would otherwise puncture the sandbox:
+
+1. *Filesystem sandboxing*: ``/proc/<pid>/mem`` (and ``/proc/self/mem``)
+   grants raw access to the host process image — every open-like syscall is
+   interposed and such paths are refused.
+2. *Memory mapping*: PROT_EXEC is meaningless and dangerous for a Wasm guest
+   (memory is never executable); WALI strips it.
+3. *Non-local gotos*: setjmp/longjmp are a toolchain concern, not an
+   interface concern (nothing to do here — the engine has no gadget for it).
+4. *Signal trampoline*: ``sigreturn`` is an SROP gadget; handler frames are
+   engine-managed, so a direct guest call traps.
+5. *Engine restrictions*: documented, not enforced here.
+6. *Processor-specific functionality*: ``arch_prctl``-style raw hardware
+   state is answered with benign values, never real registers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..wasm.errors import TrapSyscall
+from ..kernel.mm import PROT_EXEC
+
+_PROC_MEM = re.compile(r"^/proc/(self|\d+)/mem$")
+
+# calls that take a path and could reach /proc/*/mem
+OPEN_LIKE = frozenset({
+    "open", "openat", "stat", "lstat", "newfstatat", "statx", "truncate",
+    "readlink", "readlinkat", "access", "faccessat", "faccessat2",
+})
+
+
+def check_path(path: str) -> None:
+    """Refuse process-memory endpoints (pitfall 1)."""
+    if _PROC_MEM.match(path):
+        raise TrapSyscall(f"access to {path} is prohibited under WALI")
+
+
+def sanitize_prot(prot: int) -> int:
+    """Strip PROT_EXEC: Wasm linear memory is never executable (pitfall 2)."""
+    return prot & ~PROT_EXEC
+
+
+def deny_sigreturn() -> None:
+    """sigreturn gadgets trap (pitfall 4)."""
+    raise TrapSyscall("sigreturn cannot be invoked directly under WALI")
+
+
+class SecurityPolicy:
+    """A pluggable, seccomp-like *user-space* syscall filter.
+
+    §3.6 "Dynamic Policies": WALI itself stays descriptive; policies layer
+    above it.  This class is the repository's embodiment of that layering —
+    engines (or Wasm modules) can wrap a WALI host with an allow/deny list
+    without touching the interface implementation.
+    """
+
+    def __init__(self, allow=None, deny=None):
+        self.allow = frozenset(allow) if allow is not None else None
+        self.deny = frozenset(deny or ())
+        self.denied_calls = []
+
+    def check(self, name: str) -> None:
+        if name in self.deny or \
+                (self.allow is not None and name not in self.allow):
+            self.denied_calls.append(name)
+            raise TrapSyscall(f"syscall {name!r} denied by policy")
+
+
+class SyscallLogger(SecurityPolicy):
+    """strace-style interposition (§6: "calls through Wasm can easily be
+    interposed on by libraries that log, restrict, profile...").
+
+    Name-bound calls make this uniform across ISAs — no syscall-number
+    tables needed.  The log records every call the policy sees.
+    """
+
+    def __init__(self, allow=None, deny=None):
+        super().__init__(allow, deny)
+        self.log = []
+
+    def check(self, name: str) -> None:
+        self.log.append(name)
+        super().check(name)
+
+
+class FaultInjector(SecurityPolicy):
+    """Fault-injection interposition (§6): fail selected syscalls with a
+    chosen errno, either always or on the N-th invocation — the standard
+    tool for testing guest error paths without touching the guest.
+    """
+
+    def __init__(self, failures=None, allow=None, deny=None):
+        """``failures``: {syscall_name: (errno, fail_on_call_number|None)};
+        ``fail_on_call_number`` of None means every invocation fails."""
+        super().__init__(allow, deny)
+        self.failures = dict(failures or {})
+        self.counts = {}
+        self.injected = []
+
+    def check(self, name: str) -> None:
+        super().check(name)
+        if name not in self.failures:
+            return
+        self.counts[name] = self.counts.get(name, 0) + 1
+        errno, nth = self.failures[name]
+        if nth is None or self.counts[name] == nth:
+            from ..kernel.errno import KernelError
+
+            self.injected.append((name, self.counts[name]))
+            raise KernelError(errno, f"injected fault on {name}")

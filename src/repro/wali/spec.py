@@ -1,0 +1,174 @@
+"""The WALI interface specification: name-bound syscalls with static types.
+
+WALI exposes each syscall as a Wasm import ``wali.SYS_<name>`` with a fixed
+signature (§3.5).  The virtual syscall set is the *union* across supported
+host ISAs; an implementation traps if it cannot faithfully execute a call on
+the current host.  Name binding (instead of numbers) is what makes binaries
+ISA-agnostic and statically auditable: the import section enumerates every
+syscall a binary could ever make (§3.6).
+
+Signatures are spelled as compact strings: ``i`` = i32, ``l`` = i64.  All
+syscalls return ``i64`` carrying the Linux convention (result or ``-errno``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from ..kernel.arch import ARCH_SYSCALLS, ARCHES, union_syscalls
+from ..wasm.types import I32, I64, FuncType
+
+MODULE = "wali"
+
+CAT_FS = "fs"
+CAT_PROC = "process"
+CAT_SIG = "signal"
+CAT_MM = "memory"
+CAT_NET = "net"
+CAT_MISC = "misc"
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    name: str
+    params: str            # "i"/"l" per argument
+    category: str
+    stateful: bool = False  # needs engine-side state (mmap pool, sigtable...)
+
+    @property
+    def import_name(self) -> str:
+        return f"SYS_{self.name}"
+
+    @property
+    def functype(self) -> FuncType:
+        types = tuple(I64 if c == "l" else I32 for c in self.params)
+        return FuncType(types, (I64,))
+
+    def available_on(self, arch: str) -> bool:
+        return self.name in ARCH_SYSCALLS.get(arch, {})
+
+
+def _build() -> Dict[str, SyscallSpec]:
+    table = {}
+
+    def add(category: str, entries):
+        for entry in entries:
+            stateful = False
+            if len(entry) == 3:
+                name, params, stateful = entry
+            else:
+                name, params = entry
+            table[name] = SyscallSpec(name, params, category, stateful)
+
+    add(CAT_FS, [
+        ("read", "iii"), ("write", "iii"), ("open", "iii"),
+        ("openat", "iiii"), ("close", "i"), ("lseek", "ili"),
+        ("pread64", "iiil"), ("pwrite64", "iiil"), ("readv", "iii"),
+        ("writev", "iii"), ("access", "ii"), ("faccessat", "iiii"),
+        ("faccessat2", "iiii"), ("pipe", "i"), ("pipe2", "ii"),
+        ("dup", "i"), ("dup2", "ii"), ("dup3", "iii"), ("fcntl", "iii"),
+        ("fstat", "ii"), ("stat", "ii"), ("lstat", "ii"),
+        ("newfstatat", "iiii"), ("statx", "iiiii"), ("getdents64", "iii"),
+        ("getcwd", "ii"), ("chdir", "i"), ("fchdir", "i"), ("mkdir", "ii"),
+        ("mkdirat", "iii"), ("rmdir", "i"), ("unlink", "i"),
+        ("unlinkat", "iii"), ("rename", "ii"), ("renameat", "iiii"),
+        ("renameat2", "iiiii"), ("link", "ii"), ("linkat", "iiiii"),
+        ("symlink", "ii"), ("symlinkat", "iii"), ("readlink", "iii"),
+        ("readlinkat", "iiii"), ("chmod", "ii"), ("fchmod", "ii"),
+        ("fchmodat", "iii"), ("chown", "iii"), ("fchown", "iii"),
+        ("lchown", "iii"), ("fchownat", "iiiii"), ("truncate", "il"),
+        ("ftruncate", "il"), ("umask", "i"), ("utimensat", "iiii"),
+        ("sync", ""), ("fsync", "i"), ("fdatasync", "i"), ("flock", "ii"),
+        ("sendfile", "iiii"), ("statfs", "ii"), ("fstatfs", "ii"),
+        ("ioctl", "iii"), ("poll", "iii"), ("ppoll", "iiii"),
+        ("select", "iiiii"), ("pselect6", "iiiiii"),
+        ("fadvise64", "illi"), ("readahead", "ili"),
+        ("memfd_create", "ii"), ("mincore", "iii"),
+    ])
+
+    add(CAT_PROC, [
+        ("clone", "iiii", True), ("clone3", "iiii", True),
+        ("fork", "", True), ("vfork", "", True), ("execve", "iii", True),
+        ("exit", "i"), ("exit_group", "i"), ("wait4", "iiii"),
+        ("kill", "ii"), ("tgkill", "iii"), ("tkill", "ii"),
+        ("getpid", ""), ("gettid", ""), ("getppid", ""), ("getuid", ""),
+        ("geteuid", ""), ("getgid", ""), ("getegid", ""), ("setuid", "i"),
+        ("setgid", "i"), ("setpgid", "ii"), ("getpgid", "i"),
+        ("getpgrp", ""), ("setsid", ""), ("getsid", "i"),
+        ("prlimit64", "iiii"), ("getrlimit", "ii"), ("setrlimit", "ii"),
+        ("getrusage", "ii"), ("times", "i"), ("sched_yield", ""),
+        ("sched_getaffinity", "iii"), ("sched_setaffinity", "iii"),
+        ("getpriority", "ii"), ("setpriority", "iii"), ("prctl", "iiiii"),
+        ("arch_prctl", "ii"), ("set_tid_address", "i"),
+        ("set_robust_list", "ii"), ("futex", "iiiiii"),
+        ("getrandom", "iii"),
+    ])
+
+    add(CAT_SIG, [
+        ("rt_sigaction", "iiii", True), ("rt_sigprocmask", "iiii"),
+        ("rt_sigpending", "ii"), ("rt_sigsuspend", "ii"),
+        ("rt_sigreturn", ""), ("rt_sigtimedwait", "iiii"),
+        ("sigaltstack", "ii"), ("pause", ""), ("alarm", "i"),
+        ("setitimer", "iii"), ("getitimer", "ii"),
+    ])
+
+    add(CAT_MM, [
+        ("mmap", "iiiiil", True), ("munmap", "ii", True),
+        ("mremap", "iiiii", True), ("mprotect", "iii"), ("msync", "iii"),
+        ("madvise", "iii"), ("mincore", "iii"), ("brk", "i"),
+    ])
+
+    add(CAT_NET, [
+        ("socket", "iii"), ("bind", "iii"), ("listen", "ii"),
+        ("accept", "iii"), ("accept4", "iiii"), ("connect", "iii"),
+        ("sendto", "iiiiii"), ("recvfrom", "iiiiii"), ("sendmsg", "iii"),
+        ("recvmsg", "iii"), ("shutdown", "ii"), ("socketpair", "iiii"),
+        ("setsockopt", "iiiii"), ("getsockopt", "iiiii"),
+        ("getsockname", "iii"), ("getpeername", "iii"),
+    ])
+
+    add(CAT_MISC, [
+        ("clock_gettime", "ii"), ("clock_getres", "ii"),
+        ("clock_nanosleep", "iiii"), ("nanosleep", "ii"),
+        ("gettimeofday", "ii"), ("uname", "i"), ("sysinfo", "i"),
+        ("syslog", "iii"), ("chroot", "i"), ("eventfd2", "ii"),
+        ("epoll_create1", "i"), ("epoll_ctl", "iiii"),
+        ("epoll_pwait", "iiiiii"),
+    ])
+
+    return table
+
+
+SYSCALLS: Dict[str, SyscallSpec] = _build()
+
+
+# WALI support methods for external parameters (§3.4): not syscalls, but part
+# of the interface.  (name, params, results)
+SUPPORT_CALLS: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
+    ("get_argc", (), (I32,)),
+    ("get_argv_len", (I32,), (I32,)),
+    ("copy_argv", (I32, I32), (I32,)),
+    ("get_envc", (), (I32,)),
+    ("get_env_len", (I32,), (I32,)),
+    ("copy_env", (I32, I32), (I32,)),
+)
+
+
+def spec_names() -> FrozenSet[str]:
+    return frozenset(SYSCALLS)
+
+
+def coverage_report() -> dict:
+    """How much of each ISA's syscall surface the WALI spec covers."""
+    union = union_syscalls()
+    spec = spec_names()
+    return {
+        "spec_size": len(spec),
+        "union_size": len(union),
+        "in_union": len(spec & union),
+        "per_arch": {
+            arch: len(spec & frozenset(ARCH_SYSCALLS[arch]))
+            for arch in ARCHES
+        },
+    }

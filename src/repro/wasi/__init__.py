@@ -1,0 +1,84 @@
+"""``repro.wasi`` — WASI preview1, implemented twice:
+
+* natively in the engine (:mod:`repro.wasi.native`), the status quo;
+* layered over WALI (:class:`WaliBackend` + :class:`WasiHost`), the
+  paper's §4.1 result (``libuvwasi`` unmodified over WALI).
+
+Also hosts the Table 1 porting matrix machinery and helpers to run WASI
+applications on a WALI runtime.
+"""
+
+from typing import Dict, Optional
+
+from ..wali import WaliRuntime
+from ..wasm import Module, instantiate
+from ..wasm.errors import GuestExit
+from .host import Backend, WaliBackend, WasiHost
+from .native import NativeBackend
+from .porting import (
+    FEATURE_OF_SYSCALL, PortingRow, WASI_SYSCALLS, WASIX_SYSCALLS,
+    build_matrix, porting_row, render_matrix, required_syscalls,
+)
+from .spec import FUNCTIONS, MODULE, wasi_errno
+
+
+def wasi_over_wali(runtime: WaliRuntime, argv=None, env=None,
+                   preopens: Optional[Dict[str, str]] = None):
+    """Create a (WasiHost, WaliProcess-shell) pair layered over WALI.
+
+    Returns ``(wasi_host, wali_process)``: instantiate the WASI app with
+    ``wasi_host.imports()`` and point ``wali_process.instance`` at it.
+    """
+    from ..wali.runtime import WaliProcess
+
+    proc = runtime.kernel.create_process(argv or ["wasi-app"], env or {})
+    wp = WaliProcess.__new__(WaliProcess)
+    wp.rt = runtime
+    wp.proc = proc
+    wp.instance = None
+    wp.machine = None
+    wp.pool = None
+    wp.sigv = None
+    wp.wali_time_ns = 0
+    wp.exit_status = None
+    wp.trap = None
+    wp.thread = None
+    from ..wali.host import WaliHost
+
+    wp.host = WaliHost(runtime, wp)
+    wali_ns = wp.host.imports()["wali"]
+    backend = WaliBackend(wali_ns, lambda: wp.instance.memory)
+    host = WasiHost(backend, preopens)
+    return host, wp
+
+
+def run_wasi_module(module: Module, runtime: Optional[WaliRuntime] = None,
+                    argv=None, env=None, preopens=None,
+                    entry: str = "_start") -> int:
+    """Run a WASI app with the WASI-over-WALI layering; returns exit code."""
+    rt = runtime or WaliRuntime()
+    host, wp = wasi_over_wali(rt, argv, env, preopens)
+    inst = instantiate(module, host.imports(), scheme=rt.scheme)
+    wp.instance = inst
+    from ..wali.mmap_pool import MmapPool
+    from ..wali.sigvirt import VirtualSigTable
+    from ..wasm.interp import Machine
+
+    wp.machine = Machine(inst)
+    if inst.memory is not None:
+        wp.pool = MmapPool(inst.memory)
+        wp.proc.mm = wp.pool.space
+    wp.sigv = VirtualSigTable(wp.proc)
+    try:
+        wp.machine.invoke(inst.exports[entry], [])
+        return 0
+    except GuestExit as exc:
+        return exc.status
+
+
+__all__ = [
+    "Backend", "FEATURE_OF_SYSCALL", "FUNCTIONS", "MODULE", "NativeBackend",
+    "PortingRow", "WASI_SYSCALLS", "WASIX_SYSCALLS", "WaliBackend",
+    "WasiHost", "build_matrix", "porting_row", "render_matrix",
+    "required_syscalls", "run_wasi_module", "wasi_errno", "wasi_over_wali",
+]

@@ -1,0 +1,171 @@
+"""The engine-embedded WASI backend: direct kernel access.
+
+This is the "status quo" implementation style the paper argues against:
+the engine itself must re-implement pointer translation, struct encoding
+and fd semantics for every WASI primitive — all inside the trusted
+computing base.  It exists here so the layering comparison is concrete:
+``NativeBackend`` re-implements marshalling that ``WaliBackend`` gets for
+free from the single WALI implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..kernel import Kernel
+from ..kernel.errno import KernelError
+from ..kernel.mm import MAP_ANONYMOUS, MAP_PRIVATE, PROT_READ, PROT_WRITE
+from ..kernel.process import Process
+from ..wali.layout import GUEST_LAYOUT
+from .host import Backend
+
+
+class NativeBackend(Backend):
+    """WASI primitives implemented directly against the kernel."""
+
+    def __init__(self, kernel: Kernel, proc: Process, memory_ref):
+        self.kernel = kernel
+        self.proc = proc
+        self._memory_ref = memory_ref
+
+    @property
+    def memory(self):
+        return self._memory_ref()
+
+    # ---- the §3.4-style support calls, implemented natively ----
+
+    def support(self, name: str, *args) -> int:
+        argv = self.proc.argv
+        envs = [f"{k}={v}" for k, v in self.proc.environ.items()]
+        if name == "get_argc":
+            return len(argv)
+        if name == "get_envc":
+            return len(envs)
+        if name == "get_argv_len":
+            return len(argv[args[0]].encode()) + 1
+        if name == "get_env_len":
+            return len(envs[args[0]].encode()) + 1
+        if name == "copy_argv":
+            data = argv[args[1]].encode()
+            self.memory.write_cstr(args[0], data)
+            return len(data) + 1
+        if name == "copy_env":
+            data = envs[args[1]].encode()
+            self.memory.write_cstr(args[0], data)
+            return len(data) + 1
+        raise KeyError(name)
+
+    # ---- primitive syscalls with engine-side marshalling ----
+
+    def sys(self, name: str, *args) -> int:
+        try:
+            return self._dispatch(name, *args)
+        except KernelError as exc:
+            return -exc.errno
+
+    def _cstr(self, ptr: int) -> str:
+        return self.memory.read_cstr(ptr).decode("utf-8", "surrogateescape")
+
+    def _iovecs(self, iov: int, n: int) -> List[tuple]:
+        mem = self.memory
+        return [(mem.load_i32(iov + 8 * i), mem.load_i32(iov + 8 * i + 4))
+                for i in range(n)]
+
+    def _dispatch(self, name: str, *a) -> int:
+        mem = self.memory
+        k = self.kernel
+        p = self.proc
+        if name == "mmap":
+            res = k.call(p, "mmap", a[0], a[1],
+                         (a[2] or PROT_READ | PROT_WRITE),
+                         a[3] or (MAP_PRIVATE | MAP_ANONYMOUS), a[4], a[5])
+            mem.fill(res.addr, 0, (a[1] + 4095) & ~4095)
+            if res.populate is not None:
+                mem.write(res.addr, res.populate)
+            return res.addr
+        if name == "openat":
+            return k.call(p, "openat", _s32(a[0]), self._cstr(a[1]), a[2],
+                          a[3])
+        if name == "close":
+            return k.call(p, "close", a[0])
+        if name == "readv":
+            total = 0
+            for base, length in self._iovecs(a[1], a[2]):
+                data = k.call(p, "read", a[0], length)
+                mem.write(base, data)
+                total += len(data)
+                if len(data) < length:
+                    break
+            return total
+        if name == "writev":
+            bufs = [mem.read(base, length)
+                    for base, length in self._iovecs(a[1], a[2])]
+            return k.call(p, "writev", a[0], bufs)
+        if name == "pread64":
+            data = k.call(p, "pread64", a[0], a[2], a[3])
+            mem.write(a[1], data)
+            return len(data)
+        if name == "pwrite64":
+            return k.call(p, "pwrite64", a[0], mem.read(a[1], a[2]), a[3])
+        if name == "lseek":
+            return k.call(p, "lseek", a[0], a[1], a[2])
+        if name == "fstat":
+            st = k.call(p, "fstat", a[0])
+            mem.write(a[1], GUEST_LAYOUT.encode_stat(st))
+            return 0
+        if name == "newfstatat":
+            st = k.call(p, "newfstatat", _s32(a[0]), self._cstr(a[1]), a[3])
+            mem.write(a[2], GUEST_LAYOUT.encode_stat(st))
+            return 0
+        if name == "fcntl":
+            return k.call(p, "fcntl", a[0], a[1], a[2])
+        if name == "ftruncate":
+            return k.call(p, "ftruncate", a[0], a[1])
+        if name == "mkdirat":
+            return k.call(p, "mkdirat", _s32(a[0]), self._cstr(a[1]), a[2])
+        if name == "unlinkat":
+            return k.call(p, "unlinkat", _s32(a[0]), self._cstr(a[1]), a[2])
+        if name == "renameat":
+            return k.call(p, "renameat", _s32(a[0]), self._cstr(a[1]),
+                          _s32(a[2]), self._cstr(a[3]))
+        if name == "symlinkat":
+            return k.call(p, "symlinkat", self._cstr(a[0]), _s32(a[1]),
+                          self._cstr(a[2]))
+        if name == "readlinkat":
+            target = k.call(p, "readlinkat", _s32(a[0]),
+                            self._cstr(a[1])).encode()[:a[3]]
+            mem.write(a[2], target)
+            return len(target)
+        if name == "getdents64":
+            from ..wali.layout import Layout
+            entries = k.call(p, "getdents64", a[0])
+            data, packed = Layout.encode_dirents(entries, a[2])
+            if packed < len(entries):
+                p.fdtable.get(a[0]).offset -= len(entries) - packed
+            mem.write(a[1], data)
+            return len(data)
+        if name == "clock_gettime":
+            ns = k.call(p, "clock_gettime", a[0])
+            mem.write(a[1], struct.pack("<qq", ns // 10**9, ns % 10**9))
+            return 0
+        if name == "getrandom":
+            data = k.call(p, "getrandom", a[1], a[2])
+            mem.write(a[0], data)
+            return len(data)
+        if name == "sched_yield":
+            return k.call(p, "sched_yield")
+        if name == "dup2":
+            return k.call(p, "dup2", a[0], a[1])
+        if name == "fsync":
+            return k.call(p, "fsync", a[0])
+        if name == "fdatasync":
+            return k.call(p, "fdatasync", a[0])
+        if name == "exit_group":
+            return k.call(p, "exit_group", a[0])
+        raise KernelError(38, name)  # ENOSYS
+
+
+def _s32(x: int) -> int:
+    x &= 0xFFFFFFFF
+    return x - 0x100000000 if x >= 0x80000000 else x

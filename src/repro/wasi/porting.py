@@ -1,0 +1,170 @@
+"""The porting matrix (Table 1): which API can host which application.
+
+The paper's method is static: an application "ports" to an API iff every
+system facility it links against exists in that API's surface.  Our apps
+declare their needs in the import section (name-bound WALI syscalls), so the
+matrix falls out of set containment — a missing feature means the app would
+not even compile against that target, exactly as §4.1 observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..wali.host import implemented_names
+from ..wasm import Module
+
+# WASI preview1 expressible syscall surface (via its own API shapes)
+WASI_SYSCALLS = frozenset({
+    "read", "write", "readv", "writev", "openat", "close", "lseek",
+    "pread64", "pwrite64", "fstat", "newfstatat", "fcntl", "ftruncate",
+    "mkdirat", "unlinkat", "renameat", "symlinkat", "readlinkat",
+    "getdents64", "fdatasync", "fsync", "clock_gettime", "getrandom",
+    "sched_yield", "exit", "exit_group", "poll", "ppoll",
+})
+
+# WASIX: "a rogue superset of WASI" — adds processes, signals, plain mmap,
+# basic sockets, dup and threads; still missing mremap, identity management
+# (users/groups), ioctl, socketpair and process groups.
+WASIX_SYSCALLS = WASI_SYSCALLS | frozenset({
+    "fork", "vfork", "execve", "wait4", "kill", "tgkill", "rt_sigaction",
+    "rt_sigprocmask", "pause", "alarm", "dup", "dup2", "dup3", "pipe",
+    "pipe2", "socket", "bind", "listen", "accept", "accept4", "connect",
+    "sendto", "recvfrom", "shutdown", "clone", "futex", "getpid", "gettid",
+    "getppid", "chdir", "getcwd", "nanosleep", "set_tid_address",
+    "setsockopt", "getsockopt", "mmap", "munmap", "msync", "madvise",
+    "mprotect", "brk", "rt_sigpending", "rt_sigsuspend", "setitimer",
+    "getitimer", "sched_getaffinity",
+})
+
+# feature labels for the "Missing Features" column of Table 1
+FEATURE_OF_SYSCALL = {
+    "rt_sigaction": "signals", "rt_sigprocmask": "signals", "kill": "signals",
+    "pause": "signals", "alarm": "signals", "rt_sigreturn": "signals",
+    "mmap": "mmap", "munmap": "mmap", "msync": "mmap",
+    "mremap": "mremap",
+    "fork": "processes", "execve": "processes", "wait4": "wait4",
+    "clone": "threads", "futex": "threads",
+    "dup": "dup", "dup2": "dup", "dup3": "dup", "pipe2": "pipes",
+    "socket": "sockets", "accept": "sockets", "connect": "sockets",
+    "setsockopt": "sockopt", "getsockopt": "sockopt",
+    "socketpair": "socketpair",
+    "getuid": "users", "setuid": "users", "getgid": "users",
+    "setpgid": "pgroups", "getpgid": "pgroups", "setsid": "pgroups",
+    "ioctl": "ioctl", "uname": "sysinfo", "sysinfo": "sysinfo",
+    "getrusage": "rusage", "prlimit64": "rlimits",
+    "chmod": "chmod", "fchmodat": "chmod", "fchmod": "chmod",
+    "mkdir": "dirs", "rename": "dirs", "unlink": "dirs", "rmdir": "dirs",
+    "readlink": "symlinks", "symlink": "symlinks",
+    "open": "legacy-open", "stat": "legacy-stat", "access": "legacy-access",
+    "chown": "users", "fchownat": "users", "lchown": "users",
+    "sendfile": "sendfile", "memfd_create": "memfd",
+    "getrlimit": "rlimits", "setrlimit": "rlimits",
+    "sched_getaffinity": "affinity", "sched_setaffinity": "affinity",
+    "statfs": "statfs", "fstatfs": "statfs",
+    "gettimeofday": "time", "times": "time",
+    "getsockname": "sockets", "getpeername": "sockets",
+    "sendmsg": "sockets", "recvmsg": "sockets",
+    "sigaltstack": "signals", "rt_sigpending": "signals",
+    "rt_sigsuspend": "signals", "rt_sigtimedwait": "signals",
+    "setitimer": "signals", "getitimer": "signals",
+    "prctl": "prctl", "arch_prctl": "prctl",
+    "syslog": "syslog", "umask": "umask", "fchdir": "dirs",
+    "flock": "locks", "utimensat": "times", "truncate": "truncate",
+    "mprotect": "mmap", "madvise": "mmap", "mincore": "mmap", "brk": "mmap",
+    "getrandom": "random", "set_robust_list": "threads",
+    "getpgrp": "pgroups", "getsid": "pgroups", "setgid": "users",
+    "geteuid": "users", "getegid": "users",
+    "fadvise64": "fadvise", "readahead": "fadvise",
+    "faccessat": "access", "faccessat2": "access", "statx": "statx",
+    "lstat": "legacy-stat", "linkat": "links", "link": "links",
+    "renameat2": "dirs", "select": "select", "pselect6": "select",
+    "eventfd2": "eventfd", "epoll_create1": "epoll", "epoll_ctl": "epoll",
+    "epoll_pwait": "epoll", "chroot": "chroot", "tkill": "signals",
+    "clone3": "threads", "mknod": "devices", "clock_getres": "time",
+    "clock_nanosleep": "time", "nanosleep": "time",
+    "getpriority": "priority", "setpriority": "priority",
+    "sync": "sync", "waitid": "wait4",
+}
+
+
+@dataclass
+class PortingRow:
+    app: str
+    analog: str
+    required: frozenset
+    wali_ok: bool
+    wasix_ok: bool
+    wasi_ok: bool
+    wasix_missing: Optional[str]
+    wasi_missing: Optional[str]
+
+    def cell(self, api: str) -> str:
+        ok = {"wali": self.wali_ok, "wasix": self.wasix_ok,
+              "wasi": self.wasi_ok}[api]
+        return "yes" if ok else "no"
+
+
+def required_syscalls(module: Module) -> frozenset:
+    """The app's statically-declared syscall needs (import section)."""
+    out = set()
+    for mod, name in module.import_names():
+        if mod == "wali" and name.startswith("SYS_"):
+            out.add(name[4:])
+    return frozenset(out)
+
+
+# what to highlight first in the "missing features" column, mirroring the
+# paper's choices (signals for bash, mremap for sqlite, mmap for memcached,
+# sockopt for paho, users for openssh...)
+_FEATURE_PRIORITY = ("signals", "mremap", "mmap", "users", "sockopt",
+                     "sockets", "socketpair", "threads", "processes",
+                     "wait4", "dup", "ioctl", "pgroups")
+
+
+def _first_missing(required: frozenset, supported: frozenset):
+    missing = sorted(required - supported)
+    if not missing:
+        return None
+    labels = {FEATURE_OF_SYSCALL.get(m, m) for m in missing}
+    for feature in _FEATURE_PRIORITY:
+        if feature in labels:
+            return feature
+    return sorted(labels)[0]
+
+
+def porting_row(app_name: str, module: Module, analog: str = "") -> PortingRow:
+    required = required_syscalls(module)
+    wali = frozenset(implemented_names())
+    return PortingRow(
+        app=app_name,
+        analog=analog or app_name,
+        required=required,
+        wali_ok=required <= wali,
+        wasix_ok=required <= WASIX_SYSCALLS,
+        wasi_ok=required <= WASI_SYSCALLS,
+        wasix_missing=_first_missing(required, WASIX_SYSCALLS),
+        wasi_missing=_first_missing(required, WASI_SYSCALLS),
+    )
+
+
+def build_matrix(apps: Dict[str, Module],
+                 analogs: Optional[Dict[str, str]] = None) -> List[PortingRow]:
+    analogs = analogs or {}
+    return [porting_row(name, mod, analogs.get(name, name))
+            for name, mod in sorted(apps.items())]
+
+
+def render_matrix(rows: List[PortingRow]) -> str:
+    """Text rendering in the shape of the paper's Table 1."""
+    out = [f"{'Codebase':<18} {'(analog of)':<12} {'WALI':<6} {'WASIX':<16} "
+           f"{'WASI':<16}",
+           "-" * 70]
+    for r in rows:
+        wasix = "yes" if r.wasix_ok else f"no ({r.wasix_missing})"
+        wasi = "yes" if r.wasi_ok else f"no ({r.wasi_missing})"
+        out.append(f"{r.app:<18} {r.analog:<12} "
+                   f"{'yes' if r.wali_ok else 'no':<6} {wasix:<16} "
+                   f"{wasi:<16}")
+    return "\n".join(out)

@@ -1,0 +1,92 @@
+"""Exceptions raised by the WebAssembly engine.
+
+The engine distinguishes three failure classes, mirroring the Wasm spec:
+
+* :class:`ValidationError` — a module failed static validation and must be
+  rejected before instantiation.
+* :class:`LinkError` — imports could not be resolved at instantiation time
+  (wrong name, wrong signature, missing provider).
+* :class:`Trap` — a runtime fault inside the sandbox.  Traps terminate the
+  computation but never corrupt engine state; WALI relies on this to contain
+  guest misbehaviour (§1.1 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class WasmError(Exception):
+    """Base class for all engine errors."""
+
+
+class ValidationError(WasmError):
+    """Static validation of a module failed."""
+
+
+class LinkError(WasmError):
+    """Import resolution failed during instantiation."""
+
+
+class DecodeError(WasmError):
+    """A binary module could not be decoded."""
+
+
+class Trap(WasmError):
+    """Runtime trap.  ``kind`` is a stable machine-readable identifier."""
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        super().__init__(f"trap: {kind}" + (f" ({message})" if message else ""))
+
+
+class TrapOutOfBounds(Trap):
+    def __init__(self, message: str = ""):
+        super().__init__("out-of-bounds-memory-access", message)
+
+
+class TrapDivByZero(Trap):
+    def __init__(self, message: str = ""):
+        super().__init__("integer-divide-by-zero", message)
+
+
+class TrapIntegerOverflow(Trap):
+    def __init__(self, message: str = ""):
+        super().__init__("integer-overflow", message)
+
+
+class TrapUnreachable(Trap):
+    def __init__(self, message: str = ""):
+        super().__init__("unreachable", message)
+
+
+class TrapIndirectCall(Trap):
+    """call_indirect signature mismatch or null/out-of-range table entry.
+
+    This is the trap the paper observes when porting C programs that call
+    through incompatible function-pointer types (§4.1, the ``bash`` anecdote).
+    """
+
+    def __init__(self, message: str = ""):
+        super().__init__("indirect-call-type-mismatch", message)
+
+
+class TrapStackExhausted(Trap):
+    def __init__(self, message: str = ""):
+        super().__init__("call-stack-exhausted", message)
+
+
+class TrapSyscall(Trap):
+    """A WALI/WAZI host function refused the call (security interposition)."""
+
+    def __init__(self, message: str = ""):
+        super().__init__("syscall-denied", message)
+
+
+class GuestExit(WasmError):
+    """Raised by host code to unwind the machine when the guest exits.
+
+    Not a trap: carries the process exit status, like ``exit_group``.
+    """
+
+    def __init__(self, status: int):
+        self.status = status & 0xFF
+        super().__init__(f"guest exited with status {self.status}")

@@ -1,0 +1,197 @@
+"""Opcode table for the supported WebAssembly subset.
+
+Each opcode records its real binary byte value (per the wasm core spec), the
+kind of immediate operands it carries, and — for "simple" value-in/value-out
+instructions — its static stack signature used by the validator and the
+flattener.
+
+Stack signatures use one character per value: ``i`` = i32, ``l`` = i64,
+``f`` = f64.  Polymorphic instructions (control flow, ``drop``, ``select``,
+calls) are handled specially by the validator.
+"""
+
+from __future__ import annotations
+
+from .types import I32, I64, F64
+
+CODE_OF = {c: t for c, t in zip("ilf", (I32, I64, F64))}
+CHAR_OF = {t: c for c, t in CODE_OF.items()}
+
+# immediate kinds
+IMM_NONE = "none"
+IMM_U32 = "u32"            # one LEB128 index (call, locals, globals, br...)
+IMM_MEMARG = "memarg"      # (align, offset)
+IMM_I32 = "i32"            # signed LEB const
+IMM_I64 = "i64"            # signed LEB const
+IMM_F64 = "f64"            # 8-byte little-endian double
+IMM_BRTABLE = "br_table"   # (targets tuple, default)
+IMM_CALLIND = "call_ind"   # (type index, table index)
+IMM_MEMIDX = "memidx"      # single 0x00 reserved byte
+IMM_MEM2 = "mem2"          # two reserved bytes (memory.copy)
+IMM_BLOCK = "block"        # structured: handled by binary codec
+
+
+class Op:
+    """Static description of one opcode."""
+
+    __slots__ = ("name", "byte", "imm", "pops", "pushes")
+
+    def __init__(self, name, byte, imm=IMM_NONE, sig=None):
+        self.name = name
+        self.byte = byte
+        self.imm = imm
+        if sig is None:
+            self.pops = None
+            self.pushes = None
+        else:
+            pops, pushes = sig
+            self.pops = tuple(CODE_OF[c] for c in pops)
+            self.pushes = tuple(CODE_OF[c] for c in pushes)
+
+    def __repr__(self):
+        return f"<op {self.name} 0x{self.byte:02x}>"
+
+
+def _build():
+    ops = []
+    add = lambda *a, **k: ops.append(Op(*a, **k))
+
+    # control
+    add("unreachable", 0x00)
+    add("nop", 0x01, sig=("", ""))
+    add("block", 0x02, IMM_BLOCK)
+    add("loop", 0x03, IMM_BLOCK)
+    add("if", 0x04, IMM_BLOCK)
+    add("else", 0x05)
+    add("end", 0x0B)
+    add("br", 0x0C, IMM_U32)
+    add("br_if", 0x0D, IMM_U32)
+    add("br_table", 0x0E, IMM_BRTABLE)
+    add("return", 0x0F)
+    add("call", 0x10, IMM_U32)
+    add("call_indirect", 0x11, IMM_CALLIND)
+
+    # parametric
+    add("drop", 0x1A)
+    add("select", 0x1B)
+
+    # variables
+    add("local.get", 0x20, IMM_U32)
+    add("local.set", 0x21, IMM_U32)
+    add("local.tee", 0x22, IMM_U32)
+    add("global.get", 0x23, IMM_U32)
+    add("global.set", 0x24, IMM_U32)
+
+    # memory loads
+    add("i32.load", 0x28, IMM_MEMARG, ("i", "i"))
+    add("i64.load", 0x29, IMM_MEMARG, ("i", "l"))
+    add("f64.load", 0x2B, IMM_MEMARG, ("i", "f"))
+    add("i32.load8_s", 0x2C, IMM_MEMARG, ("i", "i"))
+    add("i32.load8_u", 0x2D, IMM_MEMARG, ("i", "i"))
+    add("i32.load16_s", 0x2E, IMM_MEMARG, ("i", "i"))
+    add("i32.load16_u", 0x2F, IMM_MEMARG, ("i", "i"))
+    add("i64.load8_s", 0x30, IMM_MEMARG, ("i", "l"))
+    add("i64.load8_u", 0x31, IMM_MEMARG, ("i", "l"))
+    add("i64.load16_s", 0x32, IMM_MEMARG, ("i", "l"))
+    add("i64.load16_u", 0x33, IMM_MEMARG, ("i", "l"))
+    add("i64.load32_s", 0x34, IMM_MEMARG, ("i", "l"))
+    add("i64.load32_u", 0x35, IMM_MEMARG, ("i", "l"))
+
+    # memory stores
+    add("i32.store", 0x36, IMM_MEMARG, ("ii", ""))
+    add("i64.store", 0x37, IMM_MEMARG, ("il", ""))
+    add("f64.store", 0x39, IMM_MEMARG, ("if", ""))
+    add("i32.store8", 0x3A, IMM_MEMARG, ("ii", ""))
+    add("i32.store16", 0x3B, IMM_MEMARG, ("ii", ""))
+    add("i64.store8", 0x3C, IMM_MEMARG, ("il", ""))
+    add("i64.store16", 0x3D, IMM_MEMARG, ("il", ""))
+    add("i64.store32", 0x3E, IMM_MEMARG, ("il", ""))
+
+    add("memory.size", 0x3F, IMM_MEMIDX, ("", "i"))
+    add("memory.grow", 0x40, IMM_MEMIDX, ("i", "i"))
+
+    # constants
+    add("i32.const", 0x41, IMM_I32, ("", "i"))
+    add("i64.const", 0x42, IMM_I64, ("", "l"))
+    add("f64.const", 0x44, IMM_F64, ("", "f"))
+
+    # i32 comparisons
+    add("i32.eqz", 0x45, sig=("i", "i"))
+    for i, name in enumerate(
+        ["eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u"]
+    ):
+        add(f"i32.{name}", 0x46 + i, sig=("ii", "i"))
+
+    # i64 comparisons
+    add("i64.eqz", 0x50, sig=("l", "i"))
+    for i, name in enumerate(
+        ["eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u"]
+    ):
+        add(f"i64.{name}", 0x51 + i, sig=("ll", "i"))
+
+    # f64 comparisons
+    for i, name in enumerate(["eq", "ne", "lt", "gt", "le", "ge"]):
+        add(f"f64.{name}", 0x61 + i, sig=("ff", "i"))
+
+    # i32 arithmetic
+    for i, name in enumerate(["clz", "ctz", "popcnt"]):
+        add(f"i32.{name}", 0x67 + i, sig=("i", "i"))
+    for i, name in enumerate(
+        ["add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+         "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr"]
+    ):
+        add(f"i32.{name}", 0x6A + i, sig=("ii", "i"))
+
+    # i64 arithmetic
+    for i, name in enumerate(["clz", "ctz", "popcnt"]):
+        add(f"i64.{name}", 0x79 + i, sig=("l", "l"))
+    for i, name in enumerate(
+        ["add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+         "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr"]
+    ):
+        add(f"i64.{name}", 0x7C + i, sig=("ll", "l"))
+
+    # f64 arithmetic
+    for byte, name in [
+        (0x99, "abs"), (0x9A, "neg"), (0x9B, "ceil"), (0x9C, "floor"),
+        (0x9D, "trunc"), (0x9E, "nearest"), (0x9F, "sqrt"),
+    ]:
+        add(f"f64.{name}", byte, sig=("f", "f"))
+    for i, name in enumerate(["add", "sub", "mul", "div", "min", "max"]):
+        add(f"f64.{name}", 0xA0 + i, sig=("ff", "f"))
+
+    # conversions
+    add("i32.wrap_i64", 0xA7, sig=("l", "i"))
+    add("i32.trunc_f64_s", 0xAA, sig=("f", "i"))
+    add("i32.trunc_f64_u", 0xAB, sig=("f", "i"))
+    add("i64.extend_i32_s", 0xAC, sig=("i", "l"))
+    add("i64.extend_i32_u", 0xAD, sig=("i", "l"))
+    add("i64.trunc_f64_s", 0xB0, sig=("f", "l"))
+    add("i64.trunc_f64_u", 0xB1, sig=("f", "l"))
+    add("f64.convert_i32_s", 0xB7, sig=("i", "f"))
+    add("f64.convert_i32_u", 0xB8, sig=("i", "f"))
+    add("f64.convert_i64_s", 0xB9, sig=("l", "f"))
+    add("f64.convert_i64_u", 0xBA, sig=("l", "f"))
+    add("i32.extend8_s", 0xC0, sig=("i", "i"))
+    add("i32.extend16_s", 0xC1, sig=("i", "i"))
+    add("i64.extend32_s", 0xC4, sig=("l", "l"))
+
+    # bulk memory (0xFC prefix in the binary format)
+    add("memory.copy", 0xFC0A, IMM_MEM2, ("iii", ""))
+    add("memory.fill", 0xFC0B, IMM_MEMIDX, ("iii", ""))
+
+    # threads proposal subset (0xFE prefix): enough for guest mutexes
+    add("i32.atomic.rmw.add", 0xFE1E, IMM_MEMARG, ("ii", "i"))
+    add("i32.atomic.rmw.cmpxchg", 0xFE48, IMM_MEMARG, ("iii", "i"))
+
+    return ops
+
+
+OPS = {op.name: op for op in _build()}
+BY_BYTE = {op.byte: op for op in OPS.values()}
+
+# Engine-internal pseudo instruction emitted by the flattener at safepoints.
+# Never appears in binaries.
+POLL = "poll"
+
+BLOCK_OPS = frozenset({"block", "loop", "if"})

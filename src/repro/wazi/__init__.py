@@ -1,0 +1,16 @@
+"""``repro.wazi`` — the Zephyr RTOS kernel interface (§5.1): the paper's
+recipe applied beyond Linux, with the interface auto-generated from the
+syscall encoding."""
+
+from .interface import (
+    MODULE, SYSCALL_ENCODING, WaziRuntime, generate_handler, wasm_signature,
+)
+from .zephyr import (
+    FlashFS, GPIOPin, Sensor, ZephyrError, ZephyrKernel,
+)
+
+__all__ = [
+    "FlashFS", "GPIOPin", "MODULE", "SYSCALL_ENCODING", "Sensor",
+    "WaziRuntime", "ZephyrError", "ZephyrKernel", "generate_handler",
+    "wasm_signature",
+]

@@ -1,0 +1,143 @@
+"""WAZI: the Zephyr kernel interface, auto-generated from the syscall
+encoding (§5/§5.1 of the paper).
+
+The recipe, applied:
+
+1. **Enumerate & name-bind** every Zephyr syscall — :data:`SYSCALL_ENCODING`
+   models the encoding Zephyr's compiler emits at build time;
+2. **Sandbox** every pointer crossing the boundary (arg kinds ``cstr``,
+   ``buf_in``, ``buf_out`` translate through bounds-checked linear memory);
+3. **Encode ISA-portable layouts** — Zephyr is already ISA-portable, so the
+   layouts are trivial (the paper notes this too);
+4-6. Process/memory/async mapping — Zephyr guests here are single-threaded
+   event-loop style, so the passthrough covers the full surface.
+
+The generator below hand-writes **zero** per-syscall marshalling: every
+handler is synthesised from its encoding entry, matching the paper's
+">85% auto-generated" observation (here it is 100% of the WAZI surface,
+since Zephyr has no signals/fork to bridge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..wasm import Module, instantiate
+from ..wasm.errors import GuestExit
+from ..wasm.interp import HostFunc, Machine
+from ..wasm.types import I32, I64, FuncType
+from .zephyr import ZephyrError, ZephyrKernel
+
+MODULE = "wazi"
+
+# arg kinds: "int" (plain), "cstr" (NUL-terminated guest pointer),
+# "buf_in" (ptr+len pair, guest->kernel), "buf_out" (ptr+len, kernel->guest)
+# ret kinds: "int", "ssize" (length or -errno)
+SYSCALL_ENCODING: List[Tuple[str, List[str], str]] = [
+    ("k_uptime_get", [], "int64"),
+    ("k_cycle_get", [], "int64"),
+    ("k_sleep", ["int"], "int"),
+    ("k_yield", [], "int"),
+    ("console_write", ["buf_in"], "int"),
+    ("fs_open", ["cstr", "int"], "int"),
+    ("fs_read", ["int", "buf_out"], "int"),
+    ("fs_write", ["int", "buf_in"], "int"),
+    ("fs_seek", ["int", "int"], "int"),
+    ("fs_close", ["int"], "int"),
+    ("fs_unlink", ["cstr"], "int"),
+    ("fs_size", ["cstr"], "int"),
+    ("device_get_binding", ["cstr"], "int"),
+    ("gpio_pin_configure", ["int", "int"], "int"),
+    ("gpio_pin_set", ["int", "int"], "int"),
+    ("gpio_pin_get", ["int"], "int"),
+    ("sensor_sample_fetch", ["int"], "int"),
+    ("sensor_channel_get", ["int", "int"], "int"),
+]
+
+_WASM_ARGS = {"int": (I32,), "cstr": (I32,), "buf_in": (I32, I32),
+              "buf_out": (I32, I32)}
+
+
+def wasm_signature(args: List[str], ret: str) -> FuncType:
+    params: list = []
+    for kind in args:
+        params.extend(_WASM_ARGS[kind])
+    return FuncType(tuple(params), (I64 if ret == "int64" else I32,))
+
+
+def generate_handler(kernel: ZephyrKernel, name: str, arg_kinds: List[str],
+                     ret: str, memory_ref):
+    """Auto-generate one passthrough handler from its encoding entry."""
+    method = getattr(kernel, name)
+
+    def handler(*raw):
+        mem = memory_ref()
+        args = []
+        out_spec = None  # (guest_ptr, length)
+        i = 0
+        for kind in arg_kinds:
+            if kind == "int":
+                v = raw[i] & 0xFFFFFFFF
+                args.append(v - 0x100000000 if v >= 0x80000000 else v)
+                i += 1
+            elif kind == "cstr":
+                args.append(mem.read_cstr(raw[i]).decode(
+                    "utf-8", "surrogateescape"))
+                i += 1
+            elif kind == "buf_in":
+                args.append(bytes(mem.read(raw[i], raw[i + 1])))
+                i += 2
+            elif kind == "buf_out":
+                out_spec = (raw[i], raw[i + 1])
+                args.append(raw[i + 1])  # kernel receives the length
+                i += 2
+        kernel.trace(name)
+        try:
+            result = method(*args)
+        except ZephyrError as exc:
+            return -exc.errno
+        if out_spec is not None:
+            data = result if isinstance(result, (bytes, bytearray)) else b""
+            mem.write(out_spec[0], data[:out_spec[1]])
+            return len(data)
+        return result if isinstance(result, int) else 0
+
+    handler.__name__ = f"wazi_{name}"
+    handler.auto_generated = True
+    return handler
+
+
+class WaziRuntime:
+    """Engine-side WAZI: Zephyr kernel + auto-generated interface."""
+
+    def __init__(self, kernel: Optional[ZephyrKernel] = None,
+                 scheme: str = "loop"):
+        self.kernel = kernel if kernel is not None else ZephyrKernel()
+        self.scheme = scheme
+        self._memory = None
+
+    def imports(self) -> Dict[str, dict]:
+        ns = {}
+        for name, arg_kinds, ret in SYSCALL_ENCODING:
+            fn = generate_handler(self.kernel, name, arg_kinds, ret,
+                                  lambda: self._memory)
+            ns[name] = HostFunc(wasm_signature(arg_kinds, ret), fn, name)
+        return {MODULE: ns}
+
+    def run(self, module: Module, entry: str = "_start") -> int:
+        inst = instantiate(module, self.imports(), scheme=self.scheme)
+        self._memory = inst.memory
+        machine = Machine(inst)
+        try:
+            machine.invoke(inst.exports[entry], [])
+            return 0
+        except GuestExit as exc:
+            return exc.status
+
+    def console_output(self) -> bytes:
+        return bytes(self.kernel.console)
+
+    @staticmethod
+    def auto_generated_fraction() -> float:
+        """§5: the fraction of the interface that is generated, not written."""
+        return 1.0  # every WAZI handler comes from the encoding

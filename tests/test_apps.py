@@ -1,0 +1,268 @@
+"""Integration tests: the guest application suite end-to-end on WALI."""
+
+import time
+
+import pytest
+
+from repro.apps import app_names, build, install_all
+from repro.apps.lua import arith_benchmark_script, fib_script
+from repro.apps.sqlite import workload_script
+from repro.wali import WaliRuntime
+
+
+@pytest.fixture
+def rt():
+    return WaliRuntime()
+
+
+def run(rt, app, argv, files=None, stdin=b""):
+    for path, data in (files or {}).items():
+        rt.kernel.vfs.mkdirs(path.rsplit("/", 1)[0] or "/")
+        rt.kernel.vfs.write_file(path, data)
+    if stdin:
+        rt.kernel.console_feed(stdin)
+    return rt.run(build(app), argv=argv)
+
+
+class TestCoreutils:
+    def test_all_apps_compile_and_validate(self):
+        for name in app_names():
+            module = build(name)
+            assert module.find_export("_start", "func") is not None
+
+    def test_echo(self, rt):
+        assert run(rt, "echo", ["echo", "a", "b"]) == 0
+        assert rt.kernel.console_output() == b"a b\n"
+
+    def test_cat_files(self, rt):
+        status = run(rt, "cat", ["cat", "/tmp/1", "/tmp/2"],
+                     files={"/tmp/1": b"one", "/tmp/2": b"two"})
+        assert status == 0
+        assert rt.kernel.console_output() == b"onetwo"
+
+    def test_cat_missing_file(self, rt):
+        assert run(rt, "cat", ["cat", "/nope"]) == 1
+
+    def test_cat_stdin(self, rt):
+        assert run(rt, "cat", ["cat"], stdin=b"piped") == 0
+        assert b"piped" in rt.kernel.console_output()
+
+    def test_wc(self, rt):
+        status = run(rt, "wc", ["wc", "/tmp/f"],
+                     files={"/tmp/f": b"a\nbb\nccc\n"})
+        assert status == 0
+        assert rt.kernel.console_output() == b"3 9\n"
+
+    def test_true_false(self, rt):
+        assert run(rt, "true", ["true"]) == 0
+        assert run(WaliRuntime(), "false", ["false"]) == 1
+
+    def test_rle_compresses(self, rt):
+        assert run(rt, "rle", ["rle"], stdin=b"aaaabbc") == 0
+        assert rt.kernel.console_output() == b"\x04a\x02b\x01c"
+
+
+class TestMiniLua:
+    def test_fib(self, rt):
+        status = run(rt, "mini_lua", ["lua", "/s.lua"],
+                     files={"/s.lua": fib_script(20)})
+        assert status == 0
+        assert rt.kernel.console_output() == b"6765\n"
+
+    def test_arith_benchmark_deterministic(self):
+        outs = []
+        for _ in range(2):
+            rt = WaliRuntime()
+            run(rt, "mini_lua", ["lua", "/s.lua"],
+                files={"/s.lua": arith_benchmark_script(100)})
+            outs.append(rt.kernel.console_output())
+        assert outs[0] == outs[1]
+
+    def test_nested_loops(self, rt):
+        script = (b"set t 0\n"
+                  b"loop 3\n"
+                  b"  loop 4\n"
+                  b"    addi t 1\n"
+                  b"  end\n"
+                  b"end\n"
+                  b"print t\n")
+        assert run(rt, "mini_lua", ["lua", "/s.lua"],
+                   files={"/s.lua": script}) == 0
+        assert rt.kernel.console_output() == b"12\n"
+
+    def test_bad_instruction_errors(self, rt):
+        assert run(rt, "mini_lua", ["lua", "/s.lua"],
+                   files={"/s.lua": b"explode now\n"}) == 1
+
+    def test_div_mod(self, rt):
+        script = (b"set a 17\nset b 5\n"
+                  b"div c a b\nprint c\n"
+                  b"mod d a b\nprint d\n")
+        run(rt, "mini_lua", ["lua", "/s.lua"], files={"/s.lua": script})
+        assert rt.kernel.console_output() == b"3\n2\n"
+
+
+class TestMiniSqlite:
+    def test_insert_get_delete(self, rt):
+        script = (b"insert alpha one\n"
+                  b"insert beta two\n"
+                  b"get alpha\n"
+                  b"delete alpha\n"
+                  b"get alpha\n"
+                  b"get beta\n"
+                  b"count\n"
+                  b"exit\n")
+        status = run(rt, "mini_sqlite", ["db", "/tmp/t.db", "/tmp/s"],
+                     files={"/tmp/s": script})
+        assert status == 0
+        out = rt.kernel.console_output().splitlines()
+        assert out == [b"OK", b"OK", b"one", b"DELETED", b"(nil)", b"two",
+                       b"1"]
+
+    def test_updates_shadow_old_records(self, rt):
+        script = (b"insert k v1\ninsert k v2\nget k\nexit\n")
+        run(rt, "mini_sqlite", ["db", "/tmp/t.db", "/tmp/s"],
+            files={"/tmp/s": script})
+        assert b"v2" in rt.kernel.console_output()
+
+    def test_persistence_across_runs(self, rt):
+        run(rt, "mini_sqlite", ["db", "/tmp/t.db", "/tmp/s1"],
+            files={"/tmp/s1": b"insert persist yes\nexit\n"})
+        rt.kernel.clear_console()
+        wp = rt.load(build("mini_sqlite"), argv=["db", "/tmp/t.db", "/tmp/s2"])
+        rt.kernel.vfs.write_file("/tmp/s2", b"get persist\nexit\n")
+        wp.run()
+        assert b"yes" in rt.kernel.console_output()
+
+    def test_vacuum_shrinks_file(self, rt):
+        script = workload_script(10, 0)[:-5] + \
+            b"delete key00001\ndelete key00002\nvacuum\ncount\nexit\n"
+        run(rt, "mini_sqlite", ["db", "/tmp/t.db", "/tmp/s"],
+            files={"/tmp/s": script})
+        assert rt.kernel.vfs.lookup("/tmp/t.db").size == 8 * 64
+
+    def test_index_grows_with_mremap(self, rt):
+        # >512 records forces the mremap growth path
+        script = workload_script(600, 5)
+        status = run(rt, "mini_sqlite", ["db", "/tmp/big.db", "/tmp/s"],
+                     files={"/tmp/s": script})
+        assert status == 0
+        assert rt.kernel.syscall_counts["mremap"] >= 1
+
+
+class TestShell:
+    def test_builtin_loop_free_script(self, rt):
+        install_all(rt, ["echo", "cat", "wc", "true", "false"])
+        script = (b"echo one\n"
+                  b"echo two three\n"
+                  b"pwd\n"
+                  b"exit 0\n")
+        rt.kernel.vfs.write_file("/tmp/s.sh", script)
+        assert rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"]) == 0
+        assert rt.kernel.console_output() == b"one\ntwo three\n/\n"
+
+    def test_exit_status_propagates(self, rt):
+        install_all(rt, ["false"])
+        rt.kernel.vfs.write_file("/tmp/s.sh",
+                                 b"/bin/false.wasm\nstatus\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert rt.kernel.console_output() == b"1\n"
+
+    def test_command_not_found_127(self, rt):
+        rt.kernel.vfs.write_file("/tmp/s.sh", b"nosuchcmd\nstatus\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert b"127" in rt.kernel.console_output()
+
+    def test_input_redirection(self, rt):
+        install_all(rt, ["wc"])
+        rt.kernel.vfs.write_file("/tmp/data", b"x\ny\n")
+        rt.kernel.vfs.write_file("/tmp/s.sh", b"wc < /tmp/data\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert b"2 4" in rt.kernel.console_output()
+
+    def test_append_redirection(self, rt):
+        install_all(rt, ["echo"])
+        rt.kernel.vfs.write_file(
+            "/tmp/s.sh",
+            b"echo first > /tmp/log\necho second >> /tmp/log\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert rt.kernel.vfs.read_file("/tmp/log") == b"first\nsecond\n"
+
+    def test_three_process_pipeline(self, rt):
+        install_all(rt, ["cat", "wc", "echo"])
+        rt.kernel.vfs.write_file("/tmp/data", b"hello pipeline\n")
+        rt.kernel.vfs.write_file("/tmp/s.sh",
+                                 b"cat /tmp/data | wc\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert b"1 15" in rt.kernel.console_output()
+
+    def test_comments_skipped(self, rt):
+        rt.kernel.vfs.write_file("/tmp/s.sh", b"# comment\necho ok\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        assert rt.kernel.console_output() == b"ok\n"
+
+
+class TestNetworkApps:
+    def _start_server(self, rt, app, argv):
+        server = rt.load(build(app), argv=argv)
+        server.start_in_thread()
+        for _ in range(500):
+            if b"ready" in rt.kernel.console_output():
+                return server
+            time.sleep(0.01)
+        raise TimeoutError("server never became ready")
+
+    def test_memcached_session(self, rt):
+        server = self._start_server(rt, "mini_memcached",
+                                    ["memcached", "11311"])
+        status = rt.run(build("memcached_client"),
+                        argv=["client", "11311", "25", "1"])
+        server.join(5)
+        assert status == 0
+        assert b"client ok checksum=" in rt.kernel.console_output()
+        assert server.exit_status == 0
+
+    def test_memcached_refuses_root(self, rt):
+        proc_wp = rt.load(build("mini_memcached"), argv=["memcached"])
+        proc_wp.proc.uid = proc_wp.proc.euid = 0
+        assert proc_wp.run() == 71
+
+    def test_mqtt_roundtrip_checksums(self, rt):
+        server = self._start_server(rt, "mqtt_broker", ["broker", "11883"])
+        status = rt.run(build("paho_bench"),
+                        argv=["bench", "11883", "20", "48", "1"])
+        server.join(5)
+        assert status == 0
+        assert b"bench ok=20 bad=0" in rt.kernel.console_output()
+
+    def test_memcached_uses_clone_threads(self, rt):
+        server = self._start_server(rt, "mini_memcached",
+                                    ["memcached", "11312"])
+        rt.run(build("memcached_client"), argv=["client", "11312", "5", "1"])
+        server.join(5)
+        assert rt.kernel.syscall_counts["clone"] >= 1
+
+
+class TestSyscallFootprints:
+    """Each app's trace hits the syscall families Table 1 credits it with."""
+
+    def test_shell_uses_process_and_signal_calls(self, rt):
+        install_all(rt, ["echo"])
+        rt.kernel.vfs.write_file("/tmp/s.sh",
+                                 b"echo x > /tmp/y\nexit 0\n")
+        rt.run(build("mini_sh"), argv=["sh", "/tmp/s.sh"])
+        counts = rt.kernel.syscall_counts
+        for name in ("rt_sigaction", "fork", "execve", "wait4"):
+            assert counts[name] >= 1, name
+
+    def test_sqlite_uses_pread_pwrite_mremap_family(self, rt):
+        run(rt, "mini_sqlite", ["db", "/t.db", "/s"],
+            files={"/s": workload_script(600, 3)})
+        counts = rt.kernel.syscall_counts
+        for name in ("pread64", "pwrite64", "mmap", "mremap"):
+            assert counts[name] >= 1, name
+
+    def test_lua_is_compute_light_on_syscalls(self, rt):
+        run(rt, "mini_lua", ["lua", "/s.lua"],
+            files={"/s.lua": arith_benchmark_script(300)})
+        assert sum(rt.kernel.syscall_counts.values()) < 30

@@ -1,0 +1,340 @@
+"""mini-C compiler tests: language semantics, diagnostics, codegen."""
+
+import pytest
+
+from repro.cc import CompileError, compile_source
+from repro.wali import WaliRuntime
+from repro.wasm import instantiate
+
+
+def run_f(source, *args, func="f"):
+    mod = compile_source(source, name="t")
+    return instantiate(mod).invoke(func, *args)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        assert run_f("export func f() -> i32 { return 2 + 3 * 4; }") == 14
+
+    def test_parentheses(self):
+        assert run_f("export func f() -> i32 { return (2 + 3) * 4; }") == 20
+
+    def test_comparison_chains_via_logic(self):
+        src = """
+export func f(x: i32) -> i32 { return x > 1 && x < 10; }
+"""
+        assert run_f(src, 5) == 1
+        assert run_f(src, 0) == 0
+        assert run_f(src, 10) == 0
+
+    def test_short_circuit_and(self):
+        # right side would trap (div by zero) if evaluated
+        src = """
+export func f(x: i32) -> i32 { return x != 0 && 10 / x > 1; }
+"""
+        assert run_f(src, 0) == 0
+
+    def test_short_circuit_or(self):
+        src = """
+global evals: i32 = 0;
+func bump() -> i32 { evals = evals + 1; return 1; }
+export func f() -> i32 {
+    var r: i32 = 1 || bump();
+    return evals;
+}
+"""
+        assert run_f(src) == 0
+
+    def test_unary_ops(self):
+        assert run_f("export func f(x: i32) -> i32 { return -x; }",
+                     5) == (-5) & 0xFFFFFFFF
+        assert run_f("export func f(x: i32) -> i32 { return !x; }", 0) == 1
+
+    def test_hex_and_char_literals(self):
+        assert run_f("export func f() -> i32 { return 0xFF + 'A'; }") == \
+            255 + 65
+
+    def test_bitwise(self):
+        assert run_f(
+            "export func f() -> i32 { return (0xF0 | 0x0F) ^ 0xFF; }") == 0
+        assert run_f("export func f() -> i32 { return 1 << 10; }") == 1024
+        assert run_f("export func f() -> i32 { return -8 >> 1; }") == \
+            (-4) & 0xFFFFFFFF
+
+    def test_unsigned_builtins(self):
+        assert run_f(
+            "export func f() -> i32 { return shru(-8, 1); }") == 0x7FFFFFFC
+        assert run_f("export func f() -> i32 { return ltu(-1, 0); }") == 0
+
+    def test_i64_arithmetic(self):
+        src = """
+export func f() -> i32 {
+    var big: i64 = i64(1000000) * i64(1000000);
+    return i32(big % i64(1000003));
+}
+"""
+        assert run_f(src) == (1000000 * 1000000) % 1000003
+
+    def test_f64_arithmetic(self):
+        src = """
+export func f() -> i32 {
+    var x: f64 = 2.0;
+    return i32(sqrt(x) * 100.0);
+}
+"""
+        assert run_f(src) == 141
+
+    def test_casts(self):
+        assert run_f(
+            "export func f() -> i32 { return i32(i64(7)); }") == 7
+        assert run_f(
+            "export func f() -> i32 { return i32(3.99); }") == 3
+
+
+class TestControlFlow:
+    def test_nested_loops_with_break_continue(self):
+        src = """
+export func f(n: i32) -> i32 {
+    var total: i32 = 0;
+    var i: i32 = 0;
+    while (i < n) {
+        i = i + 1;
+        if (i % 2 == 0) { continue; }
+        var j: i32 = 0;
+        while (1) {
+            j = j + 1;
+            if (j > i) { break; }
+            total = total + 1;
+        }
+    }
+    return total;
+}
+"""
+        assert run_f(src, 5) == 1 + 3 + 5
+
+    def test_else_if_chain(self):
+        src = """
+export func f(x: i32) -> i32 {
+    if (x < 0) { return 1; }
+    else if (x == 0) { return 2; }
+    else if (x < 10) { return 3; }
+    else { return 4; }
+}
+"""
+        assert run_f(src, -1) == 1
+        assert run_f(src, 0) == 2
+        assert run_f(src, 5) == 3
+        assert run_f(src, 50) == 4
+
+    def test_recursion(self):
+        src = """
+export func f(n: i32) -> i32 {
+    if (n <= 1) { return 1; }
+    return n * f(n - 1);
+}
+"""
+        assert run_f(src, 6) == 720
+
+    def test_early_return_in_loop(self):
+        src = """
+export func f(n: i32) -> i32 {
+    var i: i32 = 0;
+    while (1) {
+        if (i == n) { return i * 10; }
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+        assert run_f(src, 4) == 40
+
+
+class TestMemoryAndData:
+    def test_buffers_and_loads(self):
+        src = """
+buffer buf[64];
+export func f() -> i32 {
+    store32(buf, 0xCAFE);
+    store8(buf + 10, 200);
+    return load32(buf) + load8u(buf + 10);
+}
+"""
+        assert run_f(src) == 0xCAFE + 200
+
+    def test_string_interning(self):
+        src = """
+export func f() -> i32 {
+    // identical literals share one data-segment address
+    return "abc" == "abc";
+}
+"""
+        assert run_f(src) == 1
+
+    def test_heap_base_past_data(self):
+        src = """
+buffer big[1000];
+export func f() -> i32 { return __heap_base > big + 1000 - 16; }
+"""
+        assert run_f(src) == 1
+
+    def test_globals(self):
+        src = """
+global counter: i32 = 10;
+export func f() -> i32 {
+    counter = counter + 5;
+    return counter;
+}
+"""
+        mod = compile_source(src, name="t")
+        inst = instantiate(mod)
+        assert inst.invoke("f") == 15
+        assert inst.invoke("f") == 20
+
+    def test_consts(self):
+        src = """
+const SIZE = 42;
+export func f() -> i32 { return SIZE * 2; }
+"""
+        assert run_f(src) == 84
+
+    def test_memcopy_memfill(self):
+        src = """
+buffer a[32];
+buffer b[32];
+export func f() -> i32 {
+    memfill(a, 7, 16);
+    memcopy(b, a, 16);
+    return load8u(b + 15);
+}
+"""
+        assert run_f(src) == 7
+
+
+class TestFuncrefsAndICalls:
+    def test_function_pointer_dispatch(self):
+        src = """
+func double(x: i32) -> i32 { return x * 2; }
+func square(x: i32) -> i32 { return x * x; }
+export func f(which: i32, x: i32) -> i32 {
+    var fp: i32 = funcref(double);
+    if (which) { fp = funcref(square); }
+    return icall_i_i(fp, x);
+}
+"""
+        assert run_f(src, 0, 9) == 18
+        assert run_f(src, 1, 9) == 81
+
+    def test_void_icall(self):
+        src = """
+global seen: i32 = 0;
+func handler(sig: i32) { seen = sig; }
+export func f() -> i32 {
+    icall_v_i(funcref(handler), 42);
+    return seen;
+}
+"""
+        assert run_f(src) == 42
+
+    def test_funcref_indices_skip_sig_tokens(self):
+        # table slots 0/1 are reserved (SIG_DFL/SIG_IGN collision)
+        src = """
+func g() -> i32 { return 1; }
+export func f() -> i32 { return funcref(g); }
+"""
+        assert run_f(src) >= 2
+
+
+class TestDiagnostics:
+    def test_type_mismatch(self):
+        with pytest.raises(CompileError, match="type mismatch"):
+            compile_source(
+                "export func f() -> i32 { var x: i64 = i64(1); return x; }")
+
+    def test_unknown_name(self):
+        with pytest.raises(CompileError, match="unknown name"):
+            compile_source("export func f() -> i32 { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("export func f() -> i32 { return g(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="expects"):
+            compile_source("""
+func g(a: i32) -> i32 { return a; }
+export func f() -> i32 { return g(1, 2); }
+""")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            compile_source("export func f() { break; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CompileError, match="void function"):
+            compile_source("export func f() { return 1; }")
+
+    def test_void_call_as_value(self):
+        with pytest.raises(CompileError, match="used as a value"):
+            compile_source("""
+func g() { }
+export func f() -> i32 { return g(); }
+""")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_source("func f() { }\nfunc f() { }")
+
+    def test_redeclared_local_with_other_type(self):
+        with pytest.raises(CompileError, match="different type"):
+            compile_source("""
+export func f() {
+    var x: i32 = 1;
+    var x: i64 = i64(2);
+}
+""")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            compile_source('export func f() { println("oops); }')
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(CompileError, match="line 3"):
+            compile_source("\n\nexport func f() -> i32 { return nope; }")
+
+
+class TestLinking:
+    def test_gc_strips_unused_functions(self):
+        src = """
+extern func SYS_write(fd: i32, buf: i32, n: i32) -> i64 from "wali";
+extern func SYS_socket(f: i32, t: i32, p: i32) -> i64 from "wali";
+func used() -> i32 { return i32(SYS_write(1, 0, 0)); }
+func unused() -> i32 { return i32(SYS_socket(2, 1, 0)); }
+export func f() -> i32 { return used(); }
+"""
+        mod = compile_source(src, name="t")
+        names = {n for _, n in mod.import_names()}
+        assert "SYS_write" in names
+        assert "SYS_socket" not in names
+        assert len(mod.funcs) == 2  # used + f
+
+    def test_funcref_keeps_function_alive(self):
+        src = """
+func handler(x: i32) { }
+export func f() -> i32 { return funcref(handler); }
+"""
+        mod = compile_source(src, name="t")
+        assert len(mod.funcs) == 2
+
+    def test_module_roundtrips_through_binary(self):
+        from repro.wasm import decode_module, encode_module
+
+        src = """
+buffer data[16];
+export func f(x: i32) -> i32 {
+    store32(data, x);
+    return load32(data) + 1;
+}
+"""
+        mod = compile_source(src, name="t")
+        mod2 = decode_module(encode_module(mod))
+        assert instantiate(mod2).invoke("f", 41) == 42

@@ -1,0 +1,273 @@
+"""Property-based tests (hypothesis) over core data structures & invariants:
+the mmap pool, VFS path resolution, signal mask algebra, layout codecs,
+linear-memory safety, and the function-GC pass."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.kernel import KernelError
+from repro.kernel.mm import (
+    AddressSpace, MAP_ANONYMOUS, MAP_FIXED, MAP_PRIVATE, MM_PAGE, PROT_READ,
+    PROT_WRITE,
+)
+from repro.kernel.signals import (
+    NSIG, PendingSignals, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK, sig_bit,
+)
+from repro.kernel.vfs import VFS
+from repro.wali.layout import Layout
+from repro.wasm import LinearMemory, TrapOutOfBounds
+from repro.wasm.errors import Trap
+
+
+# --------------------------------------------------------------------------
+# mmap pool / address space invariants
+# --------------------------------------------------------------------------
+
+_mm_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["mmap", "mmap_fixed", "munmap", "mremap",
+                         "mprotect"]),
+        st.integers(0, 63),   # page index within the arena
+        st.integers(1, 16),   # length in pages
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_mm_ops)
+def test_address_space_invariants(ops):
+    """After any operation sequence: VMAs never overlap, all stay inside
+    the arena, all are page-aligned."""
+    base, limit = 0x10000, 0x10000 + 64 * MM_PAGE
+    mm = AddressSpace(base, limit)
+    mapped = []
+    for op, page, length in ops:
+        addr = base + page * MM_PAGE
+        size = length * MM_PAGE
+        try:
+            if op == "mmap":
+                r = mm.mmap(0, size, PROT_READ | PROT_WRITE,
+                            MAP_PRIVATE | MAP_ANONYMOUS)
+                mapped.append(r.addr)
+            elif op == "mmap_fixed":
+                mm.mmap(addr, size, PROT_READ,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED)
+            elif op == "munmap":
+                mm.munmap(addr, size)
+            elif op == "mremap" and mapped:
+                old = mapped[-1]
+                v = mm.find(old)
+                if v is not None and v.start == old:
+                    new, _ = mm.mremap(old, v.length, size, 1)
+                    mapped[-1] = new
+            elif op == "mprotect":
+                mm.mprotect(addr, size, PROT_READ)
+        except KernelError:
+            pass  # ENOMEM/EINVAL are legal outcomes; invariants must hold
+
+        vmas = sorted(mm.vmas, key=lambda v: v.start)
+        for v in vmas:
+            assert v.start % MM_PAGE == 0 and v.length % MM_PAGE == 0
+            assert base <= v.start and v.end <= limit
+        for a, b in zip(vmas, vmas[1:]):
+            assert a.end <= b.start, "overlapping VMAs"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 30), min_size=1, max_size=12))
+def test_mmap_pool_grows_memory_exactly_enough(sizes):
+    from repro.wali.mmap_pool import MmapPool
+
+    mem = LinearMemory(4, 4096)
+    pool = MmapPool(mem)
+    for pages in sizes:
+        r = pool.space.mmap(0, pages * MM_PAGE, PROT_READ | PROT_WRITE,
+                            MAP_PRIVATE | MAP_ANONYMOUS)
+        # every mapped byte must be backed by linear memory
+        assert r.addr + pages * MM_PAGE <= mem.size_bytes
+        mem.store_i32(r.addr + pages * MM_PAGE - 4, 1)  # must not trap
+
+
+# --------------------------------------------------------------------------
+# VFS path resolution
+# --------------------------------------------------------------------------
+
+_name = st.text(alphabet="abcxyz", min_size=1, max_size=6)
+_relpath = st.lists(_name, min_size=1, max_size=4).map("/".join)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_relpath, min_size=1, max_size=10))
+def test_vfs_create_then_resolve(paths):
+    vfs = VFS()
+    created = set()
+    for p in paths:
+        full = "/" + p
+        parent = full.rsplit("/", 1)[0]
+        if parent:
+            try:
+                vfs.mkdirs(parent)
+            except KernelError:
+                continue
+        try:
+            vfs.write_file(full, p.encode())
+            created.add(full)
+        except KernelError:
+            continue  # a component may already exist as a file
+    for full in created:
+        node = vfs.lookup(full)
+        if node.is_file:
+            assert bytes(node.data) == full[1:].encode()
+
+
+@settings(max_examples=50, deadline=None)
+@given(_relpath, st.integers(0, 3))
+def test_vfs_dot_and_dotdot_normalisation(path, updowns):
+    vfs = VFS()
+    vfs.mkdirs("/" + path)
+    noisy = "/" + "/".join(
+        c + "/." for c in path.split("/"))
+    assert vfs.lookup(noisy) is vfs.lookup("/" + path)
+    # descending then .. returns to the parent
+    comps = path.split("/")
+    if len(comps) >= 2:
+        wobble = "/" + "/".join(comps[:-1]) + f"/{comps[-1]}/../{comps[-1]}"
+        assert vfs.lookup(wobble) is vfs.lookup("/" + path)
+
+
+# --------------------------------------------------------------------------
+# signal algebra
+# --------------------------------------------------------------------------
+
+_sigs = st.lists(st.integers(1, NSIG), min_size=0, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_sigs, st.integers(0, 2**NSIG - 1))
+def test_pending_take_respects_mask(generated, mask):
+    p = PendingSignals()
+    for s in generated:
+        p.generate(s)
+    taken = []
+    while True:
+        s = p.take(mask)
+        if s is None:
+            break
+        taken.append(s)
+    # nothing blocked was delivered; everything unblocked was delivered once
+    for s in taken:
+        assert not mask & sig_bit(s)
+    assert len(taken) == len(set(taken))
+    expected = {s for s in generated if not mask & sig_bit(s)}
+    assert set(taken) == expected
+    # what remains pending is exactly the blocked subset
+    assert all(mask & sig_bit(s) for s in p.queue)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+def test_sigprocmask_block_unblock_roundtrip(initial, delta):
+    from repro.kernel import Kernel
+
+    from repro.kernel import SIGKILL, sig_bit as sb
+    from repro.kernel.signals import SIGSTOP
+
+    k = Kernel()
+    proc = k.create_process()
+    k.call(proc, "rt_sigprocmask", SIG_SETMASK, initial)
+    base = proc.blocked_mask  # KILL/STOP stripped
+    k.call(proc, "rt_sigprocmask", SIG_BLOCK, delta)
+    k.call(proc, "rt_sigprocmask", SIG_UNBLOCK, delta)
+    stripped = delta & ~(sb(SIGKILL) | sb(SIGSTOP))
+    assert proc.blocked_mask == base & ~stripped
+
+
+# --------------------------------------------------------------------------
+# layout codecs
+# --------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(0, 10**18),
+       st.sampled_from(["x86_64", "aarch64", "riscv64"]))
+def test_stat_conversion_preserves_fields(size, mtime_ns, arch):
+    from repro.kernel.calls.fs import Stat
+
+    st_ = Stat(st_ino=5, st_mode=0o100644, st_nlink=1, st_size=size,
+               st_mtime_ns=mtime_ns)
+    host = Layout(arch)
+    guest = Layout("wali")
+    converted = guest.decode_stat(
+        host.convert_stat(host.encode_stat(st_), guest))
+    assert converted.st_size == size
+    assert converted.st_mtime_ns == mtime_ns
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 255).map(lambda a: f"{a}.0.0.1"),
+       st.integers(0, 65535))
+def test_sockaddr_roundtrip(host, port):
+    family, addr = Layout.decode_sockaddr(
+        Layout.encode_sockaddr((host, port)))
+    assert addr == (host, port)
+
+
+# --------------------------------------------------------------------------
+# linear memory safety
+# --------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(-100, 200000), st.integers(1, 8)),
+                max_size=30))
+def test_memory_never_reads_outside(accesses):
+    mem = LinearMemory(1, 2)  # 64-128 KiB
+    for addr, size in accesses:
+        in_bounds = 0 <= addr and addr + size <= mem.size_bytes
+        if in_bounds:
+            mem.load_u(addr, size)
+            mem.store_int(addr, 0xAB, size)
+        else:
+            with pytest.raises(TrapOutOfBounds):
+                mem.load_u(addr, size)
+            with pytest.raises(TrapOutOfBounds):
+                mem.store_int(addr, 0xAB, size)
+    assert len(mem.data) == mem.pages * 65536
+
+
+# --------------------------------------------------------------------------
+# function GC correctness
+# --------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 20))
+def test_gc_preserves_program_behaviour(seed, nfuncs):
+    """Random call graphs compute the same result before and after GC."""
+    from repro.wasm import I32, ModuleBuilder, instantiate
+    from repro.wasm.opt import gc_functions
+
+    mb = ModuleBuilder("g")
+    rng = seed
+    names = []
+    for i in range(nfuncs):
+        f = mb.func(f"fn{i}", params=[I32], results=[I32])
+        rng = (rng * 1103515245 + 12345) & 0x7FFFFFFF
+        if names and rng % 3 == 0:
+            callee = names[rng % len(names)]
+            f.local_get(0).i32_const(i + 1).op("i32.add").call(callee)
+        else:
+            f.local_get(0).i32_const(i + 1).op("i32.xor")
+        f.end()
+        names.append(f"fn{i}")
+    main = mb.func("main", params=[I32], results=[I32], export=True)
+    main.local_get(0).call(names[seed % len(names)])
+    main.end()
+    module = mb.build()
+
+    before = instantiate(module).invoke("main", 77)
+    gc_functions(module)
+    after = instantiate(module).invoke("main", 77)
+    assert before == after
+    # GC must not leave more functions than it started with
+    assert len(module.funcs) <= nfuncs + 1

@@ -1,0 +1,167 @@
+"""Binary codec tests: LEB128 and module round-trips (incl. property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import (
+    DecodeError, I32, I64, F64, ModuleBuilder, decode_module, encode_module,
+    instantiate, validate_module,
+)
+from repro.wasm.binary import Reader, encode_sleb, encode_uleb
+
+
+class TestLEB128:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_uleb_roundtrip(self, v):
+        assert Reader(encode_uleb(v)).uleb() == v
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_sleb_roundtrip(self, v):
+        assert Reader(encode_sleb(v)).sleb() == v
+
+    def test_known_encodings(self):
+        assert encode_uleb(0) == b"\x00"
+        assert encode_uleb(624485) == b"\xe5\x8e\x26"
+        assert encode_sleb(-123456) == b"\xc0\xbb\x78"
+
+    def test_uleb_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_uleb(-1)
+
+    def test_truncated_input_raises(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x80").uleb()
+
+
+def _rich_module():
+    mb = ModuleBuilder("rich")
+    mb.import_func("wali", "SYS_write", params=[I32, I32, I32], results=[I64])
+    mb.add_memory(2, 10)
+    gi = mb.add_global(I32, 7, export="g")
+    mb.add_data(16, b"hello world\x00")
+
+    helper = mb.func("helper", params=[I32], results=[I32])
+    helper.local_get(0).i32_const(3).op("i32.mul")
+    helper.end()
+
+    f = mb.func("main", params=[I32, I32], results=[I32], export=True)
+    tmp = f.add_local(I64)
+    acc = f.add_local(I32)
+    f.local_get(0)
+    with f.if_(I32):
+        f.local_get(0).call("helper")
+        f.else_()
+        f.i32_const(0)
+    f.local_set(acc)
+    with f.block():
+        with f.loop():
+            f.local_get(1).op("i32.eqz")
+            f.br_if(1)
+            f.local_get(acc).i32_const(1).op("i32.add").local_set(acc)
+            f.local_get(1).i32_const(1).op("i32.sub").local_set(1)
+            f.br(0)
+    f.local_get(acc).global_get(gi).op("i32.add")
+    f.end()
+
+    ft = mb.func("table_target", params=[I32], results=[I32])
+    ft.local_get(0)
+    ft.end()
+    mb.add_elem(0, [mb.func_index("table_target")])
+    return mb.build()
+
+
+class TestModuleRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        m = _rich_module()
+        data = encode_module(m)
+        assert data[:4] == b"\x00asm"
+        m2 = decode_module(data)
+        assert m2.types == m.types
+        assert [i.name for i in m2.imports] == [i.name for i in m.imports]
+        assert len(m2.funcs) == len(m.funcs)
+        for a, b in zip(m.funcs, m2.funcs):
+            assert a.locals == b.locals
+            assert a.body == b.body
+        assert m2.datas[0].data == m.datas[0].data
+        assert m2.elems[0].func_idxs == m.elems[0].func_idxs
+        assert [e.name for e in m2.exports] == [e.name for e in m.exports]
+
+    def test_roundtrip_validates_and_runs(self):
+        m = _rich_module()
+        m2 = decode_module(encode_module(m))
+        validate_module(m2)
+        inst = instantiate(m2, {"wali": {"SYS_write": lambda *a: 0}})
+        assert inst.invoke("main", 2, 5) == 2 * 3 + 5 + 7
+
+    def test_double_roundtrip_is_stable(self):
+        m = _rich_module()
+        d1 = encode_module(m)
+        d2 = encode_module(decode_module(d1))
+        assert d1 == d2
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_module(b"\x00elf\x01\x00\x00\x00")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_module(b"\x00asm\x02\x00\x00\x00")
+
+    def test_truncated_module_rejected(self):
+        data = encode_module(_rich_module())
+        with pytest.raises(DecodeError):
+            decode_module(data[:-5])
+
+
+# ---- property-based: random straight-line arithmetic programs round-trip
+# and compute the same result before and after encoding ----
+
+_I32_OPS = ["i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor",
+            "i32.shl", "i32.shr_u", "i32.rotl", "i32.eq", "i32.lt_u"]
+
+
+@st.composite
+def arith_program(draw):
+    """A list of (op or const) producing exactly one i32, stack-safely."""
+    prog = []
+    depth = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=30))):
+        if depth >= 2 and draw(st.booleans()):
+            prog.append((draw(st.sampled_from(_I32_OPS)),))
+            depth -= 1
+        else:
+            prog.append(("i32.const", draw(st.integers(0, 2**32 - 1))))
+            depth += 1
+    while depth > 1:
+        prog.append((draw(st.sampled_from(_I32_OPS)),))
+        depth -= 1
+    return prog
+
+
+@settings(max_examples=60, deadline=None)
+@given(arith_program())
+def test_random_program_roundtrip_same_result(prog):
+    mb = ModuleBuilder("p")
+    f = mb.func("f", results=[I32], export=True)
+    for instr in prog:
+        f.emit(instr)
+    f.end()
+    m = mb.build()
+    validate_module(m)
+    r1 = instantiate(m).invoke("f")
+    m2 = decode_module(encode_module(m))
+    validate_module(m2)
+    r2 = instantiate(m2).invoke("f")
+    assert r1 == r2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=64))
+def test_decoder_never_crashes_on_garbage(blob):
+    """Arbitrary bytes either decode or raise DecodeError — never crash."""
+    try:
+        decode_module(b"\x00asm\x01\x00\x00\x00" + blob)
+    except DecodeError:
+        pass
+    except (KeyError, ValueError, IndexError) as exc:  # pragma: no cover
+        pytest.fail(f"decoder leaked {type(exc).__name__}: {exc}")
