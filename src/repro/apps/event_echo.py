@@ -1,0 +1,112 @@
+"""event_echo: a many-client event-loop echo/chat workload.
+
+One single-threaded guest process plays both sides of a c10k-style chat:
+it opens a loopback listener, connects N nonblocking clients to itself,
+and drives R echo rounds per client entirely through one epoll instance —
+every accept, read and reply dispatched from ``epoll_pwait`` readiness,
+no thread per connection.  ``argv: event_echo [nclients] [rounds]``.
+
+This is the workload behind ``bench_epoll_scaling`` and the event-loop
+row of the virtualization sweeps: its syscall mix is pure dispatch
+(accept4/read/write/epoll_pwait), so kernel-side readiness cost dominates.
+"""
+
+from .libc import with_libc
+
+EVENT_ECHO_SOURCE = with_libc(r"""
+const MAXFD = 256;
+const ROLE_NONE = 0;
+const ROLE_CLIENT = 1;
+const ROLE_SERVER = 2;
+
+buffer roles[1024];       // MAXFD x i32
+buffer remaining[1024];   // MAXFD x i32: echo rounds left (clients)
+buffer evbuf[768];        // 64 epoll_events x 12
+buffer rdbuf[128];
+buffer msgbuf[32];
+
+global echoes: i32 = 0;
+
+export func _start() {
+    __init_args();
+    var nclients: i32 = 8;
+    var rounds: i32 = 10;
+    if (argc() > 1) { nclients = atoi(argv(1)); }
+    if (argc() > 2) { rounds = atoi(argv(2)); }
+    if (nclients > 100) { nclients = 100; }
+
+    var port: i32 = 7777;
+    var lfd: i32 = tcp_listen(port, 128);
+    if (lfd < 0) { eprint("event_echo: cannot listen\n"); exit(1); }
+    var ep: i32 = cret(SYS_epoll_create1(0));
+    set_nonblock(lfd);
+    epoll_add(ep, lfd, EPOLLIN);
+
+    // connect all clients up front; each opens with one ping
+    var i: i32 = 0;
+    while (i < nclients) {
+        var c: i32 = tcp_connect(port);
+        if (c < 0 || c >= MAXFD) { eprint("event_echo: connect failed\n"); exit(1); }
+        set_nonblock(c);
+        store32(roles + c * 4, ROLE_CLIENT);
+        store32(remaining + c * 4, rounds);
+        epoll_add(ep, c, EPOLLIN);
+        write(c, "ping\n", 5);
+        i = i + 1;
+    }
+
+    var live: i32 = nclients;
+    while (live > 0) {
+        var n: i32 = epoll_wait(ep, evbuf, 64, 2000);
+        if (n <= 0) { break; }  // stall: deadlock guard for the benchmark
+        i = 0;
+        while (i < n) {
+            var fd: i32 = ev_fd(evbuf, i);
+            if (fd == lfd) {
+                while (1) {
+                    var conn: i32 = cret(SYS_accept4(lfd, 0, 0, SOCK_NONBLOCK));
+                    if (conn < 0) { break; }
+                    if (conn >= MAXFD) { close(conn); }
+                    else {
+                        store32(roles + conn * 4, ROLE_SERVER);
+                        epoll_add(ep, conn, EPOLLIN);
+                    }
+                }
+            } else { if (load32(roles + fd * 4) == ROLE_SERVER) {
+                // server side: echo whatever arrived back to the sender
+                var r: i32 = read(fd, rdbuf, 128);
+                if (r > 0) {
+                    write_all(fd, rdbuf, r);
+                    echoes = echoes + 1;
+                } else { if (r == 0) {
+                    epoll_del(ep, fd);
+                    close(fd);
+                }}
+            } else {
+                // client side: count the echo, go again or hang up
+                var r2: i32 = read(fd, rdbuf, 128);
+                if (r2 > 0) {
+                    var left: i32 = load32(remaining + fd * 4) - 1;
+                    store32(remaining + fd * 4, left);
+                    if (left > 0) {
+                        write(fd, "ping\n", 5);
+                    } else {
+                        epoll_del(ep, fd);
+                        close(fd);
+                        live = live - 1;
+                    }
+                } else { if (r2 == 0) {
+                    epoll_del(ep, fd);
+                    close(fd);
+                    live = live - 1;
+                }}
+            }}
+            i = i + 1;
+        }
+    }
+    print("echo ok echoes=");
+    print_int(echoes);
+    println("");
+    exit(0);
+}
+""")

@@ -68,10 +68,18 @@ extern func SYS_alarm(sec: i32) -> i64 from "wali";
 extern func SYS_nanosleep(req: i32, rem: i32) -> i64 from "wali";
 extern func SYS_clock_gettime(clk: i32, ts: i32) -> i64 from "wali";
 
+extern func SYS_eventfd2(initval: i32, flags: i32) -> i64 from "wali";
+extern func SYS_epoll_create1(flags: i32) -> i64 from "wali";
+extern func SYS_epoll_ctl(epfd: i32, op: i32, fd: i32, ev: i32) -> i64 from "wali";
+extern func SYS_epoll_pwait(epfd: i32, evs: i32, maxevents: i32, timeout: i32, sigmask: i32, sigsetsize: i32) -> i64 from "wali";
+extern func SYS_timerfd_create(clockid: i32, flags: i32) -> i64 from "wali";
+extern func SYS_timerfd_settime(fd: i32, flags: i32, newval: i32, oldval: i32) -> i64 from "wali";
+
 extern func SYS_socket(family: i32, type: i32, proto: i32) -> i64 from "wali";
 extern func SYS_bind(fd: i32, addr: i32, len: i32) -> i64 from "wali";
 extern func SYS_listen(fd: i32, backlog: i32) -> i64 from "wali";
 extern func SYS_accept(fd: i32, addr: i32, lenp: i32) -> i64 from "wali";
+extern func SYS_accept4(fd: i32, addr: i32, lenp: i32, flags: i32) -> i64 from "wali";
 extern func SYS_connect(fd: i32, addr: i32, len: i32) -> i64 from "wali";
 extern func SYS_sendto(fd: i32, buf: i32, len: i32, flags: i32, addr: i32, alen: i32) -> i64 from "wali";
 extern func SYS_recvfrom(fd: i32, buf: i32, len: i32, flags: i32, addr: i32, alenp: i32) -> i64 from "wali";
@@ -118,6 +126,17 @@ const FUTEX_WAKE = 1;
 const CLONE_THREAD_FLAGS = 0x10f00;  // VM|FS|FILES|SIGHAND|THREAD
 const AF_INET = 2;
 const SOCK_STREAM = 1;
+const SOCK_NONBLOCK = 2048;
+const EPOLL_CTL_ADD = 1;
+const EPOLL_CTL_DEL = 2;
+const EPOLL_CTL_MOD = 3;
+const EPOLLIN = 1;
+const EPOLLOUT = 4;
+const EPOLLERR = 8;
+const EPOLLHUP = 16;
+const EAGAIN = 11;
+const F_GETFL = 3;
+const F_SETFL = 4;
 const STDIN = 0;
 const STDOUT = 1;
 const STDERR = 2;
@@ -495,6 +514,38 @@ func tcp_connect(port: i32) -> i32 {
     }
     return fd;
 }
+
+// ---- event-driven I/O: epoll + nonblocking fds ----
+buffer __ep_ev[12];   // scratch epoll_event: {u32 events, u64 data}
+
+func set_nonblock(fd: i32) -> i32 {
+    var fl: i32 = cret(SYS_fcntl(fd, F_GETFL, 0));
+    if (fl < 0) { return -1; }
+    return cret(SYS_fcntl(fd, F_SETFL, fl | O_NONBLOCK));
+}
+
+func epoll_ctl_fd(epfd: i32, op: i32, fd: i32, events: i32) -> i32 {
+    store32(__ep_ev, events);
+    store32(__ep_ev + 4, fd);    // event data low word = fd
+    store32(__ep_ev + 8, 0);
+    return cret(SYS_epoll_ctl(epfd, op, fd, __ep_ev));
+}
+
+func epoll_add(epfd: i32, fd: i32, events: i32) -> i32 {
+    return epoll_ctl_fd(epfd, EPOLL_CTL_ADD, fd, events);
+}
+
+func epoll_del(epfd: i32, fd: i32) -> i32 {
+    return epoll_ctl_fd(epfd, EPOLL_CTL_DEL, fd, 0);
+}
+
+// evs is an array of 12-byte epoll_events; returns the ready count
+func epoll_wait(epfd: i32, evs: i32, maxevents: i32, timeout_ms: i32) -> i32 {
+    return cret(SYS_epoll_pwait(epfd, evs, maxevents, timeout_ms, 0, 8));
+}
+
+func ev_events(evs: i32, i: i32) -> i32 { return load32(evs + i * 12); }
+func ev_fd(evs: i32, i: i32) -> i32 { return load32(evs + i * 12 + 4); }
 
 // ---- time ----
 buffer __ts_buf[16];

@@ -1,10 +1,16 @@
 """mini-memcached: the repository's ``memcached`` analog.
 
-A threaded TCP key-value server: the main thread accepts connections and
-spawns one worker LWP per client via WALI ``clone`` (the instance-per-thread
-model of §3.1 — and the source of the clone overhead the paper calls out in
-Table 2).  A hash table in guest heap memory is guarded by a futex-based
-mutex built on the engine's atomic RMW subset.
+A TCP key-value server with **two serving modes**:
+
+* threaded (default): the main thread accepts connections and spawns one
+  worker LWP per client via WALI ``clone`` (the instance-per-thread model
+  of §3.1 — and the source of the clone overhead the paper calls out in
+  Table 2),
+* event loop (``-e``): one thread, nonblocking fds, and the kernel's epoll
+  subsystem — ``accept4(SOCK_NONBLOCK)`` plus ``epoll_pwait`` dispatch,
+  the c10k-style architecture the real memcached uses (libevent).  This is
+  how the server holds hundreds of concurrent clients without one LWP per
+  connection.
 
 Protocol (newline-terminated)::
 
@@ -104,12 +110,59 @@ func ht_del(key: i32) -> i32 {
     return 0;
 }
 
-// ---- per-connection worker (thread entry; funcref target) ----
+// ---- shared command dispatch (both serving modes) ----
+// handles one complete request line; scratch is caller-private space for
+// itoa.  returns 0 = keep serving, 1 = close this connection, 2 = shutdown.
+func reply(fd: i32, s: i32) { write_all(fd, s, strlen(s)); }
+
+func handle_line(fd: i32, buf: i32, scratch: i32) -> i32 {
+    // split: cmd key value
+    var cmd: i32 = buf;
+    var key: i32 = strchr(buf, ' ');
+    var value: i32 = 0;
+    if (key != 0) {
+        store8(key, 0);
+        key = key + 1;
+        value = strchr(key, ' ');
+        if (value != 0) { store8(value, 0); value = value + 1; }
+    }
+    if (strcmp(cmd, "set") == 0 && key != 0 && value != 0) {
+        ht_set(key, value);
+        reply(fd, "STORED\n");
+    } else { if (strcmp(cmd, "get") == 0 && key != 0) {
+        var v: i32 = ht_get(key);
+        if (v == 0) { reply(fd, "NOT_FOUND\n"); }
+        else {
+            reply(fd, "VALUE ");
+            reply(fd, v);
+            reply(fd, "\n");
+        }
+    } else { if (strcmp(cmd, "del") == 0 && key != 0) {
+        if (ht_del(key)) { reply(fd, "DELETED\n"); }
+        else { reply(fd, "NOT_FOUND\n"); }
+    } else { if (strcmp(cmd, "stats") == 0) {
+        reply(fd, "STATS ");
+        itoa(n_items, scratch);
+        reply(fd, scratch);
+        reply(fd, " ");
+        itoa(n_ops, scratch);
+        reply(fd, scratch);
+        reply(fd, "\n");
+    } else { if (strcmp(cmd, "quit") == 0) {
+        return 1;
+    } else { if (strcmp(cmd, "shutdown") == 0) {
+        reply(fd, "BYE\n");
+        return 2;
+    } else {
+        reply(fd, "ERROR\n");
+    }}}}}}
+    return 0;
+}
+
+// ---- threaded mode: per-connection worker (thread entry; funcref target) ----
 buffer workbufs[16384];   // 16 workers x 1024 bytes
 buffer slot_lock[4];
 global next_slot: i32 = 0;
-
-func reply(fd: i32, s: i32) { write_all(fd, s, strlen(s)); }
 
 func conn_worker(fd: i32) {
     // carve a private line buffer per worker
@@ -122,50 +175,99 @@ func conn_worker(fd: i32) {
     while (1) {
         var n: i32 = read_line(fd, buf, 512);
         if (n < 0) { break; }
-        // split: cmd key value
-        var cmd: i32 = buf;
-        var key: i32 = strchr(buf, ' ');
-        var value: i32 = 0;
-        if (key != 0) {
-            store8(key, 0);
-            key = key + 1;
-            value = strchr(key, ' ');
-            if (value != 0) { store8(value, 0); value = value + 1; }
-        }
-        if (strcmp(cmd, "set") == 0 && key != 0 && value != 0) {
-            ht_set(key, value);
-            reply(fd, "STORED\n");
-        } else { if (strcmp(cmd, "get") == 0 && key != 0) {
-            var v: i32 = ht_get(key);
-            if (v == 0) { reply(fd, "NOT_FOUND\n"); }
-            else {
-                reply(fd, "VALUE ");
-                reply(fd, v);
-                reply(fd, "\n");
-            }
-        } else { if (strcmp(cmd, "del") == 0 && key != 0) {
-            if (ht_del(key)) { reply(fd, "DELETED\n"); }
-            else { reply(fd, "NOT_FOUND\n"); }
-        } else { if (strcmp(cmd, "stats") == 0) {
-            reply(fd, "STATS ");
-            itoa(n_items, buf + 600);
-            reply(fd, buf + 600);
-            reply(fd, " ");
-            itoa(n_ops, buf + 600);
-            reply(fd, buf + 600);
-            reply(fd, "\n");
-        } else { if (strcmp(cmd, "quit") == 0) {
-            break;
-        } else { if (strcmp(cmd, "shutdown") == 0) {
-            reply(fd, "BYE\n");
+        var action: i32 = handle_line(fd, buf, buf + 600);
+        if (action == 1) { break; }
+        if (action == 2) {
             running = 0;
             close(fd);
             exit(0);
-        } else {
-            reply(fd, "ERROR\n");
-        }}}}}}
+        }
     }
     close(fd);
+}
+
+func threaded_serve() {
+    while (running) {
+        var conn: i32 = cret(SYS_accept(listen_fd, 0, 0));
+        if (conn < 0) { break; }
+        thread_create(funcref(conn_worker), conn);
+    }
+}
+
+// ---- event-loop mode: one thread, epoll dispatch, nonblocking fds ----
+const EV_MAXFD = 256;
+buffer ev_bufs[131072];     // EV_MAXFD x 512: per-connection line buffers
+buffer ev_lens[1024];       // EV_MAXFD x i32: partial-line fill counts
+buffer ev_evbuf[768];       // 64 epoll_events x 12 bytes
+buffer ev_rd[256];          // read chunk
+buffer ev_scratch[64];      // itoa scratch (single thread: shared is fine)
+
+func ev_close(ep: i32, fd: i32) {
+    epoll_del(ep, fd);
+    close(fd);
+    store32(ev_lens + fd * 4, 0);
+}
+
+// drain one readable connection; returns 2 when a client asked for shutdown
+func ev_conn(ep: i32, fd: i32) -> i32 {
+    var base: i32 = ev_bufs + fd * 512;
+    var len: i32 = load32(ev_lens + fd * 4);
+    while (1) {
+        var r: i32 = read(fd, ev_rd, 256);
+        if (r < 0) {
+            if (errno == EAGAIN) {
+                store32(ev_lens + fd * 4, len);
+                return 0;
+            }
+            ev_close(ep, fd);
+            return 0;
+        }
+        if (r == 0) { ev_close(ep, fd); return 0; }
+        var i: i32 = 0;
+        while (i < r) {
+            var c: i32 = load8u(ev_rd + i);
+            if (c == 10) {
+                store8(base + len, 0);
+                len = 0;
+                var action: i32 = handle_line(fd, base, ev_scratch);
+                if (action == 1) { ev_close(ep, fd); return 0; }
+                if (action == 2) { return 2; }
+            } else {
+                if (len < 500) { store8(base + len, c); len = len + 1; }
+            }
+            i = i + 1;
+        }
+    }
+    return 0;
+}
+
+func ev_serve() {
+    var ep: i32 = cret(SYS_epoll_create1(0));
+    set_nonblock(listen_fd);
+    epoll_add(ep, listen_fd, EPOLLIN);
+    while (running) {
+        var n: i32 = epoll_wait(ep, ev_evbuf, 64, 0 - 1);
+        var i: i32 = 0;
+        while (i < n) {
+            var fd: i32 = ev_fd(ev_evbuf, i);
+            if (fd == listen_fd) {
+                // accept everything the backlog holds, edge-style
+                while (1) {
+                    var conn: i32 = cret(SYS_accept4(listen_fd, 0, 0,
+                                                     SOCK_NONBLOCK));
+                    if (conn < 0) { break; }
+                    if (conn >= EV_MAXFD) { close(conn); }
+                    else {
+                        store32(ev_lens + conn * 4, 0);
+                        epoll_add(ep, conn, EPOLLIN);
+                    }
+                }
+            } else {
+                if (ev_conn(ep, fd) == 2) { running = 0; }
+            }
+            i = i + 1;
+        }
+    }
 }
 
 export func _start() {
@@ -176,15 +278,16 @@ export func _start() {
         exit(71);
     }
     var port: i32 = 11211;
+    var event_mode: i32 = 0;
     if (argc() > 1) { port = atoi(argv(1)); }
-    listen_fd = tcp_listen(port, 16);
+    if (argc() > 2) {
+        if (strcmp(argv(2), "-e") == 0) { event_mode = 1; }
+    }
+    listen_fd = tcp_listen(port, 128);
     if (listen_fd < 0) { eprint("memcached: cannot listen\n"); exit(1); }
     println("memcached: ready");
-    while (running) {
-        var conn: i32 = cret(SYS_accept(listen_fd, 0, 0));
-        if (conn < 0) { break; }
-        thread_create(funcref(conn_worker), conn);
-    }
+    if (event_mode) { ev_serve(); }
+    else { threaded_serve(); }
     exit(0);
 }
 """)

@@ -16,6 +16,7 @@ from .coreutils import (
     CAT_SOURCE, ECHO_SOURCE, FALSE_SOURCE, RLE_SOURCE, TRUE_SOURCE,
     WC_SOURCE,
 )
+from .event_echo import EVENT_ECHO_SOURCE
 from .libc import LIBC_SOURCE, with_libc
 from .lua import LUA_SOURCE
 from .memcached import MEMCACHED_CLIENT_SOURCE, MEMCACHED_SOURCE
@@ -35,6 +36,7 @@ APP_SOURCES: Dict[str, str] = {
     "mini_sqlite": SQLITE_SOURCE,
     "mini_memcached": MEMCACHED_SOURCE,
     "memcached_client": MEMCACHED_CLIENT_SOURCE,
+    "event_echo": EVENT_ECHO_SOURCE,
     "mqtt_broker": MQTT_BROKER_SOURCE,
     "paho_bench": MQTT_BENCH_SOURCE,
 }
@@ -54,6 +56,7 @@ PAPER_ANALOG = {
     "false": "coreutils",
     "memcached_client": "memcached",
     "rle": "zlib",
+    "event_echo": "memcached",
 }
 
 _cache: Dict[str, Module] = {}

@@ -12,6 +12,11 @@ from .arch import (
     union_syscalls,
 )
 from .errno import KernelError, errno_name
+from .eventpoll import (
+    EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD, EPOLLERR, EPOLLET,
+    EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, EPOLLRDHUP, EventFD,
+    EventPoll, TimerFD, WaitQueue,
+)
 from .fdtable import FDTable, OpenFile, Pipe
 from .kernel import Kernel
 from .mm import (
@@ -36,7 +41,10 @@ from .vfs import (
 __all__ = [
     "AARCH64", "AF_INET", "AF_UNIX", "ARCHES", "ARCH_SYSCALLS", "AT_FDCWD",
     "AddressSpace", "CLONE_FILES", "CLONE_FS", "CLONE_SIGHAND",
-    "CLONE_THREAD", "CLONE_VM", "FDTable", "Inode", "Kernel", "KernelError",
+    "CLONE_THREAD", "CLONE_VM", "EPOLLERR", "EPOLLET", "EPOLLHUP", "EPOLLIN",
+    "EPOLLONESHOT", "EPOLLOUT", "EPOLLRDHUP", "EPOLL_CTL_ADD",
+    "EPOLL_CTL_DEL", "EPOLL_CTL_MOD", "EventFD", "EventPoll", "FDTable",
+    "Inode", "Kernel", "KernelError",
     "LEGACY_EQUIVALENTS", "MAP_ANONYMOUS", "MAP_FIXED", "MAP_PRIVATE",
     "MAP_SHARED", "MREMAP_MAYMOVE", "NSIG", "NetStack", "O_APPEND",
     "O_CLOEXEC", "O_CREAT", "O_EXCL", "O_NONBLOCK", "O_RDONLY", "O_RDWR",
@@ -45,7 +53,8 @@ __all__ = [
     "RLIMIT_STACK", "S_IFDIR", "S_IFREG", "SIGALRM", "SIGCHLD", "SIGINT",
     "SIGKILL", "SIGPIPE", "SIGSEGV", "SIGTERM", "SIGUSR1", "SIGUSR2",
     "SIG_BLOCK", "SIG_DFL", "SIG_IGN", "SIG_SETMASK", "SIG_UNBLOCK",
-    "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "VFS", "VMA", "WNOHANG",
+    "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "TimerFD", "VFS", "VMA",
+    "WaitQueue", "WNOHANG",
     "X86_64", "arch_specific", "common_syscalls", "errno_name",
     "isa_similarity_report", "sig_bit", "syscall_names", "union_syscalls",
 ]

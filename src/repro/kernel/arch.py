@@ -61,6 +61,7 @@ _X86_64: Dict[str, int] = {
     "renameat": 264, "linkat": 265, "symlinkat": 266, "readlinkat": 267,
     "fchmodat": 268, "faccessat": 269, "pselect6": 270, "ppoll": 271,
     "set_robust_list": 273, "utimensat": 280, "epoll_pwait": 281,
+    "timerfd_create": 283, "timerfd_settime": 286, "timerfd_gettime": 287,
     "accept4": 288, "eventfd2": 290, "epoll_create1": 291, "dup3": 292,
     "pipe2": 293, "prlimit64": 302, "renameat2": 316, "getrandom": 318,
     "memfd_create": 319, "execveat": 322, "statx": 332, "rseq": 334,
@@ -80,7 +81,9 @@ _GENERIC: Dict[str, int] = {
     "getdents64": 61, "lseek": 62, "read": 63, "write": 64, "readv": 65,
     "writev": 66, "pread64": 67, "pwrite64": 68, "sendfile": 71,
     "pselect6": 72, "ppoll": 73, "readlinkat": 78, "newfstatat": 79,
-    "fstat": 80, "sync": 81, "fsync": 82, "fdatasync": 83, "utimensat": 88,
+    "fstat": 80, "sync": 81, "fsync": 82, "fdatasync": 83,
+    "timerfd_create": 85, "timerfd_settime": 86, "timerfd_gettime": 87,
+    "utimensat": 88,
     "exit": 93, "exit_group": 94, "waitid": 95, "set_tid_address": 96,
     "futex": 98, "set_robust_list": 99, "nanosleep": 101, "getitimer": 102,
     "setitimer": 103, "clock_settime": 112, "clock_gettime": 113,
@@ -191,4 +194,5 @@ LEGACY_EQUIVALENTS: Dict[str, str] = {
     "getpgrp": "getpgid",
     "epoll_create": "epoll_create1",
     "eventfd": "eventfd2",
+    "timerfd": "timerfd_create",
 }

@@ -1,5 +1,6 @@
 """Syscall implementation mixins composing the :class:`repro.kernel.Kernel`."""
 
+from .event import EventCalls
 from .fs import FSCalls
 from .memsys import MemCalls
 from .misc import MiscCalls
@@ -7,5 +8,5 @@ from .net import NetCalls
 from .proc import ProcCalls
 from .sig import SigCalls
 
-__all__ = ["FSCalls", "MemCalls", "MiscCalls", "NetCalls", "ProcCalls",
-           "SigCalls"]
+__all__ = ["EventCalls", "FSCalls", "MemCalls", "MiscCalls", "NetCalls",
+           "ProcCalls", "SigCalls"]

@@ -535,35 +535,46 @@ class FSCalls:
 
     # ---- poll ----
 
+    def _poll_waitqueues(self, proc: Process, fds) -> list:
+        """Readiness waitqueues of every valid polled fd (prompt wakeups)."""
+        wqs = []
+        for fd in fds:
+            try:
+                wq = proc.fdtable.get(fd).wait_queue()
+            except KernelError:
+                continue
+            if wq is not None and wq not in wqs:
+                wqs.append(wq)
+        return wqs
+
     def sys_ppoll(self, proc: Process, fds: List[Tuple[int, int]],
                   timeout_ns: Optional[int]) -> List[Tuple[int, int]]:
         """``fds`` is [(fd, events)]; returns [(fd, revents)] (POLLIN=1,
-        POLLOUT=4, POLLERR=8, POLLHUP=0x10, POLLNVAL=0x20)."""
+        POLLOUT=4, POLLERR=8, POLLHUP=0x10, POLLNVAL=0x20).
+
+        POLLERR and POLLHUP are delivered whether requested or not (closed
+        peers, widowed pipes), exactly like Linux; blocking is waitqueue-
+        driven, so a peer's write/close wakes the poller immediately.
+        """
         POLLIN, POLLOUT, POLLERR, POLLHUP, POLLNVAL = 1, 4, 8, 0x10, 0x20
 
         def scan():
             out = []
             for fd, events in fds:
-                revents = 0
                 try:
                     file = proc.fdtable.get(fd)
                 except KernelError:
                     out.append((fd, POLLNVAL))
                     continue
-                readable, writable = file.poll()
-                if events & POLLIN and readable:
-                    revents |= POLLIN
-                if events & POLLOUT and writable:
-                    revents |= POLLOUT
-                if file.kind == OpenFile.KIND_PIPE_R and \
-                        file.pipe.writers == 0:
-                    revents |= POLLHUP
+                mask = file.poll_events()
+                revents = mask & (events | POLLERR | POLLHUP)
                 if revents:
                     out.append((fd, revents))
             return out or None  # None = keep blocking
 
-        return self.block_until(proc, scan, timeout_ns=timeout_ns,
-                                empty=list)
+        return self.block_on_waitqueues(
+            proc, self._poll_waitqueues(proc, [fd for fd, _ in fds]),
+            scan, timeout_ns=timeout_ns, empty=list)
 
     def sys_poll(self, proc: Process, fds, timeout_ms: int):
         timeout_ns = None if timeout_ms < 0 else timeout_ms * 1_000_000
@@ -571,27 +582,31 @@ class FSCalls:
 
     def sys_pselect6(self, proc: Process, rfds: List[int], wfds: List[int],
                      timeout_ns: Optional[int]) -> Tuple[List[int], List[int]]:
+        POLLIN, POLLOUT, POLLERR, POLLHUP = 1, 4, 8, 0x10
+
         def scan():
             r_ready, w_ready = [], []
             for fd in rfds:
                 try:
-                    if proc.fdtable.get(fd).poll()[0]:
-                        r_ready.append(fd)
+                    mask = proc.fdtable.get(fd).poll_events()
                 except KernelError:
-                    pass
+                    continue
+                if mask & (POLLIN | POLLHUP | POLLERR):
+                    r_ready.append(fd)
             for fd in wfds:
                 try:
-                    if proc.fdtable.get(fd).poll()[1]:
-                        w_ready.append(fd)
+                    mask = proc.fdtable.get(fd).poll_events()
                 except KernelError:
-                    pass
+                    continue
+                if mask & (POLLOUT | POLLERR):
+                    w_ready.append(fd)
             if r_ready or w_ready:
                 return r_ready, w_ready
             return None
 
-        res = self.block_until(proc, scan, timeout_ns=timeout_ns,
-                               empty=lambda: ([], []))
-        return res
+        return self.block_on_waitqueues(
+            proc, self._poll_waitqueues(proc, list(rfds) + list(wfds)),
+            scan, timeout_ns=timeout_ns, empty=lambda: ([], []))
 
     def sys_select(self, proc, rfds, wfds, timeout_ns=None):
         return self.sys_pselect6(proc, rfds, wfds, timeout_ns)

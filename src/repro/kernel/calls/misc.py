@@ -8,7 +8,7 @@ import time as _time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..errno import EINVAL, ENOSYS, KernelError
+from ..errno import EINVAL, KernelError
 from ..process import Process
 from ..signals import SIGALRM
 
@@ -141,14 +141,5 @@ class MiscCalls:
                         path=f"memfd:{name}")
         return proc.fdtable.install(file)
 
-    def sys_eventfd2(self, proc: Process, initval: int, flags: int) -> int:
-        raise KernelError(ENOSYS, "eventfd2")
-
-    def sys_epoll_create1(self, proc: Process, flags: int) -> int:
-        raise KernelError(ENOSYS, "epoll (use ppoll)")
-
-    def sys_epoll_ctl(self, proc: Process, *args) -> int:
-        raise KernelError(ENOSYS, "epoll (use ppoll)")
-
-    def sys_epoll_pwait(self, proc: Process, *args) -> int:
-        raise KernelError(ENOSYS, "epoll (use ppoll)")
+    # eventfd2 / timerfd / epoll live in the event mixin (calls/event.py),
+    # backed by the readiness waitqueue layer in kernel/eventpoll.py.

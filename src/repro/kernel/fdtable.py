@@ -13,6 +13,9 @@ from typing import Dict, Optional, Tuple
 from .errno import (
     EAGAIN, EBADF, EINVAL, EISDIR, ENOTDIR, EPIPE, ESPIPE, KernelError,
 )
+from .eventpoll import (
+    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, WaitQueue,
+)
 from .vfs import (
     Inode, O_ACCMODE, O_APPEND, O_NONBLOCK, O_RDONLY, O_RDWR, O_WRONLY, VFS,
 )
@@ -41,6 +44,8 @@ class Pipe:
         self.readers = 0
         self.writers = 0
         self.cond = threading.Condition()
+        # shared readiness queue for both ends (see kernel/eventpoll.py)
+        self.wq = WaitQueue()
 
     def readable(self) -> bool:
         return bool(self.buf) or self.writers == 0
@@ -58,17 +63,23 @@ class OpenFile:
     KIND_PIPE_R = "pipe_r"
     KIND_PIPE_W = "pipe_w"
     KIND_SOCK = "sock"
+    KIND_EVENTFD = "eventfd"
+    KIND_TIMERFD = "timerfd"
+    KIND_EPOLL = "epoll"
 
     def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
-                 pipe: Optional[Pipe] = None, sock=None, path: str = ""):
+                 pipe: Optional[Pipe] = None, sock=None, path: str = "",
+                 obj=None):
         self.kind = kind
         self.flags = flags
         self.inode = inode
         self.pipe = pipe
         self.sock = sock
+        self.obj = obj  # EventFD / TimerFD / EventPoll instance
         self.path = path
         self.offset = 0
         self.refcount = 0
+        self.closed = False  # last reference released (epoll auto-detach)
         self._dir_snapshot = None
         if kind == self.KIND_PIPE_R:
             pipe.readers += 1
@@ -89,16 +100,21 @@ class OpenFile:
             self._release()
 
     def _release(self) -> None:
+        self.closed = True
         if self.kind == self.KIND_PIPE_R:
             with self.pipe.cond:
                 self.pipe.readers -= 1
                 self.pipe.cond.notify_all()
+            self.pipe.wq.wake(EPOLLOUT | EPOLLERR)
         elif self.kind == self.KIND_PIPE_W:
             with self.pipe.cond:
                 self.pipe.writers -= 1
                 self.pipe.cond.notify_all()
+            self.pipe.wq.wake(EPOLLIN | EPOLLHUP)
         elif self.kind == self.KIND_SOCK and self.sock is not None:
             self.sock.close()
+        elif self.obj is not None:
+            self.obj.close()
 
     # ---- access-mode checks ----
 
@@ -145,6 +161,10 @@ class OpenFile:
                 raise KernelError(EAGAIN, "pipe empty")
         if self.kind == self.KIND_SOCK:
             return self.sock.recv_step(length)
+        if self.kind in (self.KIND_EVENTFD, self.KIND_TIMERFD):
+            if length < 8:
+                raise KernelError(EINVAL, "buffer smaller than 8 bytes")
+            return self.obj.read_step().to_bytes(8, "little")
         if self.kind == self.KIND_DIR:
             raise KernelError(EISDIR)
         raise KernelError(EBADF, f"read on {self.kind}")
@@ -178,6 +198,12 @@ class OpenFile:
                 return len(chunk)
         if self.kind == self.KIND_SOCK:
             return self.sock.send_step(bytes(buf))
+        if self.kind == self.KIND_EVENTFD:
+            data = bytes(buf)
+            if len(data) < 8:
+                raise KernelError(EINVAL, "eventfd write needs 8 bytes")
+            self.obj.write_step(int.from_bytes(data[:8], "little"))
+            return 8
         raise KernelError(EBADF, f"write on {self.kind}")
 
     def pwrite(self, buf: bytes, offset: int) -> int:
@@ -214,17 +240,40 @@ class OpenFile:
 
     # ---- poll readiness ----
 
+    def poll_events(self) -> int:
+        """Current EPOLL*/POLL* readiness mask, including HUP/ERR."""
+        if self.kind == self.KIND_REG or self.kind == self.KIND_CHR:
+            return EPOLLIN | EPOLLOUT
+        if self.kind == self.KIND_PIPE_R:
+            mask = EPOLLIN if self.pipe.buf else 0
+            if self.pipe.writers == 0:
+                mask |= EPOLLHUP | (EPOLLIN if not self.pipe.buf else 0)
+            return mask
+        if self.kind == self.KIND_PIPE_W:
+            mask = EPOLLOUT if len(self.pipe.buf) < self.pipe.capacity else 0
+            if self.pipe.readers == 0:
+                mask |= EPOLLERR
+            return mask
+        if self.kind == self.KIND_SOCK:
+            return self.sock.poll_events()
+        if self.obj is not None:
+            return self.obj.poll_events()
+        return 0
+
     def poll(self) -> Tuple[bool, bool]:
         """(readable, writable) now."""
-        if self.kind == self.KIND_REG or self.kind == self.KIND_CHR:
-            return True, True
-        if self.kind == self.KIND_PIPE_R:
-            return self.pipe.readable(), False
-        if self.kind == self.KIND_PIPE_W:
-            return False, self.pipe.writable()
+        mask = self.poll_events()
+        return bool(mask & (EPOLLIN | EPOLLHUP)), bool(mask & EPOLLOUT)
+
+    def wait_queue(self):
+        """The readiness waitqueue backing this description, if any."""
+        if self.kind in (self.KIND_PIPE_R, self.KIND_PIPE_W):
+            return self.pipe.wq
         if self.kind == self.KIND_SOCK:
-            return self.sock.poll()
-        return False, False
+            return self.sock.wq
+        if self.obj is not None:
+            return self.obj.wq
+        return None
 
 
 class FDTable:

@@ -19,8 +19,11 @@ from collections import Counter, defaultdict
 from typing import Callable, Dict, List, Optional
 
 from .arch import X86_64
-from .calls import FSCalls, MemCalls, MiscCalls, NetCalls, ProcCalls, SigCalls
+from .calls import (
+    EventCalls, FSCalls, MemCalls, MiscCalls, NetCalls, ProcCalls, SigCalls,
+)
 from .errno import EAGAIN, EINTR, ENOSYS, EPIPE, ETIMEDOUT, KernelError
+from .eventpoll import ProcNotifier
 from .fdtable import FDTable, OpenFile
 from .process import Process, STATE_RUNNING
 from .signals import SIGPIPE
@@ -30,13 +33,17 @@ from .vfs import (
 )
 
 _BLOCK_SLICE_S = 0.002  # blocking syscalls re-check readiness every 2 ms
+# with waitqueue notifiers subscribed, wakeups are event-driven; the slice
+# is only a lost-wakeup safety net and can be much coarser
+_WQ_SLICE_S = 0.05
 
 
 class _TimedOut(Exception):
     pass
 
 
-class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls):
+class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
+             EventCalls):
     """A self-contained virtual Linux kernel."""
 
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
@@ -269,30 +276,95 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls):
                 proc.wake.wait(_BLOCK_SLICE_S)
             self.blocked_time_ns[proc.tgid] += _time.perf_counter_ns() - w0
 
+    def block_on_waitqueues(self, proc: Process, waitqueues, scan: Callable,
+                            timeout_ns: Optional[int] = None,
+                            empty: Optional[Callable] = None):
+        """Like :meth:`block_until`, but woken by readiness waitqueues.
+
+        A :class:`ProcNotifier` is subscribed to every queue in
+        ``waitqueues``; readiness transitions then notify the process wake
+        condition immediately, so there is no per-slice rescan — ``scan``
+        runs once per wakeup (event, signal, or the coarse safety slice).
+        """
+        notifier = ProcNotifier(proc)
+        wqs = [wq for wq in waitqueues if wq is not None]
+        for wq in wqs:
+            wq.subscribe(notifier)
+        deadline = None
+        if timeout_ns is not None:
+            deadline = _time.monotonic_ns() + timeout_ns
+        try:
+            while True:
+                result = scan()
+                if result is not None:
+                    return result
+                if proc.has_deliverable_signal() or \
+                        proc.state != STATE_RUNNING:
+                    raise KernelError(EINTR, "interrupted by signal")
+                wait_s = _WQ_SLICE_S
+                if deadline is not None:
+                    remaining = deadline - _time.monotonic_ns()
+                    if remaining <= 0:
+                        if empty is not None:
+                            return empty()
+                        raise KernelError(ETIMEDOUT)
+                    wait_s = min(wait_s, remaining / 1e9)
+                w0 = _time.perf_counter_ns()
+                with proc.wake:
+                    if not notifier.fired:
+                        proc.wake.wait(wait_s)
+                    notifier.fired = False
+                self.blocked_time_ns[proc.tgid] += \
+                    _time.perf_counter_ns() - w0
+        finally:
+            for wq in wqs:
+                wq.unsubscribe(notifier)
+
     def _blocking_io(self, proc: Process, file: OpenFile, step: Callable,
                      on_pipe_full: bool = False):
         """Retry a non-blocking I/O step until it succeeds.
 
         ``EAGAIN`` means "would block": re-raise for O_NONBLOCK files, else
-        wait and retry.  ``EPIPE`` generates SIGPIPE, like Linux.
+        wait and retry.  ``EPIPE`` generates SIGPIPE, like Linux.  When the
+        file publishes readiness (sockets, pipes, event fds), a waitqueue
+        notifier wakes the retry loop as soon as the peer makes progress.
         """
-        while True:
-            try:
-                return step()
-            except KernelError as exc:
-                if exc.errno == EPIPE:
-                    proc.generate_signal(SIGPIPE)
-                    raise
-                if exc.errno != EAGAIN:
-                    raise
-                if file.nonblocking:
-                    raise
-            if proc.has_deliverable_signal() or proc.state != STATE_RUNNING:
-                raise KernelError(EINTR, "interrupted by signal")
-            w0 = _time.perf_counter_ns()
-            with proc.wake:
-                proc.wake.wait(_BLOCK_SLICE_S)
-            self.blocked_time_ns[proc.tgid] += _time.perf_counter_ns() - w0
+        notifier = None
+        wq = None
+        try:
+            while True:
+                try:
+                    return step()
+                except KernelError as exc:
+                    if exc.errno == EPIPE:
+                        proc.generate_signal(SIGPIPE)
+                        raise
+                    if exc.errno != EAGAIN:
+                        raise
+                    if file.nonblocking:
+                        raise
+                if proc.has_deliverable_signal() or \
+                        proc.state != STATE_RUNNING:
+                    raise KernelError(EINTR, "interrupted by signal")
+                if notifier is None:
+                    wq = file.wait_queue()
+                    if wq is not None:
+                        notifier = ProcNotifier(proc)
+                        wq.subscribe(notifier)
+                        continue  # readiness may have changed while subscribing
+                w0 = _time.perf_counter_ns()
+                with proc.wake:
+                    if notifier is None or not notifier.fired:
+                        proc.wake.wait(
+                            _WQ_SLICE_S if notifier is not None
+                            else _BLOCK_SLICE_S)
+                    if notifier is not None:
+                        notifier.fired = False
+                self.blocked_time_ns[proc.tgid] += \
+                    _time.perf_counter_ns() - w0
+        finally:
+            if notifier is not None and wq is not None:
+                wq.unsubscribe(notifier)
 
     def storage_charge(self, nbytes: int) -> None:
         """Burn the storage device's simulated service time (kernel time)."""

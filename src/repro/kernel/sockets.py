@@ -16,6 +16,9 @@ from .errno import (
     EADDRINUSE, EAGAIN, ECONNREFUSED, ECONNRESET, EINVAL, EISCONN,
     ENOTCONN, EOPNOTSUPP, EPIPE, KernelError,
 )
+from .eventpoll import (
+    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP, WaitQueue,
+)
 
 AF_UNIX = 1
 AF_INET = 2
@@ -62,6 +65,9 @@ class Socket:
         self.dgrams: List[Tuple[Tuple, bytes]] = []
         self.opts: Dict[Tuple[int, int], int] = {}
         self.cond = threading.Condition()
+        # readiness waitqueue: state transitions publish events here so
+        # epoll/ppoll waiters wake without rescanning (kernel/eventpoll.py)
+        self.wq = WaitQueue()
 
     # ---- stream data path (non-blocking steps; kernel loops for blocking) ----
 
@@ -71,6 +77,8 @@ class Socket:
                 out = bytes(self.rbuf[:length])
                 del self.rbuf[:length]
                 self.cond.notify_all()
+                if self.peer is not None:
+                    self.peer.wq.wake(EPOLLOUT)  # space freed for the writer
                 return out
             if self.eof or self.state == self.ST_CLOSED:
                 return b""
@@ -93,16 +101,33 @@ class Socket:
             chunk = data[:space]
             peer.rbuf.extend(chunk)
             peer.cond.notify_all()
+            peer.wq.wake(EPOLLIN)
             return len(chunk)
 
-    def poll(self) -> Tuple[bool, bool]:
+    def poll_events(self) -> int:
+        """Current readiness mask (EPOLL*/POLL* bits share values)."""
         if self.state == self.ST_LISTENING:
-            return bool(self.backlog), False
-        readable = bool(self.rbuf) or bool(self.dgrams) or self.eof or \
-            self.state == self.ST_CLOSED
-        writable = self.state == self.ST_CONNECTED and self.peer is not None \
-            and len(self.peer.rbuf) < SOCK_BUF_CAPACITY
-        return readable, writable
+            return EPOLLIN if self.backlog else 0
+        mask = 0
+        if self.rbuf or self.dgrams or self.eof or \
+                self.state == self.ST_CLOSED:
+            mask |= EPOLLIN
+        peer = self.peer
+        peer_gone = self.state == self.ST_CONNECTED and \
+            (peer is None or peer.state == self.ST_CLOSED)
+        if self.state == self.ST_CONNECTED and peer is not None and \
+                peer.state != self.ST_CLOSED and \
+                len(peer.rbuf) < SOCK_BUF_CAPACITY:
+            mask |= EPOLLOUT
+        if self.state == self.ST_CLOSED or peer_gone:
+            mask |= EPOLLHUP
+        if self.eof:
+            mask |= EPOLLRDHUP
+        return mask
+
+    def poll(self) -> Tuple[bool, bool]:
+        mask = self.poll_events()
+        return bool(mask & EPOLLIN), bool(mask & EPOLLOUT)
 
     # ---- lifecycle ----
 
@@ -113,10 +138,12 @@ class Socket:
             with self.peer.cond:
                 self.peer.eof = True
                 self.peer.cond.notify_all()
+            self.peer.wq.wake(EPOLLIN | EPOLLRDHUP)
         if how in (SHUT_RD, SHUT_RDWR):
             with self.cond:
                 self.eof = True
                 self.cond.notify_all()
+            self.wq.wake(EPOLLIN | EPOLLRDHUP)
 
     def close(self) -> None:
         if self.state == self.ST_CLOSED:
@@ -127,16 +154,19 @@ class Socket:
                 with pending.cond:
                     pending.state = pending.ST_CLOSED
                     pending.cond.notify_all()
+                pending.wq.wake(EPOLLIN | EPOLLHUP)
         if self.addr is not None and self.type == SOCK_DGRAM:
             self.stack.unregister(self)
         peer = self.peer
         self.state = self.ST_CLOSED
         with self.cond:
             self.cond.notify_all()
+        self.wq.wake(EPOLLIN | EPOLLOUT | EPOLLHUP)
         if peer is not None:
             with peer.cond:
                 peer.eof = True
                 peer.cond.notify_all()
+            peer.wq.wake(EPOLLIN | EPOLLRDHUP | EPOLLHUP)
 
 
 class NetStack:
@@ -199,6 +229,7 @@ class NetStack:
                 raise KernelError(ECONNREFUSED, "backlog full")
             listener.backlog.append(server_side)
             listener.cond.notify_all()
+        listener.wq.wake(EPOLLIN)
 
     def accept_step(self, listener: Socket) -> Socket:
         with listener.cond:
@@ -221,6 +252,7 @@ class NetStack:
         with target.cond:
             target.dgrams.append((sock.addr or ("", 0), bytes(data)))
             target.cond.notify_all()
+        target.wq.wake(EPOLLIN)
         return len(data)
 
     def recvfrom_step(self, sock: Socket, length: int) -> Tuple[bytes, Tuple]:

@@ -11,13 +11,14 @@ from .tiers import (
     BASE_MEMORY_MB, RunResult, TIERS, Workload, compare_all, run_tier,
 )
 from .workloads import (
-    WORKLOADS, bash_workload, lua_workload, sqlite_workload,
+    WORKLOADS, bash_workload, echo_workload, lua_workload, sqlite_workload,
 )
 
 __all__ = [
     "BASE_MEMORY_MB", "Container", "ContainerRuntime",
     "DOCKER_BASE_OVERHEAD_MB", "EmuCodeView", "Image", "Layer", "RunResult",
     "TIERS", "WORKLOADS", "Workload", "bash_workload", "base_image",
-    "compare_all", "emulate_instance", "encode_flat", "lua_workload",
+    "compare_all", "echo_workload", "emulate_instance", "encode_flat",
+    "lua_workload",
     "run_tier", "sqlite_workload",
 ]

@@ -60,8 +60,22 @@ def paho_script_workload(scale: int = 400) -> Workload:
     return lua_workload(scale)
 
 
+def echo_workload(scale: int = 20, nclients: int = 50) -> Workload:
+    """Many-client event-loop chat: one single-threaded guest drives
+    ``nclients`` concurrent loopback connections through epoll for
+    ``scale`` echo rounds each — the readiness-dispatch-bound workload
+    (all kernel time is accept4/read/write/epoll_pwait)."""
+    nclients = max(1, min(nclients, 100))
+    return Workload(
+        app="event_echo",
+        argv=["event_echo", str(nclients), str(scale)],
+        label=f"echo-{nclients}x{scale}",
+    )
+
+
 WORKLOADS = {
     "lua": lua_workload,
     "bash": bash_workload,
     "sqlite": sqlite_workload,
+    "echo": echo_workload,
 }

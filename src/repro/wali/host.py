@@ -48,7 +48,8 @@ AUTO_PASSTHROUGH = frozenset({
     "fchdir", "alarm", "madvise", "readahead", "lseek", "ftruncate",
     "set_tid_address", "set_robust_list", "arch_prctl", "sched_setaffinity",
     "clock_getres", "syslog", "getitimer", "eventfd2", "epoll_create1",
-    "epoll_ctl", "epoll_pwait", "chroot", "mincore", "prctl", "fadvise64",
+    "epoll_create", "timerfd_create", "chroot", "mincore", "prctl",
+    "fadvise64",
 })
 
 # process-model calls whose cost is engine work (instance duplication for
@@ -65,6 +66,8 @@ STRUCT_CALLS = frozenset({
     "nanosleep", "clock_nanosleep", "getdents64", "wait4", "bind", "connect",
     "accept", "accept4", "getsockname", "getpeername", "sendto", "recvfrom",
     "sendmsg", "recvmsg", "poll", "ppoll", "select", "pselect6", "utimensat",
+    "epoll_ctl", "epoll_pwait", "epoll_wait", "timerfd_settime",
+    "timerfd_gettime",
 })
 
 _WINSIZE = struct.Struct("<HHHH")
@@ -485,6 +488,53 @@ class WaliHost:
         write_set(wfds_ptr, w_ready)
         write_set(efds_ptr, [])
         return len(r_ready) + len(w_ready)
+
+    # ---- epoll / timerfd (event subsystem) ----
+
+    def w_epoll_ctl(self, epfd, op, fd, event_ptr):
+        events, data = 0, None
+        if event_ptr:
+            events, data = Layout.decode_epoll_event(
+                self.mem.read_bytes(event_ptr, Layout.EPOLL_EVENT_SIZE))
+        return self.k("epoll_ctl", signed32(epfd), op, signed32(fd),
+                      events, data)
+
+    def _epoll_wait_out(self, epfd, events_ptr, maxevents, timeout_ns):
+        ready = self.k("epoll_pwait", signed32(epfd), maxevents,
+                       timeout_ns)
+        for i, (data, revents) in enumerate(ready):
+            self.copy_out(events_ptr + i * Layout.EPOLL_EVENT_SIZE,
+                          Layout.encode_epoll_event(revents, data))
+        return len(ready)
+
+    def w_epoll_pwait(self, epfd, events_ptr, maxevents, timeout_ms,
+                      sigmask_ptr, sigsetsize):
+        timeout_ns = None if signed32(timeout_ms) < 0 \
+            else signed32(timeout_ms) * 1_000_000
+        return self._epoll_wait_out(epfd, events_ptr, maxevents, timeout_ns)
+
+    def w_epoll_wait(self, epfd, events_ptr, maxevents, timeout_ms):
+        return self.w_epoll_pwait(epfd, events_ptr, maxevents, timeout_ms,
+                                  0, 0)
+
+    def w_timerfd_settime(self, fd, flags, new_ptr, old_ptr):
+        if not new_ptr:
+            return -EINVAL
+        interval_ns, value_ns = Layout.decode_itimerspec(
+            self.mem.read_bytes(new_ptr, Layout.ITIMERSPEC_SIZE))
+        old_value, old_interval = self.k(
+            "timerfd_settime", signed32(fd), flags, value_ns, interval_ns)
+        if old_ptr:
+            self.copy_out(old_ptr,
+                          Layout.encode_itimerspec(old_interval, old_value))
+        return 0
+
+    def w_timerfd_gettime(self, fd, curr_ptr):
+        value_ns, interval_ns = self.k("timerfd_gettime", signed32(fd))
+        if curr_ptr:
+            self.copy_out(curr_ptr,
+                          Layout.encode_itimerspec(interval_ns, value_ns))
+        return 0
 
     # ------------------------------------------------------------------
     # memory management (§3.2) — stateful: the mmap pool

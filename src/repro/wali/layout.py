@@ -147,6 +147,33 @@ class Layout:
     def encode_timeval(sec: int, usec: int) -> bytes:
         return struct.pack("<qq", sec, usec)
 
+    # itimerspec: {timespec interval, timespec value}
+    ITIMERSPEC_SIZE = 32
+
+    @staticmethod
+    def encode_itimerspec(interval_ns: int, value_ns: int) -> bytes:
+        return Layout.encode_timespec(interval_ns) + \
+            Layout.encode_timespec(value_ns)
+
+    @staticmethod
+    def decode_itimerspec(data: bytes) -> Tuple[int, int]:
+        return Layout.decode_timespec(data[:16]), \
+            Layout.decode_timespec(data[16:32])
+
+    # epoll_event (packed, like the x86_64 ABI): {u32 events, u64 data}
+    EPOLL_EVENT_SIZE = 12
+
+    @staticmethod
+    def encode_epoll_event(events: int, data: int) -> bytes:
+        return struct.pack("<I", events & 0xFFFFFFFF) + \
+            struct.pack("<Q", data & 0xFFFFFFFFFFFFFFFF)
+
+    @staticmethod
+    def decode_epoll_event(data: bytes) -> Tuple[int, int]:
+        events = struct.unpack_from("<I", data)[0]
+        datum = struct.unpack_from("<Q", data, 4)[0]
+        return events, datum
+
     # ksigaction (portable WALI form): {u32 handler, u32 flags, u64 mask}
     SIGACTION_SIZE = 16
 

@@ -133,8 +133,10 @@ def _build() -> Dict[str, SyscallSpec]:
         ("clock_nanosleep", "iiii"), ("nanosleep", "ii"),
         ("gettimeofday", "ii"), ("uname", "i"), ("sysinfo", "i"),
         ("syslog", "iii"), ("chroot", "i"), ("eventfd2", "ii"),
-        ("epoll_create1", "i"), ("epoll_ctl", "iiii"),
-        ("epoll_pwait", "iiiiii"),
+        ("epoll_create1", "i"), ("epoll_create", "i"),
+        ("epoll_ctl", "iiii"), ("epoll_pwait", "iiiiii"),
+        ("epoll_wait", "iiii"), ("timerfd_create", "ii"),
+        ("timerfd_settime", "iiii"), ("timerfd_gettime", "ii"),
     ])
 
     return table

@@ -81,7 +81,9 @@ FEATURE_OF_SYSCALL = {
     "lstat": "legacy-stat", "linkat": "links", "link": "links",
     "renameat2": "dirs", "select": "select", "pselect6": "select",
     "eventfd2": "eventfd", "epoll_create1": "epoll", "epoll_ctl": "epoll",
-    "epoll_pwait": "epoll", "chroot": "chroot", "tkill": "signals",
+    "epoll_pwait": "epoll", "epoll_create": "epoll", "epoll_wait": "epoll",
+    "timerfd_create": "timerfd", "timerfd_settime": "timerfd",
+    "timerfd_gettime": "timerfd", "chroot": "chroot", "tkill": "signals",
     "clone3": "threads", "mknod": "devices", "clock_getres": "time",
     "clock_nanosleep": "time", "nanosleep": "time",
     "getpriority": "priority", "setpriority": "priority",

@@ -214,6 +214,14 @@ def _decode_blocktype(r: Reader):
     raise DecodeError(f"bad blocktype 0x{b:02x}")
 
 
+def _valtype(r: Reader) -> str:
+    b = r.byte()
+    vt = BYTE_VALTYPES.get(b)
+    if vt is None:
+        raise DecodeError(f"bad valtype 0x{b:02x}")
+    return vt
+
+
 def _decode_body(r: Reader, terminators=(0x0B,)) -> Tuple[list, int]:
     """Decode instructions until a terminator byte; returns (body, term)."""
     body: list = []
@@ -454,8 +462,8 @@ def decode_module(buf: bytes, name: str = "") -> Module:
             for _ in range(sr.uleb()):
                 if sr.byte() != 0x60:
                     raise DecodeError("bad functype tag")
-                params = tuple(BYTE_VALTYPES[sr.byte()] for _ in range(sr.uleb()))
-                results = tuple(BYTE_VALTYPES[sr.byte()] for _ in range(sr.uleb()))
+                params = tuple(_valtype(sr) for _ in range(sr.uleb()))
+                results = tuple(_valtype(sr) for _ in range(sr.uleb()))
                 m.types.append(FuncType(params, results))
         elif sec_id == SEC_IMPORT:
             for _ in range(sr.uleb()):
@@ -467,10 +475,10 @@ def decode_module(buf: bytes, name: str = "") -> Module:
                 elif kind == KIND_MEMORY:
                     desc = MemoryType(_decode_limits(sr))
                 elif kind == KIND_TABLE:
-                    et = BYTE_VALTYPES[sr.byte()]
+                    et = _valtype(sr)
                     desc = TableType(_decode_limits(sr), et)
                 elif kind == KIND_GLOBAL:
-                    vt = BYTE_VALTYPES[sr.byte()]
+                    vt = _valtype(sr)
                     desc = GlobalType(vt, bool(sr.byte()))
                 else:
                     raise DecodeError("bad import kind")
@@ -479,14 +487,14 @@ def decode_module(buf: bytes, name: str = "") -> Module:
             func_type_idxs = [sr.uleb() for _ in range(sr.uleb())]
         elif sec_id == SEC_TABLE:
             for _ in range(sr.uleb()):
-                et = BYTE_VALTYPES[sr.byte()]
+                et = _valtype(sr)
                 m.tables.append(TableType(_decode_limits(sr), et))
         elif sec_id == SEC_MEMORY:
             for _ in range(sr.uleb()):
                 m.memories.append(MemoryType(_decode_limits(sr)))
         elif sec_id == SEC_GLOBAL:
             for _ in range(sr.uleb()):
-                vt = BYTE_VALTYPES[sr.byte()]
+                vt = _valtype(sr)
                 mut = bool(sr.byte())
                 init = _decode_const_expr(sr)
                 m.globals.append(Global(GlobalType(vt, mut), init))
@@ -514,7 +522,7 @@ def decode_module(buf: bytes, name: str = "") -> Module:
                 locals_: List[str] = []
                 for _ in range(br_.uleb()):
                     n = br_.uleb()
-                    lt = BYTE_VALTYPES[br_.byte()]
+                    lt = _valtype(br_)
                     locals_.extend([lt] * n)
                 body, _ = _decode_body(br_)
                 sr.pos = bend
