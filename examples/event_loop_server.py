@@ -8,6 +8,7 @@ drives it with 64 concurrent clients and shows that zero worker threads
 were created while every client got served.
 """
 
+import argparse
 import os
 import sys
 import time
@@ -15,13 +16,19 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import WaliRuntime, build_app
-from repro.kernel import AF_INET, SOCK_STREAM
+from repro.kernel import AF_INET, Kernel, SOCK_STREAM
 
 NCLIENTS = 64
 
 
 def main():
-    rt = WaliRuntime()
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--net", default="loopback", metavar="BACKEND[:OPTS]",
+                    help="kernel network backend, e.g. loopback or "
+                         "wan:latency_ms=5,jitter_ms=1 (default: loopback)")
+    args = ap.parse_args()
+
+    rt = WaliRuntime(kernel=Kernel(net_backend=args.net))
     server = rt.load(build_app("mini_memcached"),
                      argv=["memcached", "11211", "-e"])
     server.start_in_thread()
@@ -65,6 +72,7 @@ def main():
     server.join(5)
 
     counts = k.syscall_counts
+    print(f"net backend: {k.net.describe()}")
     print(f"{NCLIENTS} concurrent clients: {stored} stored, {hits} hits "
           f"in {elapsed * 1000:.1f} ms")
     print(f"server stats line: {stats}")

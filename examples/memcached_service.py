@@ -7,6 +7,7 @@ thin interface (§3.6 "Dynamic Policies") — and drives it with a guest
 client over the loopback network.
 """
 
+import argparse
 import os
 import sys
 import time
@@ -14,10 +15,16 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import SecurityPolicy, WaliRuntime, build_app
+from repro.kernel import Kernel
 from repro.wali import implemented_names
 
 
 def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--net", default="loopback", metavar="BACKEND[:OPTS]",
+                    help="kernel network backend, e.g. loopback or "
+                         "wan:latency_ms=5,loss=0.01 (default: loopback)")
+    args = ap.parse_args()
     # allow-list policy: exactly what a KV daemon needs, nothing else
     allowed = {
         "socket", "bind", "listen", "accept", "connect", "sendto",
@@ -28,7 +35,7 @@ def main():
     }
     policy = SecurityPolicy(allow=allowed)
 
-    rt = WaliRuntime(policy=policy)
+    rt = WaliRuntime(kernel=Kernel(net_backend=args.net), policy=policy)
     server = rt.load(build_app("mini_memcached"),
                      argv=["memcached", "11211"])
     server.start_in_thread()
@@ -42,7 +49,7 @@ def main():
     status = client.run()
     server.join(5)
 
-    print(f"client exit: {status}")
+    print(f"client exit: {status} (net backend: {rt.kernel.net.describe()})")
     print(rt.kernel.console_output().decode())
     print(f"policy: {len(allowed)} syscalls allowed out of "
           f"{len(implemented_names())} WALI implements")

@@ -32,7 +32,11 @@ from .signals import (
     SIGCHLD, SIGINT, SIGKILL, SIGPIPE, SIGSEGV, SIGTERM, SIGUSR1, SIGUSR2,
     SigAction, sig_bit,
 )
-from .sockets import AF_INET, AF_UNIX, NetStack, SOCK_DGRAM, SOCK_STREAM
+from .net import (
+    AF_INET, AF_UNIX, HostBackend, LoopbackBackend, NetBackend, SOCK_DGRAM,
+    SOCK_STREAM, StreamBuffer, WanBackend, create_backend,
+)
+from .sockets import NetStack
 from .vfs import (
     AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_EXCL, O_NONBLOCK,
     O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, S_IFDIR, S_IFREG, VFS,
@@ -44,17 +48,21 @@ __all__ = [
     "CLONE_THREAD", "CLONE_VM", "EPOLLERR", "EPOLLET", "EPOLLHUP", "EPOLLIN",
     "EPOLLONESHOT", "EPOLLOUT", "EPOLLRDHUP", "EPOLL_CTL_ADD",
     "EPOLL_CTL_DEL", "EPOLL_CTL_MOD", "EventFD", "EventPoll", "FDTable",
-    "Inode", "Kernel", "KernelError",
-    "LEGACY_EQUIVALENTS", "MAP_ANONYMOUS", "MAP_FIXED", "MAP_PRIVATE",
-    "MAP_SHARED", "MREMAP_MAYMOVE", "NSIG", "NetStack", "O_APPEND",
+    "HostBackend", "Inode", "Kernel", "KernelError",
+    "LEGACY_EQUIVALENTS", "LoopbackBackend", "MAP_ANONYMOUS", "MAP_FIXED",
+    "MAP_PRIVATE",
+    "MAP_SHARED", "MREMAP_MAYMOVE", "NSIG", "NetBackend", "NetStack",
+    "O_APPEND",
     "O_CLOEXEC", "O_CREAT", "O_EXCL", "O_NONBLOCK", "O_RDONLY", "O_RDWR",
     "O_TRUNC", "O_WRONLY", "OpenFile", "PROT_EXEC", "PROT_NONE", "PROT_READ",
     "PROT_WRITE", "Pipe", "Process", "RISCV64", "RLIMIT_NOFILE",
     "RLIMIT_STACK", "S_IFDIR", "S_IFREG", "SIGALRM", "SIGCHLD", "SIGINT",
     "SIGKILL", "SIGPIPE", "SIGSEGV", "SIGTERM", "SIGUSR1", "SIGUSR2",
     "SIG_BLOCK", "SIG_DFL", "SIG_IGN", "SIG_SETMASK", "SIG_UNBLOCK",
-    "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "TimerFD", "VFS", "VMA",
-    "WaitQueue", "WNOHANG",
-    "X86_64", "arch_specific", "common_syscalls", "errno_name",
+    "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "StreamBuffer", "TimerFD",
+    "VFS", "VMA",
+    "WaitQueue", "WNOHANG", "WanBackend",
+    "X86_64", "arch_specific", "common_syscalls", "create_backend",
+    "errno_name",
     "isa_similarity_report", "sig_bit", "syscall_names", "union_syscalls",
 ]

@@ -1,4 +1,9 @@
-"""Network syscalls over the loopback :class:`NetStack`."""
+"""Network syscalls over the pluggable :class:`~repro.kernel.net.NetBackend`.
+
+The mixin only ever touches the backend API (``self.net``) and the
+socket-object surface, so the same syscalls run against the loopback,
+simulated-WAN, and host backends unchanged.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +11,8 @@ from typing import List, Optional, Tuple
 
 from ..errno import EBADF, EINVAL, ENOTSOCK, KernelError
 from ..fdtable import OpenFile
+from ..net import SOCK_CLOEXEC, SOCK_DGRAM, SOCK_NONBLOCK, Socket
 from ..process import Process
-from ..sockets import SOCK_CLOEXEC, SOCK_NONBLOCK, Socket
 
 
 class NetCalls:
@@ -59,7 +64,7 @@ class NetCalls:
         file = proc.fdtable.get(fd)
         sock = self._sock(proc, fd)
         data = bytes(data)
-        if sock.type == 2 or addr is not None:  # SOCK_DGRAM or explicit addr
+        if sock.type == SOCK_DGRAM or addr is not None:
             return self.net.sendto(sock, data, addr)
         total = 0
         while total < len(data):

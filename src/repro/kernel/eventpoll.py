@@ -259,6 +259,12 @@ class EventPoll:
         self.items: Dict[int, _Interest] = {}
         self._ready: Dict[int, int] = {}  # fd -> hinted events
         self.wq = WaitQueue()  # epoll fds are themselves pollable
+        # wakeup coalescing: once waiters have been kicked for a non-empty
+        # ready list, further readiness transitions are recorded on the
+        # ready list but don't re-invoke every subscriber — a storm of
+        # wakes on a hot fd costs one notification per ready-list drain,
+        # not one per transition (matters at 1000+ watched fds)
+        self._dirty = False
 
     # ---- interest-list maintenance (epoll_ctl) ----
 
@@ -285,7 +291,7 @@ class EventPoll:
         # initial level check: deliver events that are already true, and
         # kick waiters already blocked in epoll_pwait on this instance
         self._ready[fd] = _WAKE_ALL
-        self.wq.wake(EPOLLIN)
+        self._kick()
 
     def modify(self, fd: int, events: int, data: int) -> None:
         item = self.items.get(fd)
@@ -295,7 +301,7 @@ class EventPoll:
         item.data = data
         item.disabled = False  # EPOLL_CTL_MOD re-arms a ONESHOT entry
         self._ready[fd] = _WAKE_ALL
-        self.wq.wake(EPOLLIN)
+        self._kick()
 
     def remove(self, fd: int) -> None:
         item = self.items.pop(fd, None)
@@ -317,11 +323,25 @@ class EventPoll:
 
     # ---- readiness ----
 
+    def _kick(self) -> None:
+        """Notify waiters, coalescing repeats until the next drain.
+
+        The first transition after a drain invokes every ``self.wq``
+        subscriber; while the dirty flag is up, later transitions only
+        accumulate on the ready list.  Any waiter that rechecks readiness
+        (``wait_step``/``poll_events``) lowers the flag, so wakeups are
+        never lost — at worst a recheck is already scheduled.
+        """
+        if self._dirty:
+            return
+        self._dirty = True
+        self.wq.wake(EPOLLIN)
+
     def _mark_ready(self, item: _Interest, events: int) -> None:
         if item.disabled:
             return
         self._ready[item.fd] = self._ready.get(item.fd, 0) | events
-        self.wq.wake(EPOLLIN)
+        self._kick()
 
     def wait_step(self, maxevents: int) -> Optional[List[Tuple[int, int]]]:
         """One dispatch pass over the ready list.
@@ -330,6 +350,7 @@ class EventPoll:
         (the caller blocks on ``self.wq``).  Cost is proportional to the
         ready-list length, not the interest-list length.
         """
+        self._dirty = False  # this recheck observes all prior transitions
         out: List[Tuple[int, int]] = []
         for fd in list(self._ready):
             item = self.items.get(fd)
@@ -361,7 +382,10 @@ class EventPoll:
         return out or None
 
     def poll_events(self) -> int:
-        # non-consuming readiness probe (for ppoll/epoll over an epoll fd)
+        # non-consuming readiness probe (for ppoll/epoll over an epoll fd);
+        # it too lowers the dirty flag: the prober has observed the current
+        # ready list, so the next transition must kick it again
+        self._dirty = False
         for fd in list(self._ready):
             item = self.items.get(fd)
             if item is None or item.disabled or item.file.closed:

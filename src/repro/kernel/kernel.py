@@ -48,8 +48,9 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
 
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
                  rng_seed: int = 0xC0FFEE,
-                 storage_latency_ns_per_4k: int = 0):
-        from .sockets import NetStack
+                 storage_latency_ns_per_4k: int = 0,
+                 net_backend=None):
+        from .net import create_backend
 
         self.machine = machine
         self.ncpus = ncpus
@@ -59,7 +60,10 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         # paper's testbed has real disks; see DESIGN.md substitutions).
         self.storage_latency_ns_per_4k = storage_latency_ns_per_4k
         self.vfs = VFS()
-        self.net = NetStack()
+        # network device model: a backend spec string ("loopback",
+        # "wan:latency_ms=5,loss=0.01", "host:optin=1"), a NetBackend
+        # instance, or None for the default loopback stack (kernel/net/).
+        self.net = create_backend(net_backend)
         self.processes: Dict[int, Process] = {}
         self.table_lock = threading.RLock()
         self._next_pid = 1

@@ -1,0 +1,343 @@
+"""Host backend: the guest's socket syscalls hit real host sockets.
+
+Maps the :class:`~.base.NetBackend` API onto Python's :mod:`socket`
+module, so a WALI guest can talk to processes *outside* the simulated
+kernel (or to another kernel instance on the same host).  Readiness is
+bridged by a small poller thread that watches every live host socket and
+publishes newly-risen ``EPOLLIN``/``EPOLLOUT`` edges into the usual
+:class:`~..eventpoll.WaitQueue` machinery, so blocking syscalls and
+epoll keep working unchanged.
+
+**Opt-in only**: constructing this backend raises ``EPERM`` unless the
+caller passes ``optin=1`` in the backend spec (``--net host:optin=1``)
+or sets ``REPRO_NET_HOST=1`` in the environment.  CI and the test suite
+stay hermetic by default; nothing in this repository reaches the real
+network unless explicitly asked to.
+"""
+
+from __future__ import annotations
+
+import os
+import select as _select
+import socket as _hostsocket
+import threading
+import time as _time
+from typing import Optional, Tuple
+
+from ..errno import (
+    EAGAIN, ECONNREFUSED, ECONNRESET, EINVAL, ENOTCONN, EOPNOTSUPP, EPERM,
+    EPIPE, ETIMEDOUT, KernelError,
+)
+from ..eventpoll import (
+    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, WaitQueue,
+)
+from .base import AF_INET, NetBackend, SOCK_DGRAM, SOCK_STREAM
+
+_POLL_SLICE_S = 0.005  # host-readiness poll cadence
+
+
+def _map_oserror(exc: OSError, fallback: int) -> KernelError:
+    return KernelError(exc.errno if exc.errno else fallback,
+                       str(exc))
+
+
+class _HostOpts(dict):
+    """Socket-option store that forwards to the real socket.
+
+    ``sys_setsockopt`` writes ``(level, optname) -> value`` into
+    ``sock.opts``; on the host backend the option must actually reach
+    the wire.  The numeric levels/options in :mod:`..net.base` are the
+    Linux values, so they pass straight through; options the host
+    rejects stay visible to ``getsockopt`` but are otherwise inert.
+    """
+
+    def __init__(self, hs: _hostsocket.socket):
+        super().__init__()
+        self._hs = hs
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        try:
+            level, optname = key
+            self._hs.setsockopt(level, optname, value)
+        except (OSError, TypeError, ValueError):
+            pass
+
+
+class HostSocket:
+    """One real host socket behind the kernel's socket-object surface."""
+
+    ST_NEW = "new"
+    ST_BOUND = "bound"
+    ST_LISTENING = "listening"
+    ST_CONNECTED = "connected"
+    ST_CLOSED = "closed"
+
+    def __init__(self, backend: "HostBackend", family: int, type_: int,
+                 hs: Optional[_hostsocket.socket] = None):
+        self.stack = backend
+        self.family = family
+        self.type = type_
+        self.state = self.ST_NEW
+        self.addr: Optional[Tuple] = None
+        self.peer_addr: Optional[Tuple] = None
+        self.wq = WaitQueue()
+        self._last_mask = 0  # poller-edge tracking
+        if hs is None:
+            kind = _hostsocket.SOCK_STREAM if type_ == SOCK_STREAM \
+                else _hostsocket.SOCK_DGRAM
+            hs = _hostsocket.socket(_hostsocket.AF_INET, kind)
+            if type_ == SOCK_STREAM:
+                # test servers rebind fast; mirror the common daemon setup
+                hs.setsockopt(_hostsocket.SOL_SOCKET,
+                              _hostsocket.SO_REUSEADDR, 1)
+        self.hs = hs
+        self.hs.setblocking(False)
+        self.opts = _HostOpts(hs)
+        backend._register(self)
+
+    def fileno(self) -> int:
+        return self.hs.fileno()
+
+    @property
+    def rbuf(self) -> bytes:
+        return b""  # FIONREAD on host sockets reports 0 (kernel-side view)
+
+    # ---- data path ----
+
+    def recv_step(self, length: int) -> bytes:
+        try:
+            return self.hs.recv(length)
+        except BlockingIOError:
+            raise KernelError(EAGAIN, "host socket would block")
+        except ConnectionResetError as exc:
+            raise _map_oserror(exc, ECONNRESET)
+        except OSError as exc:
+            raise _map_oserror(exc, ENOTCONN)
+
+    def send_step(self, data: bytes) -> int:
+        try:
+            return self.hs.send(bytes(data))
+        except BlockingIOError:
+            raise KernelError(EAGAIN, "host socket would block")
+        except BrokenPipeError as exc:
+            raise _map_oserror(exc, EPIPE)
+        except OSError as exc:
+            raise _map_oserror(exc, EPIPE)
+
+    def poll_events(self) -> int:
+        if self.state == self.ST_CLOSED:
+            return EPOLLIN | EPOLLHUP
+        try:
+            r, w, x = _select.select([self.hs], [self.hs], [self.hs], 0)
+        except (OSError, ValueError):
+            return EPOLLERR | EPOLLHUP
+        mask = 0
+        if r:
+            mask |= EPOLLIN
+        if w and self.state != self.ST_LISTENING:
+            mask |= EPOLLOUT
+        if x:
+            mask |= EPOLLERR
+        return mask
+
+    def poll(self) -> Tuple[bool, bool]:
+        mask = self.poll_events()
+        return bool(mask & EPOLLIN), bool(mask & EPOLLOUT)
+
+    # ---- lifecycle ----
+
+    def shutdown(self, how: int) -> None:
+        try:
+            self.hs.shutdown(how)  # SHUT_* values match the host's
+        except OSError as exc:
+            raise _map_oserror(exc, ENOTCONN)
+
+    def close(self) -> None:
+        if self.state == self.ST_CLOSED:
+            return
+        self.state = self.ST_CLOSED
+        self.stack.unregister(self)
+        try:
+            self.hs.close()
+        except OSError:
+            pass
+        self.wq.wake(EPOLLIN | EPOLLOUT | EPOLLHUP)
+
+
+class HostBackend(NetBackend):
+    """Real host sockets behind the backend API (opt-in)."""
+
+    name = "host"
+
+    def __init__(self, opt_in: bool = False, bind_host: str = "127.0.0.1"):
+        if not opt_in and not os.environ.get("REPRO_NET_HOST"):
+            raise KernelError(
+                EPERM, "host net backend is opt-in: pass --net host:optin=1 "
+                       "or set REPRO_NET_HOST=1")
+        self.bind_host = bind_host
+        self._sockets: set = set()
+        self._lock = threading.Lock()
+        self._poller: Optional[threading.Thread] = None
+
+    # -- poller plumbing: bridge host readiness into waitqueues --
+
+    def _register(self, sock: HostSocket) -> None:
+        with self._lock:
+            self._sockets.add(sock)
+            if self._poller is None:
+                self._poller = threading.Thread(
+                    target=self._poll_loop, daemon=True,
+                    name="host-net-poller")
+                self._poller.start()
+
+    def unregister(self, sock) -> None:
+        with self._lock:
+            self._sockets.discard(sock)
+
+    def _poll_loop(self) -> None:
+        while True:
+            with self._lock:
+                socks = list(self._sockets)
+                if not socks:
+                    # last socket closed: retire; the next register
+                    # starts a fresh poller
+                    self._poller = None
+                    return
+            live = [s for s in socks if s.state != HostSocket.ST_CLOSED]
+            try:
+                # one select over every registered fd per slice
+                r, w, x = _select.select(live, live, live, 0)
+            except (OSError, ValueError):
+                _time.sleep(_POLL_SLICE_S)
+                continue
+            r, w, x = set(r), set(w), set(x)
+            for sock in live:
+                mask = 0
+                if sock in r:
+                    mask |= EPOLLIN
+                if sock in w and sock.state != HostSocket.ST_LISTENING:
+                    mask |= EPOLLOUT
+                if sock in x:
+                    mask |= EPOLLERR
+                risen = mask & ~sock._last_mask
+                sock._last_mask = mask
+                if risen:
+                    sock.wq.wake(risen)
+            _time.sleep(_POLL_SLICE_S)
+
+    # -- namespace / lifecycle --
+
+    def socket(self, family: int, type_: int) -> HostSocket:
+        if family != AF_INET:
+            raise KernelError(EINVAL,
+                              f"host backend supports AF_INET only "
+                              f"(family {family})")
+        base_type = type_ & 0xFF
+        if base_type not in (SOCK_STREAM, SOCK_DGRAM):
+            raise KernelError(EINVAL, f"type {type_}")
+        return HostSocket(self, family, base_type)
+
+    def bind(self, sock: HostSocket, addr: Tuple) -> None:
+        host, port = addr[0] or self.bind_host, addr[1]
+        try:
+            sock.hs.bind((host, port))
+        except OSError as exc:
+            raise _map_oserror(exc, EINVAL)
+        sock.addr = sock.hs.getsockname()
+        sock.state = HostSocket.ST_BOUND
+
+    def listen(self, sock: HostSocket, backlog: int) -> None:
+        if sock.type != SOCK_STREAM:
+            raise KernelError(EOPNOTSUPP)
+        try:
+            sock.hs.listen(max(backlog, 1))
+        except OSError as exc:
+            raise _map_oserror(exc, EINVAL)
+        sock.state = HostSocket.ST_LISTENING
+
+    def connect(self, sock: HostSocket, addr: Tuple) -> None:
+        if sock.type == SOCK_DGRAM:
+            sock.peer_addr = tuple(addr)
+            return
+        try:
+            # a short blocking connect keeps sys_connect's synchronous
+            # contract (the simulated backends connect instantly too)
+            sock.hs.setblocking(True)
+            sock.hs.settimeout(5.0)
+            sock.hs.connect(tuple(addr))
+        except _hostsocket.timeout as exc:
+            raise _map_oserror(exc, ETIMEDOUT)
+        except ConnectionRefusedError as exc:
+            raise _map_oserror(exc, ECONNREFUSED)
+        except OSError as exc:
+            raise _map_oserror(exc, ECONNREFUSED)
+        finally:
+            sock.hs.setblocking(False)
+        sock.peer_addr = sock.hs.getpeername()
+        sock.addr = sock.hs.getsockname()
+        sock.state = HostSocket.ST_CONNECTED
+
+    def accept_step(self, listener: HostSocket) -> HostSocket:
+        try:
+            conn, peer = listener.hs.accept()
+        except BlockingIOError:
+            raise KernelError(EAGAIN, "no pending connections")
+        except OSError as exc:
+            raise _map_oserror(exc, EINVAL)
+        out = HostSocket(self, listener.family, SOCK_STREAM, hs=conn)
+        out.state = HostSocket.ST_CONNECTED
+        out.addr = conn.getsockname()
+        out.peer_addr = peer
+        return out
+
+    def socketpair(self, family: int, type_: int):
+        kind = _hostsocket.SOCK_STREAM if (type_ & 0xFF) == SOCK_STREAM \
+            else _hostsocket.SOCK_DGRAM
+        ha, hb = _hostsocket.socketpair(type=kind)
+        out = []
+        for hs in (ha, hb):
+            s = HostSocket(self, family, type_ & 0xFF, hs=hs)
+            s.state = HostSocket.ST_CONNECTED
+            s.peer_addr = ("", 0)
+            out.append(s)
+        return out[0], out[1]
+
+    # -- data plane --
+
+    def sendto(self, sock: HostSocket, data: bytes,
+               addr: Optional[Tuple]) -> int:
+        if sock.type != SOCK_DGRAM:
+            if addr is not None and sock.state == HostSocket.ST_CONNECTED:
+                return sock.send_step(data)
+            raise KernelError(EOPNOTSUPP)
+        target = addr or sock.peer_addr
+        if target is None:
+            raise KernelError(ENOTCONN)
+        try:
+            return sock.hs.sendto(bytes(data), tuple(target))
+        except BlockingIOError:
+            raise KernelError(EAGAIN, "host socket would block")
+        except OSError as exc:
+            raise _map_oserror(exc, ECONNREFUSED)
+
+    def recvfrom_step(self, sock: HostSocket,
+                      length: int) -> Tuple[bytes, Tuple]:
+        if sock.type != SOCK_DGRAM:
+            return sock.recv_step(length), sock.peer_addr or ("", 0)
+        try:
+            data, src = sock.hs.recvfrom(length)
+            return data, src
+        except BlockingIOError:
+            raise KernelError(EAGAIN, "no datagrams")
+        except OSError as exc:
+            raise _map_oserror(exc, ENOTCONN)
+
+    def stream_send(self, sock: HostSocket, data: bytes) -> int:
+        return sock.send_step(data)
+
+    def deliver_eof(self, sender, peer, mask: int) -> None:
+        pass  # the host kernel propagates FIN/HUP itself
+
+    def describe(self) -> str:
+        return f"host:bind={self.bind_host}"

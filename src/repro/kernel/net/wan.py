@@ -1,0 +1,165 @@
+"""Simulated-WAN backend: loopback semantics behind an impaired link.
+
+Every payload (stream chunk, datagram, EOF marker) crosses a delay line
+before it becomes readable at the peer:
+
+* **latency** — fixed one-way propagation delay,
+* **jitter** — uniform random extra delay per payload (seeded, so runs
+  are reproducible),
+* **bandwidth** — a serialization clock per sender: back-to-back sends
+  queue behind each other like packets on a link,
+* **loss** — probabilistic *datagram* drops (streams stay reliable, like
+  TCP over a lossy path; the datagram simply never arrives and no error
+  is reported to either side).
+
+Delivery rides the same machinery :class:`~..eventpoll.TimerFD` uses —
+a daemon :class:`threading.Timer` that, on expiry, moves due payloads
+into the receive buffer and publishes ``EPOLLIN`` through the socket's
+:class:`~..eventpoll.WaitQueue` — so delayed readiness flows through
+``epoll_pwait``/``ppoll`` exactly like any other readiness edge, and
+edge-triggered interest fires once per arrival, not per send.
+
+In-flight stream bytes stay charged against the receiver's
+:class:`~.base.StreamBuffer` window (``in_flight``), so the writer's
+flow control sees one consistent ``SOCK_BUF_CAPACITY`` budget.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time as _time
+from collections import deque
+from typing import Tuple
+
+from ..eventpoll import EPOLLIN
+from .base import Socket
+from .loopback import LoopbackBackend
+
+
+class WanBackend(LoopbackBackend):
+    """Loopback namespace + delay-line delivery with impairments."""
+
+    name = "wan"
+
+    def __init__(self, latency_ms: float = 20.0, jitter_ms: float = 0.0,
+                 loss: float = 0.0, bw_kbps: float = 0.0,
+                 seed: int = 0xBEEF):
+        super().__init__()
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {loss}")
+        if latency_ms < 0 or jitter_ms < 0 or bw_kbps < 0:
+            raise ValueError("latency/jitter/bandwidth must be >= 0")
+        self.latency_ns = int(latency_ms * 1e6)
+        self.jitter_ns = int(jitter_ms * 1e6)
+        self.loss = loss
+        self.bw_kbps = bw_kbps
+        self.seed = seed
+        self._rng = random.Random(seed)
+        # serializes the link clock and the seeded RNG: senders may
+        # transmit toward different receivers (different conds) at once
+        self._link_lock = threading.Lock()
+
+    def describe(self) -> str:
+        return (f"wan:latency_ms={self.latency_ns / 1e6:g},"
+                f"jitter_ms={self.jitter_ns / 1e6:g},"
+                f"loss={self.loss:g},bw_kbps={self.bw_kbps:g}")
+
+    # ---- the delay line ----
+
+    def _transmit(self, sender: Socket, peer: Socket, kind: str,
+                  payload, nbytes: int) -> bool:
+        """Queue one payload for delayed delivery (under ``peer.cond``).
+
+        Returns False when the link adds no delay and nothing is queued
+        ahead — the caller then delivers inline (zero-cost fast path).
+        """
+        now = _time.monotonic_ns()
+        with self._link_lock:
+            # serialization: this sender's link is busy until previous
+            # sends finish transmitting at the configured bandwidth
+            busy = max(now, sender.__dict__.get("_wan_busy_ns", 0))
+            tx_ns = int(nbytes * 8e6 / self.bw_kbps) \
+                if self.bw_kbps > 0 else 0
+            sender.__dict__["_wan_busy_ns"] = busy + tx_ns
+            jit = int(self._rng.uniform(0, self.jitter_ns)) \
+                if self.jitter_ns else 0
+        deliver_at = busy + tx_ns + self.latency_ns + jit
+        q = peer.__dict__.setdefault("_wan_pending", deque())
+        # FIFO: jitter never reorders payloads on one link
+        deliver_at = max(deliver_at, peer.__dict__.get("_wan_last_at", 0))
+        if deliver_at <= now and not q:
+            return False
+        peer.__dict__["_wan_last_at"] = deliver_at
+        q.append((deliver_at, kind, payload))
+        # one timer per drain cycle, not per payload: FIFO deadlines are
+        # monotonic, so while a timer is armed the head can only move
+        # later — _pump re-arms if anything remains after a drain
+        if not peer.__dict__.get("_wan_timer_armed", False):
+            peer.__dict__["_wan_timer_armed"] = True
+            self._arm(peer, deliver_at - now)
+        return True
+
+    def _arm(self, peer: Socket, delay_ns: int) -> None:
+        t = threading.Timer(max(delay_ns, 0) / 1e9, self._pump, args=(peer,))
+        t.daemon = True
+        t.start()
+
+    def _pump(self, peer: Socket) -> None:
+        """Timer expiry: move every due payload into the receive side."""
+        mask = 0
+        with peer.cond:
+            peer.__dict__["_wan_timer_armed"] = False
+            q = peer.__dict__.get("_wan_pending")
+            now = _time.monotonic_ns()
+            while q and q[0][0] <= now:
+                _, kind, payload = q.popleft()
+                if kind == "data":
+                    peer.rx.in_flight -= len(payload)
+                    peer.rx.data.extend(payload)
+                    mask |= EPOLLIN
+                elif kind == "dgram":
+                    peer.dgrams.append(payload)
+                    mask |= EPOLLIN
+                else:  # "eof": the FIN arrives behind any in-flight data
+                    peer.rx.set_eof()
+                    mask |= payload
+            if q:
+                # later payloads (or an early-firing Timer) still pending
+                peer.__dict__["_wan_timer_armed"] = True
+                self._arm(peer, q[0][0] - now)
+            if mask:
+                peer.cond.notify_all()
+        if mask:
+            peer.wq.wake(mask)
+
+    # ---- delivery-policy overrides ----
+
+    def _deliver_stream(self, sender: Socket, peer: Socket,
+                        chunk: bytes) -> None:
+        if self._transmit(sender, peer, "data", chunk, len(chunk)):
+            peer.rx.in_flight += len(chunk)
+        else:
+            super()._deliver_stream(sender, peer, chunk)
+
+    def pending_delivery(self, sock: Socket) -> bool:
+        return bool(sock.__dict__.get("_wan_pending"))
+
+    def _deliver_dgram(self, sender: Socket, target: Socket,
+                       payload: Tuple[Tuple, bytes]) -> None:
+        if self.loss > 0:
+            with self._link_lock:
+                dropped = self._rng.random() < self.loss
+            if dropped:
+                return  # the WAN ate it; senders never hear about it
+        with target.cond:
+            queued = self._transmit(sender, target, "dgram", payload,
+                                    len(payload[1]))
+        if not queued:
+            super()._deliver_dgram(sender, target, payload)
+
+    def deliver_eof(self, sender: Socket, peer: Socket, mask: int) -> None:
+        with peer.cond:
+            queued = self._transmit(sender, peer, "eof", mask, 0)
+        if not queued:
+            super().deliver_eof(sender, peer, mask)

@@ -1,280 +1,32 @@
-"""Loopback socket layer: AF_INET/AF_UNIX stream + datagram sockets.
+"""Back-compat shim: the socket layer now lives in :mod:`repro.kernel.net`.
 
-Everything stays in-process: a :class:`NetStack` owns the "port namespace";
-connected stream sockets are paired buffers with conditions, which is enough
-to run the paper's socket-heavy guests (memcached, paho-mqtt) and exercise
-``socket``/``bind``/``listen``/``accept``/``connect``/``send*``/``recv*``/
-``setsockopt``/``shutdown`` through WALI.
+Historically this module held the loopback-only socket stack.  PR 2 split
+it into a backend interface (``kernel/net/base.py``) with three
+implementations — loopback (the default, same semantics), a simulated WAN
+with latency/jitter/bandwidth/loss, and real host sockets — selected via
+``Kernel(net_backend=...)``.  Every public name is re-exported here, and
+``NetStack`` remains an alias for the default backend, so existing
+imports keep working unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Tuple
-
-from .errno import (
-    EADDRINUSE, EAGAIN, ECONNREFUSED, ECONNRESET, EINVAL, EISCONN,
-    ENOTCONN, EOPNOTSUPP, EPIPE, KernelError,
-)
-from .eventpoll import (
-    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP, WaitQueue,
+from .net import (
+    AF_INET, AF_UNIX, IPPROTO_TCP, HostBackend, HostSocket, LoopbackBackend,
+    NetBackend, SHUT_RD, SHUT_RDWR, SHUT_WR, SO_KEEPALIVE, SO_RCVBUF,
+    SO_REUSEADDR, SO_SNDBUF, SOCK_BUF_CAPACITY, SOCK_CLOEXEC, SOCK_DGRAM,
+    SOCK_NONBLOCK, SOCK_STREAM, SOL_SOCKET, Socket, StreamBuffer,
+    TCP_NODELAY, WanBackend, create_backend,
 )
 
-AF_UNIX = 1
-AF_INET = 2
+# the historical name for the loopback stack
+NetStack = LoopbackBackend
 
-SOCK_STREAM = 1
-SOCK_DGRAM = 2
-SOCK_NONBLOCK = 0o4000
-SOCK_CLOEXEC = 0o2000000
-
-SOL_SOCKET = 1
-SO_REUSEADDR = 2
-SO_KEEPALIVE = 9
-SO_RCVBUF = 8
-SO_SNDBUF = 7
-IPPROTO_TCP = 6
-TCP_NODELAY = 1
-
-SHUT_RD, SHUT_WR, SHUT_RDWR = 0, 1, 2
-
-SOCK_BUF_CAPACITY = 262144
-
-
-class Socket:
-    """One endpoint."""
-
-    ST_NEW = "new"
-    ST_BOUND = "bound"
-    ST_LISTENING = "listening"
-    ST_CONNECTED = "connected"
-    ST_CLOSED = "closed"
-
-    def __init__(self, stack: "NetStack", family: int, type_: int):
-        self.stack = stack
-        self.family = family
-        self.type = type_
-        self.state = self.ST_NEW
-        self.addr: Optional[Tuple] = None        # bound address
-        self.peer_addr: Optional[Tuple] = None
-        self.peer: Optional["Socket"] = None
-        self.rbuf = bytearray()
-        self.eof = False
-        self.backlog: List["Socket"] = []
-        self.backlog_limit = 0
-        self.dgrams: List[Tuple[Tuple, bytes]] = []
-        self.opts: Dict[Tuple[int, int], int] = {}
-        self.cond = threading.Condition()
-        # readiness waitqueue: state transitions publish events here so
-        # epoll/ppoll waiters wake without rescanning (kernel/eventpoll.py)
-        self.wq = WaitQueue()
-
-    # ---- stream data path (non-blocking steps; kernel loops for blocking) ----
-
-    def recv_step(self, length: int) -> bytes:
-        with self.cond:
-            if self.rbuf:
-                out = bytes(self.rbuf[:length])
-                del self.rbuf[:length]
-                self.cond.notify_all()
-                if self.peer is not None:
-                    self.peer.wq.wake(EPOLLOUT)  # space freed for the writer
-                return out
-            if self.eof or self.state == self.ST_CLOSED:
-                return b""
-            if self.state != self.ST_CONNECTED:
-                raise KernelError(ENOTCONN)
-            raise KernelError(EAGAIN, "socket buffer empty")
-
-    def send_step(self, data: bytes) -> int:
-        peer = self.peer
-        if self.state != self.ST_CONNECTED or peer is None:
-            if self.type == SOCK_DGRAM:
-                raise KernelError(ENOTCONN)
-            raise KernelError(EPIPE, "send on unconnected/reset socket")
-        with peer.cond:
-            if peer.state == peer.ST_CLOSED:
-                raise KernelError(EPIPE, "peer closed")
-            space = SOCK_BUF_CAPACITY - len(peer.rbuf)
-            if space <= 0:
-                raise KernelError(EAGAIN, "peer buffer full")
-            chunk = data[:space]
-            peer.rbuf.extend(chunk)
-            peer.cond.notify_all()
-            peer.wq.wake(EPOLLIN)
-            return len(chunk)
-
-    def poll_events(self) -> int:
-        """Current readiness mask (EPOLL*/POLL* bits share values)."""
-        if self.state == self.ST_LISTENING:
-            return EPOLLIN if self.backlog else 0
-        mask = 0
-        if self.rbuf or self.dgrams or self.eof or \
-                self.state == self.ST_CLOSED:
-            mask |= EPOLLIN
-        peer = self.peer
-        peer_gone = self.state == self.ST_CONNECTED and \
-            (peer is None or peer.state == self.ST_CLOSED)
-        if self.state == self.ST_CONNECTED and peer is not None and \
-                peer.state != self.ST_CLOSED and \
-                len(peer.rbuf) < SOCK_BUF_CAPACITY:
-            mask |= EPOLLOUT
-        if self.state == self.ST_CLOSED or peer_gone:
-            mask |= EPOLLHUP
-        if self.eof:
-            mask |= EPOLLRDHUP
-        return mask
-
-    def poll(self) -> Tuple[bool, bool]:
-        mask = self.poll_events()
-        return bool(mask & EPOLLIN), bool(mask & EPOLLOUT)
-
-    # ---- lifecycle ----
-
-    def shutdown(self, how: int) -> None:
-        if self.state != self.ST_CONNECTED:
-            raise KernelError(ENOTCONN)
-        if how in (SHUT_WR, SHUT_RDWR) and self.peer is not None:
-            with self.peer.cond:
-                self.peer.eof = True
-                self.peer.cond.notify_all()
-            self.peer.wq.wake(EPOLLIN | EPOLLRDHUP)
-        if how in (SHUT_RD, SHUT_RDWR):
-            with self.cond:
-                self.eof = True
-                self.cond.notify_all()
-            self.wq.wake(EPOLLIN | EPOLLRDHUP)
-
-    def close(self) -> None:
-        if self.state == self.ST_CLOSED:
-            return
-        if self.state == self.ST_LISTENING:
-            self.stack.unregister(self)
-            for pending in self.backlog:
-                with pending.cond:
-                    pending.state = pending.ST_CLOSED
-                    pending.cond.notify_all()
-                pending.wq.wake(EPOLLIN | EPOLLHUP)
-        if self.addr is not None and self.type == SOCK_DGRAM:
-            self.stack.unregister(self)
-        peer = self.peer
-        self.state = self.ST_CLOSED
-        with self.cond:
-            self.cond.notify_all()
-        self.wq.wake(EPOLLIN | EPOLLOUT | EPOLLHUP)
-        if peer is not None:
-            with peer.cond:
-                peer.eof = True
-                peer.cond.notify_all()
-            peer.wq.wake(EPOLLIN | EPOLLRDHUP | EPOLLHUP)
-
-
-class NetStack:
-    """Port/address namespace plus connection establishment."""
-
-    def __init__(self):
-        self._bound: Dict[Tuple, Socket] = {}
-        self.lock = threading.Lock()
-
-    def socket(self, family: int, type_: int) -> Socket:
-        if family not in (AF_UNIX, AF_INET):
-            raise KernelError(EINVAL, f"family {family}")
-        base_type = type_ & 0xFF
-        if base_type not in (SOCK_STREAM, SOCK_DGRAM):
-            raise KernelError(EINVAL, f"type {type_}")
-        return Socket(self, family, base_type)
-
-    def bind(self, sock: Socket, addr: Tuple) -> None:
-        key = (sock.family, sock.type, addr)
-        with self.lock:
-            if key in self._bound and \
-                    not sock.opts.get((SOL_SOCKET, SO_REUSEADDR)):
-                existing = self._bound[key]
-                if existing.state != Socket.ST_CLOSED:
-                    raise KernelError(EADDRINUSE, str(addr))
-            self._bound[key] = sock
-        sock.addr = addr
-        sock.state = Socket.ST_BOUND
-
-    def listen(self, sock: Socket, backlog: int) -> None:
-        if sock.addr is None:
-            raise KernelError(EINVAL, "listen before bind")
-        if sock.type != SOCK_STREAM:
-            raise KernelError(EOPNOTSUPP)
-        sock.backlog_limit = max(backlog, 1)
-        sock.state = Socket.ST_LISTENING
-
-    def connect(self, sock: Socket, addr: Tuple) -> None:
-        if sock.state == Socket.ST_CONNECTED:
-            raise KernelError(EISCONN)
-        if sock.type == SOCK_DGRAM:
-            sock.peer_addr = addr  # datagram "connect" just fixes the target
-            return
-        with self.lock:
-            listener = self._bound.get((sock.family, sock.type, addr))
-        if listener is None or listener.state != Socket.ST_LISTENING:
-            raise KernelError(ECONNREFUSED, str(addr))
-        server_side = Socket(self, sock.family, sock.type)
-        server_side.peer = sock
-        server_side.addr = addr
-        server_side.peer_addr = sock.addr or ("", 0)
-        server_side.state = Socket.ST_CONNECTED
-        sock.peer = server_side
-        sock.peer_addr = addr
-        sock.state = Socket.ST_CONNECTED
-        with listener.cond:
-            if len(listener.backlog) >= listener.backlog_limit:
-                sock.peer = None
-                sock.state = Socket.ST_BOUND if sock.addr else Socket.ST_NEW
-                raise KernelError(ECONNREFUSED, "backlog full")
-            listener.backlog.append(server_side)
-            listener.cond.notify_all()
-        listener.wq.wake(EPOLLIN)
-
-    def accept_step(self, listener: Socket) -> Socket:
-        with listener.cond:
-            if listener.backlog:
-                return listener.backlog.pop(0)
-            raise KernelError(EAGAIN, "no pending connections")
-
-    def sendto(self, sock: Socket, data: bytes, addr: Optional[Tuple]) -> int:
-        if sock.type != SOCK_DGRAM:
-            if addr is not None and sock.state == Socket.ST_CONNECTED:
-                return sock.send_step(data)
-            raise KernelError(EOPNOTSUPP)
-        target_addr = addr or sock.peer_addr
-        if target_addr is None:
-            raise KernelError(ENOTCONN)
-        with self.lock:
-            target = self._bound.get((sock.family, SOCK_DGRAM, target_addr))
-        if target is None:
-            raise KernelError(ECONNREFUSED, str(target_addr))
-        with target.cond:
-            target.dgrams.append((sock.addr or ("", 0), bytes(data)))
-            target.cond.notify_all()
-        target.wq.wake(EPOLLIN)
-        return len(data)
-
-    def recvfrom_step(self, sock: Socket, length: int) -> Tuple[bytes, Tuple]:
-        if sock.type != SOCK_DGRAM:
-            return sock.recv_step(length), sock.peer_addr or ("", 0)
-        with sock.cond:
-            if sock.dgrams:
-                src, data = sock.dgrams.pop(0)
-                return data[:length], src
-            raise KernelError(EAGAIN, "no datagrams")
-
-    def socketpair(self, family: int, type_: int) -> Tuple[Socket, Socket]:
-        a = self.socket(family, type_)
-        b = self.socket(family, type_)
-        a.peer = b
-        b.peer = a
-        a.state = b.state = Socket.ST_CONNECTED
-        a.peer_addr = b.peer_addr = ("", 0)
-        return a, b
-
-    def unregister(self, sock: Socket) -> None:
-        with self.lock:
-            for key, s in list(self._bound.items()):
-                if s is sock:
-                    del self._bound[key]
+__all__ = [
+    "AF_INET", "AF_UNIX", "HostBackend", "HostSocket", "IPPROTO_TCP",
+    "LoopbackBackend", "NetBackend", "NetStack", "SHUT_RD", "SHUT_RDWR",
+    "SHUT_WR", "SOCK_BUF_CAPACITY", "SOCK_CLOEXEC", "SOCK_DGRAM",
+    "SOCK_NONBLOCK", "SOCK_STREAM", "SOL_SOCKET", "SO_KEEPALIVE",
+    "SO_RCVBUF", "SO_REUSEADDR", "SO_SNDBUF", "Socket", "StreamBuffer",
+    "TCP_NODELAY", "WanBackend", "create_backend",
+]

@@ -112,7 +112,8 @@ class ContainerRuntime:
         self.images[image.name] = image
 
     def create(self, image_name: str,
-               app_files: Optional[Dict[str, bytes]] = None) -> Container:
+               app_files: Optional[Dict[str, bytes]] = None,
+               net: str = "loopback") -> Container:
         """Start a container: the expensive part (Fig. 8 startup gap)."""
         t0 = time.perf_counter()
         image = self.images[image_name]
@@ -120,7 +121,9 @@ class ContainerRuntime:
         cid = f"c{self._next_id:08d}"
 
         # fresh kernel instance = isolated OS view for the container
-        kernel = Kernel()
+        # (the net namespace below is per-container, so each container
+        # gets its own backend instance — the --net knob rides along)
+        kernel = Kernel(net_backend=net)
         container = Container(cid, image, kernel)
 
         # 1. materialise the overlay rootfs: copy + digest-verify each layer

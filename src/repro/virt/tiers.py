@@ -66,6 +66,10 @@ class Workload:
     files: Dict[str, bytes] = field(default_factory=dict)
     stdin: bytes = b""
     label: str = ""
+    # kernel network backend spec (the --net knob): "loopback" (default),
+    # "wan:latency_ms=...,jitter_ms=...,loss=...,bw_kbps=...", or
+    # "host:optin=1" — see repro.kernel.net.create_backend
+    net: str = "loopback"
 
 
 class _GuestSession:
@@ -169,7 +173,7 @@ def run_tier(tier: str, module: Module, workload: Workload,
         return _run_docker(module, workload, env)
 
     binary = encode_module(module)  # the packaged application image
-    kernel = Kernel()
+    kernel = Kernel(net_backend=workload.net)
     _prepare_kernel(kernel, workload)
 
     t0 = time.perf_counter()
@@ -208,7 +212,8 @@ def _run_docker(module: Module, workload: Workload,
 
     t0 = time.perf_counter()
     container = runtime.create(
-        "repro-base", app_files={f"/bin/{workload.app}.wasm": binary})
+        "repro-base", app_files={f"/bin/{workload.app}.wasm": binary},
+        net=workload.net)
     kernel = container.kernel
     _prepare_kernel(kernel, workload)
     session = _GuestSession(kernel, module, workload.argv, env, "none")

@@ -60,16 +60,21 @@ def paho_script_workload(scale: int = 400) -> Workload:
     return lua_workload(scale)
 
 
-def echo_workload(scale: int = 20, nclients: int = 50) -> Workload:
+def echo_workload(scale: int = 20, nclients: int = 50,
+                  net: str = "loopback") -> Workload:
     """Many-client event-loop chat: one single-threaded guest drives
-    ``nclients`` concurrent loopback connections through epoll for
-    ``scale`` echo rounds each — the readiness-dispatch-bound workload
-    (all kernel time is accept4/read/write/epoll_pwait)."""
+    ``nclients`` concurrent connections through epoll for ``scale`` echo
+    rounds each — the readiness-dispatch-bound workload (all kernel time
+    is accept4/read/write/epoll_pwait).  ``net`` selects the kernel's
+    network backend: under ``"wan:..."`` every echo pays the configured
+    link latency, so the workload turns network-bound."""
     nclients = max(1, min(nclients, 100))
+    suffix = "" if net == "loopback" else f"@{net.split(':', 1)[0]}"
     return Workload(
         app="event_echo",
         argv=["event_echo", str(nclients), str(scale)],
-        label=f"echo-{nclients}x{scale}",
+        label=f"echo-{nclients}x{scale}{suffix}",
+        net=net,
     )
 
 

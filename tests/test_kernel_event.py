@@ -483,3 +483,46 @@ export func _start() {
         wp = rt.load(build("event_echo"), argv=["event_echo", "50", "4"])
         assert wp.run() == 0
         assert b"echo ok echoes=200" in rt.kernel.console_output()
+
+
+class TestWakeCoalescing:
+    """The per-epoll dirty flag: a burst of readiness transitions on a
+    hot fd costs one waiter notification per ready-list drain, not one
+    per transition (the ROADMAP's edge-triggered wakeup coalescing)."""
+
+    def test_one_wake_per_ready_list_drain_under_burst(self, kern, proc):
+        a, b = _stream_pair(kern, proc)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, a, EPOLLIN)
+        kern.call(proc, "epoll_pwait", ep, 8, timeout_ns=0)  # level drain
+        wakes = []
+        proc.fdtable.get(ep).obj.wq.subscribe(wakes.append)
+
+        for _ in range(100):  # 100 transitions on the same hot fd
+            kern.call(proc, "sendto", b, b"x")
+        assert len(wakes) == 1, wakes
+
+        # a drain re-arms the notification...
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=0) == [(a, EPOLLIN)]
+        for _ in range(100):
+            kern.call(proc, "sendto", b, b"y")
+        # ...so the next burst costs exactly one more wake
+        assert len(wakes) == 2, wakes
+
+    def test_coalescing_does_not_lose_wakeups_across_waits(self, kern, proc):
+        """A blocked epoll_pwait still wakes promptly for a transition
+        that arrives after the previous drain lowered the dirty flag."""
+        a, b = _stream_pair(kern, proc)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, a, EPOLLIN)
+        kern.call(proc, "epoll_pwait", ep, 8, timeout_ns=0)
+
+        t = threading.Timer(0.05, lambda: kern.call(proc, "sendto", b, b"z"))
+        t.start()
+        t0 = time.perf_counter()
+        ready = kern.call(proc, "epoll_pwait", ep, 8,
+                          timeout_ns=2_000_000_000)
+        elapsed = time.perf_counter() - t0
+        assert ready == [(a, EPOLLIN)]
+        assert elapsed < 1.0  # woken by the event, not the timeout

@@ -271,3 +271,86 @@ def test_gc_preserves_program_behaviour(seed, nfuncs):
     assert before == after
     # GC must not leave more functions than it started with
     assert len(module.funcs) <= nfuncs + 1
+
+
+# --------------------------------------------------------------------------
+# socket stream buffer (kernel/net/base.py) invariants
+# --------------------------------------------------------------------------
+
+from repro.kernel.net import SOCK_BUF_CAPACITY, StreamBuffer
+
+_immediate_ops = st.lists(st.one_of(
+    st.tuples(st.just("write"), st.binary(min_size=1, max_size=512)),
+    st.tuples(st.just("read"), st.integers(1, 512)),
+    st.tuples(st.just("eof"), st.none()),
+), min_size=1, max_size=120)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_immediate_ops)
+def test_stream_buffer_immediate_mode_invariants(ops):
+    """Loopback-style delivery: any interleaving of write/read/shutdown
+    never loses or reorders bytes and never exceeds the capacity."""
+    buf = StreamBuffer(capacity=1024)
+    sent = bytearray()
+    received = bytearray()
+    for op, arg in ops:
+        if op == "write":
+            window = buf.space()
+            n = buf.write(arg)
+            assert n == min(len(arg), window)  # accepts exactly the window
+            sent += arg[:n]
+        elif op == "read":
+            received += buf.read(arg)
+        else:
+            buf.set_eof()
+        assert len(buf.data) + buf.in_flight <= buf.capacity
+        assert 0 <= buf.space() <= buf.capacity
+        assert not (buf.eof is False and op == "eof")  # eof latches
+    received += buf.read(len(buf.data))
+    assert bytes(received) == bytes(sent)
+
+
+_delayed_ops = st.lists(st.one_of(
+    st.tuples(st.just("xmit"), st.binary(min_size=1, max_size=512)),
+    st.tuples(st.just("arrive"), st.none()),
+    st.tuples(st.just("read"), st.integers(1, 512)),
+    st.tuples(st.just("eof"), st.none()),
+), min_size=1, max_size=120)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_delayed_ops)
+def test_stream_buffer_delayed_mode_invariants(ops):
+    """WAN-style delivery: bytes accepted into the in-flight window and
+    landed later (FIFO) are never lost, reordered, or over capacity —
+    the in-flight account always reconciles to zero."""
+    buf = StreamBuffer(capacity=1024)
+    in_flight = []  # the model's view of the delay line
+    sent = bytearray()
+    received = bytearray()
+    for op, arg in ops:
+        if op == "xmit":
+            chunk = arg[:buf.space()]  # sender clamps to the window
+            if chunk:
+                buf.in_flight += len(chunk)
+                in_flight.append(chunk)
+                sent += chunk
+        elif op == "arrive" and in_flight:
+            chunk = in_flight.pop(0)  # links deliver FIFO
+            buf.in_flight -= len(chunk)
+            buf.data.extend(chunk)
+        elif op == "read":
+            received += buf.read(arg)
+        elif op == "eof":
+            buf.set_eof()
+        assert len(buf.data) + buf.in_flight <= buf.capacity
+        assert buf.in_flight == sum(len(c) for c in in_flight)
+        assert 0 <= buf.space() <= buf.capacity
+    while in_flight:  # land the rest of the delay line
+        chunk = in_flight.pop(0)
+        buf.in_flight -= len(chunk)
+        buf.data.extend(chunk)
+    received += buf.read(len(buf.data))
+    assert buf.in_flight == 0
+    assert bytes(received) == bytes(sent)
