@@ -2,13 +2,24 @@
 
 One single-threaded guest process plays both sides of a c10k-style chat:
 it opens a loopback listener, connects N nonblocking clients to itself,
-and drives R echo rounds per client entirely through one epoll instance —
-every accept, read and reply dispatched from ``epoll_pwait`` readiness,
-no thread per connection.  ``argv: event_echo [nclients] [rounds]``.
+and drives R echo rounds per client — every accept, read and reply
+dispatched from readiness, no thread per connection.  Two serving modes:
 
-This is the workload behind ``bench_epoll_scaling`` and the event-loop
-row of the virtualization sweeps: its syscall mix is pure dispatch
-(accept4/read/write/epoll_pwait), so kernel-side readiness cost dominates.
+* **epoll** (default): ``epoll_pwait`` readiness plus one ``read``/
+  ``write``/``accept4`` crossing per unblocked operation — the classic
+  event loop, and the per-op crossing cost the ring mode removes,
+* **ring** (``-u``): every accept/recv/send is queued as an SQE in the
+  shared io_uring-style ring; one ``io_uring_enter`` crossing submits
+  the batch and reaps every completion, so crossings are paid per
+  *batch*, not per op (client pings ride ``IOSQE_IO_LINK`` chains:
+  SEND linked to the RECV of its echo).
+
+``argv: event_echo [nclients] [rounds] [-u]``.
+
+This is the workload behind ``bench_epoll_scaling`` and
+``bench_uring_batching``: its syscall mix is pure dispatch, so the
+guest<->host boundary cost dominates — exactly the Fig. 7 / Table 2
+crossing share the ring amortizes.
 """
 
 from .libc import with_libc
@@ -26,18 +37,11 @@ buffer rdbuf[128];
 buffer msgbuf[32];
 
 global echoes: i32 = 0;
+global port: i32 = 7777;
 
-export func _start() {
-    __init_args();
-    var nclients: i32 = 8;
-    var rounds: i32 = 10;
-    if (argc() > 1) { nclients = atoi(argv(1)); }
-    if (argc() > 2) { rounds = atoi(argv(2)); }
-    if (nclients > 100) { nclients = 100; }
+// ---- epoll mode: one crossing per unblocked operation ----
 
-    var port: i32 = 7777;
-    var lfd: i32 = tcp_listen(port, 128);
-    if (lfd < 0) { eprint("event_echo: cannot listen\n"); exit(1); }
+func ep_serve(lfd: i32, nclients: i32, rounds: i32) {
     var ep: i32 = cret(SYS_epoll_create1(0));
     set_nonblock(lfd);
     epoll_add(ep, lfd, EPOLLIN);
@@ -104,6 +108,136 @@ export func _start() {
             i = i + 1;
         }
     }
+}
+
+// ---- ring mode: one crossing per batch ----
+
+const TAG_ACCEPT = 1;
+const TAG_SRV = 2;     // server-side RECV completion
+const TAG_CLI = 3;     // client-side RECV completion
+const TAG_SENT = 4;    // SEND completion (no action needed)
+// user_data bases: tag in the high half, fd in the low half
+const UD_ACCEPT = 65536;
+const UD_SRV = 131072;
+const UD_CLI = 196608;
+const UD_SENT = 262144;
+
+buffer ubufs[32768];   // MAXFD x 128: per-fd I/O slots
+
+// fused writer for the dominant pattern — a SEND immediately followed
+// by a RECV re-arm on the same fd slot: one frame, one tail update
+func u_sqe_send_recv(opf: i32, fd: i32, addr: i32, sendlen: i32,
+                     send_ud: i32, recv_ud: i32) {
+    var tail: i32 = load32(__uring_base + 4);
+    if (tail - load32(__uring_base) >= __uring_sqn - 1) {
+        uring_submit();
+        tail = load32(__uring_base + 4);
+    }
+    var p: i32 = __uring_sqbase + (tail & __uring_sqmask) * 32;
+    store32(p, opf);
+    store32(p + 4, fd);
+    store32(p + 8, addr);
+    store32(p + 12, sendlen);
+    store32(p + 24, send_ud);
+    store32(p + 28, 0);
+    p = __uring_sqbase + ((tail + 1) & __uring_sqmask) * 32;
+    store32(p, IORING_OP_RECV);
+    store32(p + 4, fd);
+    store32(p + 8, addr);
+    store32(p + 12, 128);
+    store32(p + 24, recv_ud);
+    store32(p + 28, 0);
+    store32(__uring_base + 4, tail + 2);
+}
+
+// one client round: SEND ping linked to the RECV of its echo.  The
+// client's slot holds "ping\n" from setup and every echo puts the same
+// bytes back, so the payload never needs rewriting.
+func u_client_round(fd: i32) {
+    u_sqe_send_recv(OPF_SEND_LINKED, fd, ubufs + fd * 128, 5,
+                    UD_SENT + fd, UD_CLI + fd);
+}
+
+func u_serve(lfd: i32, nclients: i32, rounds: i32) {
+    if (uring_init(256) < 0) { eprint("event_echo: no ring\n"); exit(1); }
+    uring_push(IORING_OP_ACCEPT, lfd, 0, 0, UD_ACCEPT + lfd);
+
+    var i: i32 = 0;
+    while (i < nclients) {
+        var c: i32 = tcp_connect(port);
+        if (c < 0 || c >= MAXFD) { eprint("event_echo: connect failed\n"); exit(1); }
+        store32(remaining + c * 4, rounds);
+        strcpy(ubufs + c * 128, "ping\n");
+        u_client_round(c);
+        i = i + 1;
+    }
+
+    var live: i32 = nclients;
+    while (live > 0) {
+        var n: i32 = uring_reap_batch(1, 2000);
+        if (n <= 0) { break; }  // stall guard, like the epoll mode
+        // walk the CQ ring directly in guest memory: per-CQE cost is
+        // pointer arithmetic + two loads, no crossings
+        var head: i32 = load32(__uring_base + 12);
+        i = 0;
+        while (i < n) {
+            var cp: i32 = __uring_cqbase + ((head + i) & __uring_cqmask) * 16;
+            var ud: i32 = i32(load64(cp));
+            var res: i32 = load32(cp + 8);
+            var tag: i32 = ud / 65536;
+            var fd: i32 = ud % 65536;
+            if (tag == TAG_ACCEPT) {
+                if (res >= 0 && res < MAXFD) {
+                    // start serving the new connection, keep accepting
+                    uring_push(IORING_OP_RECV, res, ubufs + res * 128, 128,
+                          UD_SRV + res);
+                    uring_push(IORING_OP_ACCEPT, lfd, 0, 0, UD_ACCEPT + lfd);
+                }
+            } else { if (tag == TAG_SRV) {
+                if (res > 0) {
+                    // echo back, then re-arm the read (payload is
+                    // snapshot at submit, so re-arming is safe); the
+                    // echo send completes silently unless it fails
+                    u_sqe_send_recv(OPF_SEND_QUIET, fd, ubufs + fd * 128,
+                                    res, UD_SENT + fd, UD_SRV + fd);
+                    echoes = echoes + 1;
+                } else { if (res == 0) { close(fd); }}
+            } else { if (tag == TAG_CLI) {
+                if (res > 0) {
+                    var left: i32 = load32(remaining + fd * 4) - 1;
+                    store32(remaining + fd * 4, left);
+                    if (left > 0) { u_client_round(fd); }
+                    else {
+                        close(fd);
+                        live = live - 1;
+                    }
+                } else { if (res == 0) {
+                    close(fd);
+                    live = live - 1;
+                }}
+            }}}
+            i = i + 1;
+        }
+        uring_cq_advance(n);
+    }
+}
+
+export func _start() {
+    __init_args();
+    var nclients: i32 = 8;
+    var rounds: i32 = 10;
+    var ring_mode: i32 = 0;
+    if (argc() > 1) { nclients = atoi(argv(1)); }
+    if (argc() > 2) { rounds = atoi(argv(2)); }
+    if (argc() > 3) {
+        if (strcmp(argv(3), "-u") == 0) { ring_mode = 1; }
+    }
+    if (nclients > 100) { nclients = 100; }
+
+    var lfd: i32 = tcp_listen(port, 128);
+    if (lfd < 0) { eprint("event_echo: cannot listen\n"); exit(1); }
+    if (ring_mode) { u_serve(lfd, nclients, rounds); }
+    else { ep_serve(lfd, nclients, rounds); }
     print("echo ok echoes=");
     print_int(echoes);
     println("");

@@ -74,6 +74,9 @@ extern func SYS_epoll_ctl(epfd: i32, op: i32, fd: i32, ev: i32) -> i64 from "wal
 extern func SYS_epoll_pwait(epfd: i32, evs: i32, maxevents: i32, timeout: i32, sigmask: i32, sigsetsize: i32) -> i64 from "wali";
 extern func SYS_timerfd_create(clockid: i32, flags: i32) -> i64 from "wali";
 extern func SYS_timerfd_settime(fd: i32, flags: i32, newval: i32, oldval: i32) -> i64 from "wali";
+extern func SYS_io_uring_setup(entries: i32, params: i32) -> i64 from "wali";
+extern func SYS_io_uring_enter(fd: i32, tosubmit: i32, mincomplete: i32, flags: i32, sig: i32, sigsz: i32) -> i64 from "wali";
+extern func SYS_io_uring_register(fd: i32, opcode: i32, arg: i32, nargs: i32) -> i64 from "wali";
 
 extern func SYS_socket(family: i32, type: i32, proto: i32) -> i64 from "wali";
 extern func SYS_bind(fd: i32, addr: i32, len: i32) -> i64 from "wali";
@@ -546,6 +549,166 @@ func epoll_wait(epfd: i32, evs: i32, maxevents: i32, timeout_ms: i32) -> i32 {
 
 func ev_events(evs: i32, i: i32) -> i32 { return load32(evs + i * 12); }
 func ev_fd(evs: i32, i: i32) -> i32 { return load32(evs + i * 12 + 4); }
+
+// ---- batched I/O: io_uring-style submission/completion ring ----
+// One ring per process (globals): the guest queues SQEs into its own
+// linear-memory SQ array and reaps CQEs from its CQ array — only
+// uring_submit / uring_reap_batch cross the guest<->host boundary, so a
+// whole batch of accept/recv/send costs one crossing.
+const IORING_OP_NOP = 0;
+const IORING_OP_READ = 1;
+const IORING_OP_WRITE = 2;
+const IORING_OP_ACCEPT = 3;
+const IORING_OP_SEND = 4;
+const IORING_OP_RECV = 5;
+const IORING_OP_POLL_ADD = 6;
+const IORING_OP_TIMEOUT = 7;
+const IOSQE_IO_LINK = 4;
+const IOSQE_CQE_SKIP_SUCCESS = 64;
+const IORING_ENTER_GETEVENTS = 1;
+const IORING_ENTER_TIMEOUT_MS = 16;
+
+global __uring_fd: i32 = -1;
+global __uring_base: i32 = 0;
+global __uring_sqn: i32 = 0;
+global __uring_cqn: i32 = 0;
+// entries are powers of two: index with masks, not division
+global __uring_sqmask: i32 = 0;
+global __uring_cqmask: i32 = 0;
+global __uring_sqbase: i32 = 0;
+global __uring_cqbase: i32 = 0;
+buffer __uring_params[8];
+
+// create the ring, allocate the shared region (header + SQ + CQ) and
+// register it with the engine; returns the ring fd or -1
+func uring_init(entries: i32) -> i32 {
+    var fd: i32 = cret(SYS_io_uring_setup(entries, __uring_params));
+    if (fd < 0) { return -1; }
+    var sqn: i32 = load32(__uring_params);
+    var cqn: i32 = load32(__uring_params + 4);
+    var base: i32 = malloc(32 + sqn * 32 + cqn * 16);
+    if (base == 0) { close(fd); return -1; }
+    memfill(base, 0, 32 + sqn * 32 + cqn * 16);
+    store32(base + 8, sqn);
+    store32(base + 20, cqn);
+    if (cret(SYS_io_uring_register(fd, 0, base, 1)) < 0) {
+        free(base);
+        close(fd);
+        return -1;
+    }
+    __uring_fd = fd;
+    __uring_base = base;
+    __uring_sqn = sqn;
+    __uring_cqn = cqn;
+    __uring_sqmask = sqn - 1;
+    __uring_cqmask = cqn - 1;
+    __uring_sqbase = base + 32;
+    __uring_cqbase = base + 32 + sqn * 32;
+    return fd;
+}
+
+// queue one SQE guest-side (no crossing); -1 when the SQ ring is full
+func uring_sqe(op: i32, fd: i32, addr: i32, len: i32, udata: i32, flags: i32) -> i32 {
+    var head: i32 = load32(__uring_base);
+    var tail: i32 = load32(__uring_base + 4);
+    if (tail - head >= __uring_sqn) { return -1; }
+    var p: i32 = __uring_sqbase + (tail & __uring_sqmask) * 32;
+    store8(p, op);
+    store8(p + 1, flags);
+    store16(p + 2, 0);
+    store32(p + 4, fd);
+    store32(p + 8, addr);
+    store32(p + 12, len);
+    store64(p + 16, i64(0));
+    store64(p + 24, i64(udata));
+    store32(__uring_base + 4, tail + 1);
+    return 0;
+}
+
+// hot-path SQE writer for event loops: the first SQE word arrives
+// pre-packed (opcode | flags << 8), one call frame, five stores; a
+// momentarily full SQ ring is flushed with one extra crossing.  The
+// off field stays zero from uring_init, so it only suits ops that
+// ignore it (READ/WRITE/ACCEPT/SEND/RECV).
+func uring_push(opf: i32, fd: i32, addr: i32, len: i32, ud: i32) {
+    var tail: i32 = load32(__uring_base + 4);
+    if (tail - load32(__uring_base) >= __uring_sqn) {
+        uring_submit();
+        tail = load32(__uring_base + 4);
+    }
+    var p: i32 = __uring_sqbase + (tail & __uring_sqmask) * 32;
+    store32(p, opf);
+    store32(p + 4, fd);
+    store32(p + 8, addr);
+    store32(p + 12, len);
+    store32(p + 24, ud);
+    store32(p + 28, 0);
+    store32(__uring_base + 4, tail + 1);
+}
+
+// common pre-packed first words for uring_push
+const OPF_SEND_QUIET = 16388;   // SEND | CQE_SKIP_SUCCESS << 8
+const OPF_SEND_LINKED = 17412;  // SEND | (IO_LINK | CQE_SKIP_SUCCESS) << 8
+
+// POLL_ADD (events ride the off field) and TIMEOUT (ns deadline) SQEs
+func uring_poll_add(fd: i32, events: i32, udata: i32) -> i32 {
+    if (uring_sqe(IORING_OP_POLL_ADD, fd, 0, 0, udata, 0) < 0) { return -1; }
+    var tail: i32 = load32(__uring_base + 4) - 1;
+    store64(__uring_sqbase + (tail & __uring_sqmask) * 32 + 16, i64(events));
+    return 0;
+}
+
+func uring_timeout_ms(ms: i32, udata: i32) -> i32 {
+    if (uring_sqe(IORING_OP_TIMEOUT, -1, 0, 0, udata, 0) < 0) { return -1; }
+    var tail: i32 = load32(__uring_base + 4) - 1;
+    store64(__uring_sqbase + (tail & __uring_sqmask) * 32 + 16,
+            i64(ms) * i64(1000000));
+    return 0;
+}
+
+// pending (queued, unsubmitted) SQE count
+func uring_sq_pending() -> i32 {
+    return load32(__uring_base + 4) - load32(__uring_base);
+}
+
+// submit everything queued without waiting; returns submitted count
+func uring_submit() -> i32 {
+    return cret(SYS_io_uring_enter(__uring_fd, uring_sq_pending(), 0,
+                                   IORING_ENTER_GETEVENTS, 0, 0));
+}
+
+// submit everything queued and wait until at least min_complete CQEs
+// are reapable (timeout_ms <= 0 waits indefinitely); one crossing per
+// call.  returns the number of CQEs now waiting in the CQ ring.
+func uring_reap_batch(min_complete: i32, timeout_ms: i32) -> i32 {
+    var flags: i32 = IORING_ENTER_GETEVENTS;
+    var sig: i32 = 0;
+    if (timeout_ms > 0) {
+        flags = flags | IORING_ENTER_TIMEOUT_MS;
+        sig = timeout_ms;
+    }
+    if (cret(SYS_io_uring_enter(__uring_fd, uring_sq_pending(),
+                                min_complete, flags, sig, 0)) < 0) {
+        return -1;
+    }
+    return uring_cq_ready();
+}
+
+// CQ-side accessors: all guest-memory reads, no crossings
+func uring_cq_ready() -> i32 {
+    return load32(__uring_base + 16) - load32(__uring_base + 12);
+}
+
+func uring_cqe_ptr(i: i32) -> i32 {
+    var head: i32 = load32(__uring_base + 12);
+    return __uring_cqbase + ((head + i) & __uring_cqmask) * 16;
+}
+
+func uring_cqe_data(i: i32) -> i32 { return i32(load64(uring_cqe_ptr(i))); }
+func uring_cqe_res(i: i32) -> i32 { return load32(uring_cqe_ptr(i) + 8); }
+func uring_cq_advance(n: i32) {
+    store32(__uring_base + 12, load32(__uring_base + 12) + n);
+}
 
 // ---- time ----
 buffer __ts_buf[16];

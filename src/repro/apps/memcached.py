@@ -1,6 +1,6 @@
 """mini-memcached: the repository's ``memcached`` analog.
 
-A TCP key-value server with **two serving modes**:
+A TCP key-value server with **three serving modes**:
 
 * threaded (default): the main thread accepts connections and spawns one
   worker LWP per client via WALI ``clone`` (the instance-per-thread model
@@ -11,6 +11,12 @@ A TCP key-value server with **two serving modes**:
   the c10k-style architecture the real memcached uses (libevent).  This is
   how the server holds hundreds of concurrent clients without one LWP per
   connection.
+* ring (``-u``): the same single-threaded dispatch, but every accept,
+  request read and reply is queued on the io_uring-style submission ring;
+  one ``io_uring_enter`` crossing drains a whole batch of completions, and
+  replies for one request coalesce into a single SEND SQE — where the
+  epoll mode pays ``epoll_pwait + reads + one write per reply fragment``
+  in crossings per request, the ring mode pays crossings per *batch*.
 
 Protocol (newline-terminated)::
 
@@ -110,10 +116,36 @@ func ht_del(key: i32) -> i32 {
     return 0;
 }
 
-// ---- shared command dispatch (both serving modes) ----
+// ---- shared command dispatch (all serving modes) ----
 // handles one complete request line; scratch is caller-private space for
 // itoa.  returns 0 = keep serving, 1 = close this connection, 2 = shutdown.
-func reply(fd: i32, s: i32) { write_all(fd, s, strlen(s)); }
+//
+// in ring mode replies accumulate per connection and flush as one SEND
+// SQE per request batch — in the other modes each fragment is a write
+// crossing of its own (the cost the ring amortizes).
+global u_mode: i32 = 0;
+buffer u_out[65536];       // EV_MAXFD x 256: coalesced reply bytes
+buffer u_outlen[1024];     // EV_MAXFD x i32
+
+func reply(fd: i32, s: i32) {
+    var n: i32 = strlen(s);
+    if (u_mode) {
+        var off: i32 = load32(u_outlen + fd * 4);
+        if (off + n <= 256) {
+            memcopy(u_out + fd * 256 + off, s, n);
+            store32(u_outlen + fd * 4, off + n);
+            return;
+        }
+        // reply burst overflowed the slot: flush what is buffered
+        // first so fragments keep their wire order, then write this
+        // one directly
+        if (off > 0) {
+            write_all(fd, u_out + fd * 256, off);
+            store32(u_outlen + fd * 4, 0);
+        }
+    }
+    write_all(fd, s, n);
+}
 
 func handle_line(fd: i32, buf: i32, scratch: i32) -> i32 {
     // split: cmd key value
@@ -270,6 +302,91 @@ func ev_serve() {
     }
 }
 
+// ---- ring mode: accept/read/reply batched through the submission ring ----
+// (uring_push / OPF_SEND_QUIET come from the guest libc)
+const UD_ACCEPT = 65536;   // tag 1 << 16
+const UD_CONN = 131072;    // tag 2 << 16
+const UD_SENT = 262144;    // tag 4 << 16
+
+buffer u_rd[65536];        // EV_MAXFD x 256: per-connection recv slots
+
+// one completed RECV: assemble lines, dispatch, coalesce the replies
+// into a single quiet SEND, re-arm the read.  returns 2 on shutdown.
+func u_conn(fd: i32, res: i32) -> i32 {
+    var base: i32 = ev_bufs + fd * 512;
+    var len: i32 = load32(ev_lens + fd * 4);
+    var chunk: i32 = u_rd + fd * 256;
+    var action: i32 = 0;
+    var i: i32 = 0;
+    while (i < res) {
+        var c: i32 = load8u(chunk + i);
+        if (c == 10) {
+            store8(base + len, 0);
+            len = 0;
+            action = handle_line(fd, base, ev_scratch);
+            if (action != 0) { break; }
+        } else {
+            if (len < 500) { store8(base + len, c); len = len + 1; }
+        }
+        i = i + 1;
+    }
+    store32(ev_lens + fd * 4, len);
+    var out: i32 = load32(u_outlen + fd * 4);
+    if (out > 0) {
+        uring_push(OPF_SEND_QUIET, fd, u_out + fd * 256, out, UD_SENT + fd);
+        store32(u_outlen + fd * 4, 0);
+    }
+    if (action == 1) {
+        uring_submit();   // push the farewell bytes before the close
+        close(fd);
+        return 0;
+    }
+    if (action == 2) { return 2; }
+    uring_push(IORING_OP_RECV, fd, chunk, 256, UD_CONN + fd);
+    return 0;
+}
+
+func ur_serve() {
+    if (uring_init(256) < 0) { eprint("memcached: no ring\n"); exit(1); }
+    uring_push(IORING_OP_ACCEPT, listen_fd, 0, 0, UD_ACCEPT + listen_fd);
+    while (running) {
+        var n: i32 = uring_reap_batch(1, 0);
+        if (n < 0) { break; }
+        var head: i32 = load32(__uring_base + 12);
+        var i: i32 = 0;
+        while (i < n) {
+            var cp: i32 = __uring_cqbase + ((head + i) & __uring_cqmask) * 16;
+            var ud: i32 = i32(load64(cp));
+            var res: i32 = load32(cp + 8);
+            var tag: i32 = ud / 65536;
+            var fd: i32 = ud % 65536;
+            if (tag == 1) {
+                if (res >= 0) {
+                    if (res >= EV_MAXFD) { close(res); }
+                    else {
+                        store32(ev_lens + res * 4, 0);
+                        store32(u_outlen + res * 4, 0);
+                        uring_push(IORING_OP_RECV, res, u_rd + res * 256, 256,
+                              UD_CONN + res);
+                    }
+                    uring_push(IORING_OP_ACCEPT, listen_fd, 0, 0,
+                          UD_ACCEPT + listen_fd);
+                }
+            } else { if (tag == 2) {
+                if (res > 0) {
+                    if (u_conn(fd, res) == 2) { running = 0; }
+                } else {
+                    close(fd);
+                    store32(ev_lens + fd * 4, 0);
+                }
+            }}
+            i = i + 1;
+        }
+        uring_cq_advance(n);
+    }
+    uring_submit();   // flush the BYE written by a shutdown request
+}
+
 export func _start() {
     __init_args();
     // real memcached refuses to run as root without -u (privilege check)
@@ -282,12 +399,14 @@ export func _start() {
     if (argc() > 1) { port = atoi(argv(1)); }
     if (argc() > 2) {
         if (strcmp(argv(2), "-e") == 0) { event_mode = 1; }
+        if (strcmp(argv(2), "-u") == 0) { event_mode = 2; u_mode = 1; }
     }
     listen_fd = tcp_listen(port, 128);
     if (listen_fd < 0) { eprint("memcached: cannot listen\n"); exit(1); }
     println("memcached: ready");
-    if (event_mode) { ev_serve(); }
-    else { threaded_serve(); }
+    if (event_mode == 1) { ev_serve(); }
+    else { if (event_mode == 2) { ur_serve(); }
+    else { threaded_serve(); }}
     exit(0);
 }
 """)

@@ -33,10 +33,18 @@ from .signals import (
     SigAction, sig_bit,
 )
 from .net import (
-    AF_INET, AF_UNIX, HostBackend, LoopbackBackend, NetBackend, SOCK_DGRAM,
+    AF_INET, AF_UNIX, HostBackend, LoopbackBackend, NetBackend, PacketTap,
+    SOCK_DGRAM,
     SOCK_STREAM, StreamBuffer, WanBackend, create_backend,
 )
 from .sockets import NetStack
+from .uring import (
+    CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
+    IORING_ENTER_TIMEOUT_MS,
+    IORING_OP_ACCEPT, IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
+    IORING_OP_RECV, IORING_OP_SEND, IORING_OP_TIMEOUT, IORING_OP_WRITE,
+    IORING_REGISTER_RING, IORING_SQ_CQ_OVERFLOW, IoURing, SQE,
+)
 from .vfs import (
     AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_EXCL, O_NONBLOCK,
     O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, S_IFDIR, S_IFREG, VFS,
@@ -45,14 +53,21 @@ from .vfs import (
 __all__ = [
     "AARCH64", "AF_INET", "AF_UNIX", "ARCHES", "ARCH_SYSCALLS", "AT_FDCWD",
     "AddressSpace", "CLONE_FILES", "CLONE_FS", "CLONE_SIGHAND",
-    "CLONE_THREAD", "CLONE_VM", "EPOLLERR", "EPOLLET", "EPOLLHUP", "EPOLLIN",
+    "CLONE_THREAD", "CLONE_VM", "CQE", "EPOLLERR", "EPOLLET", "EPOLLHUP",
+    "EPOLLIN",
+    "IORING_ENTER_GETEVENTS", "IORING_ENTER_TIMEOUT_MS", "IORING_OP_ACCEPT",
+    "IORING_OP_NOP", "IORING_OP_POLL_ADD", "IORING_OP_READ", "IORING_OP_RECV",
+    "IORING_OP_SEND", "IORING_OP_TIMEOUT", "IORING_OP_WRITE",
+    "IORING_REGISTER_RING", "IORING_SQ_CQ_OVERFLOW",
+    "IOSQE_CQE_SKIP_SUCCESS", "IOSQE_IO_LINK",
+    "IoURing", "SQE",
     "EPOLLONESHOT", "EPOLLOUT", "EPOLLRDHUP", "EPOLL_CTL_ADD",
     "EPOLL_CTL_DEL", "EPOLL_CTL_MOD", "EventFD", "EventPoll", "FDTable",
     "HostBackend", "Inode", "Kernel", "KernelError",
     "LEGACY_EQUIVALENTS", "LoopbackBackend", "MAP_ANONYMOUS", "MAP_FIXED",
     "MAP_PRIVATE",
     "MAP_SHARED", "MREMAP_MAYMOVE", "NSIG", "NetBackend", "NetStack",
-    "O_APPEND",
+    "O_APPEND", "PacketTap",
     "O_CLOEXEC", "O_CREAT", "O_EXCL", "O_NONBLOCK", "O_RDONLY", "O_RDWR",
     "O_TRUNC", "O_WRONLY", "OpenFile", "PROT_EXEC", "PROT_NONE", "PROT_READ",
     "PROT_WRITE", "Pipe", "Process", "RISCV64", "RLIMIT_NOFILE",

@@ -66,6 +66,7 @@ _X86_64: Dict[str, int] = {
     "pipe2": 293, "prlimit64": 302, "renameat2": 316, "getrandom": 318,
     "memfd_create": 319, "execveat": 322, "statx": 332, "rseq": 334,
     "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
+    "io_uring_setup": 425, "io_uring_enter": 426, "io_uring_register": 427,
 }
 
 # --- generic table (aarch64 / riscv64) ------------------------------------
@@ -106,6 +107,7 @@ _GENERIC: Dict[str, int] = {
     "madvise": 233, "accept4": 242, "wait4": 260, "prlimit64": 261,
     "renameat2": 276, "getrandom": 278, "memfd_create": 279, "statx": 291,
     "rseq": 293, "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
+    "io_uring_setup": 425, "io_uring_enter": 426, "io_uring_register": 427,
 }
 
 # riscv64 omits a handful of calls aarch64 kept (it was added to Linux after

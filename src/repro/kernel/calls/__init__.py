@@ -7,6 +7,7 @@ from .misc import MiscCalls
 from .net import NetCalls
 from .proc import ProcCalls
 from .sig import SigCalls
+from .uring import URingCalls
 
 __all__ = ["EventCalls", "FSCalls", "MemCalls", "MiscCalls", "NetCalls",
-           "ProcCalls", "SigCalls"]
+           "ProcCalls", "SigCalls", "URingCalls"]

@@ -1,0 +1,66 @@
+"""io_uring syscalls: setup, batched enter, registration.
+
+These sit on :mod:`repro.kernel.uring`: one ``io_uring_enter`` call
+submits a whole batch of operations and (optionally) blocks until a
+minimum number of completions is available — the batched alternative to
+one kernel crossing per ``read``/``write``/``accept``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errno import EINVAL, KernelError
+from ..fdtable import OpenFile
+from ..process import Process
+from ..uring import CQE, IORING_REGISTER_RING, IoURing, SQE
+from ..vfs import O_RDWR
+
+
+class URingCalls:
+    """Mixin with io_uring syscalls; mixed into :class:`Kernel`."""
+
+    def sys_io_uring_setup(self, proc: Process, entries: int,
+                           flags: int = 0) -> int:
+        ring = IoURing(entries)
+        file = OpenFile(OpenFile.KIND_URING, O_RDWR, obj=ring,
+                        path="anon_inode:[io_uring]")
+        return proc.fdtable.install(file)
+
+    def _uring(self, proc: Process, fd: int) -> IoURing:
+        file = proc.fdtable.get(fd)
+        if file.kind != OpenFile.KIND_URING:
+            raise KernelError(EINVAL, f"fd {fd} is not an io_uring fd")
+        return file.obj
+
+    def sys_io_uring_enter(self, proc: Process, fd: int,
+                           sqes: Sequence[SQE] = (),
+                           min_complete: int = 0,
+                           timeout_ns: Optional[int] = None,
+                           max_cqes: Optional[int] = None,
+                           ) -> Tuple[int, List[CQE]]:
+        """Submit ``sqes``, wait for ``min_complete`` completions, reap.
+
+        Returns ``(submitted, cqes)`` with at most ``max_cqes`` entries
+        reaped (default: the CQ ring size).  A timeout returns whatever
+        completed; a deliverable signal interrupts with ``EINTR``.
+        """
+        ring = self._uring(proc, fd)
+        submitted = ring.submit(self, proc, list(sqes))
+        if min_complete > 0 and ring.cq_ready() < min_complete:
+            self.block_on_waitqueues(
+                proc, [ring.wq],
+                lambda: True if ring.cq_ready() >= min_complete else None,
+                timeout_ns=timeout_ns, empty=lambda: True)
+        limit = ring.cq_entries if max_cqes is None else max(0, max_cqes)
+        return submitted, ring.reap(limit)
+
+    def sys_io_uring_register(self, proc: Process, fd: int, opcode: int,
+                              value: int = 0, nr_args: int = 0) -> int:
+        ring = self._uring(proc, fd)
+        if opcode != IORING_REGISTER_RING:
+            # unsupported registrations must fail loudly so guests can
+            # fall back, not silently believe they took effect
+            raise KernelError(EINVAL, f"io_uring_register opcode {opcode}")
+        ring.registrations[opcode] = value
+        return 0

@@ -82,6 +82,7 @@ EHOSTDOWN = 112
 EHOSTUNREACH = 113
 EALREADY = 114
 EINPROGRESS = 115
+ECANCELED = 125
 
 ERRNO_NAMES = {
     v: k for k, v in list(globals().items())

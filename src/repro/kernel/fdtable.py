@@ -66,6 +66,7 @@ class OpenFile:
     KIND_EVENTFD = "eventfd"
     KIND_TIMERFD = "timerfd"
     KIND_EPOLL = "epoll"
+    KIND_URING = "uring"
 
     def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
                  pipe: Optional[Pipe] = None, sock=None, path: str = "",

@@ -27,7 +27,8 @@ from typing import Optional, Union
 
 from ..errno import EINVAL, KernelError
 from .base import (
-    AF_INET, AF_UNIX, IPPROTO_TCP, NetBackend, SHUT_RD, SHUT_RDWR, SHUT_WR,
+    AF_INET, AF_UNIX, IPPROTO_TCP, NetBackend, PacketRecord, PacketTap,
+    SHUT_RD, SHUT_RDWR, SHUT_WR,
     SO_KEEPALIVE, SO_RCVBUF, SO_REUSEADDR, SO_SNDBUF, SOCK_BUF_CAPACITY,
     SOCK_CLOEXEC, SOCK_DGRAM, SOCK_NONBLOCK, SOCK_STREAM, SOL_SOCKET, Socket,
     StreamBuffer, TCP_NODELAY,
@@ -67,6 +68,8 @@ def create_backend(spec: Union[str, NetBackend, None] = None) -> NetBackend:
                 jitter_ms=float(opts.pop("jitter_ms", 0.0)),
                 loss=float(opts.pop("loss", 0.0)),
                 bw_kbps=float(opts.pop("bw_kbps", 0.0)),
+                reorder=float(opts.pop("reorder", 0.0)),
+                dup=float(opts.pop("dup", 0.0)),
                 seed=int(seed, 0) if isinstance(seed, str) else seed,
             )
         elif name == "host":
@@ -88,7 +91,8 @@ def create_backend(spec: Union[str, NetBackend, None] = None) -> NetBackend:
 
 __all__ = [
     "AF_INET", "AF_UNIX", "BACKEND_NAMES", "HostBackend", "HostSocket",
-    "IPPROTO_TCP", "LoopbackBackend", "NetBackend", "SHUT_RD", "SHUT_RDWR",
+    "IPPROTO_TCP", "LoopbackBackend", "NetBackend", "PacketRecord",
+    "PacketTap", "SHUT_RD", "SHUT_RDWR",
     "SHUT_WR", "SOCK_BUF_CAPACITY", "SOCK_CLOEXEC", "SOCK_DGRAM",
     "SOCK_NONBLOCK", "SOCK_STREAM", "SOL_SOCKET", "SO_KEEPALIVE",
     "SO_RCVBUF", "SO_REUSEADDR", "SO_SNDBUF", "Socket", "StreamBuffer",

@@ -17,7 +17,9 @@ API onto real host sockets.  ``Kernel(net_backend=...)`` selects one.
 
 from __future__ import annotations
 
+import struct
 import threading
+import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from ..errno import EAGAIN, ENOTCONN, EPIPE, KernelError
@@ -215,6 +217,79 @@ class Socket:
                                    EPOLLIN | EPOLLRDHUP | EPOLLHUP)
 
 
+class PacketRecord:
+    """One captured payload on its way onto the wire."""
+
+    __slots__ = ("ts_ns", "kind", "src", "dst", "payload")
+
+    def __init__(self, ts_ns: int, kind: str, src: Tuple, dst: Tuple,
+                 payload: bytes):
+        self.ts_ns = ts_ns
+        self.kind = kind          # "data" | "dgram" | "eof"
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (f"PacketRecord({self.kind}, {self.src}->{self.dst}, "
+                f"{len(self.payload)}B)")
+
+
+class PacketTap:
+    """A pcap-style capture attached to a backend's delivery hooks.
+
+    Records every payload the moment it is committed to the wire — after
+    loss (a dropped datagram never appears), before delay (a WAN's
+    queued payloads show up at transmit time).  ``to_pcap`` renders a
+    classic libpcap file (LINKTYPE_USER0) so captures can leave the
+    process for external inspection.
+    """
+
+    def __init__(self):
+        self.records: List[PacketRecord] = []
+
+    def record(self, kind: str, src: Tuple, dst: Tuple,
+               payload: bytes) -> None:
+        self.records.append(PacketRecord(_time.monotonic_ns(), kind, src,
+                                         dst, bytes(payload)))
+
+    # -- assertion helpers for tests and the metrics layer --
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def nbytes(self, kind: Optional[str] = None) -> int:
+        return sum(len(r.payload) for r in self.records
+                   if kind is None or r.kind == kind)
+
+    def payloads(self, kind: Optional[str] = None) -> List[bytes]:
+        return [r.payload for r in self.records
+                if kind is None or r.kind == kind]
+
+    def summary(self) -> dict:
+        return {
+            "packets": self.count(),
+            "bytes": self.nbytes(),
+            "stream_bytes": self.nbytes("data"),
+            "dgrams": self.count("dgram"),
+            "eofs": self.count("eof"),
+        }
+
+    def to_pcap(self) -> bytes:
+        """Classic pcap: global header + one record per payload."""
+        out = bytearray()
+        # magic, v2.4, no tz offset/sigfigs, snaplen, LINKTYPE_USER0
+        out += struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 147)
+        for rec in self.records:
+            sec, nsec = divmod(rec.ts_ns, 10**9)
+            out += struct.pack("<IIII", sec, nsec // 1000,
+                               len(rec.payload), len(rec.payload))
+            out += rec.payload
+        return bytes(out)
+
+
 class NetBackend:
     """The pluggable network backend API the kernel programs against.
 
@@ -224,9 +299,40 @@ class NetBackend:
     ``send_step``, ``poll_events``, ``shutdown``, ``close``, ``wq``,
     ``opts``, ``addr``/``peer_addr``), so backends can be swapped without
     touching any caller.
+
+    Backends that deliver through the ``_deliver_stream``/
+    ``_deliver_dgram`` seams also feed attached :class:`PacketTap`\\ s via
+    :meth:`_tap_record`, so tests and the metrics layer can assert on
+    wire-level traffic regardless of the delivery policy in use.
     """
 
     name = "abstract"
+
+    def __init__(self):
+        self._taps: List[PacketTap] = []
+
+    # -- packet capture --
+
+    def attach_tap(self, tap: Optional[PacketTap] = None) -> PacketTap:
+        if tap is None:
+            tap = PacketTap()
+        self._taps.append(tap)
+        return tap
+
+    def detach_tap(self, tap: PacketTap) -> None:
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
+    def _tap_record(self, kind: str, sender, receiver,
+                    payload: bytes) -> None:
+        if not self._taps:
+            return
+        src = getattr(sender, "addr", None) or ("", 0)
+        dst = getattr(receiver, "addr", None) or ("", 0)
+        for tap in self._taps:
+            tap.record(kind, src, dst, payload)
 
     # -- namespace / lifecycle --
 

@@ -175,6 +175,7 @@ class HostBackend(NetBackend):
             raise KernelError(
                 EPERM, "host net backend is opt-in: pass --net host:optin=1 "
                        "or set REPRO_NET_HOST=1")
+        super().__init__()
         self.bind_host = bind_host
         self._sockets: set = set()
         self._lock = threading.Lock()

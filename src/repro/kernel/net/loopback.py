@@ -29,6 +29,7 @@ class LoopbackBackend(NetBackend):
     name = "loopback"
 
     def __init__(self):
+        super().__init__()
         self._bound: Dict[Tuple, Socket] = {}
         self.lock = threading.Lock()
 
@@ -153,6 +154,7 @@ class LoopbackBackend(NetBackend):
     def _deliver_stream(self, sender: Socket, peer: Socket,
                         chunk: bytes) -> None:
         """Make ``chunk`` readable at ``peer`` (called under ``peer.cond``)."""
+        self._tap_record("data", sender, peer, chunk)
         n = peer.rx.write(chunk)  # pre-clamped to the window by the caller
         assert n == len(chunk), (n, len(chunk))
         peer.cond.notify_all()
@@ -160,12 +162,14 @@ class LoopbackBackend(NetBackend):
 
     def _deliver_dgram(self, sender: Socket, target: Socket,
                        payload: Tuple[Tuple, bytes]) -> None:
+        self._tap_record("dgram", sender, target, payload[1])
         with target.cond:
             target.dgrams.append(payload)
             target.cond.notify_all()
         target.wq.wake(EPOLLIN)
 
     def deliver_eof(self, sender: Socket, peer: Socket, mask: int) -> None:
+        self._tap_record("eof", sender, peer, b"")
         with peer.cond:
             peer.rx.set_eof()
             peer.cond.notify_all()

@@ -3,14 +3,21 @@
 Every payload (stream chunk, datagram, EOF marker) crosses a delay line
 before it becomes readable at the peer:
 
-* **latency** — fixed one-way propagation delay,
+* **latency** — fixed one-way propagation delay; stream ``connect`` also
+  charges one SYN/SYN-ACK round trip, so connection-heavy workloads are
+  network-bound at startup too,
 * **jitter** — uniform random extra delay per payload (seeded, so runs
   are reproducible),
 * **bandwidth** — a serialization clock per sender: back-to-back sends
   queue behind each other like packets on a link,
 * **loss** — probabilistic *datagram* drops (streams stay reliable, like
   TCP over a lossy path; the datagram simply never arrives and no error
-  is reported to either side).
+  is reported to either side),
+* **reorder** — netem-style early delivery: a reordered datagram skips
+  the delay line and jumps ahead of packets still queued on the link
+  (streams keep strict FIFO, like TCP reassembly),
+* **dup** — netem-style duplication: a duplicated datagram arrives
+  twice, the copy right behind the original (datagrams only).
 
 Delivery rides the same machinery :class:`~..eventpoll.TimerFD` uses —
 a daemon :class:`threading.Timer` that, on expiry, moves due payloads
@@ -33,7 +40,7 @@ from collections import deque
 from typing import Tuple
 
 from ..eventpoll import EPOLLIN
-from .base import Socket
+from .base import SOCK_DGRAM, Socket
 from .loopback import LoopbackBackend
 
 
@@ -44,16 +51,20 @@ class WanBackend(LoopbackBackend):
 
     def __init__(self, latency_ms: float = 20.0, jitter_ms: float = 0.0,
                  loss: float = 0.0, bw_kbps: float = 0.0,
+                 reorder: float = 0.0, dup: float = 0.0,
                  seed: int = 0xBEEF):
         super().__init__()
-        if not 0.0 <= loss <= 1.0:
-            raise ValueError(f"loss must be in [0, 1], got {loss}")
+        for name, p in (("loss", loss), ("reorder", reorder), ("dup", dup)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
         if latency_ms < 0 or jitter_ms < 0 or bw_kbps < 0:
             raise ValueError("latency/jitter/bandwidth must be >= 0")
         self.latency_ns = int(latency_ms * 1e6)
         self.jitter_ns = int(jitter_ms * 1e6)
         self.loss = loss
         self.bw_kbps = bw_kbps
+        self.reorder = reorder
+        self.dup = dup
         self.seed = seed
         self._rng = random.Random(seed)
         # serializes the link clock and the seeded RNG: senders may
@@ -61,18 +72,47 @@ class WanBackend(LoopbackBackend):
         self._link_lock = threading.Lock()
 
     def describe(self) -> str:
-        return (f"wan:latency_ms={self.latency_ns / 1e6:g},"
-                f"jitter_ms={self.jitter_ns / 1e6:g},"
-                f"loss={self.loss:g},bw_kbps={self.bw_kbps:g}")
+        out = (f"wan:latency_ms={self.latency_ns / 1e6:g},"
+               f"jitter_ms={self.jitter_ns / 1e6:g},"
+               f"loss={self.loss:g},bw_kbps={self.bw_kbps:g}")
+        if self.reorder:
+            out += f",reorder={self.reorder:g}"
+        if self.dup:
+            out += f",dup={self.dup:g}"
+        return out
+
+    # ---- connection establishment pays the handshake ----
+
+    def connect(self, sock: Socket, addr) -> None:
+        """Charge one SYN/SYN-ACK round trip before ESTABLISHED.
+
+        Stream connects block for ~1 RTT (two one-way latencies plus a
+        jitter sample per direction) whether they succeed or get RST —
+        the refusal races back over the same wire.  Datagram "connects"
+        only pin the peer address: no packets, no charge.
+        """
+        if sock.type != SOCK_DGRAM:
+            with self._link_lock:
+                jit = (int(self._rng.uniform(0, self.jitter_ns)) +
+                       int(self._rng.uniform(0, self.jitter_ns))) \
+                    if self.jitter_ns else 0
+            rtt_ns = 2 * self.latency_ns + jit
+            if rtt_ns > 0:
+                _time.sleep(rtt_ns / 1e9)
+        super().connect(sock, addr)
 
     # ---- the delay line ----
 
     def _transmit(self, sender: Socket, peer: Socket, kind: str,
-                  payload, nbytes: int) -> bool:
+                  payload, nbytes: int, reorder: bool = False) -> bool:
         """Queue one payload for delayed delivery (under ``peer.cond``).
 
-        Returns False when the link adds no delay and nothing is queued
-        ahead — the caller then delivers inline (zero-cost fast path).
+        Returns False when the payload should be delivered inline — the
+        link adds no delay and nothing is queued ahead, or ``reorder``
+        asks for netem-style early delivery (the queue-jumper skips the
+        delay line and lands ahead of anything still queued).  The
+        inline path records the tap in the loopback seam; the FIFO
+        clock (``_wan_last_at``) is untouched by reordered payloads.
         """
         now = _time.monotonic_ns()
         with self._link_lock:
@@ -84,14 +124,17 @@ class WanBackend(LoopbackBackend):
             sender.__dict__["_wan_busy_ns"] = busy + tx_ns
             jit = int(self._rng.uniform(0, self.jitter_ns)) \
                 if self.jitter_ns else 0
-        deliver_at = busy + tx_ns + self.latency_ns + jit
+        if reorder:
+            return False
         q = peer.__dict__.setdefault("_wan_pending", deque())
-        # FIFO: jitter never reorders payloads on one link
+        deliver_at = busy + tx_ns + self.latency_ns + jit
+        # FIFO: jitter never reorders in-order payloads on one link
         deliver_at = max(deliver_at, peer.__dict__.get("_wan_last_at", 0))
         if deliver_at <= now and not q:
             return False
         peer.__dict__["_wan_last_at"] = deliver_at
         q.append((deliver_at, kind, payload))
+        self._tap_record(kind, sender, peer, _payload_bytes(payload))
         # one timer per drain cycle, not per payload: FIFO deadlines are
         # monotonic, so while a timer is armed the head can only move
         # later — _pump re-arms if anything remains after a drain
@@ -152,14 +195,30 @@ class WanBackend(LoopbackBackend):
                 dropped = self._rng.random() < self.loss
             if dropped:
                 return  # the WAN ate it; senders never hear about it
-        with target.cond:
-            queued = self._transmit(sender, target, "dgram", payload,
-                                    len(payload[1]))
-        if not queued:
-            super()._deliver_dgram(sender, target, payload)
+        with self._link_lock:
+            duplicated = self.dup > 0 and self._rng.random() < self.dup
+            # one reorder roll per datagram: a duplicate shares its
+            # original's fate, so the copy always rides right behind
+            reordered = self.reorder > 0 and \
+                self._rng.random() < self.reorder
+        for _ in range(2 if duplicated else 1):
+            with target.cond:
+                queued = self._transmit(sender, target, "dgram", payload,
+                                        len(payload[1]), reorder=reordered)
+            if not queued:
+                super()._deliver_dgram(sender, target, payload)
 
     def deliver_eof(self, sender: Socket, peer: Socket, mask: int) -> None:
         with peer.cond:
             queued = self._transmit(sender, peer, "eof", mask, 0)
         if not queued:
             super().deliver_eof(sender, peer, mask)
+
+
+def _payload_bytes(payload) -> bytes:
+    """Wire bytes of a delay-line payload (eof markers carry none)."""
+    if isinstance(payload, tuple):
+        return payload[1]          # dgram: (src_addr, data)
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload)      # stream chunk
+    return b""                     # eof mask

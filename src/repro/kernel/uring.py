@@ -1,0 +1,420 @@
+"""io_uring-style submission/completion rings: batched syscall crossings.
+
+The paper's Fig. 7 / Table 2 breakdown shows that for syscall-dense
+workloads the dominant per-call cost is the *crossing itself* — argument
+translation at the WALI boundary plus dispatch — not the kernel work
+behind it.  The epoll subsystem (PR 1) already made *finding* ready fds
+O(ready), but an event-loop server still pays one crossing per
+``epoll_pwait`` **plus** one per ``read``/``write``/``accept`` the
+readiness unblocks: at N ops per wakeup that is N+1 crossings where the
+kernel work would fit in one.
+
+This module moves the batching boundary the way ``io_uring`` does:
+
+* the guest queues **submission queue entries** (SQEs) describing I/O it
+  wants done — no crossing per op;
+* one ``io_uring_enter`` crossing hands the whole batch to the kernel;
+* ops that would block are **parked on the readiness waitqueues** from
+  :mod:`repro.kernel.eventpoll` — the same wakeups that drive epoll —
+  and complete when readiness fires;
+* finished ops surface as **completion queue entries** (CQEs) that the
+  guest reaps in bulk (through its shared ring memory, again without a
+  crossing per op).
+
+So the crossing cost is amortized over the batch: where the epoll loop
+pays ``1 + ops`` crossings per wakeup, the ring loop pays ``1`` — the
+interface co-design argument (cut boundary traffic, not per-side work)
+applied to the guest↔host syscall boundary.
+
+Semantics modeled after Linux:
+
+* **CQ overflow**: when the CQ ring is full, completions accumulate in a
+  kernel-side backlog (nothing is dropped), the overflow counter ticks,
+  and the ``IORING_SQ_CQ_OVERFLOW`` flag is raised until the backlog
+  drains into freed CQ slots.
+* **``IOSQE_IO_LINK``**: an SQE carrying the link flag chains to its
+  successor; a link starts only after its predecessor completes
+  successfully, and a failed op (res < 0) cancels the rest of the chain
+  with ``-ECANCELED``.
+* **single completion per arrival**: a parked op completes exactly once
+  per readiness edge that satisfies it — no spurious duplicates across
+  subsequent ``io_uring_enter`` calls (the ET-style discipline).
+
+Files are resolved once at first submission and pinned for the life of
+the op (like the kernel's per-op file reference), so an fd closed — or
+closed and reused — mid-flight cannot redirect a parked op.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from .errno import (
+    EAGAIN, EBADF, ECANCELED, EINVAL, ENOTSOCK, ETIME, KernelError,
+)
+from .eventpoll import (
+    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP, WaitQueue,
+)
+from .fdtable import OpenFile
+
+# opcodes (a compact subset of the Linux set)
+IORING_OP_NOP = 0
+IORING_OP_READ = 1
+IORING_OP_WRITE = 2
+IORING_OP_ACCEPT = 3
+IORING_OP_SEND = 4
+IORING_OP_RECV = 5
+IORING_OP_POLL_ADD = 6
+IORING_OP_TIMEOUT = 7
+
+# sqe flags (Linux bit positions)
+IOSQE_IO_LINK = 1 << 2
+# suppress the CQE of a successful op (failures always complete): spares
+# the guest from reaping completions it would ignore (fire-and-forget
+# sends), shrinking CQ traffic
+IOSQE_CQE_SKIP_SUCCESS = 1 << 6
+
+# io_uring_enter flags
+IORING_ENTER_GETEVENTS = 1
+# our EXT_ARG analog: when set, the ``sig`` argument carries a relative
+# timeout in milliseconds for the min_complete wait
+IORING_ENTER_TIMEOUT_MS = 1 << 4
+
+# io_uring_register opcodes
+IORING_REGISTER_RING = 0
+
+# ring-header flags mirrored to the guest
+IORING_SQ_CQ_OVERFLOW = 1
+
+URING_MAX_ENTRIES = 4096
+
+_READ_WAKE = EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP
+_WRITE_WAKE = EPOLLOUT | EPOLLHUP | EPOLLERR
+
+_RETRY = object()  # _park sentinel: subscribed, re-check the op once
+
+_FD_OPS = frozenset({
+    IORING_OP_READ, IORING_OP_WRITE, IORING_OP_ACCEPT, IORING_OP_SEND,
+    IORING_OP_RECV, IORING_OP_POLL_ADD,
+})
+
+
+class SQE:
+    """One submission: an operation the guest wants performed."""
+
+    __slots__ = ("opcode", "fd", "addr", "length", "off", "user_data",
+                 "flags", "data", "_file")
+
+    def __init__(self, opcode: int, fd: int = -1, addr: int = 0,
+                 length: int = 0, off: int = 0, user_data: int = 0,
+                 flags: int = 0, data: Optional[bytes] = None):
+        self.opcode = opcode
+        self.fd = fd
+        self.addr = addr          # guest buffer pointer (opaque up here)
+        self.length = length
+        self.off = off            # POLL_ADD events / TIMEOUT nanoseconds
+        self.user_data = user_data
+        self.flags = flags
+        self.data = data          # WRITE/SEND payload, snapshot at submit
+        self._file = None         # pinned open-file description
+
+
+class CQE:
+    """One completion: result + the submitter's user_data cookie."""
+
+    __slots__ = ("user_data", "res", "flags", "data", "addr")
+
+    def __init__(self, user_data: int, res: int, flags: int = 0,
+                 data: Optional[bytes] = None, addr: int = 0):
+        self.user_data = user_data
+        self.res = res
+        self.flags = flags
+        self.data = data          # READ/RECV payload (host copies to addr)
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"CQE(user_data={self.user_data}, res={self.res})"
+
+
+class _Chain:
+    """A linked run of SQEs; unlinked SQEs are chains of length one."""
+
+    __slots__ = ("kernel", "proc", "sqes", "parked", "timer", "queued",
+                 "done")
+
+    def __init__(self, kernel, proc, sqes: List[SQE]):
+        self.kernel = kernel
+        self.proc = proc
+        self.sqes = sqes
+        self.parked: Optional["_Parked"] = None
+        self.timer: Optional[threading.Timer] = None
+        self.queued = False   # already on the ready list
+        self.done = False
+
+
+class _Parked:
+    """Waitqueue subscriber re-arming a blocked chain on readiness.
+
+    The callback only records that the chain should be retried and kicks
+    the ring's waitqueue; the actual I/O step re-runs on a syscall-side
+    thread (``_process_ready``), never on the waker's thread, so wakers
+    keep their cheap-and-lock-free contract.
+    """
+
+    __slots__ = ("ring", "chain", "wq", "mask")
+
+    def __init__(self, ring: "IoURing", chain: _Chain, wq: WaitQueue,
+                 mask: int):
+        self.ring = ring
+        self.chain = chain
+        self.wq = wq
+        self.mask = mask
+
+    def __call__(self, events: int) -> None:
+        if not (events & self.mask):
+            return
+        chain = self.chain
+        if chain.queued or chain.done:
+            return
+        chain.queued = True
+        self.ring._ready.append(chain)
+        self.ring.wq.wake(EPOLLIN)
+
+    def detach(self) -> None:
+        self.wq.unsubscribe(self)
+
+
+class IoURing:
+    """One submission/completion ring pair (the object behind the fd)."""
+
+    def __init__(self, sq_entries: int = 128,
+                 cq_entries: Optional[int] = None):
+        if sq_entries <= 0 or sq_entries > URING_MAX_ENTRIES:
+            raise KernelError(EINVAL, f"ring entries {sq_entries}")
+        size = 1
+        while size < sq_entries:
+            size <<= 1
+        self.sq_entries = size
+        self.cq_entries = cq_entries or size * 2
+        self.cq: Deque[CQE] = deque()
+        self.cq_backlog: Deque[CQE] = deque()   # overflow parking lot
+        self.overflow = 0                        # CQEs that ever overflowed
+        self.submitted = 0
+        self.completed = 0
+        self.wq = WaitQueue()                    # ring fds are pollable
+        self._lock = threading.Lock()
+        self._ready: Deque[_Chain] = deque()
+        self._chains: List[_Chain] = []
+        self.registrations = {}
+        self.guest_base: Optional[int] = None    # set by the WALI host
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, kernel, proc, sqes: List[SQE]) -> int:
+        """Run a batch of SQEs; ops that would block park on waitqueues."""
+        if self.closed:
+            raise KernelError(EBADF, "ring is closed")
+        if len(sqes) > self.sq_entries:
+            raise KernelError(
+                EINVAL, f"batch of {len(sqes)} exceeds the SQ ring "
+                        f"({self.sq_entries} entries)")
+        self._chains = [c for c in self._chains if not c.done]
+        for chain_sqes in _split_chains(sqes):
+            chain = _Chain(kernel, proc, chain_sqes)
+            self._chains.append(chain)
+            self._advance(chain)
+        self.submitted += len(sqes)
+        return len(sqes)
+
+    def _advance(self, chain: _Chain) -> None:
+        """Run the chain head; on success keep going, on park stop."""
+        while chain.sqes:
+            sqe = chain.sqes[0]
+            outcome = self._try_op(chain, sqe)
+            if outcome is _RETRY:
+                continue  # just subscribed: re-check once (lost-edge race)
+            if outcome is None:
+                return  # parked: readiness will re-queue the chain
+            if chain.parked is not None:
+                chain.parked.detach()
+                chain.parked = None
+            chain.sqes.pop(0)
+            res, data, addr = outcome
+            if res < 0 or not (sqe.flags & IOSQE_CQE_SKIP_SUCCESS):
+                self._complete(CQE(sqe.user_data, res, data=data,
+                                   addr=addr))
+            if res < 0 and chain.sqes:
+                # a failed link short-circuits the rest of the chain
+                for rest in chain.sqes:
+                    self._complete(CQE(rest.user_data, -ECANCELED))
+                chain.sqes = []
+        chain.done = True
+
+    def _try_op(self, chain: _Chain, sqe: SQE):
+        """One non-blocking attempt; (res, data, addr) or None if parked."""
+        op = sqe.opcode
+        if op == IORING_OP_NOP:
+            return 0, None, 0
+        if op == IORING_OP_TIMEOUT:
+            if sqe.off <= 0:
+                return -ETIME, None, 0
+            timer = threading.Timer(sqe.off / 1e9, self._timeout_fire,
+                                    args=(chain,))
+            timer.daemon = True
+            chain.timer = timer
+            timer.start()
+            return None
+        if op not in _FD_OPS:
+            return -EINVAL, None, 0
+        file = sqe._file
+        if file is None:
+            try:
+                file = chain.proc.fdtable.get(sqe.fd)
+            except KernelError as exc:
+                return -exc.errno, None, 0
+            sqe._file = file  # pin: a close/reuse cannot redirect the op
+        if op in (IORING_OP_READ, IORING_OP_RECV):
+            try:
+                data = file.read(sqe.length)
+            except KernelError as exc:
+                if exc.errno == EAGAIN:
+                    return self._park(chain, file, _READ_WAKE)
+                return -exc.errno, None, 0
+            return len(data), bytes(data), sqe.addr
+        if op in (IORING_OP_WRITE, IORING_OP_SEND):
+            payload = sqe.data if sqe.data is not None else b""
+            try:
+                # EPIPE surfaces as -EPIPE without SIGPIPE, like
+                # io_uring's MSG_NOSIGNAL-style sends
+                n = file.write(payload)
+            except KernelError as exc:
+                if exc.errno == EAGAIN:
+                    return self._park(chain, file, _WRITE_WAKE)
+                return -exc.errno, None, 0
+            return n, None, 0
+        if op == IORING_OP_ACCEPT:
+            if file.kind != OpenFile.KIND_SOCK:
+                return -ENOTSOCK, None, 0
+            try:
+                conn = chain.kernel.net.accept_step(file.sock)
+            except KernelError as exc:
+                if exc.errno == EAGAIN:
+                    return self._park(chain, file, _READ_WAKE)
+                return -exc.errno, None, 0
+            newfile = OpenFile(OpenFile.KIND_SOCK, sqe.length, sock=conn)
+            return chain.proc.fdtable.install(newfile), None, 0
+        if op == IORING_OP_POLL_ADD:
+            events = (sqe.off & 0xFFFFFFFF) or EPOLLIN
+            mask = file.poll_events() & (events | EPOLLERR | EPOLLHUP)
+            if mask:
+                return mask, None, 0
+            return self._park(chain, file, events | EPOLLERR | EPOLLHUP)
+        raise AssertionError(f"unhandled opcode {op}")  # _FD_OPS is exhaustive
+
+    def _park(self, chain: _Chain, file, mask: int):
+        wq = file.wait_queue()
+        if wq is None:
+            return -EAGAIN, None, 0  # unpollable: would-block surfaces
+        if chain.parked is None:
+            parked = _Parked(self, chain, wq, mask)
+            chain.parked = parked
+            wq.subscribe(parked)
+            # readiness may have raced the subscription: re-check once
+            # inline so the edge is never lost
+            return _RETRY
+        chain.parked.mask = mask
+        return None
+
+    def _timeout_fire(self, chain: _Chain) -> None:
+        if self.closed or chain.done or not chain.sqes:
+            return
+        sqe = chain.sqes.pop(0)
+        chain.timer = None
+        self._complete(CQE(sqe.user_data, -ETIME))
+        for rest in chain.sqes:  # a fired timeout breaks its link chain
+            self._complete(CQE(rest.user_data, -ECANCELED))
+        chain.sqes = []
+        chain.done = True
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    def _complete(self, cqe: CQE) -> None:
+        with self._lock:
+            if len(self.cq) < self.cq_entries:
+                self.cq.append(cqe)
+            else:
+                self.cq_backlog.append(cqe)
+                self.overflow += 1
+            self.completed += 1
+        self.wq.wake(EPOLLIN)
+
+    def _process_ready(self) -> None:
+        """Retry chains whose readiness fired (runs on a syscall thread)."""
+        while True:
+            with self._lock:
+                if not self._ready:
+                    return
+                chain = self._ready.popleft()
+            chain.queued = False
+            if self.closed or chain.done:
+                continue
+            self._advance(chain)
+
+    def cq_ready(self) -> int:
+        self._process_ready()
+        return len(self.cq) + len(self.cq_backlog)
+
+    def reap(self, maxn: int) -> List[CQE]:
+        """Pop up to ``maxn`` CQEs; backlogged overflow refills the ring."""
+        self._process_ready()
+        out: List[CQE] = []
+        with self._lock:
+            while len(out) < maxn and (self.cq or self.cq_backlog):
+                out.append(self.cq.popleft() if self.cq
+                           else self.cq_backlog.popleft())
+            while self.cq_backlog and len(self.cq) < self.cq_entries:
+                self.cq.append(self.cq_backlog.popleft())
+        return out
+
+    @property
+    def overflow_pending(self) -> bool:
+        return bool(self.cq_backlog)
+
+    def poll_events(self) -> int:
+        self._process_ready()
+        return EPOLLIN if (self.cq or self.cq_backlog) else 0
+
+    def close(self) -> None:
+        self.closed = True
+        for chain in self._chains:
+            chain.done = True
+            if chain.parked is not None:
+                chain.parked.detach()
+                chain.parked = None
+            if chain.timer is not None:
+                chain.timer.cancel()
+                chain.timer = None
+        self._chains = []
+        self._ready.clear()
+        self.wq.wake(EPOLLHUP)
+
+
+def _split_chains(sqes: List[SQE]) -> List[List[SQE]]:
+    """Group a submission batch into IOSQE_IO_LINK chains."""
+    chains: List[List[SQE]] = []
+    current: List[SQE] = []
+    for sqe in sqes:
+        current.append(sqe)
+        if not (sqe.flags & IOSQE_IO_LINK):
+            chains.append(current)
+            current = []
+    if current:
+        chains.append(current)  # a trailing link flag ends its chain
+    return chains

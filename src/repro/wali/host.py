@@ -27,6 +27,11 @@ from typing import Dict, List, Optional
 from ..kernel.errno import (
     EFAULT, EINVAL, ENOSYS, ERANGE, KernelError,
 )
+from ..kernel.fdtable import OpenFile
+from ..kernel.uring import (
+    IORING_ENTER_GETEVENTS, IORING_ENTER_TIMEOUT_MS, IORING_OP_SEND,
+    IORING_OP_WRITE, IORING_REGISTER_RING, IORING_SQ_CQ_OVERFLOW, SQE,
+)
 from ..kernel.mm import MAP_ANONYMOUS, MREMAP_MAYMOVE
 from ..kernel.process import CLONE_VM
 from ..kernel.signals import SIG_DFL, SIG_IGN, SigAction
@@ -67,7 +72,8 @@ STRUCT_CALLS = frozenset({
     "accept", "accept4", "getsockname", "getpeername", "sendto", "recvfrom",
     "sendmsg", "recvmsg", "poll", "ppoll", "select", "pselect6", "utimensat",
     "epoll_ctl", "epoll_pwait", "epoll_wait", "timerfd_settime",
-    "timerfd_gettime",
+    "timerfd_gettime", "io_uring_setup", "io_uring_enter",
+    "io_uring_register",
 })
 
 _WINSIZE = struct.Struct("<HHHH")
@@ -535,6 +541,101 @@ class WaliHost:
             self.copy_out(curr_ptr,
                           Layout.encode_itimerspec(interval_ns, value_ns))
         return 0
+
+    # ---- io_uring: batched submission/completion crossings ----
+
+    def _u32(self, ptr: int) -> int:
+        return struct.unpack_from("<I", self.mem.read_bytes(ptr, 4))[0]
+
+    def _put_u32(self, ptr: int, value: int) -> None:
+        self.copy_out(ptr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def _ring(self, fd: int):
+        file = self.proc.fdtable.get(fd)
+        if file.kind != OpenFile.KIND_URING:
+            raise KernelError(EINVAL, f"fd {fd} is not an io_uring fd")
+        return file.obj
+
+    def w_io_uring_setup(self, entries, params_ptr):
+        fd = self.k("io_uring_setup", entries)
+        if params_ptr:
+            ring = self._ring(fd)
+            self.copy_out(params_ptr, struct.pack("<II", ring.sq_entries,
+                                                  ring.cq_entries))
+        return fd
+
+    def w_io_uring_register(self, fd, opcode, arg, nr_args):
+        fd = signed32(fd)
+        res = self.k("io_uring_register", fd, opcode, arg, nr_args)
+        if opcode == IORING_REGISTER_RING:
+            ring = self._ring(fd)
+            size = Layout.URING_HDR_SIZE + \
+                ring.sq_entries * Layout.URING_SQE_SIZE + \
+                ring.cq_entries * Layout.URING_CQE_SIZE
+            self.mem.read_bytes(arg, size)  # bounds-check the whole region
+            ring.guest_base = arg
+        return res
+
+    def w_io_uring_enter(self, fd, to_submit, min_complete, flags, sig,
+                         sigsz):
+        """One crossing: consume SQEs from the guest SQ ring, run them,
+        then publish every available completion into the guest CQ ring.
+
+        ``sig`` is reinterpreted as a relative timeout in milliseconds
+        when ``IORING_ENTER_TIMEOUT_MS`` is set (the EXT_ARG analog: our
+        guests never pass sigsets here).
+        """
+        fd = signed32(fd)
+        ring = self._ring(fd)
+        base = ring.guest_base
+        if base is None:
+            raise KernelError(EINVAL, "ring memory is not registered")
+        sqn, cqn = ring.sq_entries, ring.cq_entries
+        sq_base = base + Layout.URING_HDR_SIZE
+        cq_base = sq_base + sqn * Layout.URING_SQE_SIZE
+        # consume [sq_head, sq_tail) from the guest SQ array
+        sq_head = self._u32(base + Layout.URING_SQ_HEAD)
+        sq_tail = self._u32(base + Layout.URING_SQ_TAIL)
+        n = min(to_submit, (sq_tail - sq_head) & 0xFFFFFFFF, sqn)
+        sqes = []
+        for i in range(n):
+            raw = self.mem.read_bytes(
+                sq_base + ((sq_head + i) % sqn) * Layout.URING_SQE_SIZE,
+                Layout.URING_SQE_SIZE)
+            opcode, sflags, sfd, addr, length, off, user_data = \
+                Layout.decode_uring_sqe(raw)
+            sqe = SQE(opcode, fd=sfd, addr=addr, length=length, off=off,
+                      user_data=user_data, flags=sflags)
+            if opcode in (IORING_OP_WRITE, IORING_OP_SEND) and length:
+                # outbound payloads are snapshot at submission (§3.2
+                # address-space translation happens exactly once)
+                sqe.data = bytes(self.view(addr, length))
+            sqes.append(sqe)
+        if n:
+            self._put_u32(base + Layout.URING_SQ_HEAD, sq_head + n)
+        timeout_ns = None
+        if flags & IORING_ENTER_TIMEOUT_MS and sig > 0:
+            timeout_ns = sig * 1_000_000
+        min_c = min_complete if flags & IORING_ENTER_GETEVENTS else 0
+        # only reap what the guest CQ ring can absorb; the rest stays in
+        # the kernel backlog (CQ-overflow semantics)
+        cq_head = self._u32(base + Layout.URING_CQ_HEAD)
+        cq_tail = self._u32(base + Layout.URING_CQ_TAIL)
+        room = cqn - ((cq_tail - cq_head) & 0xFFFFFFFF)
+        submitted, cqes = self.k("io_uring_enter", fd, sqes, min_c,
+                                 timeout_ns, max(room, 0))
+        for i, cqe in enumerate(cqes):
+            if cqe.data is not None and cqe.addr:
+                self.copy_out(cqe.addr, cqe.data)
+            self.copy_out(
+                cq_base + ((cq_tail + i) % cqn) * Layout.URING_CQE_SIZE,
+                Layout.encode_uring_cqe(cqe.user_data, cqe.res, cqe.flags))
+        if cqes:
+            self._put_u32(base + Layout.URING_CQ_TAIL, cq_tail + len(cqes))
+        self._put_u32(base + Layout.URING_CQ_OVERFLOW, ring.overflow)
+        self._put_u32(base + Layout.URING_FLAGS,
+                      IORING_SQ_CQ_OVERFLOW if ring.overflow_pending else 0)
+        return submitted
 
     # ------------------------------------------------------------------
     # memory management (§3.2) — stateful: the mmap pool

@@ -174,6 +174,54 @@ class Layout:
         datum = struct.unpack_from("<Q", data, 4)[0]
         return events, datum
 
+    # io_uring shared-ring layout.  The guest allocates one contiguous
+    # region — header, then the SQ array, then the CQ array — and hands
+    # its base to the engine via io_uring_register; head/tail counters
+    # live in the header so the guest queues SQEs and reaps CQEs without
+    # a crossing per entry.
+    #
+    # header (32 bytes):
+    #   0 sq_head  4 sq_tail  8 sq_entries  12 cq_head  16 cq_tail
+    #   20 cq_entries  24 cq_overflow  28 flags
+    URING_HDR_SIZE = 32
+    URING_SQ_HEAD = 0
+    URING_SQ_TAIL = 4
+    URING_CQ_HEAD = 12
+    URING_CQ_TAIL = 16
+    URING_CQ_OVERFLOW = 24
+    URING_FLAGS = 28
+
+    # sqe (32 bytes): {u8 opcode, u8 flags, u16 pad, i32 fd, u32 addr,
+    #                  u32 len, u64 off, u64 user_data}
+    URING_SQE_SIZE = 32
+
+    @staticmethod
+    def decode_uring_sqe(data: bytes):
+        """(opcode, flags, fd, addr, length, off, user_data)."""
+        opcode, flags, _pad, fd, addr, length, off, user_data = \
+            struct.unpack_from("<BBHiIIQQ", data)
+        return opcode, flags, fd, addr, length, off, user_data
+
+    @staticmethod
+    def encode_uring_sqe(opcode: int, flags: int, fd: int, addr: int,
+                         length: int, off: int, user_data: int) -> bytes:
+        return struct.pack("<BBHiIIQQ", opcode & 0xFF, flags & 0xFF, 0,
+                           fd, addr & 0xFFFFFFFF, length & 0xFFFFFFFF,
+                           off & 0xFFFFFFFFFFFFFFFF,
+                           user_data & 0xFFFFFFFFFFFFFFFF)
+
+    # cqe (16 bytes): {u64 user_data, i32 res, u32 flags}
+    URING_CQE_SIZE = 16
+
+    @staticmethod
+    def encode_uring_cqe(user_data: int, res: int, flags: int = 0) -> bytes:
+        return struct.pack("<QiI", user_data & 0xFFFFFFFFFFFFFFFF, res,
+                           flags & 0xFFFFFFFF)
+
+    @staticmethod
+    def decode_uring_cqe(data: bytes) -> Tuple[int, int, int]:
+        return struct.unpack_from("<QiI", data)
+
     # ksigaction (portable WALI form): {u32 handler, u32 flags, u64 mask}
     SIGACTION_SIZE = 16
 

@@ -137,6 +137,10 @@ def _build() -> Dict[str, SyscallSpec]:
         ("epoll_ctl", "iiii"), ("epoll_pwait", "iiiiii"),
         ("epoll_wait", "iiii"), ("timerfd_create", "ii"),
         ("timerfd_settime", "iiii"), ("timerfd_gettime", "ii"),
+        # batched I/O: submission/completion rings (ring memory is
+        # registered via io_uring_register; one enter drains a batch)
+        ("io_uring_setup", "ii"), ("io_uring_enter", "iiiiii"),
+        ("io_uring_register", "iiii"),
     ])
 
     return table

@@ -1,0 +1,522 @@
+"""io_uring subsystem tests: ring lifecycle, batched submission, deferred
+completion on waitqueues, SQ-full and CQ-overflow semantics, link chains
+with failure short-circuiting, ET-style single completion per arrival,
+POLL_ADD/TIMEOUT ops, and the WALI guest-facing ring (shared ring memory,
+one crossing per batch)."""
+
+import time
+
+import pytest
+
+from repro.kernel import (
+    AF_INET, EPOLL_CTL_ADD, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    IORING_OP_ACCEPT, IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
+    IORING_OP_RECV, IORING_OP_SEND, IORING_OP_TIMEOUT, IORING_OP_WRITE,
+    IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, Kernel, KernelError, SOCK_STREAM,
+    SQE,
+)
+from repro.kernel.errno import (
+    EBADF, ECANCELED, EINVAL, EPIPE, ETIME,
+)
+
+POLLIN = 1
+
+
+@pytest.fixture
+def kern():
+    return Kernel()
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process(["uring"])
+
+
+def _pair(kern, proc):
+    return kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
+
+
+def _enter(kern, proc, fd, sqes=(), min_complete=0, timeout_ns=None,
+           max_cqes=None):
+    return kern.call(proc, "io_uring_enter", fd, sqes, min_complete,
+                     timeout_ns, max_cqes)
+
+
+class TestRingBasics:
+    def test_setup_rounds_to_power_of_two(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 5)
+        ring = proc.fdtable.get(fd).obj
+        assert ring.sq_entries == 8
+        assert ring.cq_entries == 16
+
+    def test_setup_rejects_bad_entries(self, kern, proc):
+        for bad in (0, -1, 1 << 20):
+            with pytest.raises(KernelError) as exc:
+                kern.call(proc, "io_uring_setup", bad)
+            assert exc.value.errno == EINVAL
+
+    def test_enter_on_non_ring_fd_is_einval(self, kern, proc):
+        a, _b = _pair(kern, proc)
+        with pytest.raises(KernelError) as exc:
+            _enter(kern, proc, a, [SQE(IORING_OP_NOP)])
+        assert exc.value.errno == EINVAL
+
+    def test_nop_batch_one_cqe_per_sqe(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        sub, cqes = _enter(kern, proc, fd,
+                           [SQE(IORING_OP_NOP, user_data=i)
+                            for i in range(5)], 5)
+        assert sub == 5
+        assert [(c.user_data, c.res) for c in cqes] == \
+            [(i, 0) for i in range(5)]
+
+    def test_unknown_opcode_completes_with_einval(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        _sub, cqes = _enter(kern, proc, fd, [SQE(99, user_data=1)], 1)
+        assert cqes[0].res == -EINVAL
+
+    def test_bad_fd_completes_with_ebadf(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_READ, fd=999, length=4,
+                                 user_data=1)], 1)
+        assert cqes[0].res == -EBADF
+
+    def test_register_ring_region_and_unknown_opcode(self, kern, proc):
+        from repro.kernel import IORING_REGISTER_RING
+
+        fd = kern.call(proc, "io_uring_setup", 8)
+        kern.call(proc, "io_uring_register", fd, IORING_REGISTER_RING,
+                  0xABC)
+        assert proc.fdtable.get(fd).obj.registrations[
+            IORING_REGISTER_RING] == 0xABC
+        # unsupported registrations fail loudly (guests must fall back)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "io_uring_register", fd, 7, 0xABC)
+        assert exc.value.errno == EINVAL
+
+
+class TestRingIO:
+    def test_inline_recv_send(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "sendto", b, b"already here")
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_RECV, fd=a, length=64,
+                                 user_data=1)], 1)
+        assert cqes[0].res == 12 and cqes[0].data == b"already here"
+
+    def test_deferred_recv_completes_on_readiness(self, kern, proc):
+        """An op that would block parks on the waitqueue and completes
+        when the data arrives — the deferred-completion core."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sub, cqes = _enter(kern, proc, fd,
+                           [SQE(IORING_OP_RECV, fd=a, length=64,
+                                user_data=7)])
+        assert sub == 1 and cqes == []  # parked, nothing to reap
+        kern.call(proc, "sendto", b, b"later")
+        _sub, cqes = _enter(kern, proc, fd, [], 1,
+                            timeout_ns=2_000_000_000)
+        assert [(c.user_data, c.res, c.data) for c in cqes] == \
+            [(7, 5, b"later")]
+
+    def test_et_style_single_completion_per_arrival(self, kern, proc):
+        """One data arrival produces exactly one CQE, however many
+        enters happen afterwards (no level-triggered duplicates)."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        _enter(kern, proc, fd, [SQE(IORING_OP_RECV, fd=a, length=4,
+                                    user_data=1)])
+        kern.call(proc, "sendto", b, b"xxxxyyyy")  # more than one read's worth
+        _sub, cqes = _enter(kern, proc, fd, [], 1, 2_000_000_000)
+        assert len(cqes) == 1 and cqes[0].res == 4
+        # buffered bytes remain, but no RECV is armed: no spurious CQE
+        for _ in range(3):
+            _sub, cqes = _enter(kern, proc, fd, [], 0)
+            assert cqes == []
+
+    def test_accept_installs_fd_and_parks_until_connect(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        lfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        kern.call(proc, "bind", lfd, ("127.0.0.1", 9301))
+        kern.call(proc, "listen", lfd, 8)
+        _enter(kern, proc, fd, [SQE(IORING_OP_ACCEPT, fd=lfd,
+                                    user_data=5)])
+        cfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        kern.call(proc, "connect", cfd, ("127.0.0.1", 9301))
+        _sub, cqes = _enter(kern, proc, fd, [], 1, 2_000_000_000)
+        assert cqes[0].user_data == 5 and cqes[0].res > 0
+        sfd = cqes[0].res
+        kern.call(proc, "sendto", cfd, b"through accepted fd")
+        data, _ = kern.call(proc, "recvfrom", sfd, 64)
+        assert data == b"through accepted fd"
+
+    def test_write_epipe_has_no_sigpipe(self, kern, proc):
+        """Ring sends fail with -EPIPE but never raise SIGPIPE (the
+        MSG_NOSIGNAL-style discipline io_uring uses)."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "shutdown", a, 1)  # SHUT_WR
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_SEND, fd=a, data=b"nope",
+                                 user_data=1)], 1)
+        assert cqes[0].res == -EPIPE
+        assert not proc.pending.bits  # no pending SIGPIPE
+
+    def test_pinned_file_survives_fd_close(self, kern, proc):
+        """A parked op holds the open-file description: closing the fd
+        completes the op with EOF semantics instead of redirecting it
+        to whatever reuses the number."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        _enter(kern, proc, fd, [SQE(IORING_OP_RECV, fd=a, length=16,
+                                    user_data=3)])
+        kern.call(proc, "close", b)  # peer gone -> EOF on a
+        _sub, cqes = _enter(kern, proc, fd, [], 1, 2_000_000_000)
+        assert [(c.user_data, c.res) for c in cqes] == [(3, 0)]
+
+    def test_skip_success_suppresses_only_successes(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_SEND, fd=a, data=b"ok",
+                                 user_data=1,
+                                 flags=IOSQE_CQE_SKIP_SUCCESS)], 0)
+        assert cqes == []  # success: no CQE
+        kern.call(proc, "shutdown", a, 1)
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_SEND, fd=a, data=b"no",
+                                 user_data=2,
+                                 flags=IOSQE_CQE_SKIP_SUCCESS)], 1)
+        assert [(c.user_data, c.res) for c in cqes] == [(2, -EPIPE)]
+
+
+class TestRingLimits:
+    def test_sq_full_rejects_oversized_batch(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 4)  # SQ holds 4
+        with pytest.raises(KernelError) as exc:
+            _enter(kern, proc, fd,
+                   [SQE(IORING_OP_NOP, user_data=i) for i in range(5)])
+        assert exc.value.errno == EINVAL
+        # a ring-sized batch is fine
+        sub, _ = _enter(kern, proc, fd,
+                        [SQE(IORING_OP_NOP, user_data=i) for i in range(4)])
+        assert sub == 4
+
+    def test_cq_overflow_backlogs_without_loss(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 4)  # CQ holds 8
+        ring = proc.fdtable.get(fd).obj
+        for batch in range(3):  # 12 completions into an 8-slot CQ
+            _enter(kern, proc, fd,
+                   [SQE(IORING_OP_NOP, user_data=batch * 4 + i)
+                    for i in range(4)], 0, None, 0)  # reap nothing
+        assert ring.overflow == 4
+        assert ring.overflow_pending
+        # nothing is dropped: a ring-sized reap takes the oldest eight
+        # and flushes the backlog into the freed slots...
+        _sub, cqes = _enter(kern, proc, fd, [], 0, None, 8)
+        assert [c.user_data for c in cqes] == list(range(8))
+        assert not ring.overflow_pending  # backlog flushed into the ring
+        # ...and the next reap hands over the rest, still in order
+        _sub, cqes = _enter(kern, proc, fd, [], 0, None, 8)
+        assert [c.user_data for c in cqes] == [8, 9, 10, 11]
+        assert ring.overflow == 4  # the counter keeps the history
+
+    def test_enter_timeout_returns_partial(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, _b = _pair(kern, proc)
+        t0 = time.monotonic()
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_RECV, fd=a, length=4,
+                                 user_data=1)], 1,
+                            timeout_ns=30_000_000)
+        assert cqes == []  # nothing arrived inside the timeout
+        assert 0.02 < time.monotonic() - t0 < 1.0
+
+
+class TestRingLinks:
+    def test_linked_ops_run_in_order(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sqes = [SQE(IORING_OP_SEND, fd=a, data=b"pong", user_data=1,
+                    flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_RECV, fd=b, length=16, user_data=2)]
+        _sub, cqes = _enter(kern, proc, fd, sqes, 2, 2_000_000_000)
+        assert [(c.user_data, c.res) for c in cqes] == [(1, 4), (2, 4)]
+        assert cqes[1].data == b"pong"
+
+    def test_failed_link_cancels_the_rest(self, kern, proc):
+        """A failing op short-circuits its chain: followers complete
+        with -ECANCELED and never run."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sqes = [SQE(IORING_OP_READ, fd=999, length=4, user_data=1,
+                    flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_SEND, fd=a, data=b"never", user_data=2,
+                    flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_SEND, fd=a, data=b"ever", user_data=3)]
+        _sub, cqes = _enter(kern, proc, fd, sqes, 3)
+        assert [(c.user_data, c.res) for c in cqes] == \
+            [(1, -EBADF), (2, -ECANCELED), (3, -ECANCELED)]
+        # the cancelled sends really were skipped: peer got nothing
+        with pytest.raises(KernelError):
+            kern.call(proc, "fcntl", b, 4, 0o4000)  # F_SETFL O_NONBLOCK
+            kern.call(proc, "recvfrom", b, 16)
+
+    def test_failure_only_breaks_its_own_chain(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        sqes = [SQE(IORING_OP_READ, fd=999, length=4, user_data=1,
+                    flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_NOP, user_data=2),
+                SQE(IORING_OP_NOP, user_data=3)]  # separate chain
+        _sub, cqes = _enter(kern, proc, fd, sqes, 3)
+        results = {c.user_data: c.res for c in cqes}
+        assert results == {1: -EBADF, 2: -ECANCELED, 3: 0}
+
+    def test_deferred_link_continues_after_park(self, kern, proc):
+        """A chain whose head parks resumes where it left off: the
+        linked follower runs only after the head completes."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sqes = [SQE(IORING_OP_RECV, fd=a, length=16, user_data=1,
+                    flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_SEND, fd=a, data=b"reply", user_data=2)]
+        _sub, cqes = _enter(kern, proc, fd, sqes)
+        assert cqes == []  # head parked; follower must not have run
+        kern.call(proc, "sendto", b, b"request")
+        _sub, cqes = _enter(kern, proc, fd, [], 2, 2_000_000_000)
+        assert [(c.user_data, c.res) for c in cqes] == [(1, 7), (2, 5)]
+        data, _ = kern.call(proc, "recvfrom", b, 16)
+        assert data == b"reply"
+
+
+class TestRingPollTimeout:
+    def test_poll_add_single_shot(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        _enter(kern, proc, fd, [SQE(IORING_OP_POLL_ADD, fd=a,
+                                    off=EPOLLIN, user_data=1)])
+        kern.call(proc, "sendto", b, b"ready")
+        _sub, cqes = _enter(kern, proc, fd, [], 1, 2_000_000_000)
+        assert cqes[0].user_data == 1 and cqes[0].res & EPOLLIN
+        # single shot: readiness persists but no second CQE appears
+        _sub, cqes = _enter(kern, proc, fd, [], 0)
+        assert cqes == []
+
+    def test_timeout_op_fires_with_etime(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        t0 = time.monotonic()
+        _sub, cqes = _enter(kern, proc, fd,
+                            [SQE(IORING_OP_TIMEOUT, off=30_000_000,
+                                 user_data=9)], 1, 2_000_000_000)
+        assert [(c.user_data, c.res) for c in cqes] == [(9, -ETIME)]
+        assert time.monotonic() - t0 >= 0.025
+
+    def test_ring_fd_is_epollable(self, kern, proc):
+        """A ring fd publishes EPOLLIN when CQEs are waiting, so it can
+        nest inside an epoll set like any readiness source."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, fd, EPOLLIN)
+        kern.call(proc, "epoll_pwait", ep, 8, timeout_ns=0)  # level drain
+        _enter(kern, proc, fd, [SQE(IORING_OP_RECV, fd=a, length=8,
+                                    user_data=1)])
+        kern.call(proc, "sendto", b, b"wake")
+        ready = kern.call(proc, "epoll_pwait", ep, 8,
+                          timeout_ns=2_000_000_000)
+        assert ready and ready[0][0] == fd and ready[0][1] & EPOLLIN
+        _sub, cqes = _enter(kern, proc, fd, [], 1)
+        assert cqes[0].res == 4
+
+    def test_close_cancels_parked_ops(self, kern, proc):
+        fd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sock_wq = proc.fdtable.get(a).sock.wq
+        before = len(sock_wq)
+        _enter(kern, proc, fd, [SQE(IORING_OP_RECV, fd=a, length=8,
+                                    user_data=1)])
+        assert len(sock_wq) == before + 1  # parked subscriber
+        kern.call(proc, "close", fd)
+        assert len(sock_wq) == before  # unsubscribed on ring close
+
+
+class TestRingThroughWali:
+    """The ring end-to-end through the guest: WALI imports, shared ring
+    memory in the guest address space, one enter crossing per batch."""
+
+    def _echo(self, net, nclients=20, rounds=5):
+        from repro.apps import build
+        from repro.wali import WaliRuntime
+
+        rt = WaliRuntime(kernel=Kernel(net_backend=net))
+        wp = rt.load(build("event_echo"),
+                     argv=["event_echo", str(nclients), str(rounds), "-u"])
+        assert wp.run() == 0
+        want = f"echoes={nclients * rounds}".encode()
+        assert want in rt.kernel.console_output(), \
+            rt.kernel.console_output()
+        return wp
+
+    def test_event_echo_ring_mode_loopback(self):
+        wp = self._echo("loopback")
+        counts = wp.host.call_counts
+        assert counts["io_uring_setup"] == 1
+        assert counts["io_uring_enter"] >= 1
+        # the point of the ring: no per-op read/write/accept crossings
+        # (the few writes left are the final console prints)
+        assert counts.get("read", 0) == 0
+        assert counts.get("accept4", 0) == 0
+        assert counts.get("epoll_pwait", 0) == 0
+        assert counts.get("write", 0) <= 3
+
+    def test_event_echo_ring_mode_wan(self):
+        """Identical guest binary over an impaired link: parked ops
+        complete on delayed readiness, the echo count is unchanged."""
+        self._echo("wan:latency_ms=1,jitter_ms=0.3,seed=13",
+                   nclients=8, rounds=3)
+
+    def test_event_echo_ring_batches_crossings(self):
+        """The crossing economics at 100 connections: the ring serves
+        each echo in far fewer guest<->host crossings than the epoll
+        mode spends on epoll_pwait + read + write alone."""
+        from repro.apps import build
+        from repro.wali import WaliRuntime
+
+        totals = {}
+        for label, argv in (
+                ("epoll", ["event_echo", "100", "3"]),
+                ("ring", ["event_echo", "100", "3", "-u"])):
+            rt = WaliRuntime()
+            wp = rt.load(build("event_echo"), argv=argv)
+            assert wp.run() == 0
+            assert b"echoes=300" in rt.kernel.console_output()
+            totals[label] = sum(wp.host.call_counts.values())
+        assert totals["ring"] * 3 <= totals["epoll"], totals
+
+    def test_memcached_ring_serving_mode(self):
+        """mini-memcached -u serves concurrent clients through the ring
+        with zero clones and coalesced replies."""
+        import time as _t
+
+        from repro.apps import build
+        from repro.wali import WaliRuntime
+
+        rt = WaliRuntime()
+        server = rt.load(build("mini_memcached"),
+                         argv=["memcached", "11213", "-u"])
+        server.start_in_thread()
+        for _ in range(500):
+            if b"ready" in rt.kernel.console_output():
+                break
+            _t.sleep(0.01)
+        else:
+            pytest.fail("server did not come up")
+
+        k = rt.kernel
+        cp = k.create_process(["pyclient"])
+        fds = []
+        for i in range(30):
+            fd = k.call(cp, "socket", AF_INET, SOCK_STREAM)
+            k.call(cp, "connect", fd, ("127.0.0.1", 11213))
+            fds.append(fd)
+
+        def recvline(fd):
+            out = b""
+            while not out.endswith(b"\n"):
+                data, _ = k.call(cp, "recvfrom", fd, 256)
+                if not data:
+                    break
+                out += data
+            return out.decode().strip()
+
+        # all requests outstanding before any reply is read
+        for i, fd in enumerate(fds):
+            k.call(cp, "sendto", fd, f"set k{i} v{i}\n".encode())
+        for fd in fds:
+            assert recvline(fd) == "STORED"
+        for i, fd in enumerate(fds):
+            k.call(cp, "sendto", fd, f"get k{i}\n".encode())
+        for i, fd in enumerate(fds):
+            assert recvline(fd) == f"VALUE v{i}"
+        # single-threaded ring dispatch: no worker LWPs, no epoll
+        assert k.syscall_counts.get("clone", 0) == 0
+        assert k.syscall_counts.get("epoll_pwait", 0) == 0
+        assert k.syscall_counts.get("io_uring_enter", 0) >= 1
+        k.call(cp, "sendto", fds[0], b"shutdown\n")
+        assert recvline(fds[0]) == "BYE"
+        server.join(5)
+
+    def test_memcached_ring_reply_overflow_keeps_wire_order(self):
+        """A pipelined burst whose replies overflow the per-connection
+        coalescing slot must still arrive in protocol order (buffered
+        fragments flush before any direct-write fallback)."""
+        import time as _t
+
+        from repro.apps import build
+        from repro.wali import WaliRuntime
+
+        rt = WaliRuntime()
+        server = rt.load(build("mini_memcached"),
+                         argv=["memcached", "11214", "-u"])
+        server.start_in_thread()
+        for _ in range(500):
+            if b"ready" in rt.kernel.console_output():
+                break
+            _t.sleep(0.01)
+        k = rt.kernel
+        cp = k.create_process(["pyclient"])
+        fd = k.call(cp, "socket", AF_INET, SOCK_STREAM)
+        k.call(cp, "connect", fd, ("127.0.0.1", 11214))
+        k.call(cp, "sendto", fd, b"set big 0123456789012345678901234\n")
+        out = b""
+        while not out.endswith(b"STORED\n"):
+            data, _ = k.call(cp, "recvfrom", fd, 256)
+            out += data
+        # 12 pipelined gets -> ~12 x 32B of replies > the 256B slot
+        k.call(cp, "sendto", fd, b"get big\n" * 12)
+        want = b"VALUE 0123456789012345678901234\n" * 12
+        out = b""
+        while len(out) < len(want):
+            data, _ = k.call(cp, "recvfrom", fd, 1024)
+            if not data:
+                break
+            out += data
+        assert out == want
+        k.call(cp, "sendto", fd, b"shutdown\n")
+        server.join(5)
+
+    def test_guest_sq_cq_counters_visible_in_ring_memory(self):
+        """The guest reads its own progress from the shared ring header
+        (sq/cq heads and tails) without extra crossings."""
+        from repro.apps import with_libc
+        from repro.cc import compile_source
+        from repro.wali import WaliRuntime
+
+        src = r"""
+export func _start() {
+    if (uring_init(4) < 0) { exit(1); }
+    if (uring_sq_pending() != 0) { exit(2); }
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 11, 0);
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 12, 0);
+    if (uring_sq_pending() != 2) { exit(3); }
+    if (uring_reap_batch(2, 1000) != 2) { exit(4); }
+    if (uring_sq_pending() != 0) { exit(5); }
+    if (uring_cqe_data(0) != 11) { exit(6); }
+    if (uring_cqe_data(1) != 12) { exit(7); }
+    uring_cq_advance(2);
+    if (uring_cq_ready() != 0) { exit(8); }
+    // SQ-full is visible guest-side without a crossing
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 1, 0);
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 2, 0);
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 3, 0);
+    uring_sqe(IORING_OP_NOP, -1, 0, 0, 4, 0);
+    if (uring_sqe(IORING_OP_NOP, -1, 0, 0, 5, 0) != -1) { exit(9); }
+    exit(0);
+}
+"""
+        rt = WaliRuntime()
+        wp = rt.load(compile_source(with_libc(src), name="ringmem"),
+                     argv=["ringmem"])
+        assert wp.run() == 0

@@ -21,8 +21,9 @@ import time
 import pytest
 
 from repro.kernel import (
-    AF_INET, EPOLL_CTL_ADD, EPOLLET, EPOLLIN, EPOLLOUT, Kernel, KernelError,
-    LoopbackBackend, O_NONBLOCK, SOCK_DGRAM, SOCK_STREAM, WanBackend,
+    AF_INET, EPOLL_CTL_ADD, EPOLLET, EPOLLIN, EPOLLOUT,
+    IORING_OP_RECV, IORING_OP_SEND, IOSQE_IO_LINK, Kernel, KernelError,
+    LoopbackBackend, O_NONBLOCK, SOCK_DGRAM, SOCK_STREAM, SQE, WanBackend,
     create_backend,
 )
 from repro.kernel.errno import (
@@ -221,6 +222,62 @@ class TestConformance:
         data, _ = kern.call(proc, "recvfrom", sfd, 64)
         assert data == b""
 
+    def test_ring_echo_roundtrip(self, kern, proc):
+        """The io_uring path serves an echo identically on both backends:
+        a parked RECV completes when the (possibly delayed) request
+        lands, and the linked reply SEND flows back over the same wire."""
+        cfd, sfd = _connected_pair(kern, proc)
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        # server: RECV parked until the request arrives
+        sub, cqes = kern.call(proc, "io_uring_enter", rfd,
+                              [SQE(IORING_OP_RECV, fd=sfd, length=64,
+                                   user_data=1)])
+        assert sub == 1 and cqes == []
+        kern.call(proc, "sendto", cfd, b"ring request")
+        _sub, cqes = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                               5_000_000_000)
+        assert [(c.user_data, c.res, c.data) for c in cqes] == \
+            [(1, 12, b"ring request")]
+        # reply: SEND linked to the RECV of the client's next request
+        sqes = [SQE(IORING_OP_SEND, fd=sfd, data=b"ring reply",
+                    user_data=2, flags=IOSQE_IO_LINK),
+                SQE(IORING_OP_RECV, fd=sfd, length=64, user_data=3)]
+        _sub, reaped = kern.call(proc, "io_uring_enter", rfd, sqes)
+        data, _ = kern.call(proc, "recvfrom", cfd, 64)  # blocking
+        assert data == b"ring reply"
+        kern.call(proc, "sendto", cfd, b"again")
+        while len(reaped) < 2:
+            _sub, cqes = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                                   5_000_000_000)
+            assert cqes, reaped
+            reaped.extend(cqes)
+        assert {(c.user_data, c.res) for c in reaped} == {(2, 10), (3, 5)}
+
+    def test_packet_tap_sees_wire_traffic(self, kern, proc):
+        """An attached tap records stream payloads and the EOF marker in
+        wire order on every backend (instant or delayed delivery)."""
+        tap = kern.net.attach_tap()
+        cfd, sfd = _connected_pair(kern, proc)
+        kern.call(proc, "sendto", cfd, b"first")
+        kern.call(proc, "sendto", cfd, b"second")
+        data, _ = kern.call(proc, "recvfrom", sfd, 64)
+        while len(data) < 11:
+            more, _ = kern.call(proc, "recvfrom", sfd, 64)
+            data += more
+        kern.call(proc, "close", cfd)
+        deadline = time.monotonic() + 2.0
+        while tap.count("eof") == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tap.payloads("data") == [b"first", b"second"]
+        assert tap.nbytes("data") == 11
+        assert tap.count("eof") >= 1
+        pcap = tap.to_pcap()
+        assert pcap[:4] == (0xA1B2C3D4).to_bytes(4, "little")
+        kern.net.detach_tap(tap)
+        a, b = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
+        kern.call(proc, "sendto", a, b"untapped")
+        assert tap.nbytes("data") == 11  # detached taps stop recording
+
 
 def _wan_kernel(spec):
     kern = Kernel(net_backend=spec)
@@ -359,6 +416,134 @@ class TestWanFaults:
         assert data == b""
         assert _await(kern, proc, sfd, POLLIN) & POLLHUP
 
+    def test_connect_charges_one_handshake_rtt(self):
+        """Stream connect blocks for ~1 SYN/SYN-ACK round trip, so
+        connection-heavy workloads are network-bound at startup too."""
+        kern, proc = _wan_kernel("wan:latency_ms=5")
+        lfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        kern.call(proc, "bind", lfd, ("127.0.0.1", 9001))
+        kern.call(proc, "listen", lfd, 8)
+        cfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        t0 = time.perf_counter()
+        kern.call(proc, "connect", cfd, ("127.0.0.1", 9001))
+        elapsed = time.perf_counter() - t0
+        # ~1 RTT = 2 x 5 ms one-way latency (no jitter configured)
+        assert 0.009 <= elapsed < 0.2, elapsed
+        # a refused connect pays the same wire time (RST rides back)
+        bad = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        t0 = time.perf_counter()
+        with pytest.raises(KernelError):
+            kern.call(proc, "connect", bad, ("127.0.0.1", 4444))
+        assert time.perf_counter() - t0 >= 0.009
+
+    def test_dgram_connect_is_free_of_handshake(self):
+        kern, proc = _wan_kernel("wan:latency_ms=50")
+        a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        kern.call(proc, "bind", b, ("127.0.0.1", 5002))
+        t0 = time.perf_counter()
+        kern.call(proc, "connect", a, ("127.0.0.1", 5002))
+        assert time.perf_counter() - t0 < 0.04  # no SYN for datagrams
+
+    def test_reorder_knob_permutes_datagrams(self):
+        """netem-style reordering: some datagrams jump the delay line;
+        the payload set is intact but arrival order is permuted."""
+        kern, proc = _wan_kernel("wan:latency_ms=10,reorder=0.3,seed=5")
+        a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        kern.call(proc, "bind", a, ("127.0.0.1", 5001))
+        kern.call(proc, "bind", b, ("127.0.0.1", 5002))
+        proc.fdtable.get(b).flags |= O_NONBLOCK
+        sent = [f"d{i:02d}".encode() for i in range(30)]
+        for msg in sent:
+            kern.call(proc, "sendto", a, msg, ("127.0.0.1", 5002))
+        time.sleep(0.15)
+        got = []
+        while True:
+            try:
+                data, _ = kern.call(proc, "recvfrom", b, 64)
+            except KernelError:
+                break
+            got.append(data)
+        assert sorted(got) == sorted(sent)  # nothing lost or duplicated
+        assert got != sent                  # ...but the order changed
+        indices = [sent.index(m) for m in got]
+        inversions = sum(1 for i in range(len(indices) - 1)
+                         if indices[i] > indices[i + 1])
+        assert inversions >= 1, indices
+
+    def test_dup_knob_duplicates_datagrams(self):
+        kern, proc = _wan_kernel("wan:latency_ms=1,dup=1.0")
+        a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        kern.call(proc, "bind", a, ("127.0.0.1", 5001))
+        kern.call(proc, "bind", b, ("127.0.0.1", 5002))
+        proc.fdtable.get(b).flags |= O_NONBLOCK
+        for i in range(5):
+            kern.call(proc, "sendto", a, f"m{i}".encode(),
+                      ("127.0.0.1", 5002))
+        time.sleep(0.08)
+        got = []
+        while True:
+            try:
+                data, _ = kern.call(proc, "recvfrom", b, 64)
+            except KernelError:
+                break
+            got.append(data)
+        # every datagram arrives exactly twice, the copy right behind
+        assert got == [f"m{i}".encode() for i in range(5)
+                       for _ in range(2)]
+
+    def test_reorder_dup_never_touch_streams(self):
+        """TCP semantics survive the fault knobs: stream bytes stay in
+        order and unduplicated even with reorder=1,dup=1."""
+        kern, proc = _wan_kernel(
+            "wan:latency_ms=2,jitter_ms=1,reorder=1.0,dup=1.0,seed=9")
+        cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
+        chunks = [f"[{i:03d}]".encode() for i in range(15)]
+        for c in chunks:
+            kern.call(proc, "sendto", cfd, c)
+        want = b"".join(chunks)
+        got = bytearray()
+        while len(got) < len(want):
+            data, _ = kern.call(proc, "recvfrom", sfd, 4096)
+            got.extend(data)
+        assert bytes(got) == want
+
+    def test_tap_misses_lost_datagrams(self):
+        """The tap records what reaches the wire: a datagram eaten by
+        loss never appears in the capture."""
+        kern, proc = _wan_kernel("wan:latency_ms=1,loss=1.0")
+        tap = kern.net.attach_tap()
+        a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        kern.call(proc, "bind", a, ("127.0.0.1", 5001))
+        kern.call(proc, "bind", b, ("127.0.0.1", 5002))
+        for i in range(10):
+            kern.call(proc, "sendto", a, b"gone", ("127.0.0.1", 5002))
+        time.sleep(0.05)
+        assert tap.count("dgram") == 0
+
+    def test_ring_recv_parks_across_the_delay_line(self):
+        """A ring RECV parked on a WAN socket completes only when the
+        delayed payload lands — deferred completion rides the same
+        waitqueue wakeups the epoll path uses."""
+        kern, proc = _wan_kernel("wan:latency_ms=40")
+        cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        kern.call(proc, "io_uring_enter", rfd,
+                  [SQE(IORING_OP_RECV, fd=sfd, length=64, user_data=1)])
+        kern.call(proc, "sendto", cfd, b"delayed by the wan")
+        # still on the wire: an immediate reap returns nothing
+        _sub, cqes = kern.call(proc, "io_uring_enter", rfd, [], 0)
+        assert cqes == []
+        t0 = time.perf_counter()
+        _sub, cqes = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                               5_000_000_000)
+        assert [(c.user_data, c.data) for c in cqes] == \
+            [(1, b"delayed by the wan")]
+        assert time.perf_counter() - t0 >= 0.01  # paid the link latency
+
     def test_inflight_bytes_charge_the_receive_window(self):
         kern, proc = _wan_kernel("wan:latency_ms=200")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
@@ -387,19 +572,24 @@ class TestBackendSelection:
     def test_spec_strings_resolve(self):
         assert isinstance(create_backend("loopback"), LoopbackBackend)
         wan = create_backend("wan:latency_ms=7.5,jitter_ms=2,loss=0.25,"
-                             "bw_kbps=512,seed=99")
+                             "bw_kbps=512,reorder=0.1,dup=0.01,seed=99")
         assert isinstance(wan, WanBackend)
         assert wan.latency_ns == 7_500_000
         assert wan.jitter_ns == 2_000_000
         assert wan.loss == 0.25
         assert wan.bw_kbps == 512
+        assert wan.reorder == 0.1
+        assert wan.dup == 0.01
         assert wan.seed == 99
+        assert "reorder=0.1" in wan.describe()
+        assert "dup=0.01" in wan.describe()
         # passing an instance through is identity
         assert create_backend(wan) is wan
 
     def test_unknown_backend_and_options_rejected(self):
         for bad in ("carrier-pigeon", "wan:warp_speed=9",
-                    "loopback:latency_ms=1", "wan:loss=1.5"):
+                    "loopback:latency_ms=1", "wan:loss=1.5",
+                    "wan:reorder=2", "wan:dup=-0.5"):
             with pytest.raises(KernelError) as exc:
                 create_backend(bad)
             assert exc.value.errno == EINVAL, bad
