@@ -1,0 +1,145 @@
+"""Scheduler contention: runnable-wait vs service time under CPU load.
+
+The experiment the paper's Fig. 7 kernel-time breakdown cannot express
+without a scheduler: N CPU-bound spinner guests share one CPU slot with
+a latency-probe guest that sleeps, wakes, and issues a cheap syscall.
+On an idle kernel the probe's runnable-wait is ~0 — every syscall is
+pure service time.  Under contention the probe must win the slot back
+from a spinner on every wakeup, so its p99 wait grows with N while the
+kernel's *service* cost stays flat: syscall latency = service + wait,
+and only a scheduler makes the second term measurable.
+
+Also checked: CFS-lite fairness — equal-nice spinners racing on one
+slot must split the CPU within a 1.2x ratio (weighted vruntime picks),
+and a nice+5 spinner gets ~1/3 the CPU of a nice-0 one (load weights).
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks iteration counts for CI.
+"""
+
+import time
+
+from common import quick_mode, save_report
+
+from repro.kernel import BackgroundSpinners, Kernel, nice_to_weight
+
+QUICK = quick_mode()
+
+SCHED = "cpus=1,slice_us=50"
+SPINNER_COUNTS = (0, 2, 8)
+PROBE_ITERS = 60 if QUICK else 250
+FAIR_SPINNERS = 4
+FAIR_SECONDS = 0.4 if QUICK else 1.2
+
+
+def _percentile(samples, pct):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(len(ordered) * pct / 100))
+    return ordered[idx]
+
+
+def _probe_run(nspin):
+    """One contention point: probe wait stats with ``nspin`` spinners.
+
+    Returns (p50_us, p99_us, mean_us, service_us_per_call).
+    """
+    kern = Kernel(sched=SCHED)
+    probe = kern.create_process(["probe"])
+    kern.call(probe, "getpid")  # attach before the load starts
+    spinners = BackgroundSpinners(kern, n=nspin).start() if nspin else None
+    try:
+        time.sleep(0.05)  # let the spinners saturate the slot
+        waits = []
+        k0 = kern.kernel_time_ns[probe.tgid]
+        b0 = kern.blocked_time_ns[probe.tgid]
+        w_total0 = kern.sched_wait_ns[probe.tgid]
+        for _ in range(PROBE_ITERS):
+            # sleep (releases the slot), wake, then contend for it again
+            w0 = kern.sched_wait_ns[probe.tgid]
+            kern.call(probe, "nanosleep", 200_000)
+            kern.call(probe, "getpid")
+            waits.append(kern.sched_wait_ns[probe.tgid] - w0)
+        kernel = kern.kernel_time_ns[probe.tgid] - k0
+        blocked = kern.blocked_time_ns[probe.tgid] - b0
+        waited = kern.sched_wait_ns[probe.tgid] - w_total0
+        service_ns = max(kernel - blocked - waited, 0) / (2 * PROBE_ITERS)
+    finally:
+        if spinners is not None:
+            spinners.stop()
+    return (_percentile(waits, 50) / 1e3, _percentile(waits, 99) / 1e3,
+            sum(waits) / len(waits) / 1e3, service_ns / 1e3)
+
+
+def _fairness_ratio(nice_levels):
+    """CPU-share ratio (first spinner / last) after racing on one slot."""
+    kern = Kernel(sched=SCHED)
+    groups = [BackgroundSpinners(kern, n=1, nice=nice).start()
+              for nice in nice_levels]
+    try:
+        time.sleep(FAIR_SECONDS)
+    finally:
+        for g in groups:
+            g.stop()
+    shares = [g.cpu_times_ns()[0] for g in groups]
+    assert min(shares) > 0, "a spinner never ran: starvation"
+    return shares
+
+
+def test_sched_contention_report():
+    lines = [
+        "Scheduler contention: latency-probe runnable-wait vs CPU load",
+        f"  kernel sched spec: {SCHED}; probe iters: {PROBE_ITERS}",
+        "",
+        f"{'spinners':>8}  {'p50 wait':>10}  {'p99 wait':>10}  "
+        f"{'mean wait':>10}  {'service/call':>12}",
+    ]
+    results = {}
+    for n in SPINNER_COUNTS:
+        p50, p99, mean, service = _probe_run(n)
+        results[n] = (p50, p99, mean, service)
+        lines.append(f"{n:>8}  {p50:>8.1f}us  {p99:>8.1f}us  "
+                     f"{mean:>8.1f}us  {service:>10.2f}us")
+
+    idle_p99 = results[0][1]
+    loaded_p99 = results[SPINNER_COUNTS[-1]][1]
+    # acceptance: idle ~0; 8 spinners >= 4x idle (floor 1us for the ratio)
+    floor = max(idle_p99, 1.0)
+    lines += [
+        "",
+        f"idle p99 wait      : {idle_p99:.1f}us (~0: every grant immediate)",
+        f"loaded p99 wait    : {loaded_p99:.1f}us "
+        f"({loaded_p99 / floor:.1f}x idle floor)",
+    ]
+    assert idle_p99 < 50.0, f"idle kernel shows contention: {idle_p99}us"
+    assert loaded_p99 >= 4.0 * floor, \
+        f"p99 wait did not grow with contention: {results}"
+    assert results[SPINNER_COUNTS[-1]][2] > results[0][2], \
+        "mean wait must grow with contention"
+
+    # equal-nice fairness on one slot
+    shares = _fairness_ratio([0] * FAIR_SPINNERS)
+    ratio = max(shares) / min(shares)
+    lines += [
+        "",
+        f"fairness ({FAIR_SPINNERS} equal-nice spinners, 1 cpu, "
+        f"{FAIR_SECONDS:.1f}s):",
+        "  cpu shares: " + ", ".join(f"{s / 1e6:.0f}ms" for s in shares),
+        f"  max/min ratio: {ratio:.3f} (bound: 1.2)",
+    ]
+    assert ratio <= 1.2, f"unfair split between equal spinners: {shares}"
+
+    # nice weighting: a nice+5 spinner gets ~1/3 of a nice-0 spinner
+    shares = _fairness_ratio([0, 5])
+    weighted = shares[0] / shares[1]
+    expected = nice_to_weight(0) / nice_to_weight(5)
+    lines += [
+        "",
+        f"nice weighting (nice 0 vs nice 5): measured {weighted:.2f}x, "
+        f"load-weight ratio {expected:.2f}x",
+    ]
+    assert weighted > 1.5, f"nice 5 did not yield CPU: {shares}"
+
+    save_report("sched_contention.txt", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    test_sched_contention_report()

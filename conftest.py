@@ -2,9 +2,28 @@
 
 The benchmark environment has no network, so ``pip install -e .`` cannot
 fetch the PEP 517 build backend; this path shim is the offline equivalent.
+
+Also home of the ``wan_seed`` fixture: every test that builds a WAN
+backend derives its impairment seed from here, so jitter/loss/reorder
+decisions are bit-reproducible run-to-run (per-flow RNG streams in
+``kernel/net/wan.py``) yet decorrelated across tests.
 """
 
 import os
 import sys
+import zlib
+
+import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+@pytest.fixture
+def wan_seed(request):
+    """Deterministic per-test WAN impairment seed.
+
+    Derived from the test's node id (stable across runs and workers, no
+    wall-clock or hash-randomization input), so a failing impairment
+    pattern can always be replayed exactly by re-running the test.
+    """
+    return zlib.crc32(request.node.nodeid.encode())

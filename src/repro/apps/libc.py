@@ -55,6 +55,10 @@ extern func SYS_getuid() -> i64 from "wali";
 extern func SYS_clone(flags: i32, stack: i32, fn: i32, arg: i32) -> i64 from "wali";
 extern func SYS_futex(uaddr: i32, op: i32, val: i32, timeout: i32, uaddr2: i32, val3: i32) -> i64 from "wali";
 extern func SYS_sched_yield() -> i64 from "wali";
+extern func SYS_nice(inc: i32) -> i64 from "wali";
+extern func SYS_getpriority(which: i32, who: i32) -> i64 from "wali";
+extern func SYS_setpriority(which: i32, who: i32, prio: i32) -> i64 from "wali";
+extern func SYS_sched_getaffinity(pid: i32, size: i32, mask: i32) -> i64 from "wali";
 extern func SYS_getrandom(buf: i32, len: i32, flags: i32) -> i64 from "wali";
 extern func SYS_getrusage(who: i32, ru: i32) -> i64 from "wali";
 extern func SYS_prlimit64(pid: i32, res: i32, newl: i32, oldl: i32) -> i64 from "wali";
@@ -722,6 +726,15 @@ func sleep_ms(ms: i32) {
     store64(__ts_buf, i64(ms / 1000));
     store64(__ts_buf + 8, i64(ms % 1000) * i64(1000000));
     SYS_nanosleep(__ts_buf, 0);
+}
+
+// ---- scheduling ----
+func getnice() -> i32 { return 20 - i32(SYS_getpriority(0, 0)); }
+// glibc convention: returns the new nice value (raw syscall returns 0)
+func nice(inc: i32) -> i32 {
+    var r: i32 = i32(SYS_nice(inc));
+    if (r < 0) { return r; }
+    return getnice();
 }
 """
 

@@ -37,6 +37,10 @@ from .net import (
     SOCK_DGRAM,
     SOCK_STREAM, StreamBuffer, WanBackend, create_backend,
 )
+from .sched import (
+    BackgroundSpinners, SCHED_BLOCKED, SCHED_DEAD, SCHED_NEW, SCHED_RUNNABLE,
+    SCHED_RUNNING, SchedEntity, Scheduler, create_scheduler, nice_to_weight,
+)
 from .sockets import NetStack
 from .uring import (
     CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
@@ -75,6 +79,9 @@ __all__ = [
     "SIGKILL", "SIGPIPE", "SIGSEGV", "SIGTERM", "SIGUSR1", "SIGUSR2",
     "SIG_BLOCK", "SIG_DFL", "SIG_IGN", "SIG_SETMASK", "SIG_UNBLOCK",
     "SOCK_DGRAM", "SOCK_STREAM", "SigAction", "StreamBuffer", "TimerFD",
+    "BackgroundSpinners", "SCHED_BLOCKED", "SCHED_DEAD", "SCHED_NEW",
+    "SCHED_RUNNABLE", "SCHED_RUNNING", "SchedEntity", "Scheduler",
+    "create_scheduler", "nice_to_weight",
     "VFS", "VMA",
     "WaitQueue", "WNOHANG", "WanBackend",
     "X86_64", "arch_specific", "common_syscalls", "create_backend",

@@ -193,6 +193,8 @@ LEGACY_EQUIVALENTS: Dict[str, str] = {
     "futimesat": "utimensat",
     "alarm": "setitimer",
     "pause": "rt_sigsuspend",
+    "nice": "setpriority",
+
     "getpgrp": "getpgid",
     "epoll_create": "epoll_create1",
     "eventfd": "eventfd2",

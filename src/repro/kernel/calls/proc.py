@@ -4,7 +4,6 @@ identity, scheduling, rlimits, futex.
 
 from __future__ import annotations
 
-import time as _time
 from typing import List, Optional, Tuple
 
 from ..errno import (
@@ -102,6 +101,9 @@ class ProcCalls:
 
     def _terminate(self, proc: Process, wait_status: int) -> None:
         proc.exit_status = wait_status
+        # leave the run queue / free the CPU slot before anything else:
+        # reaping below may wake other tasks that need the slot
+        self.sched.task_exit(proc)
         proc.fdtable.close_all() if not self._fdtable_shared(proc) else None
         proc.state = STATE_ZOMBIE
         # reparent children to init
@@ -316,21 +318,64 @@ class ProcCalls:
     # ---- scheduling ----
 
     def sys_sched_yield(self, proc: Process) -> int:
-        _time.sleep(0)
+        """A real yield: requeue behind equal-vruntime tasks and
+        re-contend for a CPU slot (no-op when the kernel is idle)."""
+        self.sched.yield_now(proc)
         return 0
 
     def sys_sched_getaffinity(self, proc: Process, pid: int) -> int:
-        return (1 << self.ncpus) - 1
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH, str(pid))
+        return target.se.affinity or (1 << self.ncpus) - 1
 
     def sys_sched_setaffinity(self, proc: Process, pid: int,
                               mask: int) -> int:
+        """Affinity-lite: the mask is validated and remembered (visible
+        through getaffinity) but the single run queue ignores it for
+        placement — per-CPU queues are a ROADMAP follow-up."""
+        target = self.processes.get(pid or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH, str(pid))
+        full = (1 << self.ncpus) - 1
+        if mask & full == 0:
+            raise KernelError(EINVAL, "empty affinity mask")
+        target.se.affinity = mask & full
         return 0
 
-    def sys_getpriority(self, proc: Process, which: int, who: int) -> int:
+    def sys_nice(self, proc: Process, inc: int) -> int:
+        """Adjust our nice level; returns 0 like the raw Linux syscall
+        (a returned new-nice would be indistinguishable from ``-errno``
+        at the WALI boundary).  Unprivileged tasks cannot raise their
+        priority."""
+        if inc < 0 and proc.euid != 0:
+            raise KernelError(EPERM, "nice: lowering needs root")
+        self.sched.set_nice(proc, proc.se.nice + inc)
         return 0
+
+    PRIO_PROCESS = 0
+
+    def _prio_target(self, proc: Process, which: int, who: int) -> Process:
+        # only per-process priorities are modeled; PRIO_PGRP/PRIO_USER
+        # would silently misread `who`, so reject them loudly
+        if which != self.PRIO_PROCESS:
+            raise KernelError(EINVAL, f"priority which={which}")
+        target = self.processes.get(who or proc.pid)
+        if target is None:
+            raise KernelError(ESRCH, str(who))
+        return target
+
+    def sys_getpriority(self, proc: Process, which: int, who: int) -> int:
+        target = self._prio_target(proc, which, who)
+        # raw-syscall encoding: 20 - nice (always positive)
+        return 20 - target.se.nice
 
     def sys_setpriority(self, proc: Process, which: int, who: int,
                         prio: int) -> int:
+        target = self._prio_target(proc, which, who)
+        if prio < target.se.nice and proc.euid != 0:
+            raise KernelError(EPERM, "setpriority: raising needs root")
+        self.sched.set_nice(target, prio)
         return 0
 
     def sys_prctl(self, proc: Process, option: int, arg2=0) -> int:

@@ -5,9 +5,14 @@ methods named ``sys_<name>`` (provided by the mixins in
 :mod:`repro.kernel.calls`); :meth:`Kernel.call` dispatches by name, counts
 invocations (Fig. 2), and accounts kernel time per thread group (Fig. 7).
 
-Blocking syscalls use slice-polling on the calling process's wake condition:
-every blocking loop re-checks for deliverable signals, so signal generation
-interrupts syscalls with ``EINTR`` exactly like Linux.
+Blocking syscalls are schedule points: they park the task off the run
+queue through :meth:`repro.kernel.sched.Scheduler.sleep` (releasing its
+CPU slot for the duration), and every blocking loop re-checks for
+deliverable signals on wakeup, so signal generation interrupts syscalls
+with ``EINTR`` exactly like Linux.  ``Kernel.call`` itself acquires a
+CPU slot on entry and honors preemption on exit, so syscall latency
+under load includes *runnable-wait* (contention), accounted separately
+in ``sched_wait_ns``.
 """
 
 from __future__ import annotations
@@ -50,8 +55,9 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
                  rng_seed: int = 0xC0FFEE,
                  storage_latency_ns_per_4k: int = 0,
-                 net_backend=None):
+                 net_backend=None, sched=None):
         from .net import create_backend
+        from .sched import create_scheduler
 
         self.machine = machine
         self.ncpus = ncpus
@@ -78,8 +84,15 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         self.proc_syscall_counts: Dict[int, Counter] = defaultdict(Counter)
         self.kernel_time_ns: Dict[int, int] = defaultdict(int)
         self.blocked_time_ns: Dict[int, int] = defaultdict(int)
+        # runnable-but-waiting-for-a-CPU time (pure contention; ~0 idle)
+        self.sched_wait_ns: Dict[int, int] = defaultdict(int)
         self.trace_hooks: List[Callable] = []
         self.trace_log: Optional[list] = None  # set to [] to record calls
+
+        # CPU model: a run queue with `ncpus` slots and time slices; spec
+        # strings ("cpus=1,slice_us=50", "off") or a Scheduler instance
+        self.sched = create_scheduler(sched, ncpus_default=ncpus,
+                                      kernel=self)
 
         self.console = TTYDevice()
         self._boot_fs()
@@ -231,9 +244,11 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         if method is None:
             raise KernelError(ENOSYS, name)
         t0 = _time.perf_counter_ns()
+        self.sched.syscall_enter(proc)
         try:
             return method(proc, *args, **kwargs)
         finally:
+            self.sched.syscall_exit(proc)
             dt = _time.perf_counter_ns() - t0
             self.syscall_counts[name] += 1
             self.proc_syscall_counts[proc.tgid][name] += 1
@@ -259,9 +274,11 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
                     empty: Optional[Callable] = None):
         """Run ``scan`` until it returns non-None.
 
-        Between scans, sleep briefly on the process wake condition.  A
-        deliverable signal interrupts the wait with ``EINTR``; a timeout
-        returns ``empty()`` when provided, else raises ``ETIMEDOUT``.
+        Between scans, the task leaves the run queue and sleeps briefly
+        on the process wake condition (a schedule point: its CPU slot is
+        released while it sleeps).  A deliverable signal interrupts the
+        wait with ``EINTR``; a timeout returns ``empty()`` when
+        provided, else raises ``ETIMEDOUT``.
         """
         deadline = None
         if timeout_ns is not None:
@@ -272,14 +289,15 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
                 return result
             if proc.has_deliverable_signal() or proc.state != STATE_RUNNING:
                 raise KernelError(EINTR, "interrupted by signal")
-            if deadline is not None and _time.monotonic_ns() >= deadline:
-                if empty is not None:
-                    return empty()
-                raise KernelError(ETIMEDOUT)
-            w0 = _time.perf_counter_ns()
-            with proc.wake:
-                proc.wake.wait(_BLOCK_SLICE_S)
-            self.blocked_time_ns[proc.tgid] += _time.perf_counter_ns() - w0
+            wait_s = _BLOCK_SLICE_S
+            if deadline is not None:
+                remaining = deadline - _time.monotonic_ns()
+                if remaining <= 0:
+                    if empty is not None:
+                        return empty()
+                    raise KernelError(ETIMEDOUT)
+                wait_s = min(wait_s, remaining / 1e9)
+            self.sched.sleep(proc, wait_s)
 
     def block_on_waitqueues(self, proc: Process, waitqueues, scan: Callable,
                             timeout_ns: Optional[int] = None,
@@ -314,13 +332,7 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
                             return empty()
                         raise KernelError(ETIMEDOUT)
                     wait_s = min(wait_s, remaining / 1e9)
-                w0 = _time.perf_counter_ns()
-                with proc.wake:
-                    if not notifier.fired:
-                        proc.wake.wait(wait_s)
-                    notifier.fired = False
-                self.blocked_time_ns[proc.tgid] += \
-                    _time.perf_counter_ns() - w0
+                self.sched.sleep(proc, wait_s, notifier)
         finally:
             for wq in wqs:
                 wq.unsubscribe(notifier)
@@ -357,16 +369,10 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
                         notifier = ProcNotifier(proc)
                         wq.subscribe(notifier)
                         continue  # readiness may have changed while subscribing
-                w0 = _time.perf_counter_ns()
-                with proc.wake:
-                    if notifier is None or not notifier.fired:
-                        proc.wake.wait(
-                            _WQ_SLICE_S if notifier is not None
-                            else _BLOCK_SLICE_S)
-                    if notifier is not None:
-                        notifier.fired = False
-                self.blocked_time_ns[proc.tgid] += \
-                    _time.perf_counter_ns() - w0
+                self.sched.sleep(
+                    proc,
+                    _WQ_SLICE_S if notifier is not None else _BLOCK_SLICE_S,
+                    notifier)
         finally:
             if notifier is not None and wq is not None:
                 wq.unsubscribe(notifier)

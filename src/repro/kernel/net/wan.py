@@ -19,6 +19,14 @@ before it becomes readable at the peer:
 * **dup** — netem-style duplication: a duplicated datagram arrives
   twice, the copy right behind the original (datagrams only).
 
+Impairment randomness is **per-flow deterministic**: every sending
+socket draws from its own :class:`random.Random` stream, seeded from
+``(backend seed, the socket's bound address)``.  Concurrent senders on
+different threads therefore cannot perturb each other's loss/jitter/
+reorder decisions — a run's impairment pattern is bit-reproducible no
+matter how the scheduler interleaves the sending tasks (a single shared
+RNG made the draw *order*, and hence every outcome, timing-dependent).
+
 Delivery rides the same machinery :class:`~..eventpoll.TimerFD` uses —
 a daemon :class:`threading.Timer` that, on expiry, moves due payloads
 into the receive buffer and publishes ``EPOLLIN`` through the socket's
@@ -66,10 +74,23 @@ class WanBackend(LoopbackBackend):
         self.reorder = reorder
         self.dup = dup
         self.seed = seed
-        self._rng = random.Random(seed)
-        # serializes the link clock and the seeded RNG: senders may
-        # transmit toward different receivers (different conds) at once
+        # serializes the link clock: senders may transmit toward
+        # different receivers (different conds) at once
         self._link_lock = threading.Lock()
+
+    def _rng_for(self, sock: Socket) -> random.Random:
+        """The sender's private impairment stream (see module docstring).
+
+        Keyed by the socket's bound address at first draw (sockets that
+        draw before binding get an address-independent stream), so the
+        per-socket draw sequence depends only on that socket's own send
+        order — never on cross-thread interleaving.
+        """
+        rng = sock.__dict__.get("_wan_rng")
+        if rng is None:
+            rng = random.Random(f"{self.seed}:{sock.addr!r}")
+            sock.__dict__["_wan_rng"] = rng
+        return rng
 
     def describe(self) -> str:
         out = (f"wan:latency_ms={self.latency_ns / 1e6:g},"
@@ -92,10 +113,10 @@ class WanBackend(LoopbackBackend):
         only pin the peer address: no packets, no charge.
         """
         if sock.type != SOCK_DGRAM:
-            with self._link_lock:
-                jit = (int(self._rng.uniform(0, self.jitter_ns)) +
-                       int(self._rng.uniform(0, self.jitter_ns))) \
-                    if self.jitter_ns else 0
+            rng = self._rng_for(sock)
+            jit = (int(rng.uniform(0, self.jitter_ns)) +
+                   int(rng.uniform(0, self.jitter_ns))) \
+                if self.jitter_ns else 0
             rtt_ns = 2 * self.latency_ns + jit
             if rtt_ns > 0:
                 _time.sleep(rtt_ns / 1e9)
@@ -115,6 +136,8 @@ class WanBackend(LoopbackBackend):
         clock (``_wan_last_at``) is untouched by reordered payloads.
         """
         now = _time.monotonic_ns()
+        jit = int(self._rng_for(sender).uniform(0, self.jitter_ns)) \
+            if self.jitter_ns else 0
         with self._link_lock:
             # serialization: this sender's link is busy until previous
             # sends finish transmitting at the configured bandwidth
@@ -122,8 +145,6 @@ class WanBackend(LoopbackBackend):
             tx_ns = int(nbytes * 8e6 / self.bw_kbps) \
                 if self.bw_kbps > 0 else 0
             sender.__dict__["_wan_busy_ns"] = busy + tx_ns
-            jit = int(self._rng.uniform(0, self.jitter_ns)) \
-                if self.jitter_ns else 0
         if reorder:
             return False
         q = peer.__dict__.setdefault("_wan_pending", deque())
@@ -190,17 +211,13 @@ class WanBackend(LoopbackBackend):
 
     def _deliver_dgram(self, sender: Socket, target: Socket,
                        payload: Tuple[Tuple, bytes]) -> None:
-        if self.loss > 0:
-            with self._link_lock:
-                dropped = self._rng.random() < self.loss
-            if dropped:
-                return  # the WAN ate it; senders never hear about it
-        with self._link_lock:
-            duplicated = self.dup > 0 and self._rng.random() < self.dup
-            # one reorder roll per datagram: a duplicate shares its
-            # original's fate, so the copy always rides right behind
-            reordered = self.reorder > 0 and \
-                self._rng.random() < self.reorder
+        rng = self._rng_for(sender)
+        if self.loss > 0 and rng.random() < self.loss:
+            return  # the WAN ate it; senders never hear about it
+        duplicated = self.dup > 0 and rng.random() < self.dup
+        # one reorder roll per datagram: a duplicate shares its
+        # original's fate, so the copy always rides right behind
+        reordered = self.reorder > 0 and rng.random() < self.reorder
         for _ in range(2 if duplicated else 1):
             with target.cond:
                 queued = self._transmit(sender, target, "dgram", payload,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from .fdtable import FDTable
 from .mm import AddressSpace
+from .sched import SchedEntity
 from .signals import PendingSignals, SigDispositions
 from .vfs import Inode
 
@@ -128,6 +129,9 @@ class Process:
 
         # blocking syscalls wait on this; signal generation notifies it
         self.wake = threading.Condition()
+
+        # scheduler state: vruntime, nice/weight, slice + wait accounting
+        self.se = SchedEntity()
 
         # is_thread: True when created with CLONE_THREAD
         self.is_thread = self.tgid != self.pid

@@ -1,0 +1,703 @@
+"""CFS-lite scheduler: a real run queue, weighted vruntime, time slices.
+
+Before this module existed, a blocked syscall was a condvar sleep on the
+calling process and *every* runnable task ran whenever its host thread
+was scheduled by the OS — the kernel model had no notion of CPU
+contention, so kernel-time accounting (Fig. 7) measured service time on
+an effectively idle machine.  This scheduler makes CPU time a real,
+contended resource:
+
+* the kernel owns ``ncpus`` **CPU slots**; a task must hold one to
+  execute (guest code or syscall service),
+* runnable tasks that don't hold a slot sit on a per-kernel **run
+  queue** ordered by *weighted virtual runtime* (CFS semantics: each
+  task's clock advances at ``NICE_0_WEIGHT / weight(nice)`` of wall
+  time, the task with the smallest vruntime runs next, FIFO among
+  equals),
+* **preemption happens at syscall boundaries and timer ticks**: every
+  ``Kernel.call`` entry/exit is a schedule point (slice expiry or a
+  ``need_resched`` mark yields the slot), and contending waiters run
+  the tick — a task executing *user* code past its slice is preempted
+  in absentia (its slot is taken; it re-contends at its next syscall),
+  exactly like a timer interrupt preempting userspace,
+* **blocking is scheduler-aware**: ``Kernel.block_until`` /
+  ``block_on_waitqueues`` / ``_blocking_io`` park through
+  :meth:`Scheduler.sleep`, which releases the CPU slot for the duration
+  of the sleep and re-contends on wakeup — a blocked task consumes zero
+  slice and zero vruntime.
+
+Service vs. runnable-wait accounting split
+------------------------------------------
+Kernel time now decomposes into three separately-tracked buckets:
+
+``kernel.kernel_time_ns``
+    wall time inside syscalls (as before: includes any in-call sleeps
+    and CPU waits, which the buckets below carve back out),
+``kernel.blocked_time_ns``
+    time spent *asleep* waiting for an event (pipe data, socket
+    readiness, futex wake, timer expiry) — not CPU time of anyone,
+``kernel.sched_wait_ns``
+    time spent *runnable but waiting for a CPU slot* — pure contention.
+    On an idle kernel this is ~0; under load it grows with the number
+    of competing tasks.  This is the column Fig. 7-style breakdowns
+    were silently missing: syscall latency = service + runnable-wait,
+    and only the first term is the kernel's own cost.
+
+``metrics.breakdown`` reports ``kernel`` (service = kernel - blocked -
+wait) and ``wait`` as separate columns so contention is visible instead
+of being smeared into service time.
+
+Follow-ups tracked in ROADMAP.md: per-CPU run queues with work stealing,
+and priority inheritance for futex waits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time as _time
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from .errno import EINVAL, KernelError
+
+# ---- nice levels and load weights (Linux sched_prio_to_weight) -----------
+
+NICE_0_WEIGHT = 1024
+
+# weight[nice + 20]: each nice level is ~1.25x the next (10% cpu per level)
+_PRIO_TO_WEIGHT = (
+    88761, 71755, 56483, 46273, 36291,          # -20 .. -16
+    29154, 23254, 18705, 14949, 11916,          # -15 .. -11
+    9548, 7620, 6100, 4904, 3906,               # -10 .. -6
+    3121, 2501, 1991, 1586, 1277,               # -5 .. -1
+    1024, 820, 655, 526, 423,                   # 0 .. 4
+    335, 272, 215, 172, 137,                    # 5 .. 9
+    110, 87, 70, 56, 45,                        # 10 .. 14
+    36, 29, 23, 18, 15,                         # 15 .. 19
+)
+
+NICE_MIN, NICE_MAX = -20, 19
+
+
+def nice_to_weight(nice: int) -> int:
+    nice = max(NICE_MIN, min(NICE_MAX, nice))
+    return _PRIO_TO_WEIGHT[nice + 20]
+
+
+# ---- task scheduling states ----------------------------------------------
+
+SCHED_NEW = "new"            # never ran; not yet on any queue
+SCHED_RUNNABLE = "runnable"  # on the run queue, waiting for a CPU slot
+SCHED_RUNNING = "running"    # holds a CPU slot
+SCHED_BLOCKED = "blocked"    # off the run queue, parked on a waitqueue
+SCHED_DEAD = "dead"          # exited; owns nothing
+
+DEFAULT_SLICE_US = 2000.0    # 2 ms, between CFS min-granularity and latency
+
+
+class SchedEntity:
+    """Per-task scheduling state (``proc.se``)."""
+
+    __slots__ = (
+        "state", "vruntime_ns", "nice", "weight", "cpu_time_ns",
+        "wait_ns", "last_wait_ns", "blocked_ns", "wait_since_ns",
+        "granted_at_ns", "last_charge_ns", "need_resched", "depth",
+        "host_thread", "rq_seq", "affinity",
+    )
+
+    def __init__(self):
+        self.state = SCHED_NEW
+        self.vruntime_ns = 0
+        self.nice = 0
+        self.weight = NICE_0_WEIGHT
+        self.cpu_time_ns = 0       # wall time spent holding a CPU slot
+        self.wait_ns = 0           # cumulative runnable-but-not-running
+        self.last_wait_ns = 0      # wait of the most recent grant
+        self.blocked_ns = 0        # cumulative sleep (event wait) time
+        self.wait_since_ns = 0
+        self.granted_at_ns = 0     # slice start
+        self.last_charge_ns = 0
+        self.need_resched = False
+        self.depth = 0             # syscall nesting (>0 = inside kernel)
+        self.host_thread = 0       # ident of the thread that last ran us
+        self.rq_seq = -1           # seq of our valid run-queue entry
+        self.affinity = 0          # 0 = default mask (all cpus)
+
+    def set_nice(self, nice: int) -> int:
+        self.nice = max(NICE_MIN, min(NICE_MAX, nice))
+        self.weight = nice_to_weight(self.nice)
+        return self.nice
+
+
+class Scheduler:
+    """A per-kernel run queue with ``ncpus`` slots and CFS-lite pick order.
+
+    ``ncpus <= 0`` means *unconstrained*: every task is granted a slot
+    immediately (the pre-scheduler behavior, useful as an ablation and
+    for workloads where contention modeling is unwanted:
+    ``Kernel(sched="off")``).
+
+    The scheduler never runs its own thread.  Grants happen inline when
+    a slot frees (block / yield / exit / preemption), and the *waiters*
+    drive the timer tick: a task waiting for a slot wakes at the next
+    slice expiry and preempts any user-mode holder whose slice is over.
+    Tasks inside a syscall are non-preemptible (like a non-preempt
+    kernel) — they get marked ``need_resched`` and yield at the next
+    schedule point (syscall entry or exit).
+    """
+
+    def __init__(self, ncpus: int = 1, slice_us: float = DEFAULT_SLICE_US,
+                 kernel=None, clock: Optional[Callable[[], int]] = None):
+        if slice_us <= 0:
+            raise KernelError(EINVAL, "slice_us must be > 0")
+        self.ncpus = int(ncpus)
+        self.slice_ns = int(slice_us * 1000)
+        self.kernel = kernel
+        self._now: Callable[[], int] = clock or _time.monotonic_ns
+        self._cv = threading.Condition()
+        self._procs: Dict[int, object] = {}    # live attached tasks
+        self._running: Dict[int, object] = {}  # pid -> proc holding a slot
+        self._runq: List[tuple] = []           # heap of (vruntime, seq, pid)
+        self._seq = 0
+        self.min_vruntime = 0
+        self._nr_runnable = 0
+        self._nr_waiting = 0                   # threads blocked in acquire
+        self._contended = False                # lock-free fast-path hint
+        # accounting sinks (shared with the kernel when attached)
+        if kernel is not None:
+            self.wait_ns_by_tgid = kernel.sched_wait_ns
+            self.blocked_ns_by_tgid = kernel.blocked_time_ns
+        else:
+            self.wait_ns_by_tgid = defaultdict(int)
+            self.blocked_ns_by_tgid = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, /proc-style reporting)
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return f"sched:cpus={self.ncpus},slice_us={self.slice_ns / 1000:g}"
+
+    def live_pids(self) -> List[int]:
+        with self._cv:
+            return sorted(self._procs)
+
+    def running_pids(self) -> List[int]:
+        with self._cv:
+            return sorted(self._running)
+
+    def runnable_pids(self) -> List[int]:
+        with self._cv:
+            return sorted(p.pid for p in self._procs.values()
+                          if p.se.state == SCHED_RUNNABLE)
+
+    def blocked_pids(self) -> List[int]:
+        with self._cv:
+            return sorted(p.pid for p in self._procs.values()
+                          if p.se.state == SCHED_BLOCKED)
+
+    def total_vruntime_ns(self) -> int:
+        with self._cv:
+            return sum(p.se.vruntime_ns for p in self._procs.values())
+
+    # ------------------------------------------------------------------
+    # core transitions (non-blocking; safe to drive directly in tests)
+    # ------------------------------------------------------------------
+
+    def task_attach(self, proc) -> None:
+        """A new task becomes runnable (first schedule of its life)."""
+        with self._cv:
+            if proc.pid in self._procs or proc.se.state == SCHED_DEAD:
+                return
+            now = self._now()
+            self._place(proc, now, was_blocked=False)
+            self._dispatch(now)
+
+    def task_block(self, proc) -> None:
+        """Voluntarily leave the CPU (or the run queue) to wait for an
+        event.  The task keeps its vruntime; it consumes no slice while
+        blocked."""
+        with self._cv:
+            se = proc.se
+            now = self._now()
+            if se.state == SCHED_RUNNING:
+                self._charge(proc, now)
+                self._unrun(proc)
+                proc.rusage.nvcsw += 1
+            elif se.state == SCHED_RUNNABLE:
+                self._dequeue(proc)
+            elif se.state == SCHED_NEW:
+                self._procs[proc.pid] = proc  # first contact: attach
+            else:
+                return
+            se.state = SCHED_BLOCKED
+            self._dispatch(now)
+
+    def task_wake(self, proc) -> None:
+        """Make a blocked task runnable again (idempotent: waking a task
+        that is already runnable, running, or dead is a no-op — a task
+        can never be enqueued twice)."""
+        with self._cv:
+            se = proc.se
+            if se.state not in (SCHED_BLOCKED, SCHED_NEW):
+                return
+            now = self._now()
+            self._place(proc, now,
+                        was_blocked=(se.state == SCHED_BLOCKED))
+            self._dispatch(now)
+
+    def task_yield(self, proc) -> None:
+        """``sched_yield``: put ourselves behind every task of equal or
+        lower vruntime, then re-contend.  A lone task keeps running."""
+        with self._cv:
+            se = proc.se
+            if se.state != SCHED_RUNNING or not self._has_runnable():
+                return
+            now = self._now()
+            self._charge(proc, now)
+            # CFS yield: jump past the leftmost entity so equals go first
+            head = self._peek_runnable_vruntime()
+            if head is not None:
+                se.vruntime_ns = max(se.vruntime_ns, head)
+            self._unrun(proc)
+            proc.rusage.nvcsw += 1
+            self._enqueue(proc, now)
+            self._dispatch(now)
+
+    def task_exit(self, proc) -> None:
+        """The task is gone: free its slot, purge every queue."""
+        with self._cv:
+            se = proc.se
+            now = self._now()
+            if se.state == SCHED_RUNNING:
+                self._charge(proc, now)
+                self._unrun(proc)
+            elif se.state == SCHED_RUNNABLE:
+                self._dequeue(proc)
+            se.state = SCHED_DEAD
+            se.need_resched = False
+            self._procs.pop(proc.pid, None)
+            self._dispatch(now)
+
+    def tick(self) -> None:
+        """One timer tick: preempt user-mode slot holders whose slice is
+        over.  Contending waiters call this on their own (see
+        :meth:`_acquire`); it is public for tests and simulations."""
+        with self._cv:
+            self._steal_expired(self._now())
+
+    def check_preempt(self, proc) -> bool:
+        """Schedule point: give up the slot if our slice expired or a
+        wakeup marked us for preemption (and someone is waiting).
+        Returns True when the CPU was lost."""
+        with self._cv:
+            return self._preempt_locked(proc)
+
+    def set_nice(self, proc, nice: int) -> int:
+        with self._cv:
+            # close out the old weight before the exchange rate changes
+            self._charge(proc, self._now())
+            return proc.se.set_nice(nice)
+
+    # ------------------------------------------------------------------
+    # kernel-facing blocking API
+    # ------------------------------------------------------------------
+
+    def syscall_enter(self, proc) -> None:
+        """Acquire a CPU slot (schedule point at the syscall boundary)."""
+        se = proc.se
+        se.depth += 1
+        if se.depth > 1:
+            return  # nested kernel entry: the slot is already ours
+        # Lock-free fast path.  Safe against concurrent slot-steals:
+        # stealing only ever happens from a waiter's _acquire loop,
+        # which sets _contended = True (under _cv) before its first
+        # steal and keeps it True until it exits — so whenever a steal
+        # can be in flight, this check fails and we take the locked
+        # slow path.  The depth bump above additionally makes us
+        # non-stealable from here on.
+        if se.state == SCHED_RUNNING and not se.need_resched \
+                and not self._contended:
+            return  # idle kernel, we already hold a slot
+        self._acquire(proc)
+
+    def syscall_exit(self, proc) -> None:
+        """Syscall-boundary preemption on the way back to user code."""
+        se = proc.se
+        if se.depth > 0:
+            se.depth -= 1
+        if se.depth == 0 and se.need_resched and se.state == SCHED_RUNNING:
+            # release without waiting: the task returns to user code
+            # unscheduled and re-contends at its next kernel entry
+            with self._cv:
+                if se.need_resched and se.state == SCHED_RUNNING \
+                        and self._has_runnable():
+                    now = self._now()
+                    self._charge(proc, now)
+                    self._unrun(proc)
+                    se.need_resched = False
+                    proc.rusage.nivcsw += 1
+                    self._enqueue(proc, now, absent=True)
+                    self._dispatch(now)
+
+    def sleep(self, proc, wait_s: float, notifier=None) -> None:
+        """Scheduler-aware blocking: release the CPU slot, sleep on the
+        process wake condition (woken early by ``notifier``/signals),
+        then re-contend for a slot.  Sleep time lands in
+        ``blocked_time_ns``; re-contention lands in ``sched_wait_ns``."""
+        self.task_block(proc)
+        se = proc.se
+        w0 = self._now()
+        with proc.wake:
+            if notifier is None or not notifier.fired:
+                proc.wake.wait(wait_s)
+            if notifier is not None:
+                notifier.fired = False
+        dt = self._now() - w0
+        se.blocked_ns += dt
+        self.blocked_ns_by_tgid[proc.tgid] += dt
+        self._acquire(proc)
+
+    def yield_now(self, proc) -> None:
+        """Blocking ``sched_yield``: requeue and wait to be picked again."""
+        self.task_yield(proc)
+        if proc.se.state != SCHED_RUNNING:
+            self._acquire(proc)
+
+    # ------------------------------------------------------------------
+    # internals (call with self._cv held)
+    # ------------------------------------------------------------------
+
+    def _charge(self, proc, now: int) -> None:
+        """Accrue wall time held on a CPU into cpu_time and vruntime."""
+        se = proc.se
+        if se.state != SCHED_RUNNING:
+            return
+        dt = now - se.last_charge_ns
+        if dt > 0:
+            se.cpu_time_ns += dt
+            se.vruntime_ns += dt * NICE_0_WEIGHT // se.weight
+            se.last_charge_ns = now
+
+    def _unrun(self, proc) -> None:
+        self._running.pop(proc.pid, None)
+
+    def _enqueue(self, proc, now: int, wakeup: bool = False,
+                 absent: bool = False) -> None:
+        """``absent`` marks a task preempted *in absentia* (its host
+        thread is still executing user code elsewhere): it is runnable
+        but not stalled, so its runnable-wait clock only starts when it
+        actually arrives at a schedule point (see :meth:`_acquire`)."""
+        se = proc.se
+        if se.state == SCHED_RUNNABLE and se.rq_seq >= 0:
+            return  # already queued; never twice
+        se.state = SCHED_RUNNABLE
+        se.wait_since_ns = -1 if absent else now
+        self._seq += 1
+        se.rq_seq = self._seq
+        heapq.heappush(self._runq, (se.vruntime_ns, self._seq, proc.pid))
+        self._nr_runnable += 1
+        self._contended = True
+        if wakeup:
+            self._maybe_mark_preempt(se)
+
+    def _dequeue(self, proc) -> None:
+        """Lazy removal: invalidate the heap entry via rq_seq."""
+        se = proc.se
+        if se.rq_seq >= 0:
+            se.rq_seq = -1
+            self._nr_runnable -= 1
+
+    def _place(self, proc, now: int, was_blocked: bool) -> None:
+        """Admit a new or woken task onto the run queue (one place for
+        the placement policy, used by attach, wake, and acquire).
+
+        Sleeper placement, both directions: cap the lag (an ancient
+        vruntime must not starve everyone) but grant woken sleepers one
+        slice of bonus below min_vruntime, so an I/O-bound task that
+        just woke preempts CPU-bound tasks promptly (CFS's sleeper
+        fairness).  New tasks start exactly at min_vruntime: no credit
+        for being born late, no penalty versus long-running peers.
+        """
+        se = proc.se
+        if proc.pid not in self._procs:
+            self._procs[proc.pid] = proc
+        self._refresh(now)
+        floor = self.min_vruntime - self.slice_ns if was_blocked \
+            else self.min_vruntime
+        se.vruntime_ns = max(se.vruntime_ns, floor)
+        self._enqueue(proc, now, wakeup=was_blocked)
+
+    def _maybe_mark_preempt(self, woken_se) -> None:
+        """Wakeup preemption: if the woken task out-prioritizes a running
+        one by more than the wakeup granularity, mark that task for
+        preemption at its next schedule point (or tick)."""
+        if self.ncpus <= 0 or len(self._running) < self.ncpus:
+            return  # a free slot will serve the wakeup directly
+        gran = self.slice_ns // 2
+        victim = None
+        worst = woken_se.vruntime_ns + gran
+        for p in self._running.values():
+            if p.se.vruntime_ns > worst and not p.se.need_resched:
+                worst = p.se.vruntime_ns
+                victim = p
+        if victim is not None:
+            victim.se.need_resched = True
+
+    def _has_runnable(self) -> bool:
+        return self._nr_runnable > 0
+
+    def _peek_runnable_vruntime(self) -> Optional[int]:
+        while self._runq:
+            vrt, seq, pid = self._runq[0]
+            proc = self._procs.get(pid)
+            if proc is not None and proc.se.rq_seq == seq \
+                    and proc.se.state == SCHED_RUNNABLE:
+                return vrt
+            heapq.heappop(self._runq)  # stale
+        return None
+
+    def _dispatch(self, now: int) -> None:
+        """Fill free CPU slots from the run queue in vruntime order."""
+        granted = False
+        while (self.ncpus <= 0 or len(self._running) < self.ncpus) \
+                and self._runq:
+            vrt, seq, pid = heapq.heappop(self._runq)
+            proc = self._procs.get(pid)
+            if proc is None or proc.se.rq_seq != seq \
+                    or proc.se.state != SCHED_RUNNABLE:
+                continue  # stale entry
+            se = proc.se
+            se.rq_seq = -1
+            self._nr_runnable -= 1
+            se.state = SCHED_RUNNING
+            self._running[pid] = proc
+            # absent tasks (wait_since < 0) were executing user code the
+            # whole time: no wall-clock stall to account
+            waited = max(now - se.wait_since_ns, 0) \
+                if se.wait_since_ns >= 0 else 0
+            se.wait_ns += waited
+            se.last_wait_ns = waited
+            self.wait_ns_by_tgid[proc.tgid] += waited
+            se.granted_at_ns = now
+            se.last_charge_ns = now
+            granted = True
+        self._update_min_vruntime()
+        self._contended = self._nr_runnable > 0 or self._nr_waiting > 0
+        if granted:
+            self._cv.notify_all()
+
+    def _refresh(self, now: int) -> None:
+        """Settle every running task's clock so placement decisions (new
+        arrivals, wakeups) see current vruntimes, not stale ones."""
+        for p in self._running.values():
+            self._charge(p, now)
+        self._update_min_vruntime()
+
+    def _update_min_vruntime(self) -> None:
+        cands = [p.se.vruntime_ns for p in self._running.values()]
+        head = self._peek_runnable_vruntime()
+        if head is not None:
+            cands.append(head)
+        if cands:
+            self.min_vruntime = max(self.min_vruntime, min(cands))
+
+    def _preempt_locked(self, proc) -> bool:
+        se = proc.se
+        now = self._now()
+        # always settle the clock: vruntime and min_vruntime stay fresh
+        # even when no preemption happens (a lone task's runtime must be
+        # on the books by the time a competitor shows up)
+        self._charge(proc, now)
+        self._update_min_vruntime()
+        if se.state != SCHED_RUNNING or not self._has_runnable():
+            se.need_resched = False
+            return False
+        if not se.need_resched and now - se.granted_at_ns < self.slice_ns:
+            return False
+        self._unrun(proc)
+        se.need_resched = False
+        proc.rusage.nivcsw += 1
+        self._enqueue(proc, now)
+        self._dispatch(now)
+        return se.state != SCHED_RUNNING
+
+    def _steal_expired(self, now: int) -> None:
+        """The timer tick, run by waiters: preempt user-mode slot holders
+        whose slice expired (or who are marked for preemption).  Tasks
+        inside a syscall (depth > 0) are never stolen from — they yield
+        at their next schedule point."""
+        if not self._has_runnable() and self._nr_waiting == 0:
+            return
+        gran = max(self.slice_ns // 4, 1)
+        for proc in list(self._running.values()):
+            se = proc.se
+            if se.depth > 0:
+                continue
+            ran = now - se.granted_at_ns
+            if ran >= self.slice_ns or (se.need_resched and ran >= gran):
+                self._charge(proc, now)
+                self._unrun(proc)
+                se.need_resched = False
+                proc.rusage.nivcsw += 1
+                self._enqueue(proc, now, absent=True)
+        self._dispatch(now)
+
+    def _steal_timeout_s(self, now: int) -> float:
+        """How long a slot waiter sleeps before running the tick: until
+        the earliest user-mode holder's slice expires."""
+        best = None
+        for proc in self._running.values():
+            se = proc.se
+            if se.depth > 0:
+                continue
+            remaining = se.granted_at_ns + self.slice_ns - now
+            if best is None or remaining < best:
+                best = remaining
+        if best is None:
+            best = self.slice_ns  # heartbeat; in-kernel holders notify
+        return min(max(best / 1e9, 50e-6), 0.05)
+
+    def _acquire(self, proc) -> None:
+        """Block until the task holds a CPU slot (runnable-wait)."""
+        se = proc.se
+        me = threading.get_ident()
+        with self._cv:
+            if se.state == SCHED_DEAD:
+                return  # exited tasks run free (exit-path bookkeeping)
+            now = self._now()
+            if se.state == SCHED_RUNNING:
+                if not self._preempt_locked(proc):
+                    se.host_thread = me
+                    return
+            # one host thread drives one task at a time: any slot still
+            # held by a task this thread ran earlier is provably idle —
+            # context-switch it out rather than waiting for its slice
+            for other in list(self._running.values()):
+                ose = other.se
+                if other is not proc and ose.host_thread == me \
+                        and ose.depth == 0:
+                    self._charge(other, now)
+                    self._unrun(other)
+                    other.rusage.nivcsw += 1
+                    self._enqueue(other, now, absent=True)
+            if se.state in (SCHED_NEW, SCHED_BLOCKED):
+                self._place(proc, now,
+                            was_blocked=(se.state == SCHED_BLOCKED))
+            self._dispatch(now)
+            if se.state == SCHED_RUNNING:
+                se.host_thread = me
+                return
+            if se.state == SCHED_RUNNABLE and se.wait_since_ns < 0:
+                # preempted in absentia earlier; we just arrived at a
+                # schedule point, so the genuine stall starts now
+                se.wait_since_ns = now
+            self._nr_waiting += 1
+            self._contended = True
+            try:
+                while se.state not in (SCHED_RUNNING, SCHED_DEAD):
+                    self._cv.wait(self._steal_timeout_s(now))
+                    now = self._now()
+                    self._steal_expired(now)
+            finally:
+                self._nr_waiting -= 1
+                self._contended = \
+                    self._nr_runnable > 0 or self._nr_waiting > 0
+            se.host_thread = me
+
+
+def create_scheduler(spec=None, ncpus_default: int = 1, kernel=None):
+    """Resolve a scheduler spec: None (CPU count from the kernel), an
+    instance, ``"off"``, or ``"[sched:]cpus=N,slice_us=X"``."""
+    if spec is None:
+        return Scheduler(ncpus=ncpus_default, kernel=kernel)
+    if isinstance(spec, Scheduler):
+        if kernel is not None and spec.kernel is None:
+            spec.kernel = kernel
+            spec.wait_ns_by_tgid = kernel.sched_wait_ns
+            spec.blocked_ns_by_tgid = kernel.blocked_time_ns
+        return spec
+    text = str(spec)
+    if text.startswith("sched:"):
+        text = text[len("sched:"):]
+    if text in ("off", "none", "coop"):
+        return Scheduler(ncpus=0, kernel=kernel)
+    opts = {}
+    for item in text.split(","):
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        opts[key.strip()] = value.strip() if sep else "1"
+    try:
+        cpus = int(opts.pop("cpus", ncpus_default))
+        slice_us = float(opts.pop("slice_us", DEFAULT_SLICE_US))
+    except ValueError as exc:
+        raise KernelError(EINVAL, f"bad sched spec {spec!r}: {exc}")
+    if opts:
+        raise KernelError(EINVAL,
+                          f"unknown sched options: {sorted(opts)}")
+    return Scheduler(ncpus=cpus, slice_us=slice_us, kernel=kernel)
+
+
+class BackgroundSpinners:
+    """CPU-bound guest load for contention tests and benchmarks.
+
+    Each spinner is a kernel process driven by a host thread in a tight
+    syscall loop (``getpid`` by default: cheap, non-blocking, so the
+    spinner holds its CPU slot for whole slices and is preempted at
+    syscall boundaries like any CPU-bound guest).  Use as a context
+    manager or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, kernel, n: int = 2, syscall: str = "getpid",
+                 nice: int = 0):
+        self.kernel = kernel
+        self.n = n
+        self.syscall = syscall
+        self.nice = nice
+        self.procs = []
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> "BackgroundSpinners":
+        for i in range(self.n):
+            proc = self.kernel.create_process([f"spinner{i}"], stdio=False)
+            if self.nice:
+                proc.se.set_nice(self.nice)
+            self.procs.append(proc)
+            t = threading.Thread(target=self._spin, args=(proc,),
+                                 daemon=True, name=f"spinner-{proc.pid}")
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def _spin(self, proc) -> None:
+        call = self.kernel.call
+        name = self.syscall
+        try:
+            while not self._stop.is_set():
+                call(proc, name)
+        except KernelError:
+            pass
+        finally:
+            try:
+                if proc.state == "running":
+                    call(proc, "exit", 0)
+            except KernelError:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=10)
+        self._threads.clear()
+
+    def cpu_times_ns(self) -> List[int]:
+        return [p.se.cpu_time_ns for p in self.procs]
+
+    def __enter__(self) -> "BackgroundSpinners":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -48,7 +48,7 @@ AUTO_PASSTHROUGH = frozenset({
     "close", "dup", "dup2", "dup3", "fcntl", "kill", "tgkill", "tkill",
     "getpid", "gettid", "getppid", "getuid", "geteuid", "getgid", "getegid",
     "setuid", "setgid", "setpgid", "getpgid", "getpgrp", "setsid", "getsid",
-    "sched_yield", "getpriority", "setpriority", "umask", "fsync",
+    "sched_yield", "getpriority", "setpriority", "nice", "umask", "fsync",
     "fdatasync", "flock", "fchmod", "fchown", "listen", "shutdown", "sync",
     "fchdir", "alarm", "madvise", "readahead", "lseek", "ftruncate",
     "set_tid_address", "set_robust_list", "arch_prctl", "sched_setaffinity",

@@ -99,7 +99,8 @@ def _build() -> Dict[str, SyscallSpec]:
         ("prlimit64", "iiii"), ("getrlimit", "ii"), ("setrlimit", "ii"),
         ("getrusage", "ii"), ("times", "i"), ("sched_yield", ""),
         ("sched_getaffinity", "iii"), ("sched_setaffinity", "iii"),
-        ("getpriority", "ii"), ("setpriority", "iii"), ("prctl", "iiiii"),
+        ("getpriority", "ii"), ("setpriority", "iii"), ("nice", "i"),
+        ("prctl", "iiiii"),
         ("arch_prctl", "ii"), ("set_tid_address", "i"),
         ("set_robust_list", "ii"), ("futex", "iiiiii"),
         ("getrandom", "iii"),

@@ -22,9 +22,23 @@ from repro.kernel.errno import (
 POLLIN = 1
 
 
-@pytest.fixture
-def kern():
-    return Kernel()
+# every ring-serving test runs twice: on an idle kernel, and preempted
+# every 50 us by two CPU-bound spinner guests on a 2-slot scheduler —
+# deferred completions and readiness parking must survive arbitrary
+# preemption between submit, wakeup, and reap
+@pytest.fixture(params=[
+    pytest.param(False, id="idle"),
+    pytest.param(True, id="contended"),
+])
+def kern(request):
+    if not request.param:
+        return Kernel()
+    from repro.kernel import BackgroundSpinners
+
+    k = Kernel(sched="cpus=2,slice_us=50")
+    spinners = BackgroundSpinners(k, n=2).start()
+    request.addfinalizer(spinners.stop)
+    return k
 
 
 @pytest.fixture

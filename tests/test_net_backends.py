@@ -38,16 +38,36 @@ F_SETFL = 4
 
 # the two hermetic backends every shared-semantics test must agree on;
 # the wan spec uses a real (small) delay so the asynchronous delivery
-# path is exercised, not short-circuited
+# path is exercised, not short-circuited.  Each backend also runs with
+# the scheduler squeezed (2 CPU slots, 50 us slices, 2 CPU-bound
+# background spinner guests): Linux semantics must survive arbitrary
+# preemption of the serving task between any two syscalls.
 CONFORMANCE_BACKENDS = [
-    pytest.param("loopback", id="loopback"),
-    pytest.param("wan:latency_ms=2,jitter_ms=1,seed=42", id="wan"),
+    pytest.param(("loopback", False), id="loopback"),
+    pytest.param(("wan:latency_ms=2,jitter_ms=1", False), id="wan"),
+    pytest.param(("loopback", True), id="loopback-contended"),
+    pytest.param(("wan:latency_ms=2,jitter_ms=1", True),
+                 id="wan-contended"),
 ]
+
+# 2 slots for 2 spinners + the driver: every driver syscall must win a
+# slot back from a CPU-bound guest via wakeup preemption
+CONTENTION_SCHED = "sched:cpus=2,slice_us=50"
 
 
 @pytest.fixture(params=CONFORMANCE_BACKENDS)
-def kern(request):
-    return Kernel(net_backend=request.param)
+def kern(request, wan_seed):
+    spec, contended = request.param
+    if spec.startswith("wan") and "seed=" not in spec:
+        spec += f",seed={wan_seed}"
+    if not contended:
+        return Kernel(net_backend=spec)
+    from repro.kernel import BackgroundSpinners
+
+    k = Kernel(net_backend=spec, sched=CONTENTION_SCHED)
+    spinners = BackgroundSpinners(k, n=2).start()
+    request.addfinalizer(spinners.stop)
+    return k
 
 
 @pytest.fixture
@@ -279,17 +299,24 @@ class TestConformance:
         assert tap.nbytes("data") == 11  # detached taps stop recording
 
 
-def _wan_kernel(spec):
-    kern = Kernel(net_backend=spec)
-    proc = kern.create_process(["wanfault"])
-    return kern, proc
+@pytest.fixture
+def wan_kernel(wan_seed):
+    """Factory for WAN-fault kernels: specs without an explicit seed get
+    the per-test fixture seed, so every impairment draw is replayable."""
+    def make(spec):
+        if "seed=" not in spec:
+            spec += f",seed={wan_seed}"
+        kern = Kernel(net_backend=spec)
+        proc = kern.create_process(["wanfault"])
+        return kern, proc
+    return make
 
 
 class TestWanFaults:
     """Impairment behaviors only the simulated WAN exhibits."""
 
-    def test_full_datagram_loss_is_silent(self):
-        kern, proc = _wan_kernel("wan:latency_ms=1,loss=1.0")
+    def test_full_datagram_loss_is_silent(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=1,loss=1.0")
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         kern.call(proc, "bind", a, ("127.0.0.1", 5001))
@@ -304,8 +331,8 @@ class TestWanFaults:
             kern.call(proc, "recvfrom", b, 64)
         assert exc.value.errno == EAGAIN
 
-    def test_partial_loss_drops_some_keeps_order(self):
-        kern, proc = _wan_kernel("wan:latency_ms=0.5,loss=0.5,seed=7")
+    def test_partial_loss_drops_some_keeps_order(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=0.5,loss=0.5,seed=7")
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         kern.call(proc, "bind", a, ("127.0.0.1", 5001))
@@ -327,8 +354,8 @@ class TestWanFaults:
         indices = [sent.index(m) for m in got]
         assert indices == sorted(indices)
 
-    def test_latency_beyond_timeout_then_readiness_on_next_wait(self):
-        kern, proc = _wan_kernel("wan:latency_ms=120")
+    def test_latency_beyond_timeout_then_readiness_on_next_wait(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=120")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         ep = kern.call(proc, "epoll_create1", 0)
         kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, sfd, EPOLLIN)
@@ -344,8 +371,8 @@ class TestWanFaults:
         data, _ = kern.call(proc, "recvfrom", sfd, 64)
         assert data == b"delayed"
 
-    def test_edge_triggered_fires_once_per_delayed_arrival(self):
-        kern, proc = _wan_kernel("wan:latency_ms=10")
+    def test_edge_triggered_fires_once_per_delayed_arrival(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=10")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         ep = kern.call(proc, "epoll_create1", 0)
         kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, sfd,
@@ -361,9 +388,9 @@ class TestWanFaults:
                              timeout_ns=30_000_000) == []
             kern.call(proc, "recvfrom", sfd, 64)
 
-    def test_bandwidth_cap_paces_delivery(self):
+    def test_bandwidth_cap_paces_delivery(self, wan_kernel):
         # 800 kbit/s = 100 KB/s: an 8 KiB burst needs ~82 ms on the wire
-        kern, proc = _wan_kernel("wan:latency_ms=0,bw_kbps=800")
+        kern, proc = wan_kernel("wan:latency_ms=0,bw_kbps=800")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         payload = b"b" * 8192
         t0 = time.perf_counter()
@@ -376,8 +403,8 @@ class TestWanFaults:
         assert bytes(got) == payload
         assert elapsed >= 0.05, f"8 KiB at 100 KB/s took {elapsed:.3f}s"
 
-    def test_jitter_never_reorders_stream(self):
-        kern, proc = _wan_kernel("wan:latency_ms=1,jitter_ms=5,seed=3")
+    def test_jitter_never_reorders_stream(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=1,jitter_ms=5,seed=3")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         chunks = [f"[{i:03d}]".encode() for i in range(20)]
         for c in chunks:
@@ -389,18 +416,18 @@ class TestWanFaults:
             got.extend(data)
         assert bytes(got) == want
 
-    def test_stream_is_reliable_loss_only_hits_datagrams(self):
-        kern, proc = _wan_kernel("wan:latency_ms=1,loss=1.0")
+    def test_stream_is_reliable_loss_only_hits_datagrams(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=1,loss=1.0")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         kern.call(proc, "sendto", cfd, b"tcp survives")
         data, _ = kern.call(proc, "recvfrom", sfd, 64)
         assert data == b"tcp survives"
 
-    def test_no_premature_hup_while_data_in_flight(self):
+    def test_no_premature_hup_while_data_in_flight(self, wan_kernel):
         """A peer close must not read as HUP-without-IN while data and
         the EOF marker are still on the wire — an event loop treating
         bare HUP as connection-dead would truncate the stream."""
-        kern, proc = _wan_kernel("wan:latency_ms=100")
+        kern, proc = wan_kernel("wan:latency_ms=100")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         kern.call(proc, "sendto", cfd, b"last words")
         kern.call(proc, "close", cfd)
@@ -416,10 +443,10 @@ class TestWanFaults:
         assert data == b""
         assert _await(kern, proc, sfd, POLLIN) & POLLHUP
 
-    def test_connect_charges_one_handshake_rtt(self):
+    def test_connect_charges_one_handshake_rtt(self, wan_kernel):
         """Stream connect blocks for ~1 SYN/SYN-ACK round trip, so
         connection-heavy workloads are network-bound at startup too."""
-        kern, proc = _wan_kernel("wan:latency_ms=5")
+        kern, proc = wan_kernel("wan:latency_ms=5")
         lfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
         kern.call(proc, "bind", lfd, ("127.0.0.1", 9001))
         kern.call(proc, "listen", lfd, 8)
@@ -436,8 +463,8 @@ class TestWanFaults:
             kern.call(proc, "connect", bad, ("127.0.0.1", 4444))
         assert time.perf_counter() - t0 >= 0.009
 
-    def test_dgram_connect_is_free_of_handshake(self):
-        kern, proc = _wan_kernel("wan:latency_ms=50")
+    def test_dgram_connect_is_free_of_handshake(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=50")
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         kern.call(proc, "bind", b, ("127.0.0.1", 5002))
@@ -445,10 +472,10 @@ class TestWanFaults:
         kern.call(proc, "connect", a, ("127.0.0.1", 5002))
         assert time.perf_counter() - t0 < 0.04  # no SYN for datagrams
 
-    def test_reorder_knob_permutes_datagrams(self):
+    def test_reorder_knob_permutes_datagrams(self, wan_kernel):
         """netem-style reordering: some datagrams jump the delay line;
         the payload set is intact but arrival order is permuted."""
-        kern, proc = _wan_kernel("wan:latency_ms=10,reorder=0.3,seed=5")
+        kern, proc = wan_kernel("wan:latency_ms=10,reorder=0.3,seed=5")
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         kern.call(proc, "bind", a, ("127.0.0.1", 5001))
@@ -472,8 +499,8 @@ class TestWanFaults:
                          if indices[i] > indices[i + 1])
         assert inversions >= 1, indices
 
-    def test_dup_knob_duplicates_datagrams(self):
-        kern, proc = _wan_kernel("wan:latency_ms=1,dup=1.0")
+    def test_dup_knob_duplicates_datagrams(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=1,dup=1.0")
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         kern.call(proc, "bind", a, ("127.0.0.1", 5001))
@@ -494,10 +521,10 @@ class TestWanFaults:
         assert got == [f"m{i}".encode() for i in range(5)
                        for _ in range(2)]
 
-    def test_reorder_dup_never_touch_streams(self):
+    def test_reorder_dup_never_touch_streams(self, wan_kernel):
         """TCP semantics survive the fault knobs: stream bytes stay in
         order and unduplicated even with reorder=1,dup=1."""
-        kern, proc = _wan_kernel(
+        kern, proc = wan_kernel(
             "wan:latency_ms=2,jitter_ms=1,reorder=1.0,dup=1.0,seed=9")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         chunks = [f"[{i:03d}]".encode() for i in range(15)]
@@ -510,10 +537,10 @@ class TestWanFaults:
             got.extend(data)
         assert bytes(got) == want
 
-    def test_tap_misses_lost_datagrams(self):
+    def test_tap_misses_lost_datagrams(self, wan_kernel):
         """The tap records what reaches the wire: a datagram eaten by
         loss never appears in the capture."""
-        kern, proc = _wan_kernel("wan:latency_ms=1,loss=1.0")
+        kern, proc = wan_kernel("wan:latency_ms=1,loss=1.0")
         tap = kern.net.attach_tap()
         a = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
         b = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
@@ -524,11 +551,11 @@ class TestWanFaults:
         time.sleep(0.05)
         assert tap.count("dgram") == 0
 
-    def test_ring_recv_parks_across_the_delay_line(self):
+    def test_ring_recv_parks_across_the_delay_line(self, wan_kernel):
         """A ring RECV parked on a WAN socket completes only when the
         delayed payload lands — deferred completion rides the same
         waitqueue wakeups the epoll path uses."""
-        kern, proc = _wan_kernel("wan:latency_ms=40")
+        kern, proc = wan_kernel("wan:latency_ms=40")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         rfd = kern.call(proc, "io_uring_setup", 8)
         kern.call(proc, "io_uring_enter", rfd,
@@ -544,8 +571,8 @@ class TestWanFaults:
             [(1, b"delayed by the wan")]
         assert time.perf_counter() - t0 >= 0.01  # paid the link latency
 
-    def test_inflight_bytes_charge_the_receive_window(self):
-        kern, proc = _wan_kernel("wan:latency_ms=200")
+    def test_inflight_bytes_charge_the_receive_window(self, wan_kernel):
+        kern, proc = wan_kernel("wan:latency_ms=200")
         cfd, sfd = kern.call(proc, "socketpair", AF_INET, SOCK_STREAM)
         proc.fdtable.get(cfd).flags |= O_NONBLOCK
         from repro.kernel.net import SOCK_BUF_CAPACITY
@@ -560,6 +587,76 @@ class TestWanFaults:
         assert sent == SOCK_BUF_CAPACITY
         sock = proc.fdtable.get(sfd).sock
         assert len(sock.rx.data) + sock.rx.in_flight <= SOCK_BUF_CAPACITY
+
+
+class TestImpairmentDeterminism:
+    """Regression for the latent flake class the per-flow RNG kills: with
+    a shared RNG, two sender threads racing on a lossy/jittery link drew
+    from one stream, so loss/reorder/dup outcomes depended on thread
+    timing.  Per-flow streams make every run bit-identical, however the
+    scheduler interleaves the senders.
+
+    The link latency (60 ms) is deliberately far longer than the whole
+    send phase: every datagram is queued (or reorder-jumped) before the
+    first delivery deadline, so the delivered sequence depends only on
+    the seeded draws and FIFO queue order — never on timer slop.
+    """
+
+    SPEC = "wan:latency_ms=60,loss=0.3,reorder=0.2,dup=0.05"
+
+    def _run_once(self, seed, b_count=40):
+        import threading
+
+        kern = Kernel(net_backend=f"{self.SPEC},seed={seed}",
+                      sched="cpus=2,slice_us=50")
+        proc = kern.create_process(["det"])
+        rx1 = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        rx2 = kern.call(proc, "socket", AF_INET, SOCK_DGRAM)
+        kern.call(proc, "bind", rx1, ("127.0.0.1", 6001))
+        kern.call(proc, "bind", rx2, ("127.0.0.1", 6002))
+        for fd in (rx1, rx2):
+            proc.fdtable.get(fd).flags |= O_NONBLOCK
+
+        def sender(port_from, port_to, tag, count):
+            sp = kern.create_process([f"s{tag}"])
+            fd = kern.call(sp, "socket", AF_INET, SOCK_DGRAM)
+            kern.call(sp, "bind", fd, ("127.0.0.1", port_from))
+            for i in range(count):
+                kern.call(sp, "sendto", fd, f"{tag}{i}".encode(),
+                          ("127.0.0.1", port_to))
+            kern.call(sp, "exit", 0)
+
+        # two senders race on their own threads (scheduler-interleaved)
+        t1 = threading.Thread(target=sender, args=(6003, 6001, "a", 40))
+        t2 = threading.Thread(target=sender, args=(6004, 6002, "b",
+                                                   b_count))
+        t1.start(); t2.start(); t1.join(); t2.join()
+        time.sleep(0.15)  # past the 60 ms delay line
+
+        def drain(fd):
+            got = []
+            while True:
+                try:
+                    data, _ = kern.call(proc, "recvfrom", fd, 64)
+                except KernelError:
+                    return got
+                got.append(data)
+        return drain(rx1), drain(rx2)
+
+    def test_runs_are_bit_reproducible(self, wan_seed):
+        first = self._run_once(wan_seed)
+        # impairments actually fired (not a trivially lossless run)...
+        assert len(first[0]) != 40 or len(first[1]) != 40
+        # ...and two more scheduler-interleaved runs match byte-for-byte
+        for _ in range(2):
+            assert self._run_once(wan_seed) == first
+
+    def test_flows_are_independent_of_each_other(self, wan_seed):
+        """Tripling flow B's traffic never changes flow A's outcome: the
+        draws that decide A's fate belong to A's sender alone."""
+        base_a, _ = self._run_once(wan_seed)
+        more_b_a, _ = self._run_once(wan_seed, b_count=120)
+        assert more_b_a == base_a
 
 
 class TestBackendSelection:

@@ -354,3 +354,87 @@ def test_stream_buffer_delayed_mode_invariants(ops):
     received += buf.read(len(buf.data))
     assert buf.in_flight == 0
     assert bytes(received) == bytes(sent)
+
+
+# --------------------------------------------------------------------------
+# scheduler run-queue invariants
+# --------------------------------------------------------------------------
+
+_sched_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["attach", "block", "wake", "yield", "exit",
+                         "preempt", "tick"]),
+        st.integers(0, 7),     # task index
+        st.integers(0, 500),   # clock advance (us)
+    ),
+    min_size=1, max_size=80,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(1, 3), _sched_ops)
+def test_scheduler_partition_and_vruntime_invariants(ncpus, ops):
+    """Random block/wake/yield/exit/preempt sequences never lose or
+    duplicate a task: the running set, the run queue, and the blocked
+    set always partition the live tasks; at most ``ncpus`` tasks run;
+    total vruntime is monotone non-decreasing."""
+    from repro.kernel import Process, Scheduler
+    from repro.kernel.sched import (
+        SCHED_BLOCKED, SCHED_DEAD, SCHED_RUNNABLE, SCHED_RUNNING,
+    )
+
+    clock = [0]
+    sched = Scheduler(ncpus=ncpus, slice_us=100,
+                      clock=lambda: clock[0])
+    procs = [Process(pid, 0) for pid in range(1, 9)]
+    last_total_vrt = 0
+    for op, idx, advance_us in ops:
+        clock[0] += advance_us * 1000
+        proc = procs[idx]
+        if op == "attach":
+            sched.task_attach(proc)
+        elif op == "block":
+            sched.task_block(proc)
+        elif op == "wake":
+            sched.task_wake(proc)
+        elif op == "yield":
+            sched.task_yield(proc)
+        elif op == "exit":
+            sched.task_exit(proc)
+        elif op == "preempt":
+            sched.check_preempt(proc)
+        elif op == "tick":
+            sched.tick()
+
+        live = set(sched.live_pids())
+        running = set(sched.running_pids())
+        runnable = set(sched.runnable_pids())
+        blocked = set(sched.blocked_pids())
+        # partition: disjoint, and together exactly the live tasks
+        assert running | runnable | blocked == live
+        assert not running & runnable
+        assert not running & blocked
+        assert not runnable & blocked
+        assert len(running) <= ncpus
+        # states and membership agree; dead tasks own nothing
+        for p in procs:
+            if p.se.state == SCHED_RUNNING:
+                assert p.pid in running
+            elif p.se.state == SCHED_RUNNABLE:
+                assert p.pid in runnable
+            elif p.se.state == SCHED_BLOCKED:
+                assert p.pid in blocked
+            elif p.se.state == SCHED_DEAD:
+                assert p.pid not in live
+        # work conservation: a slot never idles while tasks wait
+        if runnable:
+            assert len(running) == ncpus
+        # total vruntime (over all tasks ever) is monotone
+        total_vrt = sum(p.se.vruntime_ns for p in procs)
+        assert total_vrt >= last_total_vrt
+        last_total_vrt = total_vrt
+    # a blocked task consumed no slice while blocked: charge only ever
+    # happens in the RUNNING state, so cpu_time only grows when granted
+    for p in procs:
+        assert p.se.cpu_time_ns >= 0
+        assert p.se.wait_ns >= 0
