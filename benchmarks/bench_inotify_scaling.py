@@ -1,0 +1,238 @@
+"""inotify + signalfd benchmarks: delivery scaling, overflow, latency.
+
+Three experiments behind the filesystem/signal readiness subsystem:
+
+1. **events/s vs watch count** — one inotify instance watching N
+   directories; every mutation publishes to exactly the watches on the
+   touched inode (a per-inode mark list, like fsnotify), so per-event
+   delivery cost stays flat as the instance's watch count grows —
+   there is no per-event scan of the interest set.
+2. **queue-overflow behavior** — a bounded queue drops events past the
+   bound and queues a single ``IN_Q_OVERFLOW`` marker; draining
+   restores flow.  (The hypothesis suite proves the bound invariant;
+   this reports the rates.)
+3. **signalfd vs sigvirt delivery latency under contention** — on a
+   1-CPU, 50 us-slice scheduler with two spinner guests: signalfd
+   wakes a *blocked* watcher through the waitqueue + run queue, while
+   sigvirt delivers at the next interpreter safepoint the guest gets a
+   slot to reach, so the fd path's latency is scheduling-bound and the
+   safepoint path's is slice-bound.
+"""
+
+import statistics
+import threading
+import time
+
+from common import quick_mode, save_report
+
+from repro.kernel import (
+    BackgroundSpinners, EPOLL_CTL_ADD, EPOLLIN, IN_CREATE, Kernel,
+    KernelError, SIGUSR1, decode_events, sig_bit,
+)
+from repro.metrics import table
+
+QUICK = quick_mode()
+WATCH_COUNTS = (1, 32) if QUICK else (1, 64, 512)
+EVENTS_PER_RUN = 400 if QUICK else 4000
+OVERFLOW_BOUND = 64
+OVERFLOW_EVENTS = 300 if QUICK else 1000
+LATENCY_ROUNDS = 6 if QUICK else 20
+
+
+# ----------------------------------------------------------------------
+# 1. events/s vs watch count
+# ----------------------------------------------------------------------
+
+def _bench_watches(n: int):
+    """us/event to publish+drain with n directory watches held."""
+    kern = Kernel()
+    proc = kern.create_process(["bench"])
+    ifd = kern.call(proc, "inotify_init1", 0o4000)  # IN_NONBLOCK
+    for i in range(n):
+        kern.vfs.mkdirs(f"/w/d{i}")
+        kern.call(proc, "inotify_add_watch", ifd, f"/w/d{i}", IN_CREATE)
+    vfs = kern.vfs
+    drained = 0
+    t0 = time.perf_counter()
+    for j in range(EVENTS_PER_RUN):
+        vfs.write_file(f"/w/d{j % n}/f{j}", b"")
+        if j % 64 == 63:  # drain in batches, like a real watcher
+            drained += len(decode_events(kern.call(proc, "read", ifd,
+                                                   65536)))
+    try:
+        drained += len(decode_events(kern.call(proc, "read", ifd, 65536)))
+    except KernelError:
+        pass
+    dt = time.perf_counter() - t0
+    assert drained == EVENTS_PER_RUN, (drained, EVENTS_PER_RUN)
+    return dt / EVENTS_PER_RUN
+
+
+# ----------------------------------------------------------------------
+# 2. queue overflow
+# ----------------------------------------------------------------------
+
+def _bench_overflow():
+    kern = Kernel()
+    proc = kern.create_process(["bench"])
+    kern.vfs.mkdirs("/ovf")
+    ifd = kern.call(proc, "inotify_init1", 0o4000)
+    kern.call(proc, "inotify_add_watch", ifd, "/ovf", IN_CREATE)
+    ino = proc.fdtable.get(ifd).obj
+    ino.max_queued = OVERFLOW_BOUND
+    for i in range(OVERFLOW_EVENTS):
+        kern.vfs.write_file(f"/ovf/f{i}", b"")
+    queued = len(ino.queue)
+    dropped = ino.dropped
+    evs = decode_events(kern.call(proc, "read", ifd, 1 << 20))
+    overflow_records = sum(1 for _, m, _, _ in evs if m & 0x4000)
+    # after the drain, flow resumes
+    kern.vfs.write_file("/ovf/after", b"")
+    resumed = decode_events(kern.call(proc, "read", ifd, 4096))
+    assert queued == OVERFLOW_BOUND + 1
+    assert overflow_records == 1
+    assert [n for _, _, _, n in resumed] == ["after"]
+    return queued, dropped
+
+
+# ----------------------------------------------------------------------
+# 3. signalfd vs sigvirt latency under contention
+# ----------------------------------------------------------------------
+
+def _contended_kernel():
+    kern = Kernel(sched="cpus=1,slice_us=50")
+    spinners = BackgroundSpinners(kern, n=2).start()
+    return kern, spinners
+
+
+def _bench_signalfd_latency():
+    """kill -> epoll_pwait wakeup -> siginfo read, watcher blocked."""
+    kern, spinners = _contended_kernel()
+    try:
+        watcher = kern.create_process(["watcher"])
+        watcher.blocked_mask = sig_bit(SIGUSR1)
+        sfd = kern.call(watcher, "signalfd4", -1, sig_bit(SIGUSR1))
+        ep = kern.call(watcher, "epoll_create1", 0)
+        kern.call(watcher, "epoll_ctl", ep, EPOLL_CTL_ADD, sfd, EPOLLIN)
+        sender = kern.create_process(["sender"])
+        lat = []
+        for _ in range(LATENCY_ROUNDS):
+            woke = threading.Event()
+
+            def wait_side():
+                kern.call(watcher, "epoll_pwait", ep, 4,
+                          timeout_ns=5_000_000_000)
+                kern.call(watcher, "read", sfd, 128)
+                woke.set()
+
+            t = threading.Thread(target=wait_side)
+            t.start()
+            time.sleep(0.01)  # let the watcher block
+            t0 = time.perf_counter()
+            kern.call(sender, "kill", watcher.pid, SIGUSR1)
+            woke.wait(5)
+            lat.append(time.perf_counter() - t0)
+            t.join()
+        return lat
+    finally:
+        spinners.stop()
+
+
+_SIGVIRT_GUEST = r"""
+global got: i32 = 0;
+func on_usr1(sig: i32) {
+    got = got + 1;
+    write(STDOUT, "X", 1);
+}
+export func _start() {
+    __init_args();
+    var want: i32 = atoi(argv(1));
+    signal(SIGUSR1, funcref(on_usr1));
+    write(STDOUT, "R", 1);
+    var i: i32 = 0;
+    while (got < want && i < 100000000) { i = i + 1; }
+    exit(0);
+}
+"""
+
+
+def _bench_sigvirt_latency():
+    """kill -> guest safepoint poll -> handler marker, guest running."""
+    from repro.apps import with_libc
+    from repro.cc import compile_source
+    from repro.wali import WaliRuntime
+
+    kern, spinners = _contended_kernel()
+    try:
+        rt = WaliRuntime(kernel=kern)
+        wp = rt.load(compile_source(with_libc(_SIGVIRT_GUEST), name="sv"),
+                     argv=["sv", str(LATENCY_ROUNDS)])
+        wp.start_in_thread()
+        for _ in range(1000):
+            if b"R" in kern.console_output():
+                break
+            time.sleep(0.005)
+        sender = kern.create_process(["sender"])
+        lat = []
+        for i in range(LATENCY_ROUNDS):
+            seen = kern.console_output().count(b"X")
+            t0 = time.perf_counter()
+            kern.call(sender, "kill", wp.proc.pid, SIGUSR1)
+            deadline = t0 + 5
+            while kern.console_output().count(b"X") <= seen and \
+                    time.perf_counter() < deadline:
+                time.sleep(0.0002)
+            lat.append(time.perf_counter() - t0)
+        wp.join(10)
+        return lat
+    finally:
+        spinners.stop()
+
+
+# ----------------------------------------------------------------------
+# the benchmark entry point
+# ----------------------------------------------------------------------
+
+def test_inotify_scaling(benchmark):
+    def sweep():
+        per_watch = {n: _bench_watches(n) for n in WATCH_COUNTS}
+        queued, dropped = _bench_overflow()
+        sfd_lat = _bench_signalfd_latency()
+        sv_lat = _bench_sigvirt_latency()
+        return per_watch, (queued, dropped), sfd_lat, sv_lat
+
+    per_watch, (queued, dropped), sfd_lat, sv_lat = \
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [(str(n), f"{dt * 1e6:8.2f}",
+             f"{1.0 / dt:10.0f}")
+            for n, dt in per_watch.items()]
+    sfd_med = statistics.median(sfd_lat)
+    sv_med = statistics.median(sv_lat)
+    out = [
+        table(["watches", "us/event", "events/s"], rows),
+        "",
+        f"overflow: bound={OVERFLOW_BOUND} burst={OVERFLOW_EVENTS} -> "
+        f"queued={queued} (bound+1 marker) dropped={dropped}",
+        "",
+        f"signal delivery latency under cpus=1,slice_us=50 + 2 spinners "
+        f"({LATENCY_ROUNDS} rounds):",
+        f"  signalfd (blocked watcher, waitqueue wake): "
+        f"median {sfd_med * 1e3:7.3f} ms  p_max {max(sfd_lat) * 1e3:7.3f} ms",
+        f"  sigvirt  (running guest, safepoint poll):   "
+        f"median {sv_med * 1e3:7.3f} ms  p_max {max(sv_lat) * 1e3:7.3f} ms",
+        "",
+        "per-event delivery cost is flat in the instance's watch count",
+        "(per-inode mark lists, no interest-set scan); signalfd wakes a",
+        "sleeping consumer through the run queue while sigvirt waits for",
+        "the busy guest's next safepoint under CPU contention.",
+    ]
+    save_report("inotify_scaling.txt", "\n".join(out))
+
+    # delivery cost must not scale with the watch count (allow noise)
+    lo = per_watch[WATCH_COUNTS[0]]
+    hi = per_watch[WATCH_COUNTS[-1]]
+    assert hi < lo * 8, (lo, hi)
+    # both delivery paths complete promptly even under contention
+    assert sfd_med < 0.25, sfd_lat
+    assert sv_med < 2.0, sv_lat

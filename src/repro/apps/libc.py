@@ -72,6 +72,10 @@ extern func SYS_alarm(sec: i32) -> i64 from "wali";
 extern func SYS_nanosleep(req: i32, rem: i32) -> i64 from "wali";
 extern func SYS_clock_gettime(clk: i32, ts: i32) -> i64 from "wali";
 
+extern func SYS_inotify_init1(flags: i32) -> i64 from "wali";
+extern func SYS_inotify_add_watch(fd: i32, path: i32, mask: i32) -> i64 from "wali";
+extern func SYS_inotify_rm_watch(fd: i32, wd: i32) -> i64 from "wali";
+extern func SYS_signalfd4(fd: i32, mask: i32, sizemask: i32, flags: i32) -> i64 from "wali";
 extern func SYS_eventfd2(initval: i32, flags: i32) -> i64 from "wali";
 extern func SYS_epoll_create1(flags: i32) -> i64 from "wali";
 extern func SYS_epoll_ctl(epfd: i32, op: i32, fd: i32, ev: i32) -> i64 from "wali";
@@ -553,6 +557,53 @@ func epoll_wait(epfd: i32, evs: i32, maxevents: i32, timeout_ms: i32) -> i32 {
 
 func ev_events(evs: i32, i: i32) -> i32 { return load32(evs + i * 12); }
 func ev_fd(evs: i32, i: i32) -> i32 { return load32(evs + i * 12 + 4); }
+
+// ---- filesystem events: inotify ----
+const IN_MODIFY = 2;
+const IN_ATTRIB = 4;
+const IN_CLOSE_WRITE = 8;
+const IN_MOVED_FROM = 64;
+const IN_MOVED_TO = 128;
+const IN_CREATE = 256;
+const IN_DELETE = 512;
+const IN_DELETE_SELF = 1024;
+const IN_MOVE_SELF = 2048;
+const IN_Q_OVERFLOW = 16384;
+const IN_IGNORED = 32768;
+const IN_NONBLOCK = 2048;   // flag for inotify_init1 (== O_NONBLOCK)
+
+func inotify_init() -> i32 { return cret(SYS_inotify_init1(0)); }
+
+func inotify_watch(fd: i32, path: i32, mask: i32) -> i32 {
+    return cret(SYS_inotify_add_watch(fd, path, mask));
+}
+
+func inotify_unwatch(fd: i32, wd: i32) -> i32 {
+    return cret(SYS_inotify_rm_watch(fd, wd));
+}
+
+// accessors over a read buffer of inotify_event records: p points at one
+// record; in_next steps to the following record
+func in_wd(p: i32) -> i32 { return load32(p); }
+func in_mask(p: i32) -> i32 { return load32(p + 4); }
+func in_cookie(p: i32) -> i32 { return load32(p + 8); }
+func in_name(p: i32) -> i32 { return p + 16; }
+func in_next(p: i32) -> i32 { return p + 16 + load32(p + 12); }
+
+// ---- synchronous signal consumption: signalfd ----
+buffer __sfd_mask[8];
+
+// block sig and open a signalfd draining it (the standard usage: the
+// default/sigvirt delivery path must not race the fd)
+func signalfd_for(sig: i32) -> i32 {
+    sigblock(sig);
+    store64(__sfd_mask, i64(1) << i64(sig - 1));
+    return cret(SYS_signalfd4(0 - 1, __sfd_mask, 8, 0));
+}
+
+// first field of a signalfd_siginfo record (128 bytes each)
+func sfd_signo(p: i32) -> i32 { return load32(p); }
+func sfd_pid(p: i32) -> i32 { return load32(p + 12); }
 
 // ---- batched I/O: io_uring-style submission/completion ring ----
 // One ring per process (globals): the guest queues SQEs into its own

@@ -6,6 +6,15 @@ subscribes to and verifies every echoed checksum.  The heavy lifting —
 frame encode/decode and checksum arithmetic — happens in guest code, which
 is why the paper's Fig. 7 shows paho-bench at ~97% app time.
 
+The broker has **two serving modes** (the same split as
+``apps/memcached.py``):
+
+* threaded (default): one worker LWP per client via WALI ``clone``,
+* event loop (``-e``): one thread, nonblocking fds, ``accept4`` +
+  ``epoll_pwait`` dispatch with per-connection frame reassembly — both
+  modes route complete frames through the shared ``handle_frame``
+  recipe, so the protocol logic is written once.
+
 Frame wire format::
 
     u8 type (1=CONNECT 2=SUB 3=PUB 4=MSG 5=DISCONNECT)
@@ -79,6 +88,21 @@ func unsubscribe(fd: i32) {
     mutex_unlock(lock);
 }
 
+// deliver n bytes even on a nonblocking fd: EAGAIN yields and retries
+// (the subscriber drains from its own LWP), so a backpressured stream
+// never loses frame sync; a real error gives up on the connection
+func send_frame(fd: i32, buf: i32, n: i32) -> i32 {
+    var done: i32 = 0;
+    while (done < n) {
+        var r: i32 = cret(SYS_write(fd, buf + done, n - done));
+        if (r < 0) {
+            if (errno == EAGAIN) { SYS_sched_yield(); }
+            else { return -1; }
+        } else { done = done + r; }
+    }
+    return done;
+}
+
 // deliver a PUB frame (rewritten as MSG) to all matching subscribers
 func route(frame: i32, flen: i32) {
     var tlen: i32 = load8u(frame + 1);
@@ -91,12 +115,29 @@ func route(frame: i32, flen: i32) {
             if (strlen(stopic) == tlen &&
                 strncmp(stopic, frame + 2, tlen) == 0) {
                 store8(frame, 4);   // type = MSG
-                write_all(sfd, frame, flen);
+                send_frame(sfd, frame, flen);
             }
         }
         i = i + 1;
     }
     mutex_unlock(lock);
+}
+
+// ---- shared frame dispatch (both serving modes) ----
+// handles one complete frame; returns 0 = keep serving, 1 = close this
+// connection, 2 = shutdown the broker
+func handle_frame(fd: i32, buf: i32, n: i32) -> i32 {
+    var type: i32 = load8u(buf);
+    if (type == 2) {           // SUBSCRIBE
+        subscribe(fd, buf + 2, load8u(buf + 1));
+    } else { if (type == 3) {  // PUBLISH
+        route(buf, n);
+    } else { if (type == 5) {  // DISCONNECT
+        return 1;
+    } else { if (type == 9) {  // admin shutdown
+        return 2;
+    }}}}
+    return 0;
 }
 
 func broker_worker(fd: i32) {
@@ -109,35 +150,138 @@ func broker_worker(fd: i32) {
     while (1) {
         var n: i32 = read_frame(fd, buf);
         if (n < 0) { break; }
-        var type: i32 = load8u(buf);
-        if (type == 2) {           // SUBSCRIBE
-            subscribe(fd, buf + 2, load8u(buf + 1));
-        } else { if (type == 3) {  // PUBLISH
-            route(buf, n);
-        } else { if (type == 5) {  // DISCONNECT
-            break;
-        } else { if (type == 9) {  // admin shutdown
+        var action: i32 = handle_frame(fd, buf, n);
+        if (action == 1) { break; }
+        if (action == 2) {
             running = 0;
             close(fd);
             exit(0);
-        }}}}
+        }
     }
     unsubscribe(fd);
     close(fd);
 }
 
-export func _start() {
-    __init_args();
-    var port: i32 = 1883;
-    if (argc() > 1) { port = atoi(argv(1)); }
-    var lfd: i32 = tcp_listen(port, 8);
-    if (lfd < 0) { eprint("mqtt-broker: cannot listen\n"); exit(1); }
-    println("mqtt-broker: ready");
+func threaded_serve(lfd: i32) {
     while (running) {
         var conn: i32 = cret(SYS_accept(lfd, 0, 0));
         if (conn < 0) { break; }
         thread_create(funcref(broker_worker), conn);
     }
+}
+
+// ---- event-loop mode: one thread, epoll dispatch, nonblocking fds ----
+// (the apps/memcached.py -e recipe, with frame reassembly instead of
+// line assembly: partial frames accumulate per connection until the
+// length-prefixed payload is complete, then flow into handle_frame)
+const EV_MAXFD = 64;
+buffer ev_bufs[131072];     // EV_MAXFD x 2048: per-connection frame buffers
+buffer ev_lens[256];        // EV_MAXFD x i32: partial-frame fill counts
+buffer ev_evbuf[384];       // 32 epoll_events x 12 bytes
+buffer ev_rd[256];          // read chunk
+
+func ev_close(ep: i32, fd: i32) {
+    epoll_del(ep, fd);
+    unsubscribe(fd);
+    close(fd);
+    store32(ev_lens + fd * 4, 0);
+}
+
+// a buffered frame is complete once the header and the u16-prefixed
+// payload have both arrived; returns its length, 0 while partial
+func frame_ready(base: i32, len: i32) -> i32 {
+    if (len < 2) { return 0; }
+    var tlen: i32 = load8u(base + 1);
+    if (len < 4 + tlen) { return 0; }
+    var plen: i32 = load16u(base + 2 + tlen);
+    if (plen > 1500) { return 0 - 1; }   // oversized: poison the conn
+    if (len < 4 + tlen + plen) { return 0; }
+    return 4 + tlen + plen;
+}
+
+// drain one readable connection; returns 2 when shutdown was requested
+func ev_conn(ep: i32, fd: i32) -> i32 {
+    var base: i32 = ev_bufs + fd * 2048;
+    var len: i32 = load32(ev_lens + fd * 4);
+    while (1) {
+        var r: i32 = read(fd, ev_rd, 256);
+        if (r < 0) {
+            if (errno == EAGAIN) {
+                store32(ev_lens + fd * 4, len);
+                return 0;
+            }
+            ev_close(ep, fd);
+            return 0;
+        }
+        if (r == 0) { ev_close(ep, fd); return 0; }
+        var i: i32 = 0;
+        while (i < r) {
+            if (len < 2040) {
+                store8(base + len, load8u(ev_rd + i));
+                len = len + 1;
+            }
+            i = i + 1;
+        }
+        // extract every complete frame accumulated so far
+        while (1) {
+            var flen: i32 = frame_ready(base, len);
+            if (flen == 0) { break; }
+            if (flen < 0) { ev_close(ep, fd); return 0; }
+            var action: i32 = handle_frame(fd, base, flen);
+            memcopy(base, base + flen, len - flen);
+            len = len - flen;
+            if (action == 1) {
+                store32(ev_lens + fd * 4, 0);
+                ev_close(ep, fd);
+                return 0;
+            }
+            if (action == 2) { return 2; }
+        }
+    }
+    return 0;
+}
+
+func ev_serve(lfd: i32) {
+    var ep: i32 = cret(SYS_epoll_create1(0));
+    set_nonblock(lfd);
+    epoll_add(ep, lfd, EPOLLIN);
+    while (running) {
+        var n: i32 = epoll_wait(ep, ev_evbuf, 32, 0 - 1);
+        var i: i32 = 0;
+        while (i < n) {
+            var fd: i32 = ev_fd(ev_evbuf, i);
+            if (fd == lfd) {
+                while (1) {
+                    var conn: i32 = cret(SYS_accept4(lfd, 0, 0,
+                                                     SOCK_NONBLOCK));
+                    if (conn < 0) { break; }
+                    if (conn >= EV_MAXFD) { close(conn); }
+                    else {
+                        store32(ev_lens + conn * 4, 0);
+                        epoll_add(ep, conn, EPOLLIN);
+                    }
+                }
+            } else {
+                if (ev_conn(ep, fd) == 2) { running = 0; }
+            }
+            i = i + 1;
+        }
+    }
+}
+
+export func _start() {
+    __init_args();
+    var port: i32 = 1883;
+    var event_mode: i32 = 0;
+    if (argc() > 1) { port = atoi(argv(1)); }
+    if (argc() > 2) {
+        if (strcmp(argv(2), "-e") == 0) { event_mode = 1; }
+    }
+    var lfd: i32 = tcp_listen(port, 8);
+    if (lfd < 0) { eprint("mqtt-broker: cannot listen\n"); exit(1); }
+    println("mqtt-broker: ready");
+    if (event_mode) { ev_serve(lfd); }
+    else { threaded_serve(lfd); }
     exit(0);
 }
 """)

@@ -23,6 +23,7 @@ from .memcached import MEMCACHED_CLIENT_SOURCE, MEMCACHED_SOURCE
 from .mqtt import MQTT_BENCH_SOURCE, MQTT_BROKER_SOURCE
 from .sh import SH_SOURCE
 from .sqlite import SQLITE_SOURCE
+from .watchd import WATCHD_SOURCE
 
 APP_SOURCES: Dict[str, str] = {
     "echo": ECHO_SOURCE,
@@ -39,6 +40,7 @@ APP_SOURCES: Dict[str, str] = {
     "event_echo": EVENT_ECHO_SOURCE,
     "mqtt_broker": MQTT_BROKER_SOURCE,
     "paho_bench": MQTT_BENCH_SOURCE,
+    "watchd": WATCHD_SOURCE,
 }
 
 # mapping to the paper's Table 1 rows (what each app stands in for)
@@ -57,6 +59,7 @@ PAPER_ANALOG = {
     "memcached_client": "memcached",
     "rle": "zlib",
     "event_echo": "memcached",
+    "watchd": "inotify-tools",
 }
 
 _cache: Dict[str, Module] = {}

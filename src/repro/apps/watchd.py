@@ -1,0 +1,212 @@
+"""watchd: a file-watcher / log-tailer over inotify + signalfd.
+
+One guest process plays both sides: a **mutator thread** appends lines to
+a log file and churns the watched directory (create, cookie-paired
+rename, delete) for ``rounds`` rounds, then raises ``SIGUSR1``; the
+**watcher** (main thread) holds an inotify fd (directory watch for
+namespace events + file watch for the log) and a signalfd in one
+readiness loop, tails the log on ``IN_CLOSE_WRITE`` and verifies every
+rename's ``IN_MOVED_FROM``/``IN_MOVED_TO`` cookie pair.
+
+Two serving modes, mirroring the repository's other event-loop apps:
+
+* **epoll** (default): ``epoll_pwait`` over the inotify fd and the
+  signalfd; one ``read`` crossing per readiness edge,
+* **ring** (``-u``): ``IORING_OP_READ`` SQEs parked on both fds; one
+  ``io_uring_enter`` crossing reaps batches of event records and the
+  siginfo — the inotify queue drains through the shared ring memory.
+
+``argv: watchd [rounds] [-u]``.  Output is deterministic::
+
+    watchd ok lines=R creates=R moves=R dels=R sig=1
+"""
+
+from .libc import with_libc
+
+WATCHD_SOURCE = with_libc(r"""
+global rounds: i32 = 8;
+
+// ---- mutator thread: the event source ----
+buffer mline[64];
+
+func mutate(arg: i32) {
+    var i: i32 = 0;
+    while (i < rounds) {
+        // append one line to the log, close (-> IN_MODIFY, IN_CLOSE_WRITE)
+        var fd: i32 = open("/tmp/watch/app.log", O_WRONLY | O_APPEND, 420);
+        strcpy(mline, "line ");
+        itoa(i, mline + 5);
+        strcat(mline, "\n");
+        write_all(fd, mline, strlen(mline));
+        close(fd);
+        // churn the directory: create, rename (cookie pair), delete
+        var t: i32 = open("/tmp/watch/tmpf", O_CREAT | O_WRONLY, 420);
+        close(t);
+        SYS_rename("/tmp/watch/tmpf", "/tmp/watch/gone");
+        SYS_unlink("/tmp/watch/gone");
+        i = i + 1;
+    }
+    SYS_kill(i32(SYS_getpid()), SIGUSR1);
+}
+
+// ---- watcher state ----
+global wdir: i32 = 0;      // watch descriptor: the directory
+global wlog: i32 = 0;      // watch descriptor: the log file
+global tailfd: i32 = -1;   // read fd tailing the log
+
+global lines: i32 = 0;
+global creates: i32 = 0;
+global moves: i32 = 0;     // completed cookie pairs
+global dels: i32 = 0;
+global sig_seen: i32 = 0;
+global pending_cookie: i32 = 0;
+
+buffer tbuf[256];
+
+// drain freshly-appended log bytes (the tail -F recipe: the read offset
+// persists on tailfd, so each IN_CLOSE_WRITE reads only what is new)
+func tail_log() {
+    while (1) {
+        var r: i32 = read(tailfd, tbuf, 256);
+        if (r <= 0) { break; }
+        var i: i32 = 0;
+        while (i < r) {
+            if (load8u(tbuf + i) == 10) { lines = lines + 1; }
+            i = i + 1;
+        }
+    }
+}
+
+// walk `n` bytes of inotify_event records at `p`
+func handle_events(p: i32, n: i32) {
+    var end: i32 = p + n;
+    while (p < end) {
+        var wd: i32 = in_wd(p);
+        var mask: i32 = in_mask(p);
+        if (wd == wdir) {
+            if (mask & IN_CREATE) { creates = creates + 1; }
+            if (mask & IN_DELETE) { dels = dels + 1; }
+            if (mask & IN_MOVED_FROM) { pending_cookie = in_cookie(p); }
+            if (mask & IN_MOVED_TO) {
+                if (in_cookie(p) == pending_cookie && pending_cookie != 0) {
+                    moves = moves + 1;
+                    pending_cookie = 0;
+                }
+            }
+        } else { if (wd == wlog) {
+            if (mask & IN_CLOSE_WRITE) { tail_log(); }
+        }}
+        p = in_next(p);
+    }
+}
+
+func finished() -> i32 {
+    // the unlink is the last fs op of every round and records are FIFO,
+    // so seeing the final IN_DELETE after SIGUSR1 means we saw it all
+    if (sig_seen && dels >= rounds) { return 1; }
+    return 0;
+}
+
+// ---- epoll serving mode ----
+buffer evbuf[96];      // 8 epoll_events
+buffer inbuf[512];
+buffer sibuf[128];
+
+func ep_watch(ifd: i32, sfd: i32) {
+    var ep: i32 = cret(SYS_epoll_create1(0));
+    epoll_add(ep, ifd, EPOLLIN);
+    epoll_add(ep, sfd, EPOLLIN);
+    while (finished() == 0) {
+        var n: i32 = epoll_wait(ep, evbuf, 8, 5000);
+        if (n <= 0) { break; }   // stall guard
+        var i: i32 = 0;
+        while (i < n) {
+            var fd: i32 = ev_fd(evbuf, i);
+            if (fd == ifd) {
+                var r: i32 = read(ifd, inbuf, 512);
+                if (r > 0) { handle_events(inbuf, r); }
+            } else { if (fd == sfd) {
+                var r2: i32 = read(sfd, sibuf, 128);
+                if (r2 >= 128 && sfd_signo(sibuf) == SIGUSR1) {
+                    sig_seen = 1;
+                }
+            }}
+            i = i + 1;
+        }
+    }
+}
+
+// ---- ring serving mode: READ SQEs parked on both fds ----
+const UD_INOTIFY = 1;
+const UD_SIGNAL = 2;
+
+func ur_watch(ifd: i32, sfd: i32) {
+    if (uring_init(16) < 0) { eprint("watchd: no ring\n"); exit(1); }
+    uring_sqe(IORING_OP_READ, ifd, inbuf, 512, UD_INOTIFY, 0);
+    uring_sqe(IORING_OP_READ, sfd, sibuf, 128, UD_SIGNAL, 0);
+    while (finished() == 0) {
+        var n: i32 = uring_reap_batch(1, 5000);
+        if (n <= 0) { break; }   // stall guard
+        var i: i32 = 0;
+        while (i < n) {
+            var ud: i32 = uring_cqe_data(i);
+            var res: i32 = uring_cqe_res(i);
+            if (ud == UD_INOTIFY) {
+                if (res > 0) { handle_events(inbuf, res); }
+                if (finished() == 0) {
+                    uring_sqe(IORING_OP_READ, ifd, inbuf, 512, UD_INOTIFY, 0);
+                }
+            } else { if (ud == UD_SIGNAL) {
+                if (res >= 128 && sfd_signo(sibuf) == SIGUSR1) {
+                    sig_seen = 1;
+                }
+            }}
+            i = i + 1;
+        }
+        uring_cq_advance(n);
+    }
+}
+
+export func _start() {
+    __init_args();
+    var ring_mode: i32 = 0;
+    if (argc() > 1) { rounds = atoi(argv(1)); }
+    if (argc() > 2) {
+        if (strcmp(argv(2), "-u") == 0) { ring_mode = 1; }
+    }
+    if (rounds < 1) { rounds = 1; }
+
+    SYS_mkdir("/tmp/watch", 493);
+    var lf: i32 = open("/tmp/watch/app.log", O_CREAT | O_WRONLY, 420);
+    close(lf);
+    tailfd = open("/tmp/watch/app.log", O_RDONLY, 0);
+
+    var ifd: i32 = cret(SYS_inotify_init1(IN_NONBLOCK));
+    wdir = inotify_watch(ifd, "/tmp/watch",
+                         IN_CREATE | IN_DELETE | IN_MOVED_FROM | IN_MOVED_TO);
+    wlog = inotify_watch(ifd, "/tmp/watch/app.log",
+                         IN_MODIFY | IN_CLOSE_WRITE);
+    var sfd: i32 = signalfd_for(SIGUSR1);
+    if (ifd < 0 || wdir < 0 || wlog < 0 || sfd < 0) {
+        eprint("watchd: setup failed\n");
+        exit(1);
+    }
+
+    thread_create(funcref(mutate), 0);
+    if (ring_mode) { ur_watch(ifd, sfd); }
+    else { ep_watch(ifd, sfd); }
+
+    print("watchd ok lines=");
+    print_int(lines);
+    print(" creates=");
+    print_int(creates);
+    print(" moves=");
+    print_int(moves);
+    print(" dels=");
+    print_int(dels);
+    print(" sig=");
+    print_int(sig_seen);
+    println("");
+    exit(0);
+}
+""")

@@ -18,6 +18,13 @@ from .eventpoll import (
     EventPoll, TimerFD, WaitQueue,
 )
 from .fdtable import FDTable, OpenFile, Pipe
+from .inotify import (
+    IN_ALL_EVENTS, IN_ATTRIB, IN_CLOSE_NOWRITE, IN_CLOSE_WRITE, IN_CREATE,
+    IN_DELETE, IN_DELETE_SELF, IN_IGNORED, IN_ISDIR, IN_MASK_ADD, IN_MODIFY,
+    IN_MOVE_SELF, IN_MOVED_FROM, IN_MOVED_TO, IN_NONBLOCK, IN_ONESHOT,
+    IN_ONLYDIR, IN_Q_OVERFLOW, Inotify, InotifyEvent, Watch, decode_events,
+    fsnotify,
+)
 from .kernel import Kernel
 from .mm import (
     AddressSpace, MAP_ANONYMOUS, MAP_FIXED, MAP_PRIVATE, MAP_SHARED,
@@ -28,9 +35,10 @@ from .process import (
     RLIMIT_NOFILE, RLIMIT_STACK, WNOHANG,
 )
 from .signals import (
-    NSIG, SIG_BLOCK, SIG_DFL, SIG_IGN, SIG_SETMASK, SIG_UNBLOCK, SIGALRM,
-    SIGCHLD, SIGINT, SIGKILL, SIGPIPE, SIGSEGV, SIGTERM, SIGUSR1, SIGUSR2,
-    SigAction, sig_bit,
+    NSIG, SFD_CLOEXEC, SFD_NONBLOCK, SIG_BLOCK, SIG_DFL, SIG_IGN,
+    SIG_SETMASK, SIG_UNBLOCK, SIGALRM, SIGCHLD, SIGINT, SIGKILL, SIGPIPE,
+    SIGNALFD_SIGINFO_SIZE, SIGSEGV, SIGTERM, SIGUSR1, SIGUSR2, SigAction,
+    SignalFD, decode_siginfo, encode_siginfo, sig_bit,
 )
 from .net import (
     AF_INET, AF_UNIX, HostBackend, LoopbackBackend, NetBackend, PacketTap,
@@ -55,6 +63,14 @@ from .vfs import (
 )
 
 __all__ = [
+    "IN_ALL_EVENTS", "IN_ATTRIB", "IN_CLOSE_NOWRITE", "IN_CLOSE_WRITE",
+    "IN_CREATE", "IN_DELETE", "IN_DELETE_SELF", "IN_IGNORED", "IN_ISDIR",
+    "IN_MASK_ADD", "IN_MODIFY", "IN_MOVE_SELF", "IN_MOVED_FROM",
+    "IN_MOVED_TO", "IN_NONBLOCK", "IN_ONESHOT", "IN_ONLYDIR",
+    "IN_Q_OVERFLOW", "Inotify", "InotifyEvent", "Watch", "decode_events",
+    "fsnotify",
+    "SFD_CLOEXEC", "SFD_NONBLOCK", "SIGNALFD_SIGINFO_SIZE", "SignalFD",
+    "decode_siginfo", "encode_siginfo",
     "AARCH64", "AF_INET", "AF_UNIX", "ARCHES", "ARCH_SYSCALLS", "AT_FDCWD",
     "AddressSpace", "CLONE_FILES", "CLONE_FS", "CLONE_SIGHAND",
     "CLONE_THREAD", "CLONE_VM", "CQE", "EPOLLERR", "EPOLLET", "EPOLLHUP",

@@ -52,6 +52,7 @@ _X86_64: Dict[str, int] = {
     "statfs": 137, "fstatfs": 138, "getpriority": 140, "setpriority": 141,
     "prctl": 157, "arch_prctl": 158, "setrlimit": 160, "chroot": 161,
     "sync": 162, "gettid": 186, "readahead": 187, "futex": 202,
+    "inotify_init": 253, "inotify_add_watch": 254, "inotify_rm_watch": 255,
     "sched_setaffinity": 203, "sched_getaffinity": 204, "getdents64": 217,
     "set_tid_address": 218, "fadvise64": 221, "clock_settime": 227,
     "clock_gettime": 228, "clock_getres": 229, "clock_nanosleep": 230,
@@ -62,8 +63,10 @@ _X86_64: Dict[str, int] = {
     "fchmodat": 268, "faccessat": 269, "pselect6": 270, "ppoll": 271,
     "set_robust_list": 273, "utimensat": 280, "epoll_pwait": 281,
     "timerfd_create": 283, "timerfd_settime": 286, "timerfd_gettime": 287,
-    "accept4": 288, "eventfd2": 290, "epoll_create1": 291, "dup3": 292,
-    "pipe2": 293, "prlimit64": 302, "renameat2": 316, "getrandom": 318,
+    "signalfd": 282, "accept4": 288, "signalfd4": 289, "eventfd2": 290,
+    "epoll_create1": 291, "dup3": 292,
+    "pipe2": 293, "inotify_init1": 294, "prlimit64": 302, "renameat2": 316,
+    "getrandom": 318,
     "memfd_create": 319, "execveat": 322, "statx": 332, "rseq": 334,
     "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
     "io_uring_setup": 425, "io_uring_enter": 426, "io_uring_register": 427,
@@ -73,7 +76,9 @@ _X86_64: Dict[str, int] = {
 
 _GENERIC: Dict[str, int] = {
     "getcwd": 17, "eventfd2": 19, "epoll_create1": 20, "epoll_ctl": 21,
-    "epoll_pwait": 22, "dup": 23, "dup3": 24, "fcntl": 25, "ioctl": 29,
+    "epoll_pwait": 22, "dup": 23, "dup3": 24, "fcntl": 25,
+    "inotify_init1": 26, "inotify_add_watch": 27, "inotify_rm_watch": 28,
+    "ioctl": 29,
     "flock": 32, "mknodat": 33, "mkdirat": 34, "unlinkat": 35,
     "symlinkat": 36, "linkat": 37, "renameat": 38, "statfs": 43,
     "fstatfs": 44, "truncate": 45, "ftruncate": 46, "faccessat": 48,
@@ -81,7 +86,8 @@ _GENERIC: Dict[str, int] = {
     "fchownat": 54, "fchown": 55, "openat": 56, "close": 57, "pipe2": 59,
     "getdents64": 61, "lseek": 62, "read": 63, "write": 64, "readv": 65,
     "writev": 66, "pread64": 67, "pwrite64": 68, "sendfile": 71,
-    "pselect6": 72, "ppoll": 73, "readlinkat": 78, "newfstatat": 79,
+    "pselect6": 72, "ppoll": 73, "signalfd4": 74, "readlinkat": 78,
+    "newfstatat": 79,
     "fstat": 80, "sync": 81, "fsync": 82, "fdatasync": 83,
     "timerfd_create": 85, "timerfd_settime": 86, "timerfd_gettime": 87,
     "utimensat": 88,
@@ -199,4 +205,6 @@ LEGACY_EQUIVALENTS: Dict[str, str] = {
     "epoll_create": "epoll_create1",
     "eventfd": "eventfd2",
     "timerfd": "timerfd_create",
+    "inotify_init": "inotify_init1",
+    "signalfd": "signalfd4",
 }

@@ -5,9 +5,10 @@ from .fs import FSCalls
 from .memsys import MemCalls
 from .misc import MiscCalls
 from .net import NetCalls
+from .notify import NotifyCalls
 from .proc import ProcCalls
 from .sig import SigCalls
 from .uring import URingCalls
 
 __all__ = ["EventCalls", "FSCalls", "MemCalls", "MiscCalls", "NetCalls",
-           "ProcCalls", "SigCalls", "URingCalls"]
+           "NotifyCalls", "ProcCalls", "SigCalls", "URingCalls"]

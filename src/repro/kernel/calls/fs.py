@@ -11,11 +11,15 @@ from typing import List, Optional, Tuple
 
 from ..errno import (
     EACCES, EBADF, EEXIST, EINVAL, EISDIR, ELOOP, ENOENT, ENOSYS, ENOTDIR,
-    ENOTTY, EPERM, ESPIPE, KernelError,
+    ENOTEMPTY, ENOTTY, EPERM, ESPIPE, KernelError,
 )
 from ..fdtable import (
     F_DUPFD, F_DUPFD_CLOEXEC, F_GETFD, F_GETFL, F_SETFD, F_SETFL, FD_CLOEXEC,
     OpenFile, Pipe, SEEK_CUR, SEEK_END, SEEK_SET,
+)
+from ..inotify import (
+    IN_ATTRIB, IN_CREATE, fsnotify, fsnotify_inode_gone, fsnotify_move,
+    fsnotify_name,
 )
 from ..process import Process, RLIMIT_FSIZE, RLIM_INFINITY
 from ..vfs import (
@@ -109,6 +113,7 @@ class FSCalls:
             if fsize != RLIM_INFINITY:
                 node.fs_limit = fsize
             parent.entries[name] = node
+            fsnotify_name(parent, node, IN_CREATE, name)
         if node.is_symlink and flags & O_NOFOLLOW:
             raise KernelError(ELOOP, path)
         if flags & O_DIRECTORY and not node.is_dir:
@@ -337,6 +342,7 @@ class FSCalls:
                      proc.euid, proc.egid)
         parent.entries[name] = node
         parent.nlink += 1
+        fsnotify_name(parent, node, IN_CREATE, name)
         return 0
 
     def sys_mkdir(self, proc: Process, path: str, mode: int) -> int:
@@ -366,8 +372,19 @@ class FSCalls:
         if node is None:
             raise KernelError(ENOENT, old)
         np, nname = self.vfs.resolve_parent(new, nbase, proc)
+        existing = np.entries.get(nname)
+        if existing is not None:
+            # same clobber guards as vfs.rename
+            if existing.is_dir and not node.is_dir:
+                raise KernelError(EISDIR, new)
+            if node.is_dir and existing.is_dir and existing.entries:
+                raise KernelError(ENOTEMPTY, new)
         del op.entries[oname]
         np.entries[nname] = node
+        if existing is not None and existing is not node:
+            existing.nlink -= 1
+            fsnotify_inode_gone(existing)
+        fsnotify_move(op, np, node, oname, nname)
         return 0
 
     def sys_rename(self, proc: Process, old: str, new: str) -> int:
@@ -410,6 +427,7 @@ class FSCalls:
                      mode: int) -> int:
         node = self._resolve_at(proc, dirfd, path)
         node.mode = (node.mode & S_IFMT) | (mode & 0o7777)
+        fsnotify(node, IN_ATTRIB)
         return 0
 
     def sys_chmod(self, proc: Process, path: str, mode: int) -> int:
@@ -430,6 +448,7 @@ class FSCalls:
             node.uid = uid
         if gid != 0xFFFFFFFF:
             node.gid = gid
+        fsnotify(node, IN_ATTRIB)
         return 0
 
     def sys_chown(self, proc: Process, path: str, uid: int, gid: int) -> int:
@@ -477,6 +496,7 @@ class FSCalls:
             node.atime_ns = atime_ns
         if mtime_ns is not None:
             node.mtime_ns = mtime_ns
+        fsnotify(node, IN_ATTRIB)
         return 0
 
     # ---- sync & ioctl (benign no-ops / tty answers) ----

@@ -202,7 +202,8 @@ class ProcCalls:
         if sig == 0:
             return 0
         for t in targets:
-            t.generate_signal(sig)
+            t.generate_signal(sig, sender_pid=proc.pid,
+                              sender_uid=proc.euid)
         return 0
 
     def sys_tgkill(self, proc: Process, tgid: int, tid: int, sig: int) -> int:
@@ -210,7 +211,8 @@ class ProcCalls:
         if t is None or t.tgid != tgid:
             raise KernelError(ESRCH, f"{tgid}:{tid}")
         if sig:
-            t.generate_signal(sig)
+            t.generate_signal(sig, sender_pid=proc.pid,
+                              sender_uid=proc.euid)
         return 0
 
     def sys_tkill(self, proc: Process, tid: int, sig: int) -> int:
@@ -218,7 +220,8 @@ class ProcCalls:
         if t is None:
             raise KernelError(ESRCH, str(tid))
         if sig:
-            t.generate_signal(sig)
+            t.generate_signal(sig, sender_pid=proc.pid,
+                              sender_uid=proc.euid)
         return 0
 
     # ---- identity ----

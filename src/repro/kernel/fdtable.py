@@ -16,6 +16,7 @@ from .errno import (
 from .eventpoll import (
     EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, WaitQueue,
 )
+from .inotify import IN_CLOSE_NOWRITE, IN_CLOSE_WRITE, fsnotify
 from .vfs import (
     Inode, O_ACCMODE, O_APPEND, O_NONBLOCK, O_RDONLY, O_RDWR, O_WRONLY, VFS,
 )
@@ -67,6 +68,8 @@ class OpenFile:
     KIND_TIMERFD = "timerfd"
     KIND_EPOLL = "epoll"
     KIND_URING = "uring"
+    KIND_INOTIFY = "inotify"
+    KIND_SIGNALFD = "signalfd"
 
     def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
                  pipe: Optional[Pipe] = None, sock=None, path: str = "",
@@ -102,6 +105,12 @@ class OpenFile:
 
     def _release(self) -> None:
         self.closed = True
+        if self.kind == self.KIND_REG and self.inode is not None:
+            # the fsnotify close hook: tail -F style watchers key on
+            # IN_CLOSE_WRITE to know a writer finished its update
+            fsnotify(self.inode,
+                     IN_CLOSE_WRITE if self.writable_mode
+                     else IN_CLOSE_NOWRITE)
         if self.kind == self.KIND_PIPE_R:
             with self.pipe.cond:
                 self.pipe.readers -= 1
@@ -166,6 +175,9 @@ class OpenFile:
             if length < 8:
                 raise KernelError(EINVAL, "buffer smaller than 8 bytes")
             return self.obj.read_step().to_bytes(8, "little")
+        if self.kind in (self.KIND_INOTIFY, self.KIND_SIGNALFD):
+            # wire-format records (inotify_event / signalfd_siginfo)
+            return self.obj.read_step(length)
         if self.kind == self.KIND_DIR:
             raise KernelError(EISDIR)
         raise KernelError(EBADF, f"read on {self.kind}")

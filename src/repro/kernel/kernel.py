@@ -25,8 +25,8 @@ from typing import Callable, Dict, List, Optional
 
 from .arch import X86_64
 from .calls import (
-    EventCalls, FSCalls, MemCalls, MiscCalls, NetCalls, ProcCalls, SigCalls,
-    URingCalls,
+    EventCalls, FSCalls, MemCalls, MiscCalls, NetCalls, NotifyCalls,
+    ProcCalls, SigCalls, URingCalls,
 )
 from .errno import EAGAIN, EINTR, ENOSYS, EPIPE, ETIMEDOUT, KernelError
 from .eventpoll import ProcNotifier
@@ -49,7 +49,7 @@ class _TimedOut(Exception):
 
 
 class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
-             EventCalls, URingCalls):
+             EventCalls, URingCalls, NotifyCalls):
     """A self-contained virtual Linux kernel."""
 
     def __init__(self, machine: str = X86_64, ncpus: int = 4,

@@ -3,10 +3,17 @@
 Maps the :class:`~.base.NetBackend` API onto Python's :mod:`socket`
 module, so a WALI guest can talk to processes *outside* the simulated
 kernel (or to another kernel instance on the same host).  Readiness is
-bridged by a small poller thread that watches every live host socket and
-publishes newly-risen ``EPOLLIN``/``EPOLLOUT`` edges into the usual
-:class:`~..eventpoll.WaitQueue` machinery, so blocking syscalls and
-epoll keep working unchanged.
+**epoll-native**: every live host socket is registered with a real
+:mod:`selectors` selector (epoll on Linux) and a single poller thread
+blocks in ``select`` — a host readiness edge wakes the corresponding
+:class:`~..eventpoll.WaitQueue` immediately, with no fixed polling
+cadence in the path (the old bridge re-scanned every 5 ms).
+
+The registration follows the edge-triggered re-arm discipline: a fired
+interest (``EPOLLIN``/``EPOLLOUT``) is disarmed when it wakes the
+waitqueue, and re-armed when a consumer actually blocks — i.e. when a
+``recv``/``send``/``accept`` step raises ``EAGAIN`` — so a socket that
+stays readable or writable costs nothing while nobody is waiting on it.
 
 **Opt-in only**: constructing this backend raises ``EPERM`` unless the
 caller passes ``optin=1`` in the backend spec (``--net host:optin=1``)
@@ -19,9 +26,11 @@ from __future__ import annotations
 
 import os
 import select as _select
+import selectors as _selectors
 import socket as _hostsocket
 import threading
 import time as _time
+from collections import deque
 from typing import Optional, Tuple
 
 from ..errno import (
@@ -33,7 +42,9 @@ from ..eventpoll import (
 )
 from .base import AF_INET, NetBackend, SOCK_DGRAM, SOCK_STREAM
 
-_POLL_SLICE_S = 0.005  # host-readiness poll cadence
+# selector safety-net timeout: correctness never depends on it (arming
+# and teardown are wake-pipe driven), it only bounds a lost-wakeup stall
+_SELECT_TIMEOUT_S = 1.0
 
 
 def _map_oserror(exc: OSError, fallback: int) -> KernelError:
@@ -64,6 +75,28 @@ class _HostOpts(dict):
             pass
 
 
+class _ArmingWaitQueue(WaitQueue):
+    """A waitqueue that arms the selector interest on subscribe.
+
+    Consumers that wait for readiness *without* first taking an EAGAIN —
+    ``epoll_ctl`` registration, ``ppoll``/``pselect6`` notifiers — attach
+    here; subscribing arms both directions so the next host edge reaches
+    them.  (I/O steps re-arm through ``want()`` on EAGAIN as usual.)
+    """
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock: "HostSocket"):
+        super().__init__()
+        self._sock = sock
+
+    def subscribe(self, callback) -> None:
+        super().subscribe(callback)
+        sock = self._sock
+        if sock.state != HostSocket.ST_CLOSED:
+            sock.stack.want(sock, EPOLLIN | EPOLLOUT)
+
+
 class HostSocket:
     """One real host socket behind the kernel's socket-object surface."""
 
@@ -81,8 +114,7 @@ class HostSocket:
         self.state = self.ST_NEW
         self.addr: Optional[Tuple] = None
         self.peer_addr: Optional[Tuple] = None
-        self.wq = WaitQueue()
-        self._last_mask = 0  # poller-edge tracking
+        self.wq = _ArmingWaitQueue(self)
         if hs is None:
             kind = _hostsocket.SOCK_STREAM if type_ == SOCK_STREAM \
                 else _hostsocket.SOCK_DGRAM
@@ -109,6 +141,8 @@ class HostSocket:
         try:
             return self.hs.recv(length)
         except BlockingIOError:
+            # ET re-arm: someone is about to block on readability
+            self.stack.want(self, EPOLLIN)
             raise KernelError(EAGAIN, "host socket would block")
         except ConnectionResetError as exc:
             raise _map_oserror(exc, ECONNRESET)
@@ -119,6 +153,7 @@ class HostSocket:
         try:
             return self.hs.send(bytes(data))
         except BlockingIOError:
+            self.stack.want(self, EPOLLOUT)
             raise KernelError(EAGAIN, "host socket would block")
         except BrokenPipeError as exc:
             raise _map_oserror(exc, EPIPE)
@@ -139,6 +174,12 @@ class HostSocket:
             mask |= EPOLLOUT
         if x:
             mask |= EPOLLERR
+        # a prober that found a direction not-ready is waiting for its
+        # next rising edge: re-arm that selector interest (epoll/ppoll
+        # watchers never take the EAGAIN path that usually re-arms)
+        missing = (EPOLLIN | EPOLLOUT) & ~mask
+        if missing:
+            self.stack.want(self, missing)
         return mask
 
     def poll(self) -> Tuple[bool, bool]:
@@ -177,55 +218,149 @@ class HostBackend(NetBackend):
                        "or set REPRO_NET_HOST=1")
         super().__init__()
         self.bind_host = bind_host
-        self._sockets: set = set()
         self._lock = threading.Lock()
         self._poller: Optional[threading.Thread] = None
+        # interest changes posted to the poller: ("arm", sock, mask) /
+        # ("drop", sock, 0); the wake pipe interrupts a blocked select
+        self._ops: deque = deque()
+        self._wake_w: Optional[int] = None
 
-    # -- poller plumbing: bridge host readiness into waitqueues --
+    # -- selector plumbing: host readiness straight into waitqueues --
+
+    def _post(self, op: str, sock: HostSocket, mask: int) -> None:
+        with self._lock:
+            self._ops.append((op, sock, mask))
+            if self._poller is None:
+                wake_r, wake_w = os.pipe()
+                os.set_blocking(wake_w, False)
+                self._wake_w = wake_w
+                self._poller = threading.Thread(
+                    target=self._poll_loop, args=(wake_r, wake_w),
+                    daemon=True, name="host-net-selector")
+                self._poller.start()
+                return
+            # write while still holding the lock: retirement nulls and
+            # closes the pipe under this same lock, so the fd can never
+            # be closed (and its number recycled) out from under us
+            if self._wake_w is not None:
+                try:
+                    os.write(self._wake_w, b"\x00")
+                except (OSError, BlockingIOError):
+                    pass  # pipe full: a wake is already pending
 
     def _register(self, sock: HostSocket) -> None:
-        with self._lock:
-            self._sockets.add(sock)
-            if self._poller is None:
-                self._poller = threading.Thread(
-                    target=self._poll_loop, daemon=True,
-                    name="host-net-poller")
-                self._poller.start()
+        # fresh sockets arm both directions; fired interests re-arm via
+        # want() when a consumer's I/O step hits EAGAIN
+        self._post("arm", sock, EPOLLIN | EPOLLOUT)
 
     def unregister(self, sock) -> None:
-        with self._lock:
-            self._sockets.discard(sock)
+        self._post("drop", sock, 0)
 
-    def _poll_loop(self) -> None:
-        while True:
-            with self._lock:
-                socks = list(self._sockets)
-                if not socks:
-                    # last socket closed: retire; the next register
-                    # starts a fresh poller
-                    self._poller = None
-                    return
-            live = [s for s in socks if s.state != HostSocket.ST_CLOSED]
+    def want(self, sock: HostSocket, mask: int) -> None:
+        """Re-arm an interest: a consumer is about to block on ``mask``."""
+        self._post("arm", sock, mask)
+
+    @staticmethod
+    def _set_interest(sel, interest, sock, mask, forget=False) -> None:
+        """Update one socket's armed mask.  A disarmed socket (mask 0)
+        stays in ``interest`` — it is still *known*, so the poller keeps
+        running for it — until an explicit drop (``forget``) removes it;
+        retiring on mere disarm would churn a thread + pipe per blocking
+        cycle of steady request/response traffic."""
+        was_registered = interest.get(sock, 0) != 0
+        events = 0
+        if mask & EPOLLIN:
+            events |= _selectors.EVENT_READ
+        if mask & EPOLLOUT and sock.state != HostSocket.ST_LISTENING:
+            events |= _selectors.EVENT_WRITE
+        try:
+            if was_registered:
+                if events:
+                    sel.modify(sock, events, data=sock)
+                else:
+                    sel.unregister(sock)
+            elif events:
+                sel.register(sock, events, data=sock)
+            if forget:
+                interest.pop(sock, None)
+            else:
+                interest[sock] = mask if events else 0
+        except (OSError, ValueError, KeyError):
+            interest.pop(sock, None)
+
+    def _poll_loop(self, wake_r: int, wake_w: int) -> None:
+        sel = _selectors.DefaultSelector()
+        sel.register(wake_r, _selectors.EVENT_READ, data=None)
+        interest = {}  # sock -> armed EPOLL* mask
+        try:
+            while True:
+                while True:
+                    with self._lock:
+                        if not self._ops:
+                            break
+                        op, sock, mask = self._ops.popleft()
+                    if op == "drop" or sock.state == HostSocket.ST_CLOSED:
+                        self._set_interest(sel, interest, sock, 0,
+                                           forget=True)
+                    else:
+                        self._set_interest(sel, interest, sock,
+                                           interest.get(sock, 0) | mask)
+                with self._lock:
+                    if not interest and not self._ops:
+                        # last socket gone: retire; the next register
+                        # starts a fresh poller (and a fresh pipe).  The
+                        # pipe closes under the lock so no _post writer
+                        # can race the close with a recycled fd number.
+                        self._poller = None
+                        self._wake_w = None
+                        for fd in (wake_r, wake_w):
+                            try:
+                                os.close(fd)
+                            except OSError:
+                                pass
+                        wake_r = wake_w = -1
+                        return
+                try:
+                    events = sel.select(timeout=_SELECT_TIMEOUT_S)
+                except (OSError, ValueError):
+                    _time.sleep(0.001)
+                    continue
+                for key, ev in events:
+                    if key.data is None:  # wake pipe: drain and re-loop
+                        try:
+                            os.read(wake_r, 4096)
+                        except OSError:
+                            pass
+                        continue
+                    sock = key.data
+                    fired = 0
+                    if ev & _selectors.EVENT_READ:
+                        fired |= EPOLLIN
+                    if ev & _selectors.EVENT_WRITE:
+                        fired |= EPOLLOUT
+                    # ET discipline: disarm what fired (consumers re-arm
+                    # through want() when they block again), then wake
+                    self._set_interest(sel, interest, sock,
+                                       interest.get(sock, 0) & ~fired)
+                    sock.wq.wake(fired)
+        finally:
             try:
-                # one select over every registered fd per slice
-                r, w, x = _select.select(live, live, live, 0)
-            except (OSError, ValueError):
-                _time.sleep(_POLL_SLICE_S)
-                continue
-            r, w, x = set(r), set(w), set(x)
-            for sock in live:
-                mask = 0
-                if sock in r:
-                    mask |= EPOLLIN
-                if sock in w and sock.state != HostSocket.ST_LISTENING:
-                    mask |= EPOLLOUT
-                if sock in x:
-                    mask |= EPOLLERR
-                risen = mask & ~sock._last_mask
-                sock._last_mask = mask
-                if risen:
-                    sock.wq.wake(risen)
-            _time.sleep(_POLL_SLICE_S)
+                sel.close()
+            except OSError:
+                pass
+            # exceptional exit only (normal retirement already closed
+            # the pipe under the lock and set both fds to -1)
+            with self._lock:
+                if self._poller is threading.current_thread():
+                    self._poller = None  # let a future register respawn
+                for fd in (wake_r, wake_w):
+                    if fd >= 0:
+                        if self._wake_w == fd:
+                            self._wake_w = None
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
 
     # -- namespace / lifecycle --
 
@@ -283,6 +418,7 @@ class HostBackend(NetBackend):
         try:
             conn, peer = listener.hs.accept()
         except BlockingIOError:
+            self.want(listener, EPOLLIN)
             raise KernelError(EAGAIN, "no pending connections")
         except OSError as exc:
             raise _map_oserror(exc, EINVAL)
@@ -318,6 +454,7 @@ class HostBackend(NetBackend):
         try:
             return sock.hs.sendto(bytes(data), tuple(target))
         except BlockingIOError:
+            self.want(sock, EPOLLOUT)
             raise KernelError(EAGAIN, "host socket would block")
         except OSError as exc:
             raise _map_oserror(exc, ECONNREFUSED)
@@ -330,6 +467,7 @@ class HostBackend(NetBackend):
             data, src = sock.hs.recvfrom(length)
             return data, src
         except BlockingIOError:
+            self.want(sock, EPOLLIN)
             raise KernelError(EAGAIN, "no datagrams")
         except OSError as exc:
             raise _map_oserror(exc, ENOTCONN)

@@ -104,6 +104,9 @@ class Process:
         self.dispositions = dispositions or SigDispositions()
         self.pending = PendingSignals()
         self.blocked_mask = 0
+        # signalfd front-ends draining this process's pending set; signal
+        # generation wakes their waitqueues (epoll/ppoll/uring readiness)
+        self.signalfds: List = []
 
         self.state = STATE_RUNNING
         self.exit_status = 0
@@ -138,18 +141,24 @@ class Process:
 
     # ---- signals ----
 
-    def generate_signal(self, sig: int) -> None:
+    def generate_signal(self, sig: int, sender_pid: int = 0,
+                        sender_uid: int = 0) -> None:
         from .signals import DFL_CONT, DFL_IGN, SIG_DFL, SIG_IGN, \
-            default_action
+            default_action, sig_bit
 
         # Linux discards ignored signals at generation time: a pending
         # SIGCHLD with SIG_DFL must not interrupt the parent's wait4.
+        # A signalfd holding the signal in its mask keeps it queueable —
+        # the fd is a consumer even when default delivery would ignore.
         act = self.dispositions.get(sig)
         if act.handler == SIG_IGN or (
                 act.handler == SIG_DFL and
                 default_action(sig) in (DFL_IGN, DFL_CONT)):
-            return
-        self.pending.generate(sig)
+            if not any(sig_bit(sig) & sfd.mask for sfd in self.signalfds):
+                return
+        self.pending.generate(sig, sender_pid, sender_uid)
+        for sfd in list(self.signalfds):
+            sfd.signal_generated(sig)
         with self.wake:
             self.wake.notify_all()
 

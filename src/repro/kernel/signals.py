@@ -1,15 +1,23 @@
-"""Signal machinery: numbers, dispositions, pending state, masks.
+"""Signal machinery: numbers, dispositions, pending state, masks, signalfd.
 
 The kernel side of the paper's §3.3: generation marks a signal pending on the
 target process (bit-vector + queue); delivery happens when the WALI engine
 polls at a safepoint and the signal is not blocked by the thread mask.
+
+:class:`SignalFD` is the file-descriptor front-end (``signalfd4``): it
+drains pending signals that fall inside its mask as ``signalfd_siginfo``
+records, and publishes readiness on a waitqueue so signal arrival flows
+through ``epoll_pwait``/``ppoll``/``io_uring`` like any other event
+source — the synchronous alternative to sigvirt's safepoint delivery.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import struct
+from typing import Dict, List, Optional, Tuple
 
-from .errno import EINVAL, KernelError
+from .errno import EAGAIN, EINVAL, KernelError
+from .eventpoll import EPOLLHUP, EPOLLIN, WaitQueue
 
 # signal numbers (x86-64/generic)
 SIGHUP = 1
@@ -145,16 +153,27 @@ class PendingSignals:
     def __init__(self):
         self.bits = 0
         self.queue: List[int] = []
+        # sender bookkeeping for siginfo consumers (signalfd): sig ->
+        # (pid, uid) of the most recent generator
+        self.info: Dict[int, Tuple[int, int]] = {}
 
-    def generate(self, sig: int) -> None:
+    def generate(self, sig: int, sender_pid: int = 0,
+                 sender_uid: int = 0) -> None:
         if not self.bits & sig_bit(sig):
+            # merged standard signals keep the *first* generator's
+            # identity (later senders coalesce into the pending bit)
+            self.info[sig] = (sender_pid, sender_uid)
             self.bits |= sig_bit(sig)
             self.queue.append(sig)
 
     def take(self, blocked_mask: int) -> Optional[int]:
         """Pop the first pending signal not blocked, or None."""
+        return self.take_in(~blocked_mask)
+
+    def take_in(self, accept_mask: int) -> Optional[int]:
+        """Pop the first pending signal whose bit is in ``accept_mask``."""
         for i, sig in enumerate(self.queue):
-            if not blocked_mask & sig_bit(sig):
+            if accept_mask & sig_bit(sig):
                 del self.queue[i]
                 self.bits &= ~sig_bit(sig)
                 return sig
@@ -171,4 +190,88 @@ class PendingSignals:
         p = PendingSignals()
         p.bits = self.bits
         p.queue = list(self.queue)
+        p.info = dict(self.info)
         return p
+
+
+# ---------------------------------------------------------------------------
+# signalfd: the fd front-end over the pending set
+# ---------------------------------------------------------------------------
+
+# signalfd4 flags (mirror O_NONBLOCK / O_CLOEXEC like Linux)
+SFD_CLOEXEC = 0o2000000
+SFD_NONBLOCK = 0o0004000
+
+SIGNALFD_SIGINFO_SIZE = 128  # sizeof(struct signalfd_siginfo)
+
+SI_USER = 0  # ssi_code: sent by kill()
+
+
+def encode_siginfo(signo: int, code: int = SI_USER, pid: int = 0,
+                   uid: int = 0) -> bytes:
+    """One ``signalfd_siginfo`` wire record (leading fields + zero pad):
+    ``{u32 ssi_signo, i32 ssi_errno, i32 ssi_code, u32 ssi_pid,
+    u32 ssi_uid, ...}`` padded to 128 bytes."""
+    return struct.pack("<IiiII", signo, 0, code, pid, uid).ljust(
+        SIGNALFD_SIGINFO_SIZE, b"\x00")
+
+
+def decode_siginfo(data: bytes) -> Tuple[int, int, int, int]:
+    """``(signo, code, pid, uid)`` from one siginfo record."""
+    signo, _errno, code, pid, uid = struct.unpack_from("<IiiII", data)
+    return signo, code, pid, uid
+
+
+class SignalFD:
+    """The signalfd object: reads drain pending signals in its mask.
+
+    The caller blocks the signals it hands to a signalfd (the standard
+    usage), so default delivery does not race the fd; reads then consume
+    them from the pending queue as ``signalfd_siginfo`` records.  Signal
+    generation wakes the waitqueue, so the fd is epollable like every
+    other readiness source.
+    """
+
+    def __init__(self, proc, mask: int):
+        self.proc = proc
+        self.mask = self._sanitize(mask)
+        self.wq = WaitQueue()
+        proc.signalfds.append(self)
+
+    @staticmethod
+    def _sanitize(mask: int) -> int:
+        # SIGKILL/SIGSTOP are silently ignored in the mask, like Linux
+        return mask & ~(sig_bit(SIGKILL) | sig_bit(SIGSTOP))
+
+    def set_mask(self, mask: int) -> None:
+        self.mask = self._sanitize(mask)
+        if self.proc.pending.bits & self.mask:
+            self.wq.wake(EPOLLIN)
+
+    def signal_generated(self, sig: int) -> None:
+        if sig_bit(sig) & self.mask:
+            self.wq.wake(EPOLLIN)
+
+    def read_step(self, length: int) -> bytes:
+        if length < SIGNALFD_SIGINFO_SIZE:
+            raise KernelError(EINVAL, "buffer smaller than siginfo")
+        out = bytearray()
+        while len(out) + SIGNALFD_SIGINFO_SIZE <= length:
+            sig = self.proc.pending.take_in(self.mask)
+            if sig is None:
+                break
+            pid, uid = self.proc.pending.info.get(sig, (0, 0))
+            out += encode_siginfo(sig, SI_USER, pid, uid)
+        if not out:
+            raise KernelError(EAGAIN, "no signals pending in the mask")
+        return bytes(out)
+
+    def poll_events(self) -> int:
+        return EPOLLIN if self.proc.pending.bits & self.mask else 0
+
+    def close(self) -> None:
+        try:
+            self.proc.signalfds.remove(self)
+        except ValueError:
+            pass
+        self.wq.wake(EPOLLHUP)

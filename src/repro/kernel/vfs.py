@@ -10,12 +10,15 @@ open-file descriptions (:mod:`repro.kernel.fdtable`) stay thin.
 from __future__ import annotations
 
 import itertools
-import time as _time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .errno import (
     EACCES, EBUSY, EEXIST, EINVAL, EISDIR, ELOOP, ENAMETOOLONG, ENOENT,
     ENOSPC, ENOTDIR, ENOTEMPTY, EPERM, EXDEV, KernelError,
+)
+from .inotify import (
+    IN_ATTRIB, IN_CREATE, IN_MODIFY, fsnotify, fsnotify_delete,
+    fsnotify_inode_gone, fsnotify_move, fsnotify_name,
 )
 
 # file type bits (mode & S_IFMT)
@@ -52,9 +55,27 @@ NAME_MAX = 255
 
 _ino_counter = itertools.count(2)
 
+# Inode timestamps come from a *logical* clock: a fixed epoch plus one
+# microsecond per mutation.  Wall-clock stamps would differ between runs
+# and break the 3x determinism-rerun guarantee for anything stat-shaped;
+# the logical clock is monotone (writes still order by mtime) and
+# bit-reproducible for identical operation sequences.  The counter is
+# process-global (Inode construction has no VFS back-pointer), so the
+# guarantee is per *whole-process* run — exactly what the CI rerun
+# executes — not per Kernel instance; two kernels in one process share
+# the tick stream.
+_EPOCH_NS = 1_704_067_200 * 10**9  # 2024-01-01T00:00:00Z, fixed
+_clock_ticks = itertools.count(1)
+
 
 def _now_ns() -> int:
-    return _time.time_ns()
+    return _EPOCH_NS + next(_clock_ticks) * 1_000
+
+
+def vfs_now_ns() -> int:
+    """The VFS logical clock (for callers outside this module, e.g. the
+    WALI ``utimensat`` NULL-times path)."""
+    return _now_ns()
 
 
 class Inode:
@@ -63,7 +84,7 @@ class Inode:
     __slots__ = (
         "ino", "mode", "uid", "gid", "nlink", "data", "entries", "target",
         "rdev", "atime_ns", "mtime_ns", "ctime_ns", "generator", "device",
-        "fs_limit",
+        "fs_limit", "watches",
     )
 
     def __init__(self, mode: int, uid: int = 0, gid: int = 0):
@@ -81,6 +102,7 @@ class Inode:
         self.generator: Optional[Callable] = None  # procfs content
         self.device = None                       # chr device handler object
         self.fs_limit: Optional[int] = None      # per-file size cap (ENOSPC)
+        self.watches = None                      # inotify marks (lazy list)
         kind = mode & S_IFMT
         if kind == S_IFREG:
             self.data = bytearray()
@@ -133,6 +155,7 @@ class Inode:
             self.data.extend(b"\x00" * (offset - len(self.data)))
         self.data[offset:end] = buf
         self.mtime_ns = _now_ns()
+        fsnotify(self, IN_MODIFY)
         return len(buf)
 
     def truncate(self, length: int) -> None:
@@ -142,6 +165,7 @@ class Inode:
         else:
             self.data.extend(b"\x00" * (length - len(self.data)))
         self.mtime_ns = _now_ns()
+        fsnotify(self, IN_MODIFY)
 
 
 class DirEntry:
@@ -276,6 +300,7 @@ class VFS:
         node = Inode(S_IFDIR | (mode & 0o7777))
         parent.entries[name] = node
         parent.nlink += 1
+        fsnotify_name(parent, node, IN_CREATE, name)
         return node
 
     def mkdirs(self, path: str) -> Inode:
@@ -303,11 +328,13 @@ class VFS:
             return existing
         node = Inode(S_IFREG | (mode & 0o7777))
         parent.entries[name] = node
+        fsnotify_name(parent, node, IN_CREATE, name)
         return node
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> Inode:
         node = self.create(path, mode)
         node.data[:] = data
+        fsnotify(node, IN_MODIFY)
         return node
 
     def read_file(self, path: str) -> bytes:
@@ -324,6 +351,7 @@ class VFS:
         node = Inode(S_IFLNK | 0o777)
         node.target = target
         parent.entries[name] = node
+        fsnotify_name(parent, node, IN_CREATE, name)
         return node
 
     def link(self, old: str, new: str, cwd: Optional[Inode] = None) -> None:
@@ -335,6 +363,8 @@ class VFS:
             raise KernelError(EEXIST, new)
         parent.entries[name] = node
         node.nlink += 1
+        fsnotify_name(parent, node, IN_CREATE, name)
+        fsnotify(node, IN_ATTRIB)  # nlink changed, like Linux
 
     def unlink(self, path: str, cwd: Optional[Inode] = None,
                rmdir: bool = False) -> None:
@@ -352,6 +382,7 @@ class VFS:
             raise KernelError(ENOTDIR, path)
         del parent.entries[name]
         node.nlink -= 1
+        fsnotify_delete(parent, node, name)
 
     def rename(self, old: str, new: str, cwd: Optional[Inode] = None) -> None:
         op, oname = self.resolve_parent(old, cwd or self.root)
@@ -367,6 +398,11 @@ class VFS:
                 raise KernelError(ENOTEMPTY, new)
         del op.entries[oname]
         np.entries[nname] = node
+        if existing is not None and existing is not node:
+            # the clobbered target lost its link: watchers must learn
+            existing.nlink -= 1
+            fsnotify_inode_gone(existing)
+        fsnotify_move(op, np, node, oname, nname)
 
     def mknod_device(self, path: str, device, mode: int = S_IFCHR | 0o666,
                      rdev: int = 0) -> Inode:

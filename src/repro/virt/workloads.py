@@ -78,9 +78,23 @@ def echo_workload(scale: int = 20, nclients: int = 50,
     )
 
 
+def watch_workload(scale: int = 12, ring: bool = False) -> Workload:
+    """Filesystem-event workload: the watchd guest tails a log and tracks
+    directory churn through inotify + signalfd readiness (``scale``
+    mutation rounds; ``ring=True`` serves through the io_uring ring
+    instead of epoll)."""
+    argv = ["watchd", str(scale)] + (["-u"] if ring else [])
+    return Workload(
+        app="watchd",
+        argv=argv,
+        label=f"watch-{scale}{'-u' if ring else ''}",
+    )
+
+
 WORKLOADS = {
     "lua": lua_workload,
     "bash": bash_workload,
     "sqlite": sqlite_workload,
     "echo": echo_workload,
+    "watch": watch_workload,
 }

@@ -54,7 +54,7 @@ AUTO_PASSTHROUGH = frozenset({
     "set_tid_address", "set_robust_list", "arch_prctl", "sched_setaffinity",
     "clock_getres", "syslog", "getitimer", "eventfd2", "epoll_create1",
     "epoll_create", "timerfd_create", "chroot", "mincore", "prctl",
-    "fadvise64",
+    "fadvise64", "inotify_init1", "inotify_rm_watch",
 })
 
 # process-model calls whose cost is engine work (instance duplication for
@@ -73,7 +73,7 @@ STRUCT_CALLS = frozenset({
     "sendmsg", "recvmsg", "poll", "ppoll", "select", "pselect6", "utimensat",
     "epoll_ctl", "epoll_pwait", "epoll_wait", "timerfd_settime",
     "timerfd_gettime", "io_uring_setup", "io_uring_enter",
-    "io_uring_register",
+    "io_uring_register", "signalfd4",
 })
 
 _WINSIZE = struct.Struct("<HHHH")
@@ -432,7 +432,10 @@ class WaliHost:
             mtime = Layout.decode_timespec(
                 self.mem.read_bytes(times_ptr + 16, 16))
         else:
-            atime = mtime = _time.time_ns()
+            # NULL times = "now" on the VFS logical clock (wall-clock
+            # stamps here would break the determinism-rerun guarantee)
+            from ..kernel.vfs import vfs_now_ns
+            atime = mtime = vfs_now_ns()
         path_s = self.cstr(path) if path else ""
         return self.k("utimensat", signed32(dirfd), path_s, atime, mtime,
                       flags)
@@ -541,6 +544,16 @@ class WaliHost:
             self.copy_out(curr_ptr,
                           Layout.encode_itimerspec(interval_ns, value_ns))
         return 0
+
+    # ---- inotify / signalfd (readiness front-ends) ----
+
+    def w_inotify_add_watch(self, fd, path_ptr, mask):
+        return self.k("inotify_add_watch", signed32(fd),
+                      self.path_arg("inotify_add_watch", path_ptr), mask)
+
+    def w_signalfd4(self, fd, mask_ptr, sizemask, flags):
+        mask = self.mem.load_i64(mask_ptr) if mask_ptr else 0
+        return self.k("signalfd4", signed32(fd), mask, flags)
 
     # ---- io_uring: batched submission/completion crossings ----
 

@@ -222,6 +222,28 @@ class Layout:
     def decode_uring_cqe(data: bytes) -> Tuple[int, int, int]:
         return struct.unpack_from("<QiI", data)
 
+    # inotify_event: {i32 wd, u32 mask, u32 cookie, u32 len, name[len]}
+    # (len includes the NUL padding to a 16-byte multiple, like Linux)
+    INOTIFY_EVENT_HDR = 16
+
+    @staticmethod
+    def decode_inotify_event(data: bytes, off: int = 0):
+        """One record at ``off``: ``(wd, mask, cookie, name, next_off)``."""
+        wd, mask, cookie, name_len = struct.unpack_from("<iIII", data, off)
+        start = off + Layout.INOTIFY_EVENT_HDR
+        name = bytes(data[start:start + name_len]).split(b"\x00", 1)[0]
+        return wd, mask, cookie, name.decode(), start + name_len
+
+    # signalfd_siginfo (128 bytes, leading fields):
+    # {u32 signo, i32 errno, i32 code, u32 pid, u32 uid, ...pad}
+    SIGNALFD_SIGINFO_SIZE = 128
+
+    @staticmethod
+    def decode_signalfd_siginfo(data: bytes):
+        """``(ssi_signo, ssi_code, ssi_pid, ssi_uid)``."""
+        signo, _errno, code, pid, uid = struct.unpack_from("<IiiII", data)
+        return signo, code, pid, uid
+
     # ksigaction (portable WALI form): {u32 handler, u32 flags, u64 mask}
     SIGACTION_SIZE = 16
 

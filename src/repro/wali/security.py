@@ -30,6 +30,7 @@ _PROC_MEM = re.compile(r"^/proc/(self|\d+)/mem$")
 OPEN_LIKE = frozenset({
     "open", "openat", "stat", "lstat", "newfstatat", "statx", "truncate",
     "readlink", "readlinkat", "access", "faccessat", "faccessat2",
+    "inotify_add_watch",
 })
 
 

@@ -85,6 +85,10 @@ def _build() -> Dict[str, SyscallSpec]:
         ("select", "iiiii"), ("pselect6", "iiiiii"),
         ("fadvise64", "illi"), ("readahead", "ili"),
         ("memfd_create", "ii"), ("mincore", "iii"),
+        # filesystem event notification (readiness flows through
+        # epoll/ppoll/io_uring like every other waitqueue source)
+        ("inotify_init1", "i"), ("inotify_add_watch", "iii"),
+        ("inotify_rm_watch", "ii"),
     ])
 
     add(CAT_PROC, [
@@ -112,6 +116,8 @@ def _build() -> Dict[str, SyscallSpec]:
         ("rt_sigreturn", ""), ("rt_sigtimedwait", "iiii"),
         ("sigaltstack", "ii"), ("pause", ""), ("alarm", "i"),
         ("setitimer", "iii"), ("getitimer", "ii"),
+        # fd-based synchronous signal consumption (vs sigvirt delivery)
+        ("signalfd4", "iiii"),
     ])
 
     add(CAT_MM, [

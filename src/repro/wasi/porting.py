@@ -5,6 +5,13 @@ system facility it links against exists in that API's surface.  Our apps
 declare their needs in the import section (name-bound WALI syscalls), so the
 matrix falls out of set containment — a missing feature means the app would
 not even compile against that target, exactly as §4.1 observes.
+
+Readiness-source coverage (the Table-1 columns widened per PR): sockets,
+pipes, eventfd, timerfd, epoll, io_uring, **inotify** and **signalfd**
+are all WALI rows; WASI preview1 stops at poll_oneoff-style readiness,
+and WASIX adds sockets/signals but exposes neither filesystem events nor
+fd-based signal consumption — so file-watcher workloads (``watchd``,
+tail -F, build daemons) port only to WALI.
 """
 
 from __future__ import annotations
@@ -83,7 +90,12 @@ FEATURE_OF_SYSCALL = {
     "eventfd2": "eventfd", "epoll_create1": "epoll", "epoll_ctl": "epoll",
     "epoll_pwait": "epoll", "epoll_create": "epoll", "epoll_wait": "epoll",
     "timerfd_create": "timerfd", "timerfd_settime": "timerfd",
-    "timerfd_gettime": "timerfd", "chroot": "chroot", "tkill": "signals",
+    "timerfd_gettime": "timerfd",
+    "inotify_init1": "inotify", "inotify_add_watch": "inotify",
+    "inotify_rm_watch": "inotify", "signalfd4": "signalfd",
+    "io_uring_setup": "io_uring", "io_uring_enter": "io_uring",
+    "io_uring_register": "io_uring",
+    "chroot": "chroot", "tkill": "signals",
     "clone3": "threads", "mknod": "devices", "clock_getres": "time",
     "clock_nanosleep": "time", "nanosleep": "time",
     "getpriority": "priority", "setpriority": "priority",
@@ -119,8 +131,11 @@ def required_syscalls(module: Module) -> frozenset:
 
 # what to highlight first in the "missing features" column, mirroring the
 # paper's choices (signals for bash, mremap for sqlite, mmap for memcached,
-# sockopt for paho, users for openssh...)
-_FEATURE_PRIORITY = ("signals", "mremap", "mmap", "users", "sockopt",
+# sockopt for paho, users for openssh; inotify/signalfd for the watcher
+# row — neither WASI preview1 nor WASIX exposes filesystem events or
+# fd-based signal consumption, so watchd ports only to WALI)
+_FEATURE_PRIORITY = ("signals", "inotify", "signalfd", "mremap", "mmap",
+                     "users", "sockopt",
                      "sockets", "socketpair", "threads", "processes",
                      "wait4", "dup", "ioctl", "pgroups")
 

@@ -1,6 +1,6 @@
 """Event subsystem tests: readiness waitqueues, nonblocking socket
-semantics, epoll (level/edge/oneshot), eventfd, timerfd, and the
-waitqueue-driven ppoll/pselect6 rewrite (POLLHUP/POLLERR for closed
+semantics, epoll (level/edge/oneshot), eventfd, timerfd, signalfd, and
+the waitqueue-driven ppoll/pselect6 rewrite (POLLHUP/POLLERR for closed
 peers, prompt wakeups without timeout-sliced rescans)."""
 
 import threading
@@ -11,7 +11,9 @@ import pytest
 from repro.kernel import (
     AF_INET, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD, EPOLLERR,
     EPOLLET, EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, Kernel,
-    KernelError, O_CREAT, O_NONBLOCK, O_RDWR, SOCK_STREAM,
+    KernelError, O_CREAT, O_NONBLOCK, O_RDWR, SFD_NONBLOCK,
+    SIGNALFD_SIGINFO_SIZE, SIGKILL, SIGTERM, SIGUSR1, SIGUSR2, SOCK_STREAM,
+    decode_siginfo, sig_bit,
 )
 from repro.kernel.errno import (
     EAGAIN, EBADF, EEXIST, EINVAL, ELOOP, ENOENT, EPERM,
@@ -323,6 +325,122 @@ class TestTimerFD:
         with pytest.raises(KernelError) as exc:
             kern.call(proc, "timerfd_create", 99, 0)
         assert exc.value.errno == EINVAL
+
+
+class TestSignalFD:
+    """signalfd4: pending signals drain as siginfo records, and arrival
+    is a readiness edge like any other waitqueue source."""
+
+    def _sfd(self, kern, proc, *sigs, flags=SFD_NONBLOCK):
+        mask = 0
+        for sig in sigs:
+            mask |= sig_bit(sig)
+        proc.blocked_mask |= mask  # standard usage: block what the fd owns
+        return kern.call(proc, "signalfd4", -1, mask, flags)
+
+    def test_drains_siginfo_with_sender_identity(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        sender = kern.create_process(["sender"])
+        kern.call(sender, "kill", proc.pid, SIGUSR1)
+        data = kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE)
+        assert len(data) == SIGNALFD_SIGINFO_SIZE
+        signo, code, pid, uid = decode_siginfo(data)
+        assert (signo, pid, uid) == (SIGUSR1, sender.pid, sender.euid)
+
+    def test_read_empty_is_eagain(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE)
+        assert exc.value.errno == EAGAIN
+
+    def test_short_buffer_is_einval(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", sfd, 64)
+        assert exc.value.errno == EINVAL
+
+    def test_mask_filters_out_of_mask_signals(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        proc.blocked_mask |= sig_bit(SIGUSR2)
+        proc.generate_signal(SIGUSR2)
+        # USR2 pends but is outside the fd's mask
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE)
+        assert exc.value.errno == EAGAIN
+        assert proc.pending.bits & sig_bit(SIGUSR2)
+
+    def test_batch_read_drains_multiple_records(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1, SIGTERM)
+        proc.generate_signal(SIGUSR1)
+        proc.generate_signal(SIGTERM)
+        data = kern.call(proc, "read", sfd, 4 * SIGNALFD_SIGINFO_SIZE)
+        assert len(data) == 2 * SIGNALFD_SIGINFO_SIZE
+        signos = [decode_siginfo(data[i:i + SIGNALFD_SIGINFO_SIZE])[0]
+                  for i in (0, SIGNALFD_SIGINFO_SIZE)]
+        assert signos == [SIGUSR1, SIGTERM]
+
+    def test_sigkill_silently_dropped_from_mask(self, kern, proc):
+        sfd = kern.call(proc, "signalfd4", -1,
+                        sig_bit(SIGKILL) | sig_bit(SIGUSR1), SFD_NONBLOCK)
+        assert proc.fdtable.get(sfd).obj.mask == sig_bit(SIGUSR1)
+
+    def test_update_mask_in_place(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        proc.blocked_mask |= sig_bit(SIGUSR2)
+        assert kern.call(proc, "signalfd4", sfd, sig_bit(SIGUSR2)) == sfd
+        proc.generate_signal(SIGUSR2)
+        signo = decode_siginfo(
+            kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE))[0]
+        assert signo == SIGUSR2
+        # updating a non-signalfd fd is EINVAL
+        efd = kern.call(proc, "eventfd2", 0, 0)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "signalfd4", efd, sig_bit(SIGUSR1))
+        assert exc.value.errno == EINVAL
+
+    def test_epoll_readiness_on_signal_arrival(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, sfd, EPOLLIN)
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=5_000_000) == []
+
+        def sender():
+            time.sleep(0.05)
+            proc.generate_signal(SIGUSR1, sender_pid=42)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        t0 = time.monotonic()
+        ready = kern.call(proc, "epoll_pwait", ep, 8,
+                          timeout_ns=5_000_000_000)
+        elapsed = time.monotonic() - t0
+        t.join()
+        assert ready == [(sfd, EPOLLIN)]
+        assert elapsed < 1.0  # woke on the signal edge, not the timeout
+        assert decode_siginfo(
+            kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE))[:3] == \
+            (SIGUSR1, 0, 42)
+        # drained: level goes low again
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=5_000_000) == []
+
+    def test_default_ignored_signal_still_reaches_signalfd(self, kern, proc):
+        """SIGCHLD's default disposition is ignore, but a signalfd whose
+        mask holds it is a consumer: generation must queue it."""
+        from repro.kernel import SIGCHLD
+
+        sfd = self._sfd(kern, proc, SIGCHLD)
+        proc.generate_signal(SIGCHLD, sender_pid=7)
+        signo, _, pid, _ = decode_siginfo(
+            kern.call(proc, "read", sfd, SIGNALFD_SIGINFO_SIZE))
+        assert (signo, pid) == (SIGCHLD, 7)
+
+    def test_close_removes_consumer(self, kern, proc):
+        sfd = self._sfd(kern, proc, SIGUSR1)
+        assert len(proc.signalfds) == 1
+        kern.call(proc, "close", sfd)
+        assert proc.signalfds == []
 
 
 class TestPpollSemantics:

@@ -1,0 +1,567 @@
+"""inotify subsystem tests: watch lifecycle, event generation from every
+mutating VFS path, rename cookie pairing, bounded-queue overflow, wire
+format, LT/ET delivery through epoll, uring POLL_ADD/READ on an inotify
+fd, and the acceptance scenario — an inotify fd and a signalfd in one
+epoll instance delivering ordered records through both ``epoll_pwait``
+and ``io_uring_enter`` under scheduler contention."""
+
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.kernel import (
+    EPOLL_CTL_ADD, EPOLLET, EPOLLIN, IN_ALL_EVENTS, IN_ATTRIB,
+    IN_CLOSE_NOWRITE, IN_CLOSE_WRITE, IN_CREATE, IN_DELETE, IN_DELETE_SELF,
+    IN_IGNORED, IN_ISDIR, IN_MASK_ADD, IN_MODIFY, IN_MOVE_SELF,
+    IN_MOVED_FROM, IN_MOVED_TO, IN_NONBLOCK, IN_ONESHOT, IN_ONLYDIR,
+    IN_Q_OVERFLOW, IORING_OP_POLL_ADD, IORING_OP_READ, Inotify, Kernel,
+    KernelError, O_APPEND, O_CREAT, O_RDONLY, O_WRONLY, SIGUSR1, SQE,
+    decode_events, decode_siginfo, sig_bit,
+)
+from repro.kernel.errno import EAGAIN, EBADF, EINVAL, ENOENT, ENOTDIR
+
+
+@pytest.fixture
+def kern():
+    return Kernel()
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process(["watch-test"])
+
+
+def _setup(kern, proc, mask=IN_ALL_EVENTS, path="/tmp/d"):
+    kern.call(proc, "mkdir", path, 0o755)
+    ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+    wd = kern.call(proc, "inotify_add_watch", ifd, path, mask)
+    return ifd, wd
+
+
+def _drain(kern, proc, ifd, nbytes=4096):
+    return decode_events(kern.call(proc, "read", ifd, nbytes))
+
+
+class TestWatchLifecycle:
+    def test_init1_rejects_bad_flags(self, kern, proc):
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_init1", 0x1234)
+        assert exc.value.errno == EINVAL
+
+    def test_add_watch_needs_inotify_fd(self, kern, proc):
+        fd = kern.call(proc, "eventfd2", 0, 0)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_add_watch", fd, "/tmp", IN_CREATE)
+        assert exc.value.errno == EINVAL
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_add_watch", 404, "/tmp", IN_CREATE)
+        assert exc.value.errno == EBADF
+
+    def test_add_watch_missing_path(self, kern, proc):
+        ifd = kern.call(proc, "inotify_init1", 0)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_add_watch", ifd, "/no/such", IN_CREATE)
+        assert exc.value.errno == ENOENT
+
+    def test_empty_mask_rejected(self, kern, proc):
+        ifd = kern.call(proc, "inotify_init1", 0)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_add_watch", ifd, "/tmp", 0)
+        assert exc.value.errno == EINVAL
+
+    def test_onlydir_on_file(self, kern, proc):
+        kern.vfs.write_file("/tmp/f", b"x")
+        ifd = kern.call(proc, "inotify_init1", 0)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_add_watch", ifd, "/tmp/f",
+                      IN_MODIFY | IN_ONLYDIR)
+        assert exc.value.errno == ENOTDIR
+
+    def test_same_inode_same_wd_mask_update(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        # plain re-add replaces the mask; IN_MASK_ADD extends it
+        assert kern.call(proc, "inotify_add_watch", ifd, "/tmp/d",
+                         IN_DELETE) == wd
+        kern.vfs.write_file("/tmp/d/a", b"")
+        kern.call(proc, "unlink", "/tmp/d/a")
+        evs = _drain(kern, proc, ifd)
+        assert [(m & IN_ALL_EVENTS, n) for _, m, _, n in evs] == \
+            [(IN_DELETE, "a")]  # creates masked out after the replace
+        assert kern.call(proc, "inotify_add_watch", ifd, "/tmp/d",
+                         IN_CREATE | IN_MASK_ADD) == wd
+        kern.vfs.write_file("/tmp/d/b", b"")
+        kern.call(proc, "unlink", "/tmp/d/b")
+        evs = _drain(kern, proc, ifd)
+        assert [(m & IN_ALL_EVENTS, n) for _, m, _, n in evs] == \
+            [(IN_CREATE, "b"), (IN_DELETE, "b")]
+
+    def test_rm_watch_queues_ignored_and_stops_events(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        kern.call(proc, "inotify_rm_watch", ifd, wd)
+        kern.vfs.write_file("/tmp/d/after", b"")
+        evs = _drain(kern, proc, ifd)
+        assert evs == [(wd, IN_IGNORED, 0, "")]
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "inotify_rm_watch", ifd, wd)
+        assert exc.value.errno == EINVAL
+
+    def test_oneshot_fires_once_then_dies(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE | IN_ONESHOT)
+        kern.vfs.write_file("/tmp/d/one", b"")
+        kern.vfs.write_file("/tmp/d/two", b"")
+        evs = _drain(kern, proc, ifd)
+        assert [(w, m & (IN_ALL_EVENTS | IN_IGNORED), n)
+                for w, m, _, n in evs] == \
+            [(wd, IN_CREATE, "one"), (wd, IN_IGNORED, "")]
+
+    def test_close_detaches_watches(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        node = kern.vfs.lookup("/tmp/d")
+        assert len(node.watches) == 1
+        kern.call(proc, "close", ifd)
+        assert node.watches == []
+
+
+class TestEventGeneration:
+    def test_namespace_events_carry_child_names(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        fd = kern.call(proc, "open", "/tmp/d/f", O_CREAT | O_WRONLY)
+        kern.call(proc, "close", fd)
+        kern.call(proc, "mkdir", "/tmp/d/sub", 0o755)
+        kern.call(proc, "symlink", "target", "/tmp/d/lnk")
+        kern.call(proc, "link", "/tmp/d/f", "/tmp/d/hard")
+        kern.call(proc, "rmdir", "/tmp/d/sub")
+        evs = _drain(kern, proc, ifd)
+        assert [(m, n) for _, m, _, n in evs] == [
+            (IN_CREATE, "f"),
+            (IN_CREATE | IN_ISDIR, "sub"),
+            (IN_CREATE, "lnk"),
+            (IN_CREATE, "hard"),
+            (IN_DELETE | IN_ISDIR, "sub"),
+        ]
+
+    def test_file_watch_modify_truncate_close_attrib(self, kern, proc):
+        kern.vfs.write_file("/tmp/log", b"")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        wd = kern.call(proc, "inotify_add_watch", ifd, "/tmp/log",
+                       IN_ALL_EVENTS)
+        fd = kern.call(proc, "open", "/tmp/log", O_WRONLY | O_APPEND)
+        kern.call(proc, "write", fd, b"entry\n")
+        kern.call(proc, "ftruncate", fd, 2)
+        kern.call(proc, "close", fd)
+        rfd = kern.call(proc, "open", "/tmp/log", O_RDONLY)
+        kern.call(proc, "close", rfd)
+        kern.call(proc, "chmod", "/tmp/log", 0o600)
+        evs = _drain(kern, proc, ifd)
+        # the write's and the truncate's identical adjacent IN_MODIFY
+        # records coalesce into one (inotify tail merge)
+        assert [m for _, m, _, _ in evs] == [
+            IN_MODIFY, IN_CLOSE_WRITE, IN_CLOSE_NOWRITE, IN_ATTRIB,
+        ]
+        assert all(w == wd for w, _, _, _ in evs)
+
+    def test_delete_self_tears_down_the_watch(self, kern, proc):
+        kern.vfs.write_file("/tmp/victim", b"x")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        wd = kern.call(proc, "inotify_add_watch", ifd, "/tmp/victim",
+                       IN_ALL_EVENTS)
+        kern.call(proc, "unlink", "/tmp/victim")
+        evs = _drain(kern, proc, ifd)
+        assert [(w, m) for w, m, _, _ in evs] == \
+            [(wd, IN_DELETE_SELF), (wd, IN_IGNORED)]
+        with pytest.raises(KernelError):
+            kern.call(proc, "inotify_rm_watch", ifd, wd)
+
+    def test_hardlink_survivor_keeps_watch(self, kern, proc):
+        kern.vfs.write_file("/tmp/orig", b"x")
+        kern.call(proc, "link", "/tmp/orig", "/tmp/alias")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        kern.call(proc, "inotify_add_watch", ifd, "/tmp/orig", IN_ALL_EVENTS)
+        kern.call(proc, "unlink", "/tmp/orig")  # nlink 2 -> 1: no self-del
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", ifd, 4096)
+        assert exc.value.errno == EAGAIN
+        kern.vfs.lookup("/tmp/alias").truncate(0)
+        assert [m for _, m, _, _ in _drain(kern, proc, ifd)] == [IN_MODIFY]
+
+    def test_watch_follows_the_inode_across_rename(self, kern, proc):
+        kern.vfs.write_file("/tmp/a", b"x")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        wd = kern.call(proc, "inotify_add_watch", ifd, "/tmp/a",
+                       IN_MODIFY | IN_MOVE_SELF)
+        kern.call(proc, "rename", "/tmp/a", "/tmp/b")
+        fd = kern.call(proc, "open", "/tmp/b", O_WRONLY)
+        kern.call(proc, "write", fd, b"y")
+        evs = _drain(kern, proc, ifd)
+        assert [(w, m) for w, m, _, _ in evs] == \
+            [(wd, IN_MOVE_SELF), (wd, IN_MODIFY)]
+
+
+class TestRenameCookies:
+    def test_moved_from_to_share_a_nonzero_cookie(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        kern.vfs.write_file("/tmp/d/old", b"x")
+        kern.call(proc, "rename", "/tmp/d/old", "/tmp/d/new")
+        evs = _drain(kern, proc, ifd)
+        masks = [(m, n) for _, m, _, n in evs]
+        assert masks == [(IN_CREATE, "old"), (IN_MOVED_FROM, "old"),
+                         (IN_MOVED_TO, "new")]
+        cookies = [c for _, m, c, _ in evs if m & (IN_MOVED_FROM |
+                                                   IN_MOVED_TO)]
+        assert cookies[0] == cookies[1] != 0
+
+    def test_cross_directory_rename_pairs_two_watches(self, kern, proc):
+        ifd, wd_src = _setup(kern, proc, path="/tmp/src")
+        kern.call(proc, "mkdir", "/tmp/dst", 0o755)
+        wd_dst = kern.call(proc, "inotify_add_watch", ifd, "/tmp/dst",
+                           IN_ALL_EVENTS)
+        kern.vfs.write_file("/tmp/src/f", b"x")
+        kern.call(proc, "rename", "/tmp/src/f", "/tmp/dst/g")
+        evs = _drain(kern, proc, ifd)
+        moved = [(w, m, c, n) for w, m, c, n in evs
+                 if m & (IN_MOVED_FROM | IN_MOVED_TO)]
+        assert [(w, m, n) for w, m, c, n in moved] == [
+            (wd_src, IN_MOVED_FROM, "f"), (wd_dst, IN_MOVED_TO, "g")]
+        assert moved[0][2] == moved[1][2] != 0
+
+    def test_rename_over_existing_tears_down_target_watch(self, kern, proc):
+        """rename(A, B) with B existing destroys B's inode: its watchers
+        get IN_DELETE_SELF + IN_IGNORED, exactly like unlink would."""
+        kern.vfs.write_file("/tmp/a", b"new")
+        kern.vfs.write_file("/tmp/b", b"old")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        wd = kern.call(proc, "inotify_add_watch", ifd, "/tmp/b",
+                       IN_ALL_EVENTS)
+        kern.call(proc, "rename", "/tmp/a", "/tmp/b")
+        evs = _drain(kern, proc, ifd)
+        assert [(w, m) for w, m, _, _ in evs] == \
+            [(wd, IN_DELETE_SELF), (wd, IN_IGNORED)]
+        with pytest.raises(KernelError):
+            kern.call(proc, "inotify_rm_watch", ifd, wd)
+
+    def test_consecutive_renames_use_distinct_cookies(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        kern.vfs.write_file("/tmp/d/a", b"")
+        kern.call(proc, "rename", "/tmp/d/a", "/tmp/d/b")
+        kern.call(proc, "rename", "/tmp/d/b", "/tmp/d/c")
+        evs = _drain(kern, proc, ifd)
+        cookies = [c for _, m, c, _ in evs if m & (IN_MOVED_FROM |
+                                                   IN_MOVED_TO)]
+        assert cookies[0] == cookies[1] != 0
+        assert cookies[2] == cookies[3] != 0
+        assert cookies[0] != cookies[2]
+
+
+class TestQueueBoundAndCoalescing:
+    def test_overflow_caps_queue_at_bound_plus_one(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        ino = proc.fdtable.get(ifd).obj
+        ino.max_queued = 4
+        for i in range(10):
+            kern.vfs.write_file(f"/tmp/d/f{i}", b"")
+        assert len(ino.queue) == 5  # 4 events + 1 overflow marker
+        assert ino.dropped == 6
+        evs = _drain(kern, proc, ifd)
+        assert [n for _, _, _, n in evs[:4]] == ["f0", "f1", "f2", "f3"]
+        assert evs[4][0] == -1
+        assert evs[4][1] & IN_Q_OVERFLOW
+        # the queue drained: new events flow again
+        kern.vfs.write_file("/tmp/d/fresh", b"")
+        assert [n for _, _, _, n in _drain(kern, proc, ifd)] == ["fresh"]
+
+    def test_only_one_overflow_marker_ever_queued(self):
+        ino = Inotify(max_queued=2)
+
+        class _Node:
+            is_dir = False
+            nlink = 1
+            watches = None
+        node = _Node()
+        wd = ino.add_watch(node, IN_MODIFY)
+        for i in range(8):
+            # alternate names to defeat tail coalescing
+            ino.publish(ino.watches[wd], IN_MODIFY, name=f"n{i % 2}")
+        assert len(ino.queue) == 3
+        assert sum(1 for e in ino.queue if e.mask & IN_Q_OVERFLOW) == 1
+
+    def test_marker_mid_queue_is_not_duplicated(self):
+        """A partial drain can leave the overflow marker at the head;
+        refilling to the bound must not append a second marker."""
+        ino = Inotify(max_queued=3)
+
+        class _Node:
+            is_dir = False
+            nlink = 1
+            watches = None
+        wd = ino.add_watch(_Node(), IN_MODIFY)
+        watch = ino.watches[wd]
+        for i in range(4):  # fill past the bound: 3 events + marker
+            ino.publish(watch, IN_MODIFY, name=f"a{i}")
+        # drain exactly the 3 content records (16 hdr + 16 padded name
+        # each); the 16-byte marker stays at the head
+        ino.read_step(3 * 32)
+        assert [e.mask & IN_Q_OVERFLOW for e in ino.queue] == \
+            [IN_Q_OVERFLOW]
+        for i in range(5):  # refill past the bound again
+            ino.publish(watch, IN_MODIFY, name=f"b{i}")
+        assert sum(1 for e in ino.queue if e.mask & IN_Q_OVERFLOW) == 1
+        assert len(ino.queue) <= 3 + 1
+
+    def test_identical_tail_events_coalesce(self, kern, proc):
+        kern.vfs.write_file("/tmp/hot", b"")
+        ifd = kern.call(proc, "inotify_init1", IN_NONBLOCK)
+        kern.call(proc, "inotify_add_watch", ifd, "/tmp/hot", IN_MODIFY)
+        node = kern.vfs.lookup("/tmp/hot")
+        for _ in range(50):
+            node.write_at(0, b"burst")
+        evs = _drain(kern, proc, ifd)
+        assert len(evs) == 1  # one IN_MODIFY, like inotify's tail merge
+        assert evs[0][1] == IN_MODIFY
+
+
+class TestReadSemantics:
+    def test_read_empty_is_eagain(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", ifd, 4096)
+        assert exc.value.errno == EAGAIN
+
+    def test_short_buffer_is_einval(self, kern, proc):
+        ifd, wd = _setup(kern, proc)
+        kern.vfs.write_file("/tmp/d/x", b"")
+        with pytest.raises(KernelError) as exc:
+            kern.call(proc, "read", ifd, 8)
+        assert exc.value.errno == EINVAL
+
+    def test_partial_drain_keeps_remaining_records(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        kern.vfs.write_file("/tmp/d/a", b"")
+        kern.vfs.write_file("/tmp/d/b", b"")
+        # room for exactly one record (16 hdr + 16 padded name)
+        first = decode_events(kern.call(proc, "read", ifd, 32))
+        assert [n for _, _, _, n in first] == ["a"]
+        second = decode_events(kern.call(proc, "read", ifd, 4096))
+        assert [n for _, _, _, n in second] == ["b"]
+
+    def test_wire_format_name_padding(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        kern.vfs.write_file("/tmp/d/abcdefghijklmnop", b"")  # 16-char name
+        data = kern.call(proc, "read", ifd, 4096)
+        w, mask, cookie, nlen = struct.unpack_from("<iIII", data)
+        assert (w, mask) == (wd, IN_CREATE)
+        assert nlen == 32  # 16 chars + NUL, padded to a 16-byte multiple
+        assert len(data) == 16 + 32
+        assert data[16:].rstrip(b"\x00") == b"abcdefghijklmnop"
+
+    def test_blocking_read_wakes_on_event(self, kern, proc):
+        kern.call(proc, "mkdir", "/tmp/d", 0o755)
+        ifd = kern.call(proc, "inotify_init1", 0)  # blocking
+        kern.call(proc, "inotify_add_watch", ifd, "/tmp/d", IN_CREATE)
+
+        def creator():
+            time.sleep(0.05)
+            kern.vfs.write_file("/tmp/d/late", b"")
+
+        t = threading.Thread(target=creator)
+        t.start()
+        t0 = time.monotonic()
+        evs = decode_events(kern.call(proc, "read", ifd, 4096))
+        elapsed = time.monotonic() - t0
+        t.join()
+        assert [n for _, _, _, n in evs] == ["late"]
+        assert elapsed < 1.0  # woke on the event, not a timeout slice
+
+
+class TestEpollOverInotify:
+    def test_level_triggered_until_drained(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, ifd, EPOLLIN)
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=5_000_000) == []
+        kern.vfs.write_file("/tmp/d/x", b"")
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=1_000_000_000) == [(ifd, EPOLLIN)]
+        # LT: unread queue keeps reporting
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=1_000_000_000) == [(ifd, EPOLLIN)]
+        _drain(kern, proc, ifd)
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=5_000_000) == []
+
+    def test_edge_triggered_once_per_enqueue(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        ep = kern.call(proc, "epoll_create1", 0)
+        kern.call(proc, "epoll_ctl", ep, EPOLL_CTL_ADD, ifd,
+                  EPOLLIN | EPOLLET)
+        kern.vfs.write_file("/tmp/d/e1", b"")
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=1_000_000_000) == [(ifd, EPOLLIN)]
+        # queued but no new edge: silent
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=5_000_000) == []
+        kern.vfs.write_file("/tmp/d/e2", b"")
+        assert kern.call(proc, "epoll_pwait", ep, 8,
+                         timeout_ns=1_000_000_000) == [(ifd, EPOLLIN)]
+
+
+class TestUringOverInotify:
+    def _ring(self, kern, proc):
+        return kern.call(proc, "io_uring_setup", 16)
+
+    def test_poll_add_parks_until_event(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE)
+        rfd = self._ring(kern, proc)
+        submitted, cqes = kern.call(
+            proc, "io_uring_enter", rfd,
+            [SQE(IORING_OP_POLL_ADD, fd=ifd, off=EPOLLIN, user_data=7)])
+        assert submitted == 1 and cqes == []  # parked: nothing queued yet
+        kern.vfs.write_file("/tmp/d/hit", b"")
+        _, cqes = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                            2_000_000_000)
+        assert len(cqes) == 1
+        assert cqes[0].user_data == 7
+        assert cqes[0].res & EPOLLIN
+
+    def test_ring_read_returns_wire_records(self, kern, proc):
+        ifd, wd = _setup(kern, proc, IN_CREATE | IN_DELETE)
+        rfd = self._ring(kern, proc)
+        # park a READ first, then generate the events it completes with
+        kern.call(proc, "io_uring_enter", rfd,
+                  [SQE(IORING_OP_READ, fd=ifd, length=256, user_data=9)])
+        kern.vfs.write_file("/tmp/d/r", b"")
+        kern.call(proc, "unlink", "/tmp/d/r")
+        _, cqes = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                            2_000_000_000)
+        assert len(cqes) == 1 and cqes[0].user_data == 9
+        evs = decode_events(cqes[0].data)
+        # the parked READ completed on the first enqueue edge; it drains
+        # whatever is queued at retry time — at least the IN_CREATE
+        assert evs[0][1:] == (IN_CREATE, 0, "r")
+        assert cqes[0].res == len(cqes[0].data) > 0
+
+
+# the acceptance scenario runs twice: idle, and preempted every 50 us on
+# a single CPU slot by two spinner guests
+@pytest.fixture(params=[
+    pytest.param(False, id="idle"),
+    pytest.param(True, id="contended"),
+])
+def accept_kern(request):
+    if not request.param:
+        return Kernel()
+    from repro.kernel import BackgroundSpinners
+
+    k = Kernel(sched="cpus=1,slice_us=50")
+    spinners = BackgroundSpinners(k, n=2).start()
+    request.addfinalizer(spinners.stop)
+    return k
+
+
+class TestInotifyPlusSignalfdAcceptance:
+    """One epoll instance over an inotify fd and a signalfd delivers
+    correctly-ordered Linux-wire-format records through both epoll_pwait
+    and io_uring_enter, idle and under scheduler contention.  Record
+    contents are asserted exactly, so the CI 3x determinism rerun proves
+    bit-reproducibility."""
+
+    def _setup(self, kern):
+        watcher = kern.create_process(["watcher"])
+        kern.call(watcher, "mkdir", "/tmp/acc", 0o755)
+        ifd = kern.call(watcher, "inotify_init1", IN_NONBLOCK)
+        wd = kern.call(watcher, "inotify_add_watch", ifd, "/tmp/acc",
+                       IN_CREATE | IN_DELETE | IN_MOVED_FROM | IN_MOVED_TO)
+        watcher.blocked_mask = sig_bit(SIGUSR1)
+        sfd = kern.call(watcher, "signalfd4", -1, sig_bit(SIGUSR1))
+        ep = kern.call(watcher, "epoll_create1", 0)
+        kern.call(watcher, "epoll_ctl", ep, EPOLL_CTL_ADD, ifd, EPOLLIN)
+        kern.call(watcher, "epoll_ctl", ep, EPOLL_CTL_ADD, sfd, EPOLLIN)
+        return watcher, ifd, wd, sfd, ep
+
+    def _mutate(self, kern, watcher):
+        """Filesystem churn then a SIGUSR1, from a second process."""
+        mut = kern.create_process(["mutator"])
+        kern.vfs.write_file("/tmp/acc/f", b"x")
+        kern.call(mut, "rename", "/tmp/acc/f", "/tmp/acc/g")
+        kern.call(mut, "unlink", "/tmp/acc/g")
+        kern.call(mut, "kill", watcher.pid, SIGUSR1)
+        return mut
+
+    def _check_records(self, wd, inotify_bytes, siginfo_bytes, mut_pid):
+        evs = decode_events(inotify_bytes)
+        masks = [(w, m, n) for w, m, _, n in evs]
+        assert masks == [
+            (wd, IN_CREATE, "f"),
+            (wd, IN_MOVED_FROM, "f"),
+            (wd, IN_MOVED_TO, "g"),
+            (wd, IN_DELETE, "g"),
+        ]
+        cookies = [c for _, m, c, _ in evs
+                   if m & (IN_MOVED_FROM | IN_MOVED_TO)]
+        assert cookies[0] == cookies[1] != 0
+        signo, code, pid, uid = decode_siginfo(siginfo_bytes)
+        assert (signo, code, pid) == (SIGUSR1, 0, mut_pid)
+
+    def test_through_epoll_pwait(self, accept_kern):
+        kern = accept_kern
+        watcher, ifd, wd, sfd, ep = self._setup(kern)
+        mut = self._mutate(kern, watcher)
+        got_i = got_s = None
+        deadline = time.monotonic() + 5
+        while (got_i is None or got_s is None) and \
+                time.monotonic() < deadline:
+            for data, revents in kern.call(watcher, "epoll_pwait", ep, 8,
+                                           timeout_ns=2_000_000_000):
+                assert revents & EPOLLIN
+                if data == ifd and got_i is None:
+                    got_i = kern.call(watcher, "read", ifd, 4096)
+                elif data == sfd and got_s is None:
+                    got_s = kern.call(watcher, "read", sfd, 128)
+        self._check_records(wd, got_i, got_s, mut.pid)
+
+    def test_through_io_uring_enter(self, accept_kern):
+        kern = accept_kern
+        watcher, ifd, wd, sfd, ep = self._setup(kern)
+        rfd = kern.call(watcher, "io_uring_setup", 8)
+        # park READs on both readiness sources, then run the mutator;
+        # one enter reaps both wire-format payloads
+        kern.call(watcher, "io_uring_enter", rfd, [
+            SQE(IORING_OP_READ, fd=ifd, length=4096, user_data=1),
+            SQE(IORING_OP_READ, fd=sfd, length=128, user_data=2),
+        ])
+        mut = self._mutate(kern, watcher)
+        got = {}
+        deadline = time.monotonic() + 5
+        while len(got) < 2 and time.monotonic() < deadline:
+            _, cqes = kern.call(watcher, "io_uring_enter", rfd, [], 1,
+                                2_000_000_000)
+            for cqe in cqes:
+                assert cqe.res > 0
+                got[cqe.user_data] = cqe.data
+        self._check_records(wd, got[1], got[2], mut.pid)
+
+
+class TestWatchdGuest:
+    """The watchd app end-to-end through WALI: inotify + signalfd + epoll
+    (and the ring mode) inside the sandbox."""
+
+    @pytest.mark.parametrize("mode", [[], ["-u"]], ids=["epoll", "ring"])
+    def test_watchd_counts_everything(self, mode):
+        from repro.apps import build
+        from repro.wali import WaliRuntime
+
+        rt = WaliRuntime()
+        wp = rt.load(build("watchd"), argv=["watchd", "5"] + mode)
+        assert wp.run() == 0
+        assert (b"watchd ok lines=5 creates=5 moves=5 dels=5 sig=1"
+                in rt.kernel.console_output())
+
+    def test_watch_workload_builds(self):
+        from repro.virt.workloads import watch_workload
+
+        wl = watch_workload(scale=3)
+        assert wl.app == "watchd" and wl.argv == ["watchd", "3"]
+        assert watch_workload(scale=3, ring=True).argv == \
+            ["watchd", "3", "-u"]

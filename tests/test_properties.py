@@ -438,3 +438,71 @@ def test_scheduler_partition_and_vruntime_invariants(ncpus, ops):
     for p in procs:
         assert p.se.cpu_time_ns >= 0
         assert p.se.wait_ns >= 0
+
+
+# --------------------------------------------------------------------------
+# inotify queue-bound invariant
+# --------------------------------------------------------------------------
+
+_inotify_ops = st.lists(
+    st.one_of(
+        # publish an event: (name index, mask choice)
+        st.tuples(st.just("pub"), st.integers(0, 5), st.integers(0, 2)),
+        # drain some records: (buffer size in whole-record units)
+        st.tuples(st.just("read"), st.integers(1, 6), st.just(0)),
+    ),
+    min_size=1, max_size=120,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_inotify_ops, st.integers(1, 8))
+def test_inotify_queue_never_exceeds_bound_plus_overflow(ops, bound):
+    """After any publish/read interleaving on a bounded inotify queue:
+    the queue never holds more than ``max_queued`` content events plus a
+    single IN_Q_OVERFLOW marker, records drain in FIFO order, and every
+    drained record round-trips through the wire format."""
+    from repro.kernel import IN_MODIFY, IN_Q_OVERFLOW, Inotify
+    from repro.kernel.inotify import INOTIFY_EVENT_HDR, decode_events
+
+    ino = Inotify(max_queued=bound)
+
+    class _Node:
+        is_dir = False
+        nlink = 1
+        watches = None
+
+    wd = ino.add_watch(_Node(), IN_MODIFY)
+    watch = ino.watches[wd]
+    published = drained = 0
+    for op, a, b in ops:
+        if op == "pub":
+            ino.publish(watch, IN_MODIFY, name=f"n{a}" * (b + 1))
+            published += 1
+        else:
+            try:
+                data = ino.read_step(a * 48)  # fits >=1 padded record
+            except KernelError:
+                data = b""
+            evs = decode_events(data)
+            for w, mask, cookie, name in evs:
+                assert w in (wd, -1)
+                if w == -1:
+                    assert mask & IN_Q_OVERFLOW
+                else:
+                    drained += 1
+        # the core bound: content events <= max_queued, plus at most one
+        # overflow marker, at every step
+        content = [e for e in ino.queue if not e.mask & IN_Q_OVERFLOW]
+        markers = [e for e in ino.queue if e.mask & IN_Q_OVERFLOW]
+        assert len(content) <= bound
+        assert len(markers) <= 1
+        assert len(ino.queue) <= bound + 1
+        # wire size is always a whole number of aligned records
+        for e in ino.queue:
+            assert e.size % INOTIFY_EVENT_HDR == 0
+    # conservation: a content record only exists because of a publish —
+    # drained + still-queued + dropped never exceeds the publish count
+    # (tail coalescing may make it strictly smaller)
+    content_left = sum(1 for e in ino.queue if not e.mask & IN_Q_OVERFLOW)
+    assert drained + content_left + ino.dropped <= published
