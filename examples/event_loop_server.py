@@ -26,9 +26,12 @@ def main():
     ap.add_argument("--net", default="loopback", metavar="BACKEND[:OPTS]",
                     help="kernel network backend, e.g. loopback or "
                          "wan:latency_ms=5,jitter_ms=1 (default: loopback)")
+    ap.add_argument("--pcap", metavar="PATH",
+                    help="capture every wire payload to a pcap file")
     args = ap.parse_args()
 
     rt = WaliRuntime(kernel=Kernel(net_backend=args.net))
+    tap = rt.kernel.net.attach_tap() if args.pcap else None
     server = rt.load(build_app("mini_memcached"),
                      argv=["memcached", "11211", "-e"])
     server.start_in_thread()
@@ -81,6 +84,12 @@ def main():
     print(f"nonblocking accept4:      {counts.get('accept4', 0)}")
     print("\none guest thread multiplexed every connection through the")
     print("kernel's readiness waitqueues — no LWP per client, no rescan.")
+
+    if tap is not None:
+        with open(args.pcap, "wb") as f:
+            f.write(tap.to_pcap())
+        print(f"\npcap: {tap.count()} payloads ({tap.nbytes()} bytes) "
+              f"-> {args.pcap}")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ def main():
     ap.add_argument("--net", default="loopback", metavar="BACKEND[:OPTS]",
                     help="kernel network backend, e.g. loopback or "
                          "wan:latency_ms=5,loss=0.01 (default: loopback)")
+    ap.add_argument("--pcap", metavar="PATH",
+                    help="capture every wire payload to a pcap file")
     args = ap.parse_args()
     # allow-list policy: exactly what a KV daemon needs, nothing else
     allowed = {
@@ -36,6 +38,7 @@ def main():
     policy = SecurityPolicy(allow=allowed)
 
     rt = WaliRuntime(kernel=Kernel(net_backend=args.net), policy=policy)
+    tap = rt.kernel.net.attach_tap() if args.pcap else None
     server = rt.load(build_app("mini_memcached"),
                      argv=["memcached", "11211"])
     server.start_in_thread()
@@ -56,6 +59,12 @@ def main():
     print(f"policy violations observed: {policy.denied_calls or 'none'}")
     print("\nthe daemon ran with Wasm CFI + memory sandboxing + an")
     print("allow-list syscall policy — layered *above* the thin interface.")
+
+    if tap is not None:
+        with open(args.pcap, "wb") as f:
+            f.write(tap.to_pcap())
+        print(f"\npcap: {tap.count()} payloads ({tap.nbytes()} bytes) "
+              f"-> {args.pcap}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from .coreutils import (
     WC_SOURCE,
 )
 from .event_echo import EVENT_ECHO_SOURCE
+from .ktop import KTOP_SOURCE
 from .libc import LIBC_SOURCE, with_libc
 from .lua import LUA_SOURCE
 from .memcached import MEMCACHED_CLIENT_SOURCE, MEMCACHED_SOURCE
@@ -41,6 +42,7 @@ APP_SOURCES: Dict[str, str] = {
     "mqtt_broker": MQTT_BROKER_SOURCE,
     "paho_bench": MQTT_BENCH_SOURCE,
     "watchd": WATCHD_SOURCE,
+    "ktop": KTOP_SOURCE,
 }
 
 # mapping to the paper's Table 1 rows (what each app stands in for)
@@ -60,6 +62,7 @@ PAPER_ANALOG = {
     "rle": "zlib",
     "event_echo": "memcached",
     "watchd": "inotify-tools",
+    "ktop": "procps/trace-cmd",
 }
 
 _cache: Dict[str, Module] = {}

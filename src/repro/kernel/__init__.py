@@ -50,6 +50,10 @@ from .sched import (
     SCHED_RUNNING, SchedEntity, Scheduler, create_scheduler, nice_to_weight,
 )
 from .sockets import NetStack
+from .trace import (
+    CounterRegistry, KernelTrace, TRACE_RECORD_SIZE, TRACEPOINTS,
+    TraceBuffer, TraceRecord, create_trace, decode_records, hist_bucket,
+)
 from .uring import (
     CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
     IORING_ENTER_TIMEOUT_MS,
@@ -98,6 +102,9 @@ __all__ = [
     "BackgroundSpinners", "SCHED_BLOCKED", "SCHED_DEAD", "SCHED_NEW",
     "SCHED_RUNNABLE", "SCHED_RUNNING", "SchedEntity", "Scheduler",
     "create_scheduler", "nice_to_weight",
+    "CounterRegistry", "KernelTrace", "TRACEPOINTS", "TRACE_RECORD_SIZE",
+    "TraceBuffer", "TraceRecord", "create_trace", "decode_records",
+    "hist_bucket",
     "VFS", "VMA",
     "WaitQueue", "WNOHANG", "WanBackend",
     "X86_64", "arch_specific", "common_syscalls", "create_backend",

@@ -118,6 +118,11 @@ class FSCalls:
             raise KernelError(ELOOP, path)
         if flags & O_DIRECTORY and not node.is_dir:
             raise KernelError(ENOTDIR, path)
+        if node.opener is not None:
+            # live-object endpoint (e.g. /proc/trace_pipe): the node
+            # hands out its own open-file description
+            return proc.fdtable.install(node.opener(proc, flags),
+                                        cloexec=bool(flags & O_CLOEXEC))
         accmode = flags & O_ACCMODE
         if node.is_dir:
             if accmode != O_RDONLY:

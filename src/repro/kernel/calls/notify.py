@@ -32,7 +32,7 @@ class NotifyCalls:
         file = OpenFile(
             OpenFile.KIND_INOTIFY,
             O_RDONLY | (O_NONBLOCK if flags & IN_NONBLOCK else 0),
-            obj=Inotify(), path="anon_inode:inotify")
+            obj=Inotify(trace=self.trace), path="anon_inode:inotify")
         return proc.fdtable.install(file,
                                     cloexec=bool(flags & IN_CLOEXEC))
 

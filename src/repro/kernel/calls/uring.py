@@ -22,7 +22,7 @@ class URingCalls:
 
     def sys_io_uring_setup(self, proc: Process, entries: int,
                            flags: int = 0) -> int:
-        ring = IoURing(entries)
+        ring = IoURing(entries, trace=self.trace)
         file = OpenFile(OpenFile.KIND_URING, O_RDWR, obj=ring,
                         path="anon_inode:[io_uring]")
         return proc.fdtable.install(file)

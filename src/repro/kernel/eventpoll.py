@@ -59,6 +59,22 @@ TFD_TIMER_ABSTIME = 1
 
 _WAKE_ALL = EPOLLIN | EPOLLOUT | EPOLLERR | EPOLLHUP
 
+# Process-global wake observers (the wq_wake tracepoint).  Empty unless a
+# KernelTrace with wq_wake unmasked is enabled, so the common-case cost
+# in WaitQueue.wake is a single falsy check.
+_wake_hooks: List[Callable[[int], None]] = []
+
+
+def add_wake_hook(hook: Callable[[int], None]) -> None:
+    _wake_hooks.append(hook)
+
+
+def remove_wake_hook(hook: Callable[[int], None]) -> None:
+    try:
+        _wake_hooks.remove(hook)
+    except ValueError:
+        pass
+
 
 class WaitQueue:
     """A set of wakeup callbacks invoked on readiness transitions.
@@ -83,6 +99,9 @@ class WaitQueue:
             pass
 
     def wake(self, events: int = _WAKE_ALL) -> None:
+        if _wake_hooks:
+            for hook in list(_wake_hooks):
+                hook(events)
         for cb in list(self._waiters):
             cb(events)
 
@@ -255,7 +274,7 @@ class EventPoll:
     N watched files only ever happens at registration time, never per wait.
     """
 
-    def __init__(self):
+    def __init__(self, counters=None):
         self.items: Dict[int, _Interest] = {}
         self._ready: Dict[int, int] = {}  # fd -> hinted events
         self.wq = WaitQueue()  # epoll fds are themselves pollable
@@ -265,6 +284,8 @@ class EventPoll:
         # wakes on a hot fd costs one notification per ready-list drain,
         # not one per transition (matters at 1000+ watched fds)
         self._dirty = False
+        # shared kernel CounterRegistry (epoll.wake_coalesced lives there)
+        self.counters = counters
 
     # ---- interest-list maintenance (epoll_ctl) ----
 
@@ -333,6 +354,8 @@ class EventPoll:
         never lost — at worst a recheck is already scheduled.
         """
         if self._dirty:
+            if self.counters is not None:
+                self.counters.inc("epoll.wake_coalesced")
             return
         self._dirty = True
         self.wq.wake(EPOLLIN)

@@ -70,6 +70,7 @@ class OpenFile:
     KIND_URING = "uring"
     KIND_INOTIFY = "inotify"
     KIND_SIGNALFD = "signalfd"
+    KIND_TRACE = "trace"
 
     def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
                  pipe: Optional[Pipe] = None, sock=None, path: str = "",
@@ -175,8 +176,10 @@ class OpenFile:
             if length < 8:
                 raise KernelError(EINVAL, "buffer smaller than 8 bytes")
             return self.obj.read_step().to_bytes(8, "little")
-        if self.kind in (self.KIND_INOTIFY, self.KIND_SIGNALFD):
-            # wire-format records (inotify_event / signalfd_siginfo)
+        if self.kind in (self.KIND_INOTIFY, self.KIND_SIGNALFD,
+                         self.KIND_TRACE):
+            # wire-format records (inotify_event / signalfd_siginfo /
+            # trace_pipe trace records)
             return self.obj.read_step(length)
         if self.kind == self.KIND_DIR:
             raise KernelError(EISDIR)

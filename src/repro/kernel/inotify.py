@@ -142,8 +142,11 @@ class Watch:
 class Inotify:
     """One inotify instance (the object behind the fd)."""
 
-    def __init__(self, max_queued: int = MAX_QUEUED_EVENTS):
+    def __init__(self, max_queued: int = MAX_QUEUED_EVENTS, trace=None):
         self.max_queued = max_queued
+        # kernel observability (kernel/trace.py); None outside a kernel
+        self.trace = trace
+        self.counters = trace.counters if trace is not None else None
         self.queue: Deque[InotifyEvent] = deque()
         self.watches: Dict[int, Watch] = {}
         self._by_inode: Dict[int, Watch] = {}    # id(inode) -> watch
@@ -224,6 +227,11 @@ class Inotify:
             return  # tail coalescing, like inotify_merge
         if len(self.queue) - self._markers >= self.max_queued:
             self.dropped += 1
+            if self.counters is not None:
+                self.counters.inc("inotify.dropped")
+            if self.trace is not None:
+                self.trace.emit("inotify_overflow", arg=ev.mask,
+                                info=ev.name[:16])
             if not self._markers:
                 # the bound holds: max_queued events + one overflow
                 # marker, wherever a partial drain left it in the queue
@@ -232,6 +240,11 @@ class Inotify:
                 self.wq.wake(EPOLLIN)
             return
         self.queue.append(ev)
+        if self.counters is not None:
+            self.counters.inc("inotify.enqueued")
+        if self.trace is not None:
+            self.trace.emit("inotify_enqueue", arg=ev.mask,
+                            info=ev.name[:16])
         self.wq.wake(EPOLLIN)
 
     # ------------------------------------------------------------------

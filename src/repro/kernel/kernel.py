@@ -28,6 +28,7 @@ from .calls import (
     EventCalls, FSCalls, MemCalls, MiscCalls, NetCalls, NotifyCalls,
     ProcCalls, SigCalls, URingCalls,
 )
+from . import procfs
 from .errno import EAGAIN, EINTR, ENOSYS, EPIPE, ETIMEDOUT, KernelError
 from .eventpoll import ProcNotifier
 from .fdtable import FDTable, OpenFile
@@ -55,9 +56,10 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
                  rng_seed: int = 0xC0FFEE,
                  storage_latency_ns_per_4k: int = 0,
-                 net_backend=None, sched=None):
+                 net_backend=None, sched=None, trace=None):
         from .net import create_backend
         from .sched import create_scheduler
+        from .trace import create_trace
 
         self.machine = machine
         self.ncpus = ncpus
@@ -67,10 +69,20 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         # paper's testbed has real disks; see DESIGN.md substitutions).
         self.storage_latency_ns_per_4k = storage_latency_ns_per_4k
         self.vfs = VFS()
+        # kernel observability (kernel/trace.py): tracepoints, the shared
+        # counter registry, and per-syscall latency histograms.  Specs:
+        # None = compiled in but disabled, "on" = enabled from boot,
+        # "off"/"none" = ablated entirely (no /proc/trace* files either).
+        # Created before the scheduler and the net backend so both can
+        # pick up their trace/counter sinks at construction time.
+        self.trace = create_trace(trace)
         # network device model: a backend spec string ("loopback",
         # "wan:latency_ms=5,loss=0.01", "host:optin=1"), a NetBackend
         # instance, or None for the default loopback stack (kernel/net/).
         self.net = create_backend(net_backend)
+        self.net.trace = self.trace
+        self.net.counters = \
+            self.trace.counters if self.trace is not None else None
         self.processes: Dict[int, Process] = {}
         self.table_lock = threading.RLock()
         self._next_pid = 1
@@ -119,22 +131,7 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         v.mknod_device("/dev/urandom", RandomDevice())
         v.mknod_device("/dev/tty", self.console)
         v.mknod_device("/dev/console", self.console)
-        v.add_proc_file("/proc/version",
-                        lambda p: b"Linux version 6.1.0-repro (wali)\n")
-        v.add_proc_file("/proc/meminfo",
-                        lambda p: b"MemTotal: 1048576 kB\n"
-                                  b"MemFree: 524288 kB\n")
-        v.add_proc_file(
-            "/proc/cpuinfo",
-            lambda p: b"".join(
-                f"processor\t: {i}\nmodel name\t: repro-cpu\n\n".encode()
-                for i in range(self.ncpus)))
-        v.add_proc_file(
-            "/proc/uptime",
-            lambda p: f"{(_time.monotonic_ns() - self.boot_monotonic_ns) / 1e9:.2f} 0.00\n".encode())
-        v.add_dynamic_symlink(
-            "/proc/self",
-            lambda p: f"/proc/{p.tgid}" if p is not None else "/proc/1")
+        procfs.register_base(self)
 
     def _make_init(self) -> Process:
         init = Process(self.alloc_pid(), 0)
@@ -185,75 +182,58 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
             raise KeyError(f"no process {pid}")
         return proc
 
-    # ---- procfs per-process entries ----
+    # ---- procfs per-process entries (kernel/procfs.py) ----
 
     def register_procfs(self, proc: Process) -> None:
-        base = f"/proc/{proc.pid}"
-        try:
-            self.vfs.mkdirs(base)
-        except KernelError:
-            return
-        self.vfs.add_proc_file(
-            f"{base}/comm", lambda p, pr=proc: (pr.comm + "\n").encode())
-        self.vfs.add_proc_file(
-            f"{base}/cmdline",
-            lambda p, pr=proc: b"\x00".join(a.encode() for a in pr.argv))
-        self.vfs.add_proc_file(
-            f"{base}/stat",
-            lambda p, pr=proc: (
-                f"{pr.pid} ({pr.comm}) "
-                f"{'R' if pr.state == STATE_RUNNING else 'Z'} "
-                f"{pr.ppid} {pr.pgid} {pr.sid}\n").encode())
-        self.vfs.add_proc_file(
-            f"{base}/status",
-            lambda p, pr=proc: (
-                f"Name:\t{pr.comm}\nPid:\t{pr.pid}\nTgid:\t{pr.tgid}\n"
-                f"PPid:\t{pr.ppid}\nUid:\t{pr.uid}\t{pr.euid}\n"
-                f"SigBlk:\t{pr.blocked_mask:016x}\n"
-                f"SigPnd:\t{pr.pending.bits:016x}\n").encode())
-        self.vfs.add_proc_file(
-            f"{base}/maps",
-            lambda p, pr=proc: (pr.mm.maps_text() if pr.mm else "").encode())
-        # the dangerous endpoint WALI must interpose on (§3.6 pitfall 1):
-        self.vfs.add_proc_file(
-            f"{base}/mem",
-            lambda p, pr=proc: b"<process memory image>")
+        procfs.register_process(self, proc)
 
     def unregister_procfs(self, proc: Process) -> None:
-        try:
-            self.vfs.unlink(f"/proc/{proc.pid}/comm")
-        except KernelError:
-            return
-        for name in ("cmdline", "stat", "status", "maps", "mem"):
-            try:
-                self.vfs.unlink(f"/proc/{proc.pid}/{name}")
-            except KernelError:
-                pass
-        try:
-            self.vfs.unlink(f"/proc/{proc.pid}", rmdir=True)
-        except KernelError:
-            pass
+        procfs.unregister_process(self, proc)
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
 
     def call(self, proc: Process, name: str, *args, **kwargs):
-        """Invoke syscall ``name`` with tracing and time accounting."""
+        """Invoke syscall ``name`` with tracing and time accounting.
+
+        Besides the pre-existing counters, every call feeds the
+        observability layer: ``syscall_enter``/``syscall_exit``
+        tracepoints (exit carries ``-errno`` in ``arg``, 0 on success)
+        and the always-on per-syscall log2 latency histograms.  The
+        elapsed wall time is split into *service* (time actually inside
+        the handler) and *runnable-wait* (time spent queued for a CPU
+        slot, read back from ``sched_wait_ns``) so tail-latency reports
+        can separate kernel cost from contention.
+        """
         method = getattr(self, f"sys_{name}", None)
         if method is None:
             raise KernelError(ENOSYS, name)
+        trace = self.trace
+        tgid = proc.tgid
         t0 = _time.perf_counter_ns()
+        w0 = self.sched_wait_ns.get(tgid, 0) if trace is not None else 0
         self.sched.syscall_enter(proc)
+        err = 0
+        if trace is not None:
+            trace.emit("syscall_enter", pid=proc.pid, info=name)
         try:
             return method(proc, *args, **kwargs)
+        except KernelError as exc:
+            err = exc.errno
+            raise
         finally:
             self.sched.syscall_exit(proc)
             dt = _time.perf_counter_ns() - t0
             self.syscall_counts[name] += 1
-            self.proc_syscall_counts[proc.tgid][name] += 1
-            self.kernel_time_ns[proc.tgid] += dt
+            self.proc_syscall_counts[tgid][name] += 1
+            self.kernel_time_ns[tgid] += dt
             proc.rusage.stime_ns += dt
+            if trace is not None:
+                wait = self.sched_wait_ns.get(tgid, 0) - w0
+                trace.record_syscall(name, dt - wait, wait)
+                trace.emit("syscall_exit", pid=proc.pid, arg=-err,
+                           info=name)
             if self.trace_log is not None:
                 self.trace_log.append((proc.pid, name))
             for hook in self.trace_hooks:

@@ -310,6 +310,10 @@ class NetBackend:
 
     def __init__(self):
         self._taps: List[PacketTap] = []
+        # kernel observability (kernel/trace.py): the owning Kernel
+        # assigns these after create_backend; None when standalone
+        self.trace = None
+        self.counters = None
 
     # -- packet capture --
 
@@ -327,6 +331,13 @@ class NetBackend:
 
     def _tap_record(self, kind: str, sender, receiver,
                     payload: bytes) -> None:
+        # every wire commitment flows through here (inline and delay-line
+        # paths), so this is also the net_deliver observability seam
+        if self.counters is not None:
+            self.counters.inc("net.deliver")
+            self.counters.inc("net.deliver_bytes", len(payload))
+        if self.trace is not None:
+            self.trace.emit("net_deliver", arg=len(payload), info=kind)
         if not self._taps:
             return
         src = getattr(sender, "addr", None) or ("", 0)

@@ -154,6 +154,9 @@ class Scheduler:
         self.ncpus = int(ncpus)
         self.slice_ns = int(slice_us * 1000)
         self.kernel = kernel
+        # kernel observability (kernel/trace.py); the kernel creates its
+        # KernelTrace before the scheduler, so this is safe at attach
+        self.trace = getattr(kernel, "trace", None)
         self._now: Callable[[], int] = clock or _time.monotonic_ns
         self._cv = threading.Condition()
         self._procs: Dict[int, object] = {}    # live attached tasks
@@ -428,6 +431,10 @@ class Scheduler:
             else self.min_vruntime
         se.vruntime_ns = max(se.vruntime_ns, floor)
         self._enqueue(proc, now, wakeup=was_blocked)
+        if was_blocked and self.trace is not None:
+            self.trace.counters.inc("sched.wakeup")
+            self.trace.emit("sched_wakeup", pid=proc.pid,
+                            arg=se.vruntime_ns)
 
     def _maybe_mark_preempt(self, woken_se) -> None:
         """Wakeup preemption: if the woken task out-prioritizes a running
@@ -483,6 +490,9 @@ class Scheduler:
             se.granted_at_ns = now
             se.last_charge_ns = now
             granted = True
+            if self.trace is not None:
+                self.trace.counters.inc("sched.switch")
+                self.trace.emit("sched_switch", pid=pid, arg=waited)
         self._update_min_vruntime()
         self._contended = self._nr_runnable > 0 or self._nr_waiting > 0
         if granted:
@@ -516,9 +526,13 @@ class Scheduler:
             return False
         if not se.need_resched and now - se.granted_at_ns < self.slice_ns:
             return False
+        ran = now - se.granted_at_ns
         self._unrun(proc)
         se.need_resched = False
         proc.rusage.nivcsw += 1
+        if self.trace is not None:
+            self.trace.counters.inc("sched.preempt")
+            self.trace.emit("sched_preempt", pid=proc.pid, arg=ran)
         self._enqueue(proc, now)
         self._dispatch(now)
         return se.state != SCHED_RUNNING
@@ -541,6 +555,9 @@ class Scheduler:
                 self._unrun(proc)
                 se.need_resched = False
                 proc.rusage.nivcsw += 1
+                if self.trace is not None:
+                    self.trace.counters.inc("sched.preempt")
+                    self.trace.emit("sched_preempt", pid=proc.pid, arg=ran)
                 self._enqueue(proc, now, absent=True)
         self._dispatch(now)
 
@@ -615,6 +632,7 @@ def create_scheduler(spec=None, ncpus_default: int = 1, kernel=None):
     if isinstance(spec, Scheduler):
         if kernel is not None and spec.kernel is None:
             spec.kernel = kernel
+            spec.trace = getattr(kernel, "trace", None)
             spec.wait_ns_by_tgid = kernel.sched_wait_ns
             spec.blocked_ns_by_tgid = kernel.blocked_time_ns
         return spec

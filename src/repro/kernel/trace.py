@@ -1,0 +1,442 @@
+"""Kernel observability: tracepoints, the trace ring, counters, histograms.
+
+The ftrace-shaped tracing core behind ``/proc/trace`` and
+``/proc/trace_pipe``.  Three cooperating pieces:
+
+* :class:`CounterRegistry` — the single home for every kernel event
+  counter.  Subsystems that used to keep ad-hoc tallies (uring CQ
+  overflows, WAN datagram loss, epoll wake coalescing) increment named
+  counters here instead, so ``/proc`` files and
+  :mod:`repro.metrics.breakdown` report from one source of truth.
+
+* :class:`TraceBuffer` — a bounded ring of fixed-format
+  :class:`TraceEvent` records.  Overflow follows the inotify queue
+  discipline: the buffer never holds more than ``capacity`` events plus
+  **one** drop marker whose ``arg`` carries the cumulative count of
+  events it swallowed.  The buffer is an epollable object (``wq`` /
+  ``poll_events`` / ``read_step``), so a guest tails ``/proc/trace_pipe``
+  through the same readiness machinery the tracepoints instrument.
+
+* :class:`KernelTrace` — the per-kernel facade: the tracepoint registry
+  and mask, the deterministic trace clock, per-syscall log2-bucket
+  latency histograms (service vs runnable-wait), and the control-command
+  parser behind ``/proc/trace_ctl``.
+
+Timestamps come from a per-instance *logical* clock (fixed epoch + 1 µs
+per event), like the VFS inode clock: wall-clock stamps would differ
+between runs and break the determinism-rerun guarantee for exact-record
+assertions.
+
+Wire format — one record is exactly :data:`TRACE_RECORD_SIZE` (40)
+bytes, little-endian ``<QHHiq16s``::
+
+    u64 ts_ns     logical timestamp
+    u16 id        tracepoint id (TRACEPOINTS index; 0xFFFF = drop marker)
+    u16 flags     bit 0 set on the drop marker
+    i32 pid       originating task (0 when anonymous)
+    i64 arg       point-specific value (errno, byte count, event mask...)
+    c16 info      NUL-padded label (syscall name, backend kind, ...)
+
+Guests parse the stream by slicing every 40 bytes; hosts use
+:func:`decode_records`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import threading
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional
+
+from .errno import EAGAIN, EINVAL, KernelError
+from .eventpoll import (
+    EPOLLIN, WaitQueue, add_wake_hook, remove_wake_hook,
+)
+
+# ---- the tracepoint registry ----------------------------------------------
+
+TRACEPOINTS = (
+    "sched_switch",       # a task was granted a CPU slot (arg: wait ns)
+    "sched_wakeup",       # a blocked task became runnable (arg: vruntime)
+    "sched_preempt",      # a slot was taken away (arg: ns it ran)
+    "syscall_enter",      # info: syscall name
+    "syscall_exit",       # info: syscall name, arg: -errno (0 on success)
+    "wq_wake",            # a readiness waitqueue fired (arg: event mask)
+    "net_deliver",        # payload committed to the wire (arg: bytes)
+    "net_drop",           # impairment ate a datagram (arg: bytes)
+    "uring_submit",       # SQE batch handed over (arg: batch size)
+    "uring_complete",     # one CQE posted (arg: res)
+    "uring_overflow",     # CQ full, completion backlogged
+    "inotify_enqueue",    # fsnotify record queued (arg: mask, info: name)
+    "inotify_overflow",   # inotify queue full, event dropped
+)
+
+TRACEPOINT_IDS: Dict[str, int] = {n: i for i, n in enumerate(TRACEPOINTS)}
+
+# record layout (see module docstring)
+_RECORD = struct.Struct("<QHHiq16s")
+TRACE_RECORD_SIZE = _RECORD.size          # 40
+TRACE_DROP_ID = 0xFFFF                    # the drop marker's pseudo-id
+TRACE_FLAG_DROP = 0x1
+
+# the trace clock: fixed epoch + 1 µs per event, per KernelTrace instance
+# (separate from the VFS inode clock so tracing never perturbs stat-shaped
+# determinism, and two kernels in one process don't interleave stamps)
+TRACE_EPOCH_NS = 1_704_067_200 * 10**9    # 2024-01-01T00:00:00Z
+
+TRACE_DEFAULT_CAPACITY = 4096
+
+# log2 histogram geometry: bucket i counts latencies in [2^(i-1), 2^i) ns
+HIST_BUCKETS = 64
+
+
+def hist_bucket(ns: int) -> int:
+    """The log2 bucket index for a latency of ``ns`` nanoseconds."""
+    if ns <= 0:
+        return 0
+    return min(ns.bit_length(), HIST_BUCKETS - 1)
+
+
+class CounterRegistry:
+    """Named monotonic event counters (the one source of truth).
+
+    Increments are single dict operations, atomic under the GIL — the
+    same discipline the readiness layer relies on — so subsystems call
+    :meth:`inc` from any thread without extra locking.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self):
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counts[name] += n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """All nonzero counters, sorted by name."""
+        return {k: v for k, v in sorted(self._counts.items()) if v}
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+class TraceEvent:
+    """One ring-buffer record (pre-wire-format)."""
+
+    __slots__ = ("ts_ns", "id", "flags", "pid", "arg", "info")
+
+    def __init__(self, ts_ns: int, id_: int, flags: int, pid: int,
+                 arg: int, info: str = ""):
+        self.ts_ns = ts_ns
+        self.id = id_
+        self.flags = flags
+        self.pid = pid
+        self.arg = arg
+        self.info = info
+
+    def encode(self) -> bytes:
+        return _RECORD.pack(self.ts_ns, self.id, self.flags, self.pid,
+                            self.arg, self.info.encode()[:16])
+
+    def __repr__(self) -> str:
+        name = TRACEPOINTS[self.id] if self.id < len(TRACEPOINTS) \
+            else f"id{self.id:#x}"
+        return (f"TraceEvent({name}, pid={self.pid}, arg={self.arg}, "
+                f"info={self.info!r})")
+
+
+class TraceRecord(NamedTuple):
+    """One decoded wire record."""
+
+    ts_ns: int
+    point: str
+    flags: int
+    pid: int
+    arg: int
+    info: str
+
+    @property
+    def is_drop_marker(self) -> bool:
+        return bool(self.flags & TRACE_FLAG_DROP)
+
+
+def decode_records(data: bytes) -> List[TraceRecord]:
+    """Parse trace_pipe wire bytes back into :class:`TraceRecord` rows."""
+    out: List[TraceRecord] = []
+    for off in range(0, len(data) - TRACE_RECORD_SIZE + 1,
+                     TRACE_RECORD_SIZE):
+        ts, id_, flags, pid, arg, info = _RECORD.unpack_from(data, off)
+        point = TRACEPOINTS[id_] if id_ < len(TRACEPOINTS) else "drop"
+        out.append(TraceRecord(ts, point, flags, pid, arg,
+                               info.split(b"\x00", 1)[0].decode(
+                                   errors="replace")))
+    return out
+
+
+class TraceBuffer:
+    """The bounded trace ring behind ``/proc/trace_pipe``.
+
+    Overflow discipline (the inotify queue model): at most ``capacity``
+    events plus one drop marker live in the queue.  The marker's ``arg``
+    is updated in place with the number of events it swallowed, so a
+    reader that drains late still learns exactly how much it missed.
+
+    The buffer is the epollable object behind the trace_pipe fd:
+    ``read_step`` drains whole 40-byte records (EAGAIN when empty, like
+    the inotify fd), ``poll_events``/``wq`` feed the readiness layer.
+    ``close`` is deliberately a no-op — the ring is kernel-global and
+    outlives any one open description of ``/proc/trace_pipe``.
+    """
+
+    def __init__(self, capacity: int = TRACE_DEFAULT_CAPACITY,
+                 counters: Optional[CounterRegistry] = None):
+        if capacity <= 0:
+            raise KernelError(EINVAL, "trace buffer capacity must be > 0")
+        self.capacity = capacity
+        self.counters = counters
+        self._q: Deque[TraceEvent] = deque()
+        self._marker: Optional[TraceEvent] = None
+        self._lock = threading.Lock()
+        self.dropped = 0          # events ever lost to overflow
+        self.total = 0            # events ever pushed (kept or dropped)
+        self.wq = WaitQueue()
+
+    def push(self, ev: TraceEvent) -> None:
+        with self._lock:
+            self.total += 1
+            if len(self._q) - (1 if self._marker is not None else 0) \
+                    >= self.capacity:
+                self.dropped += 1
+                if self.counters is not None:
+                    self.counters.inc("trace.dropped")
+                if self._marker is not None:
+                    self._marker.arg += 1  # coalesce into the one marker
+                    return
+                # the bound holds: capacity events + one marker, wherever
+                # a partial drain left it in the queue
+                self._marker = TraceEvent(ev.ts_ns, TRACE_DROP_ID,
+                                          TRACE_FLAG_DROP, 0, 1, "overflow")
+                self._q.append(self._marker)
+            else:
+                self._q.append(ev)
+        self.wq.wake(EPOLLIN)
+
+    # ---- fd surface (trace_pipe) ----
+
+    def read_step(self, length: int) -> bytes:
+        """Drain whole records into ``length`` bytes; EAGAIN when empty."""
+        with self._lock:
+            if not self._q:
+                raise KernelError(EAGAIN, "trace buffer empty")
+            if length < TRACE_RECORD_SIZE:
+                raise KernelError(EINVAL, "buffer too small for a record")
+            out = bytearray()
+            while self._q and len(out) + TRACE_RECORD_SIZE <= length:
+                ev = self._q.popleft()
+                if ev is self._marker:
+                    self._marker = None
+                out += ev.encode()
+            return bytes(out)
+
+    def poll_events(self) -> int:
+        return EPOLLIN if self._q else 0
+
+    def close(self) -> None:
+        pass  # shared ring: closing one trace_pipe fd must not clear it
+
+    # ---- inspection (tests, /proc/trace) ----
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._q)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._q.clear()
+            self._marker = None
+
+
+class KernelTrace:
+    """Per-kernel observability state: tracepoints, counters, histograms.
+
+    Constructed unconditionally by :class:`~repro.kernel.kernel.Kernel`
+    (unless ablated with ``trace="off"``); tracing starts *disabled* —
+    :meth:`emit` is then two attribute loads and a set test, the
+    compiled-in-but-off cost the overhead benchmark bounds.  The
+    latency histograms are always on: one log2 bucket increment per
+    syscall, cheap enough to never gate.
+    """
+
+    def __init__(self, capacity: int = TRACE_DEFAULT_CAPACITY):
+        self.counters = CounterRegistry()
+        self.buffer = TraceBuffer(capacity, self.counters)
+        self.enabled = False
+        self.mask = set(TRACEPOINTS)
+        self._ticks = itertools.count(1)
+        # syscall name -> 64 log2 buckets, for each latency dimension
+        self.service_hist: Dict[str, List[int]] = {}
+        self.wait_hist: Dict[str, List[int]] = {}
+        # re-entrancy guard: a push wakes the ring's waitqueue, and the
+        # wq_wake tracepoint hooks every wake — without the guard that
+        # wake would trace itself forever
+        self._local = threading.local()
+        self._wq_hook: Optional[Callable[[int], None]] = None
+
+    # ---- the trace clock ----
+
+    def now_ns(self) -> int:
+        return TRACE_EPOCH_NS + next(self._ticks) * 1_000
+
+    # ---- emission ----
+
+    def emit(self, point: str, pid: int = 0, arg: int = 0,
+             info: str = "") -> None:
+        """Record one event if tracing is on and ``point`` is unmasked."""
+        if not self.enabled or point not in self.mask:
+            return
+        if getattr(self._local, "busy", False):
+            return
+        self._local.busy = True
+        try:
+            self.counters.inc("trace.events")
+            self.buffer.push(TraceEvent(self.now_ns(),
+                                        TRACEPOINT_IDS[point], 0, pid,
+                                        arg, info))
+        finally:
+            self._local.busy = False
+
+    def record_syscall(self, name: str, service_ns: int,
+                       wait_ns: int) -> None:
+        """Always-on per-syscall latency accounting (service vs wait)."""
+        hist = self.service_hist.get(name)
+        if hist is None:
+            hist = self.service_hist[name] = [0] * HIST_BUCKETS
+        hist[hist_bucket(service_ns)] += 1
+        if wait_ns > 0:
+            whist = self.wait_hist.get(name)
+            if whist is None:
+                whist = self.wait_hist[name] = [0] * HIST_BUCKETS
+            whist[hist_bucket(wait_ns)] += 1
+
+    # ---- control (the /proc/trace_ctl command language) ----
+
+    def enable(self) -> None:
+        self.enabled = True
+        self._sync_wq_hook()
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._sync_wq_hook()
+
+    def set_mask(self, points) -> None:
+        points = set(points)
+        unknown = points - set(TRACEPOINTS)
+        if unknown:
+            raise KernelError(EINVAL,
+                              f"unknown tracepoints: {sorted(unknown)}")
+        self.mask = points
+        self._sync_wq_hook()
+
+    def _sync_wq_hook(self) -> None:
+        """Subscribe to waitqueue wakes only while wq_wake can fire.
+
+        ``WaitQueue.wake`` is the hottest path in the kernel; the global
+        hook list must stay empty whenever no tracer wants wake events.
+        """
+        want = self.enabled and "wq_wake" in self.mask
+        if want and self._wq_hook is None:
+            def hook(events: int) -> None:
+                self.emit("wq_wake", arg=events)
+            self._wq_hook = hook
+            add_wake_hook(hook)
+        elif not want and self._wq_hook is not None:
+            remove_wake_hook(self._wq_hook)
+            self._wq_hook = None
+
+    def control(self, text: str) -> None:
+        """Apply trace_ctl commands (one per line / semicolon)::
+
+            on | off        start / stop tracing
+            clear           empty the ring buffer
+            mask=all        unmask every tracepoint
+            mask=none       mask everything (histograms stay on)
+            mask=a,b,c      unmask exactly the listed points
+            +name | -name   unmask / mask one point
+        """
+        for chunk in text.replace(";", "\n").splitlines():
+            cmd = chunk.strip()
+            if not cmd:
+                continue
+            if cmd == "on":
+                self.enable()
+            elif cmd == "off":
+                self.disable()
+            elif cmd == "clear":
+                self.buffer.clear()
+            elif cmd == "mask=all":
+                self.set_mask(TRACEPOINTS)
+            elif cmd == "mask=none":
+                self.set_mask(())
+            elif cmd.startswith("mask="):
+                self.set_mask(p.strip() for p in cmd[5:].split(",")
+                              if p.strip())
+            elif cmd.startswith("+") or cmd.startswith("-"):
+                name = cmd[1:].strip()
+                if name not in TRACEPOINT_IDS:
+                    raise KernelError(EINVAL, f"unknown tracepoint {name}")
+                mask = set(self.mask)
+                (mask.add if cmd[0] == "+" else mask.discard)(name)
+                self.set_mask(mask)
+            else:
+                raise KernelError(EINVAL, f"unknown trace command {cmd!r}")
+
+    # ---- reporting ----
+
+    def status_text(self) -> str:
+        """The ``/proc/trace`` rendering: state, ring, mask, counters."""
+        lines = [
+            f"tracing: {'on' if self.enabled else 'off'}",
+            f"buffer: {len(self.buffer)}/{self.buffer.capacity} "
+            f"(total {self.buffer.total}, dropped {self.buffer.dropped})",
+        ]
+        for point in TRACEPOINTS:
+            flag = "+" if point in self.mask else "-"
+            lines.append(f"  {flag}{point}")
+        for name, value in self.counters.snapshot().items():
+            lines.append(f"{name}: {value}")
+        return "\n".join(lines) + "\n"
+
+    def close(self) -> None:
+        """Detach global hooks (kernels are long-lived; tests call this)."""
+        if self._wq_hook is not None:
+            remove_wake_hook(self._wq_hook)
+            self._wq_hook = None
+
+
+def create_trace(spec=None) -> Optional[KernelTrace]:
+    """Resolve a trace spec: None (default, compiled in but disabled),
+    ``"off"`` (ablated entirely — the overhead baseline), ``"on"``
+    (enabled from boot), or a :class:`KernelTrace` instance."""
+    if spec is None:
+        return KernelTrace()
+    if isinstance(spec, KernelTrace):
+        return spec
+    text = str(spec)
+    if text in ("off", "none"):
+        return None
+    if text == "on":
+        trace = KernelTrace()
+        trace.enable()
+        return trace
+    raise KernelError(EINVAL, f"bad trace spec {spec!r}")

@@ -190,7 +190,7 @@ class IoURing:
     """One submission/completion ring pair (the object behind the fd)."""
 
     def __init__(self, sq_entries: int = 128,
-                 cq_entries: Optional[int] = None):
+                 cq_entries: Optional[int] = None, trace=None):
         if sq_entries <= 0 or sq_entries > URING_MAX_ENTRIES:
             raise KernelError(EINVAL, f"ring entries {sq_entries}")
         size = 1
@@ -210,6 +210,9 @@ class IoURing:
         self.registrations = {}
         self.guest_base: Optional[int] = None    # set by the WALI host
         self.closed = False
+        # kernel observability (kernel/trace.py); None outside a kernel
+        self.trace = trace
+        self.counters = trace.counters if trace is not None else None
 
     # ------------------------------------------------------------------
     # submission
@@ -223,6 +226,10 @@ class IoURing:
             raise KernelError(
                 EINVAL, f"batch of {len(sqes)} exceeds the SQ ring "
                         f"({self.sq_entries} entries)")
+        if self.counters is not None:
+            self.counters.inc("uring.submitted", len(sqes))
+        if self.trace is not None:
+            self.trace.emit("uring_submit", pid=proc.pid, arg=len(sqes))
         self._chains = [c for c in self._chains if not c.done]
         for chain_sqes in _split_chains(sqes):
             chain = _Chain(kernel, proc, chain_sqes)
@@ -251,6 +258,8 @@ class IoURing:
             if res < 0 and chain.sqes:
                 # a failed link short-circuits the rest of the chain
                 for rest in chain.sqes:
+                    if self.counters is not None:
+                        self.counters.inc("uring.link_cancel")
                     self._complete(CQE(rest.user_data, -ECANCELED))
                 chain.sqes = []
         chain.done = True
@@ -337,6 +346,8 @@ class IoURing:
         chain.timer = None
         self._complete(CQE(sqe.user_data, -ETIME))
         for rest in chain.sqes:  # a fired timeout breaks its link chain
+            if self.counters is not None:
+                self.counters.inc("uring.link_cancel")
             self._complete(CQE(rest.user_data, -ECANCELED))
         chain.sqes = []
         chain.done = True
@@ -346,13 +357,23 @@ class IoURing:
     # ------------------------------------------------------------------
 
     def _complete(self, cqe: CQE) -> None:
+        overflowed = False
         with self._lock:
             if len(self.cq) < self.cq_entries:
                 self.cq.append(cqe)
             else:
                 self.cq_backlog.append(cqe)
                 self.overflow += 1
+                overflowed = True
             self.completed += 1
+        if self.counters is not None:
+            self.counters.inc("uring.completed")
+            if overflowed:
+                self.counters.inc("uring.cq_overflow")
+        if self.trace is not None:
+            self.trace.emit("uring_complete", arg=cqe.res)
+            if overflowed:
+                self.trace.emit("uring_overflow", arg=cqe.user_data)
         self.wq.wake(EPOLLIN)
 
     def _process_ready(self) -> None:

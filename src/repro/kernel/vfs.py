@@ -84,7 +84,7 @@ class Inode:
     __slots__ = (
         "ino", "mode", "uid", "gid", "nlink", "data", "entries", "target",
         "rdev", "atime_ns", "mtime_ns", "ctime_ns", "generator", "device",
-        "fs_limit", "watches",
+        "opener", "fs_limit", "watches",
     )
 
     def __init__(self, mode: int, uid: int = 0, gid: int = 0):
@@ -101,6 +101,10 @@ class Inode:
         self.rdev = 0
         self.generator: Optional[Callable] = None  # procfs content
         self.device = None                       # chr device handler object
+        # custom open hook: opener(proc, flags) -> OpenFile; lets a path
+        # hand out a live object fd (e.g. /proc/trace_pipe) instead of a
+        # content snapshot
+        self.opener: Optional[Callable] = None
         self.fs_limit: Optional[int] = None      # per-file size cap (ENOSPC)
         self.watches = None                      # inotify marks (lazy list)
         kind = mode & S_IFMT
@@ -419,6 +423,21 @@ class VFS:
         node = Inode(S_IFREG | 0o444)
         node.generator = generator
         node.data = None  # content produced on demand
+        parent.entries[name] = node
+        return node
+
+    def add_special_file(self, path: str, opener: Callable,
+                         mode: int = S_IFREG | 0o444) -> Inode:
+        """Register a file whose ``open`` yields a live object fd.
+
+        ``opener(proc, flags)`` must return a ready-to-install
+        :class:`~repro.kernel.fdtable.OpenFile` (e.g. the epollable
+        trace_pipe reader); the inode itself carries no content.
+        """
+        parent, name = self.resolve_parent(path, self.root)
+        node = Inode(mode)
+        node.opener = opener
+        node.data = None
         parent.entries[name] = node
         return node
 

@@ -1,15 +1,22 @@
 """``repro.metrics`` — measurement & rendering behind Fig. 2, Fig. 3 and
-Fig. 7: syscall profiling, runtime breakdown, text plotting."""
+Fig. 7: syscall profiling, runtime breakdown, text plotting, and the
+kernel-observability reports (latency percentiles, trace summaries)."""
 
-from .breakdown import RuntimeBreakdown, measure_breakdown
+from .breakdown import RuntimeBreakdown, counter_snapshot, measure_breakdown
 from .profile import (
     SyscallProfile, aggregate_profiles, log_normalize, profile_app,
     render_profile,
 )
 from .report import bar, percent_row, table
+from .trace_report import (
+    event_table, hist_percentile, latency_rows, latency_table,
+    render_trace_report, summarize_events,
+)
 
 __all__ = [
     "RuntimeBreakdown", "SyscallProfile", "aggregate_profiles", "bar",
-    "log_normalize", "measure_breakdown", "percent_row", "profile_app",
-    "render_profile", "table",
+    "counter_snapshot", "event_table", "hist_percentile", "latency_rows",
+    "latency_table", "log_normalize", "measure_breakdown", "percent_row",
+    "profile_app", "render_profile", "render_trace_report",
+    "summarize_events", "table",
 ]

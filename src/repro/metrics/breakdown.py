@@ -60,6 +60,21 @@ class RuntimeBreakdown:
                 f"wait={self.wait_pct:5.1f}%  wali={self.wali_pct:5.1f}%")
 
 
+def counter_snapshot(kernel) -> list:
+    """The kernel's shared-counter snapshot, as ``[(name, value)]``.
+
+    One source of truth: these are the same
+    :class:`~repro.kernel.trace.CounterRegistry` cells ``/proc/uring``,
+    ``/proc/inotify`` and ``/proc/net/sockstat`` render, so host-side
+    reports can never drift from what a guest reads out of ``/proc``.
+    Empty when the kernel was built with tracing ablated
+    (``Kernel(trace="off")``).
+    """
+    if kernel.trace is None:
+        return []
+    return list(kernel.trace.counters.snapshot().items())
+
+
 def measure_breakdown(app_name: str, module, argv=None, env=None,
                       files=None, stdin: bytes = b"",
                       runtime: Optional[WaliRuntime] = None,

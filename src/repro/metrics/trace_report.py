@@ -1,0 +1,152 @@
+"""Rendering for the kernel observability layer (kernel/trace.py).
+
+Two consumers:
+
+* **latency tables** — the kernel keeps always-on per-syscall log2
+  histograms, split into *service* (inside the handler) and *wait*
+  (runnable on the run queue).  :func:`latency_table` renders p50/p99
+  per syscall, the split the Fig. 7-style breakdowns need at per-call
+  granularity.
+* **event summaries** — a captured ``trace_pipe`` byte stream decodes
+  into :class:`~repro.kernel.trace.TraceRecord` rows;
+  :func:`summarize_events` rolls them up per subsystem so a run's
+  activity profile (scheduling churn vs I/O vs network) is one table.
+
+Percentiles are read back from the log2 buckets, so they are estimates
+with bucket-width resolution — exactly the fidelity ftrace's
+``hist`` triggers give, and plenty for tail *ratios*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..kernel.trace import TraceRecord, decode_records
+from .report import table
+
+# tracepoint name prefix -> subsystem bucket for the event summary
+_SUBSYSTEMS = (
+    ("sched_", "sched"),
+    ("syscall_", "syscall"),
+    ("wq_", "waitqueue"),
+    ("net_", "net"),
+    ("uring_", "uring"),
+    ("inotify_", "inotify"),
+)
+
+
+def bucket_value_ns(i: int) -> int:
+    """Representative latency for log2 bucket ``i`` (its midpoint).
+
+    Bucket ``i`` holds samples whose ``bit_length() == i``, i.e. the
+    interval ``[2^(i-1), 2^i)``; bucket 0 holds non-positive samples.
+    """
+    if i <= 0:
+        return 0
+    if i == 1:
+        return 1
+    return (1 << (i - 1)) + (1 << (i - 2))
+
+
+def hist_percentile(buckets: Sequence[int], q: float) -> int:
+    """The latency (ns) at quantile ``q`` in a log2 histogram.
+
+    Walks the cumulative counts to the bucket containing the q-th
+    sample and returns that bucket's midpoint; 0 for an empty
+    histogram.  ``q`` is in [0, 1].
+    """
+    total = sum(buckets)
+    if total == 0:
+        return 0
+    rank = q * total
+    seen = 0
+    for i, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            return bucket_value_ns(i)
+    return bucket_value_ns(len(buckets) - 1)
+
+
+def latency_rows(trace) -> List[Tuple]:
+    """Per-syscall (name, calls, service p50/p99, wait p50/p99) rows."""
+    rows = []
+    for name in sorted(trace.service_hist):
+        svc = trace.service_hist[name]
+        wait = trace.wait_hist.get(name)
+        calls = sum(svc)
+        rows.append((
+            name, calls,
+            hist_percentile(svc, 0.50), hist_percentile(svc, 0.99),
+            hist_percentile(wait, 0.50) if wait else 0,
+            hist_percentile(wait, 0.99) if wait else 0,
+        ))
+    rows.sort(key=lambda r: -r[1])  # busiest syscalls first
+    return rows
+
+
+def latency_table(trace) -> str:
+    rows = [(name, calls, f"{sp50:,}", f"{sp99:,}", f"{wp50:,}",
+             f"{wp99:,}")
+            for name, calls, sp50, sp99, wp50, wp99 in latency_rows(trace)]
+    return table(
+        ("syscall", "calls", "svc p50 ns", "svc p99 ns",
+         "wait p50 ns", "wait p99 ns"), rows)
+
+
+def subsystem_of(point: str) -> str:
+    for prefix, subsystem in _SUBSYSTEMS:
+        if point.startswith(prefix):
+            return subsystem
+    return "other"
+
+
+def summarize_events(
+        records: Iterable[TraceRecord]) -> Dict[str, Dict[str, int]]:
+    """Roll decoded trace records up per subsystem.
+
+    Returns ``{subsystem: {"events": n, "dropped": n, point: n, ...}}``;
+    drop markers (ring overflow) land under ``other`` with their
+    swallowed-event count.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for rec in records:
+        sub = out.setdefault(subsystem_of(rec.point), {"events": 0,
+                                                       "dropped": 0})
+        if rec.is_drop_marker:
+            sub["dropped"] += rec.arg
+            continue
+        sub["events"] += 1
+        sub[rec.point] = sub.get(rec.point, 0) + 1
+    return out
+
+
+def event_table(records: Iterable[TraceRecord]) -> str:
+    summary = summarize_events(records)
+    rows = []
+    for sub in sorted(summary, key=lambda s: -summary[s]["events"]):
+        info = summary[sub]
+        points = ", ".join(
+            f"{k}={v}" for k, v in sorted(info.items())
+            if k not in ("events", "dropped"))
+        rows.append((sub, info["events"], info["dropped"], points))
+    return table(("subsystem", "events", "dropped", "tracepoints"), rows)
+
+
+def render_trace_report(trace,
+                        pipe_bytes: Optional[bytes] = None) -> str:
+    """The full observability report for one kernel.
+
+    ``pipe_bytes`` is an optional raw capture from ``/proc/trace_pipe``;
+    without it the report covers histograms and counters only.
+    """
+    sections = ["== syscall latency (log2-bucket percentiles) ==",
+                latency_table(trace) if trace.service_hist
+                else "(no syscalls recorded)"]
+    if pipe_bytes is not None:
+        sections += ["", "== trace events by subsystem ==",
+                     event_table(decode_records(pipe_bytes))]
+    counters = trace.counters.snapshot()
+    if counters:
+        sections += ["", "== counters ==",
+                     table(("counter", "value"), list(counters.items()))]
+    return "\n".join(sections)

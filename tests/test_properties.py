@@ -506,3 +506,89 @@ def test_inotify_queue_never_exceeds_bound_plus_overflow(ops, bound):
     # (tail coalescing may make it strictly smaller)
     content_left = sum(1 for e in ino.queue if not e.mask & IN_Q_OVERFLOW)
     assert drained + content_left + ino.dropped <= published
+
+
+# --------------------------------------------------------------------------
+# trace ring invariants (kernel/trace.py)
+# --------------------------------------------------------------------------
+
+_trace_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "drain"]),
+        st.integers(0, 12),      # tracepoint index / drain size factor
+        st.integers(0, 2**31),   # arg payload
+    ),
+    min_size=1, max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 12), _trace_ops)
+def test_trace_ring_bounded_with_single_marker(capacity, ops):
+    """The ring never exceeds capacity + one drop marker, the marker's
+    ``arg`` accounts for every swallowed event exactly, and every drain
+    returns a whole number of wire records."""
+    from repro.kernel.trace import (
+        TRACE_RECORD_SIZE, TRACEPOINTS, TraceBuffer, TraceEvent,
+        decode_records,
+    )
+
+    buf = TraceBuffer(capacity=capacity)
+    pushed = drained = marker_drained = 0
+    for op, idx, arg in ops:
+        if op == "push":
+            buf.push(TraceEvent(pushed + 1, idx % len(TRACEPOINTS), 0, 1,
+                                arg, "prop"))
+            pushed += 1
+        else:
+            try:
+                data = buf.read_step(max(idx, 1) * TRACE_RECORD_SIZE)
+            except KernelError:
+                data = b""
+            assert len(data) % TRACE_RECORD_SIZE == 0
+            for rec in decode_records(data):
+                if rec.is_drop_marker:
+                    marker_drained += rec.arg
+                else:
+                    drained += 1
+        # the core bound, checked at every step
+        events = buf.events()
+        markers = [e for e in events if e.id == 0xFFFF]
+        assert len(events) - len(markers) <= capacity
+        assert len(markers) <= 1
+        # drop accounting never leaks: queued marker + drained markers
+        # cover the dropped count exactly
+        queued_marker = markers[0].arg if markers else 0
+        assert queued_marker + marker_drained == buf.dropped
+    # conservation: every pushed event is drained, still queued, or
+    # accounted by a drop marker
+    left = sum(1 for e in buf.events() if e.id != 0xFFFF)
+    assert drained + left + buf.dropped == pushed
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(0, 12),                      # tracepoint id
+    st.integers(0, 2**31 - 1),               # pid
+    st.integers(-2**62, 2**62),              # arg
+    st.text(st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=16),                    # info label
+), min_size=1, max_size=30))
+def test_trace_records_roundtrip_wire_format(events):
+    """encode -> decode is lossless for id/pid/arg and preserves info up
+    to the 16-byte field width."""
+    from repro.kernel.trace import (
+        TRACEPOINTS, TraceEvent, decode_records,
+    )
+
+    blob = b"".join(
+        TraceEvent(1000 + i, id_ % len(TRACEPOINTS), 0, pid, arg,
+                   info).encode()
+        for i, (id_, pid, arg, info) in enumerate(events))
+    recs = decode_records(blob)
+    assert len(recs) == len(events)
+    for rec, (id_, pid, arg, info) in zip(recs, events):
+        assert rec.point == TRACEPOINTS[id_ % len(TRACEPOINTS)]
+        assert rec.pid == pid and rec.arg == arg
+        assert rec.info == info.encode()[:16].decode(
+            errors="replace").split("\x00", 1)[0]
