@@ -25,6 +25,10 @@ from .inotify import (
     IN_ONLYDIR, IN_Q_OVERFLOW, Inotify, InotifyEvent, Watch, decode_events,
     fsnotify,
 )
+from .calls.proc import (
+    FUTEX_LOCK_PI, FUTEX_PRIVATE_FLAG, FUTEX_UNLOCK_PI, FUTEX_WAIT,
+    FUTEX_WAKE,
+)
 from .kernel import Kernel
 from .mm import (
     AddressSpace, MAP_ANONYMOUS, MAP_FIXED, MAP_PRIVATE, MAP_SHARED,
@@ -102,6 +106,8 @@ __all__ = [
     "BackgroundSpinners", "SCHED_BLOCKED", "SCHED_DEAD", "SCHED_NEW",
     "SCHED_RUNNABLE", "SCHED_RUNNING", "SchedEntity", "Scheduler",
     "create_scheduler", "nice_to_weight",
+    "FUTEX_LOCK_PI", "FUTEX_PRIVATE_FLAG", "FUTEX_UNLOCK_PI", "FUTEX_WAIT",
+    "FUTEX_WAKE",
     "CounterRegistry", "KernelTrace", "TRACEPOINTS", "TRACE_RECORD_SIZE",
     "TraceBuffer", "TraceRecord", "create_trace", "decode_records",
     "hist_bucket",

@@ -8,7 +8,7 @@ import time as _time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..errno import EINVAL, KernelError
+from ..errno import EINVAL, EPERM, KernelError
 from ..process import Process
 from ..signals import SIGALRM
 
@@ -57,7 +57,7 @@ class MiscCalls:
 
     def sys_clock_settime(self, proc: Process, clock_id: int,
                           time_ns: int) -> int:
-        raise KernelError(1, "EPERM: cannot set the clock")  # EPERM
+        raise KernelError(EPERM, "cannot set the clock")
 
     def sys_gettimeofday(self, proc: Process) -> Tuple[int, int]:
         ns = _time.time_ns()
@@ -130,7 +130,7 @@ class MiscCalls:
         return 0  # TLS base registers are meaningless for Wasm guests
 
     def sys_chroot(self, proc: Process, path: str) -> int:
-        raise KernelError(1, "chroot denied")  # EPERM for non-root
+        raise KernelError(EPERM, "chroot denied")  # non-root
 
     def sys_memfd_create(self, proc: Process, name: str, flags: int) -> int:
         from ..vfs import Inode, S_IFREG

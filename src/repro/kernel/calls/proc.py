@@ -7,7 +7,8 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..errno import (
-    EAGAIN, ECHILD, EINTR, EINVAL, ENOSYS, EPERM, ESRCH, KernelError,
+    EAGAIN, ECHILD, EDEADLK, EINTR, EINVAL, ENOSYS, EPERM, ESRCH,
+    ETIMEDOUT, KernelError,
 )
 from ..process import (
     CLONE_FILES, CLONE_FS, CLONE_SIGHAND, CLONE_THREAD, CLONE_VM, CSIGNAL,
@@ -19,6 +20,8 @@ from ..signals import SIGCHLD, SIGKILL
 # futex ops
 FUTEX_WAIT = 0
 FUTEX_WAKE = 1
+FUTEX_LOCK_PI = 6
+FUTEX_UNLOCK_PI = 7
 FUTEX_PRIVATE_FLAG = 128
 
 
@@ -101,6 +104,17 @@ class ProcCalls:
 
     def _terminate(self, proc: Process, wait_status: int) -> None:
         proc.exit_status = wait_status
+        # robust-futex-lite: a dying task releases every PI futex it
+        # owns (handing each to its top waiter) and leaves any waiter
+        # lists, so no lock is orphaned and no boost dangles
+        with self.futex_lock:
+            for key, st in list(self.futex_pi.items()):
+                if st["owner"] is proc:
+                    self._pi_unlock(key, st)
+                elif proc in st["waiters"]:
+                    st["waiters"].remove(proc)
+                    if st["owner"] is not None:
+                        self._pi_refresh_boost(st["owner"])
         # leave the run queue / free the CPU slot before anything else:
         # reaping below may wake other tasks that need the slot
         self.sched.task_exit(proc)
@@ -326,24 +340,34 @@ class ProcCalls:
         self.sched.yield_now(proc)
         return 0
 
+    def _affinity_ncpus(self) -> int:
+        """CPUs the affinity syscalls validate against: the scheduler's
+        slot count when it is constrained (it may differ from the
+        machine description, e.g. ``Kernel(ncpus=4, sched="cpus=1")``),
+        else the machine's."""
+        return self.sched.ncpus if self.sched.ncpus > 0 else self.ncpus
+
     def sys_sched_getaffinity(self, proc: Process, pid: int) -> int:
         target = self.processes.get(pid or proc.pid)
         if target is None:
             raise KernelError(ESRCH, str(pid))
-        return target.se.affinity or (1 << self.ncpus) - 1
+        return target.se.affinity or (1 << self._affinity_ncpus()) - 1
 
     def sys_sched_setaffinity(self, proc: Process, pid: int,
                               mask: int) -> int:
-        """Affinity-lite: the mask is validated and remembered (visible
-        through getaffinity) but the single run queue ignores it for
-        placement — per-CPU queues are a ROADMAP follow-up."""
+        """Pin a task to a CPU subset.  The mask is honored at
+        placement: the scheduler re-places the target immediately if it
+        sits on (or runs on) a CPU the new mask forbids, and all future
+        placement/steal decisions respect it.  A mask naming no valid
+        CPU (e.g. ``1 << 8`` with one CPU) fails ``EINVAL`` as on
+        Linux — it must not be silently truncated to "all CPUs"."""
         target = self.processes.get(pid or proc.pid)
         if target is None:
             raise KernelError(ESRCH, str(pid))
-        full = (1 << self.ncpus) - 1
+        full = (1 << self._affinity_ncpus()) - 1
         if mask & full == 0:
             raise KernelError(EINVAL, "empty affinity mask")
-        target.se.affinity = mask & full
+        self.sched.set_affinity(target, mask & full)
         return 0
 
     def sys_nice(self, proc: Process, inc: int) -> int:
@@ -410,34 +434,134 @@ class ProcCalls:
 
     # ---- futex ----
 
+    @staticmethod
+    def _futex_pick(waiters: list, n: int) -> list:
+        """Select ``n`` waiters in wake order: highest scheduler weight
+        first (priority), FIFO among equals (the sort is stable and the
+        list is in arrival order) — the plist discipline of the real
+        futex hash bucket.  Entries are ``(token, proc)`` tuples (WAIT
+        queues) or bare processes (PI waiter lists)."""
+        def neg_weight(e):
+            p = e[1] if isinstance(e, tuple) else e
+            return -p.se.weight
+        return sorted(waiters, key=neg_weight)[:n][:n]
+
+    def _pi_refresh_boost(self, proc: Process) -> None:
+        """Recompute a task's priority-inheritance ceiling: the max
+        effective weight over the waiters of *every* PI futex it owns
+        (a waiter's own boost chains through, so inheritance is
+        transitive).  Zero waiters anywhere clears the boost."""
+        boost = 0
+        for st in self.futex_pi.values():
+            if st["owner"] is proc:
+                for w in st["waiters"]:
+                    boost = max(boost, w.se.weight)
+        self.sched.set_boost(proc, boost)
+
+    def _pi_unlock(self, key: tuple, st: dict) -> Optional[Process]:
+        """Hand a PI futex to its top waiter (priority-then-FIFO) and
+        wake exactly that task; returns the new owner (None when the
+        futex dies uncontended)."""
+        old = st["owner"]
+        if st["waiters"]:
+            new_owner = self._futex_pick(st["waiters"], 1)[0]
+            st["waiters"].remove(new_owner)
+            st["owner"] = new_owner
+            self._pi_refresh_boost(new_owner)
+            with new_owner.wake:
+                new_owner.wake.notify_all()
+        else:
+            st["owner"] = None
+            self.futex_pi.pop(key, None)
+            new_owner = None
+        if old is not None:
+            self._pi_refresh_boost(old)
+        return new_owner
+
     def sys_futex(self, proc: Process, uaddr: int, op: int, val: int,
                   current_value: int, timeout_ns: Optional[int] = None) -> int:
         """``current_value`` is the word read from guest memory by the caller
-        under the kernel lock (the WALI layer does the linear-memory read)."""
+        under the kernel lock (the WALI layer does the linear-memory read).
+
+        ``FUTEX_WAKE`` wakes exactly the dequeued waiters (no thundering
+        herd), highest-weight first, FIFO among equals.
+        ``FUTEX_LOCK_PI``/``FUTEX_UNLOCK_PI`` add priority inheritance:
+        while the lock is contended the holder borrows the top waiter's
+        scheduler weight (see ``docs/sched.md``), so a low-priority
+        holder cannot be starved off the CPU by mid-priority tasks while
+        a high-priority waiter spins on the lock — unlock hands the
+        futex directly to the top waiter."""
         base_op = op & ~FUTEX_PRIVATE_FLAG
         key = (id(proc.mm) if proc.mm is not None else proc.tgid, uaddr)
         if base_op == FUTEX_WAIT:
             if current_value != val:
                 raise KernelError(EAGAIN, "futex value changed")
-            waiters = self.futex_waiters.setdefault(key, [])
-            token = object()
-            waiters.append(token)
+            entry = (object(), proc)
+            with self.futex_lock:
+                waiters = self.futex_waiters.setdefault(key, [])
+                waiters.append(entry)
 
             def scan():
-                return True if token not in waiters else None
+                return True if entry not in waiters else None
 
             try:
                 self.block_until(proc, scan, timeout_ns=timeout_ns,
                                  empty=lambda: (_ for _ in ()).throw(
-                                     KernelError(110, "futex timeout")))
+                                     KernelError(ETIMEDOUT,
+                                                 "futex timeout")))
             finally:
-                if token in waiters:
-                    waiters.remove(token)
+                with self.futex_lock:
+                    if entry in waiters:
+                        waiters.remove(entry)
             return 0
         if base_op == FUTEX_WAKE:
-            waiters = self.futex_waiters.get(key, [])
-            n = min(val, len(waiters))
-            del waiters[:n]
-            self.notify_all_blocked()
-            return n
+            if val < 0:
+                raise KernelError(EINVAL, "negative wake count")
+            with self.futex_lock:
+                waiters = self.futex_waiters.get(key, [])
+                picked = self._futex_pick(waiters, val)
+                for entry in picked:
+                    waiters.remove(entry)
+            for _, waiter in picked:
+                with waiter.wake:
+                    waiter.wake.notify_all()
+            return len(picked)
+        if base_op == FUTEX_LOCK_PI:
+            with self.futex_lock:
+                st = self.futex_pi.setdefault(
+                    key, {"owner": None, "waiters": []})
+                if st["owner"] is None:
+                    st["owner"] = proc
+                    return 0
+                if st["owner"] is proc:
+                    raise KernelError(EDEADLK, "futex already held")
+                st["waiters"].append(proc)
+                self._pi_refresh_boost(st["owner"])
+
+            def owned():
+                return True if st["owner"] is proc else None
+
+            try:
+                self.block_until(proc, owned, timeout_ns=timeout_ns)
+            except KernelError:
+                with self.futex_lock:
+                    # the unlocker may have handed us the futex between
+                    # the last scan and the timeout/signal check: owning
+                    # it wins over the stale exception
+                    if st["owner"] is proc:
+                        return 0
+                    if proc in st["waiters"]:
+                        st["waiters"].remove(proc)
+                    if st["owner"] is not None:
+                        self._pi_refresh_boost(st["owner"])
+                raise
+            return 0
+        if base_op == FUTEX_UNLOCK_PI:
+            with self.futex_lock:
+                st = self.futex_pi.get(key)
+                if st is None or st["owner"] is not proc:
+                    raise KernelError(EPERM,
+                                      "unlock of unowned PI futex")
+                self._pi_unlock(key, st)
+            return 0
         raise KernelError(ENOSYS, f"futex op {base_op}")

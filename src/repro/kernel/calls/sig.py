@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errno import EINVAL, EPERM, KernelError
+from ..errno import EAGAIN, EINVAL, EPERM, KernelError
 from ..process import Process
 from ..signals import (
     NSIG, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK, SIGKILL, SIGSTOP, SigAction,
@@ -85,4 +85,4 @@ class SigCalls:
 
         return self.block_until(proc, scan, timeout_ns=timeout_ns,
                                 empty=lambda: (_ for _ in ()).throw(
-                                    KernelError(11, "sigtimedwait timeout")))
+                                    KernelError(EAGAIN, "sigtimedwait timeout")))

@@ -87,6 +87,12 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         self.table_lock = threading.RLock()
         self._next_pid = 1
         self.futex_waiters: Dict[tuple, list] = {}
+        # PI futexes: key -> {"owner": Process|None, "waiters": [Process]}
+        self.futex_pi: Dict[tuple, dict] = {}
+        # guards futex owner/waiter transitions: with per-CPU slots two
+        # handlers can genuinely race on the same futex word (never held
+        # while blocking or while holding the scheduler's condition)
+        self.futex_lock = threading.Lock()
         self.syslog_buffer: List[str] = []
         self.rng = random.Random(rng_seed)
         self.boot_monotonic_ns = _time.monotonic_ns()

@@ -122,16 +122,25 @@ def _sched_debug(kernel) -> bytes:
         f"blocked: {sched.blocked_pids()}",
         f"switches: {_get(kernel, 'sched.switch')} "
         f"wakeups: {_get(kernel, 'sched.wakeup')} "
-        f"preemptions: {_get(kernel, 'sched.preempt')}",
-        f"{'pid':>5} {'comm':<15} {'st':<2} {'nice':>4} "
-        f"{'vruntime_ns':>14} {'wait_ns':>12} {'cpu_ns':>12}",
+        f"preemptions: {_get(kernel, 'sched.preempt')} "
+        f"migrations: {_get(kernel, 'sched.migrate')} "
+        f"steals: {_get(kernel, 'sched.steal')}",
     ]
+    for rq in sched.cpu_snapshot():
+        cur = rq["current"] if rq["current"] is not None else "-"
+        lines.append(
+            f"cpu#{rq['cpu']}: curr={cur} nr_runnable={rq['nr_runnable']} "
+            f"min_vruntime={rq['min_vruntime']} queued={rq['queued']}")
+    lines.append(
+        f"{'pid':>5} {'comm':<15} {'st':<2} {'nice':>4} {'cpu':>3} "
+        f"{'aff':>4} {'vruntime_ns':>14} {'wait_ns':>12} {'cpu_ns':>12}")
     for pid in sorted(kernel.processes):
         pr = kernel.processes[pid]
         se = pr.se
         lines.append(
             f"{pid:>5} {pr.comm or '-':<15} {se.state[:2]:<2} "
-            f"{se.nice:>4} {se.vruntime_ns:>14} {se.wait_ns:>12} "
+            f"{se.nice:>4} {se.cpu:>3} {se.affinity or '*':>4} "
+            f"{se.vruntime_ns:>14} {se.wait_ns:>12} "
             f"{se.cpu_time_ns:>12}")
     return ("\n".join(lines) + "\n").encode()
 

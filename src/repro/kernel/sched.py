@@ -1,4 +1,4 @@
-"""CFS-lite scheduler: a real run queue, weighted vruntime, time slices.
+"""CFS-lite SMP scheduler: per-CPU run queues, work stealing, PI boosts.
 
 Before this module existed, a blocked syscall was a condvar sleep on the
 calling process and *every* runnable task ran whenever its host thread
@@ -7,48 +7,48 @@ contention, so kernel-time accounting (Fig. 7) measured service time on
 an effectively idle machine.  This scheduler makes CPU time a real,
 contended resource:
 
-* the kernel owns ``ncpus`` **CPU slots**; a task must hold one to
-  execute (guest code or syscall service),
-* runnable tasks that don't hold a slot sit on a per-kernel **run
-  queue** ordered by *weighted virtual runtime* (CFS semantics: each
-  task's clock advances at ``NICE_0_WEIGHT / weight(nice)`` of wall
-  time, the task with the smallest vruntime runs next, FIFO among
-  equals),
-* **preemption happens at syscall boundaries and timer ticks**: every
-  ``Kernel.call`` entry/exit is a schedule point (slice expiry or a
-  ``need_resched`` mark yields the slot), and contending waiters run
-  the tick — a task executing *user* code past its slice is preempted
-  in absentia (its slot is taken; it re-contends at its next syscall),
-  exactly like a timer interrupt preempting userspace,
-* **blocking is scheduler-aware**: ``Kernel.block_until`` /
-  ``block_on_waitqueues`` / ``_blocking_io`` park through
-  :meth:`Scheduler.sleep`, which releases the CPU slot for the duration
-  of the sleep and re-contends on wakeup — a blocked task consumes zero
-  slice and zero vruntime.
+* the kernel owns ``ncpus`` **CPU slots**, each with its **own run
+  queue**; a task must hold a slot to execute (guest code or syscall
+  service),
+* runnable tasks that don't hold a slot sit on a per-CPU queue ordered
+  by *weighted virtual runtime* (CFS semantics: each task's clock
+  advances at ``NICE_0_WEIGHT / weight(nice)`` of wall time, the task
+  with the smallest vruntime runs next, FIFO among equals),
+* **placement honors affinity**: a waking or newly attached task is
+  placed on the least-loaded CPU its ``se.affinity`` mask allows
+  (``0`` = all CPUs), preferring its previous CPU on ties,
+* **idle CPUs steal**: a CPU whose own queue is empty pulls the
+  lowest-vruntime runnable task from the busiest other queue, subject
+  to the task's affinity — the scheduler is work-conserving across
+  queues, not just within one,
+* **migrations keep vruntime comparable**: each queue tracks its own
+  ``min_vruntime``; a task moving between queues carries its *lag*
+  (``vruntime - old_min``) rather than its absolute clock, so a task
+  stolen from a long-running queue is neither starved nor handed the
+  CPU forever on arrival,
+* **preemption happens at syscall boundaries and timer ticks** exactly
+  as before, and **blocking is scheduler-aware**: parked tasks release
+  their slot and consume zero slice and zero vruntime.
 
-Service vs. runnable-wait accounting split
-------------------------------------------
-Kernel time now decomposes into three separately-tracked buckets:
+Priority inheritance
+--------------------
+:meth:`Scheduler.set_boost` lets the futex layer lend a waiter's load
+weight to a lock holder: the holder's effective weight becomes
+``max(own weight, boost)`` until the boost is cleared at unlock.  A
+nice+19 holder boosted by a nice−20 waiter accrues vruntime ~5900×
+slower, so it wins the CPU back from mid-priority hogs and releases the
+lock in bounded time — the classic priority-inversion fix
+(``FUTEX_LOCK_PI``/``FUTEX_UNLOCK_PI`` in ``calls/proc.py``).
 
-``kernel.kernel_time_ns``
-    wall time inside syscalls (as before: includes any in-call sleeps
-    and CPU waits, which the buckets below carve back out),
-``kernel.blocked_time_ns``
-    time spent *asleep* waiting for an event (pipe data, socket
-    readiness, futex wake, timer expiry) — not CPU time of anyone,
-``kernel.sched_wait_ns``
-    time spent *runnable but waiting for a CPU slot* — pure contention.
-    On an idle kernel this is ~0; under load it grows with the number
-    of competing tasks.  This is the column Fig. 7-style breakdowns
-    were silently missing: syscall latency = service + runnable-wait,
-    and only the first term is the kernel's own cost.
+Service vs. runnable-wait accounting is unchanged from the single-queue
+scheduler: ``kernel_time_ns`` (service), ``blocked_time_ns`` (event
+sleeps) and ``sched_wait_ns`` (runnable-but-waiting) split every
+syscall's latency into kernel cost vs contention.
 
-``metrics.breakdown`` reports ``kernel`` (service = kernel - blocked -
-wait) and ``wait`` as separate columns so contention is visible instead
-of being smeared into service time.
-
-Follow-ups tracked in ROADMAP.md: per-CPU run queues with work stealing,
-and priority inheritance for futex waits.
+Observability: ``sched.migrate`` / ``sched.steal`` counters and
+``sched_migrate`` / ``sched_steal`` tracepoints fire on every cross-CPU
+move; ``/proc/sched_debug`` renders one section per CPU (current task,
+queue depth, ``min_vruntime``) above the per-task table.
 """
 
 from __future__ import annotations
@@ -88,7 +88,7 @@ def nice_to_weight(nice: int) -> int:
 # ---- task scheduling states ----------------------------------------------
 
 SCHED_NEW = "new"            # never ran; not yet on any queue
-SCHED_RUNNABLE = "runnable"  # on the run queue, waiting for a CPU slot
+SCHED_RUNNABLE = "runnable"  # on a run queue, waiting for a CPU slot
 SCHED_RUNNING = "running"    # holds a CPU slot
 SCHED_BLOCKED = "blocked"    # off the run queue, parked on a waitqueue
 SCHED_DEAD = "dead"          # exited; owns nothing
@@ -100,17 +100,20 @@ class SchedEntity:
     """Per-task scheduling state (``proc.se``)."""
 
     __slots__ = (
-        "state", "vruntime_ns", "nice", "weight", "cpu_time_ns",
-        "wait_ns", "last_wait_ns", "blocked_ns", "wait_since_ns",
-        "granted_at_ns", "last_charge_ns", "need_resched", "depth",
-        "host_thread", "rq_seq", "affinity",
+        "state", "vruntime_ns", "nice", "weight", "base_weight",
+        "pi_weight", "cpu_time_ns", "wait_ns", "last_wait_ns",
+        "blocked_ns", "wait_since_ns", "granted_at_ns", "last_charge_ns",
+        "need_resched", "depth", "host_thread", "rq_seq", "affinity",
+        "cpu", "migrations",
     )
 
     def __init__(self):
         self.state = SCHED_NEW
         self.vruntime_ns = 0
         self.nice = 0
-        self.weight = NICE_0_WEIGHT
+        self.weight = NICE_0_WEIGHT       # effective: max(base, pi boost)
+        self.base_weight = NICE_0_WEIGHT  # from the nice level alone
+        self.pi_weight = 0                # PI ceiling lent by lock waiters
         self.cpu_time_ns = 0       # wall time spent holding a CPU slot
         self.wait_ns = 0           # cumulative runnable-but-not-running
         self.last_wait_ns = 0      # wait of the most recent grant
@@ -123,15 +126,37 @@ class SchedEntity:
         self.host_thread = 0       # ident of the thread that last ran us
         self.rq_seq = -1           # seq of our valid run-queue entry
         self.affinity = 0          # 0 = default mask (all cpus)
+        self.cpu = -1              # run queue we live on (-1: unplaced)
+        self.migrations = 0        # cross-CPU moves (placement + steals)
 
     def set_nice(self, nice: int) -> int:
         self.nice = max(NICE_MIN, min(NICE_MAX, nice))
-        self.weight = nice_to_weight(self.nice)
+        self.base_weight = nice_to_weight(self.nice)
+        self.weight = max(self.base_weight, self.pi_weight)
         return self.nice
+
+    def set_boost(self, weight: int) -> None:
+        """Lend this task a priority-inheritance weight ceiling (0 clears
+        the boost and restores the nice-derived weight)."""
+        self.pi_weight = max(0, weight)
+        self.weight = max(self.base_weight, self.pi_weight)
+
+
+class CPURunQueue:
+    """One CPU slot: its current task and its private vruntime queue."""
+
+    __slots__ = ("index", "queue", "nr_runnable", "min_vruntime", "current")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.queue: List[tuple] = []   # heap of (vruntime, seq, pid)
+        self.nr_runnable = 0           # valid (non-stale) entries
+        self.min_vruntime = 0          # this queue's own normalization base
+        self.current = None            # the proc holding this slot
 
 
 class Scheduler:
-    """A per-kernel run queue with ``ncpus`` slots and CFS-lite pick order.
+    """Per-CPU run queues with ``ncpus`` slots and CFS-lite pick order.
 
     ``ncpus <= 0`` means *unconstrained*: every task is granted a slot
     immediately (the pre-scheduler behavior, useful as an ablation and
@@ -145,6 +170,12 @@ class Scheduler:
     Tasks inside a syscall are non-preemptible (like a non-preempt
     kernel) — they get marked ``need_resched`` and yield at the next
     schedule point (syscall entry or exit).
+
+    Dispatch runs two deterministic passes over the CPUs in index
+    order: each free slot first picks from its own queue, then any slot
+    still idle steals the lowest-vruntime eligible task from the
+    busiest other queue — so no slot ever idles while affinity permits
+    it to run someone.
     """
 
     def __init__(self, ncpus: int = 1, slice_us: float = DEFAULT_SLICE_US,
@@ -161,12 +192,13 @@ class Scheduler:
         self._cv = threading.Condition()
         self._procs: Dict[int, object] = {}    # live attached tasks
         self._running: Dict[int, object] = {}  # pid -> proc holding a slot
-        self._runq: List[tuple] = []           # heap of (vruntime, seq, pid)
+        self._rqs = [CPURunQueue(i) for i in range(max(self.ncpus, 1))]
         self._seq = 0
-        self.min_vruntime = 0
-        self._nr_runnable = 0
+        self._nr_runnable = 0                  # across all queues
         self._nr_waiting = 0                   # threads blocked in acquire
         self._contended = False                # lock-free fast-path hint
+        self.nr_steals = 0
+        self.nr_migrations = 0
         # accounting sinks (shared with the kernel when attached)
         if kernel is not None:
             self.wait_ns_by_tgid = kernel.sched_wait_ns
@@ -181,6 +213,12 @@ class Scheduler:
 
     def describe(self) -> str:
         return f"sched:cpus={self.ncpus},slice_us={self.slice_ns / 1000:g}"
+
+    @property
+    def min_vruntime(self) -> int:
+        """The most-advanced queue's normalization base (on a 1-CPU
+        scheduler: *the* min_vruntime, as before the SMP split)."""
+        return max(rq.min_vruntime for rq in self._rqs)
 
     def live_pids(self) -> List[int]:
         with self._cv:
@@ -203,6 +241,27 @@ class Scheduler:
     def total_vruntime_ns(self) -> int:
         with self._cv:
             return sum(p.se.vruntime_ns for p in self._procs.values())
+
+    def cpu_snapshot(self) -> List[dict]:
+        """Per-CPU state for ``/proc/sched_debug`` and the SMP tests."""
+        with self._cv:
+            out = []
+            for rq in self._rqs:
+                queued = sorted(
+                    pid for (_, seq, pid) in rq.queue
+                    if (p := self._procs.get(pid)) is not None
+                    and p.se.rq_seq == seq
+                    and p.se.state == SCHED_RUNNABLE
+                    and p.se.cpu == rq.index)
+                out.append({
+                    "cpu": rq.index,
+                    "current": rq.current.pid if rq.current is not None
+                    else None,
+                    "nr_runnable": rq.nr_runnable,
+                    "min_vruntime": rq.min_vruntime,
+                    "queued": queued,
+                })
+            return out
 
     # ------------------------------------------------------------------
     # core transitions (non-blocking; safe to drive directly in tests)
@@ -252,7 +311,8 @@ class Scheduler:
 
     def task_yield(self, proc) -> None:
         """``sched_yield``: put ourselves behind every task of equal or
-        lower vruntime, then re-contend.  A lone task keeps running."""
+        lower vruntime on our queue, then re-contend.  A lone task keeps
+        running."""
         with self._cv:
             se = proc.se
             if se.state != SCHED_RUNNING or not self._has_runnable():
@@ -260,7 +320,8 @@ class Scheduler:
             now = self._now()
             self._charge(proc, now)
             # CFS yield: jump past the leftmost entity so equals go first
-            head = self._peek_runnable_vruntime()
+            rq = self._rq_of(se)
+            head = self._peek(rq)
             if head is not None:
                 se.vruntime_ns = max(se.vruntime_ns, head)
             self._unrun(proc)
@@ -303,6 +364,42 @@ class Scheduler:
             self._charge(proc, self._now())
             return proc.se.set_nice(nice)
 
+    def set_boost(self, proc, weight: int) -> None:
+        """Apply (or clear, with 0) a priority-inheritance boost: the
+        task's effective weight becomes ``max(own, weight)``.  Time run
+        before the change is charged at the old weight."""
+        with self._cv:
+            self._charge(proc, self._now())
+            proc.se.set_boost(weight)
+
+    def set_affinity(self, proc, mask: int) -> None:
+        """Update a task's CPU mask and migrate it off any CPU the new
+        mask forbids.  Runnable tasks are re-placed immediately; a task
+        running *user* code is moved in absentia; a task inside a
+        syscall is marked for preemption and re-places itself at its
+        next schedule point."""
+        with self._cv:
+            se = proc.se
+            se.affinity = mask
+            if self.ncpus <= 0 or se.cpu < 0 \
+                    or self._cpu_allowed(se, se.cpu):
+                return
+            now = self._now()
+            if se.state == SCHED_RUNNABLE:
+                self._dequeue(proc)
+                self._enqueue(proc, now, repick=True)
+                self._dispatch(now)
+            elif se.state == SCHED_RUNNING:
+                if se.depth > 0:
+                    se.need_resched = True  # moves at syscall exit
+                else:
+                    self._charge(proc, now)
+                    self._unrun(proc)
+                    proc.rusage.nivcsw += 1
+                    self._enqueue(proc, now, absent=True, repick=True)
+                    self._dispatch(now)
+            # blocked/new tasks re-place themselves on wakeup
+
     # ------------------------------------------------------------------
     # kernel-facing blocking API
     # ------------------------------------------------------------------
@@ -335,7 +432,8 @@ class Scheduler:
             # unscheduled and re-contends at its next kernel entry
             with self._cv:
                 if se.need_resched and se.state == SCHED_RUNNING \
-                        and self._has_runnable():
+                        and (self._has_runnable()
+                             or not self._cpu_allowed(se, se.cpu)):
                     now = self._now()
                     self._charge(proc, now)
                     self._unrun(proc)
@@ -383,23 +481,86 @@ class Scheduler:
             se.vruntime_ns += dt * NICE_0_WEIGHT // se.weight
             se.last_charge_ns = now
 
+    def _rq_of(self, se) -> CPURunQueue:
+        return self._rqs[se.cpu if 0 <= se.cpu < len(self._rqs) else 0]
+
+    def _cpu_allowed(self, se, cpu: int) -> bool:
+        if self.ncpus <= 0 or not se.affinity:
+            return True
+        return bool(se.affinity >> cpu & 1)
+
+    def _eligible_cpus(self, se) -> List[int]:
+        if self.ncpus <= 0 or not se.affinity:
+            return list(range(max(self.ncpus, 1)))
+        cpus = [c for c in range(self.ncpus) if se.affinity >> c & 1]
+        return cpus or list(range(self.ncpus))
+
+    def _select_cpu(self, se) -> int:
+        """Least-loaded eligible CPU; previous CPU wins ties, then the
+        lowest index (deterministic under the seeded logical clock)."""
+        best, best_key = 0, None
+        for c in self._eligible_cpus(se):
+            rq = self._rqs[c]
+            load = rq.nr_runnable + (0 if rq.current is None else 1)
+            key = (load, 0 if c == se.cpu else 1, c)
+            if best_key is None or key < best_key:
+                best_key, best = key, c
+        return best
+
+    def _migrate(self, proc, cpu: int, steal: bool = False) -> None:
+        """Move a task to ``cpu``, renormalizing vruntime: the task
+        carries its lag relative to the old queue's min_vruntime, not
+        its absolute clock, so cross-queue picks stay comparable."""
+        se = proc.se
+        old = se.cpu
+        if old == cpu:
+            return
+        if old >= 0 and self.ncpus > 0:
+            shift = self._rqs[cpu].min_vruntime \
+                - self._rqs[old].min_vruntime
+            se.vruntime_ns = max(0, se.vruntime_ns + shift)
+            se.migrations += 1
+            if steal:
+                self.nr_steals += 1
+            else:
+                self.nr_migrations += 1
+            if self.trace is not None:
+                name = "sched_steal" if steal else "sched_migrate"
+                self.trace.counters.inc(
+                    "sched.steal" if steal else "sched.migrate")
+                self.trace.emit(name, pid=proc.pid, arg=cpu)
+        se.cpu = cpu
+
     def _unrun(self, proc) -> None:
         self._running.pop(proc.pid, None)
+        se = proc.se
+        if 0 <= se.cpu < len(self._rqs):
+            rq = self._rqs[se.cpu]
+            if rq.current is proc:
+                rq.current = None
 
     def _enqueue(self, proc, now: int, wakeup: bool = False,
-                 absent: bool = False) -> None:
+                 absent: bool = False, repick: bool = False) -> None:
         """``absent`` marks a task preempted *in absentia* (its host
         thread is still executing user code elsewhere): it is runnable
         but not stalled, so its runnable-wait clock only starts when it
-        actually arrives at a schedule point (see :meth:`_acquire`)."""
+        actually arrives at a schedule point (see :meth:`_acquire`).
+        ``repick`` forces a fresh placement decision (wakeups); plain
+        requeues stay on their CPU unless affinity forbids it."""
         se = proc.se
         if se.state == SCHED_RUNNABLE and se.rq_seq >= 0:
             return  # already queued; never twice
+        if self.ncpus <= 0:
+            se.cpu = 0
+        elif repick or se.cpu < 0 or not self._cpu_allowed(se, se.cpu):
+            self._migrate(proc, self._select_cpu(se))
+        rq = self._rqs[se.cpu]
         se.state = SCHED_RUNNABLE
         se.wait_since_ns = -1 if absent else now
         self._seq += 1
         se.rq_seq = self._seq
-        heapq.heappush(self._runq, (se.vruntime_ns, self._seq, proc.pid))
+        heapq.heappush(rq.queue, (se.vruntime_ns, self._seq, proc.pid))
+        rq.nr_runnable += 1
         self._nr_runnable += 1
         self._contended = True
         if wakeup:
@@ -410,25 +571,31 @@ class Scheduler:
         se = proc.se
         if se.rq_seq >= 0:
             se.rq_seq = -1
+            self._rq_of(se).nr_runnable -= 1
             self._nr_runnable -= 1
 
     def _place(self, proc, now: int, was_blocked: bool) -> None:
-        """Admit a new or woken task onto the run queue (one place for
+        """Admit a new or woken task onto a run queue (one place for
         the placement policy, used by attach, wake, and acquire).
 
-        Sleeper placement, both directions: cap the lag (an ancient
-        vruntime must not starve everyone) but grant woken sleepers one
-        slice of bonus below min_vruntime, so an I/O-bound task that
-        just woke preempts CPU-bound tasks promptly (CFS's sleeper
-        fairness).  New tasks start exactly at min_vruntime: no credit
-        for being born late, no penalty versus long-running peers.
+        Placement picks the least-loaded CPU the task's affinity mask
+        allows.  Sleeper placement, both directions: cap the lag (an
+        ancient vruntime must not starve everyone) but grant woken
+        sleepers one slice of bonus below the target queue's
+        min_vruntime, so an I/O-bound task that just woke preempts
+        CPU-bound tasks promptly (CFS's sleeper fairness).  New tasks
+        start exactly at min_vruntime: no credit for being born late,
+        no penalty versus long-running peers.
         """
         se = proc.se
         if proc.pid not in self._procs:
             self._procs[proc.pid] = proc
         self._refresh(now)
-        floor = self.min_vruntime - self.slice_ns if was_blocked \
-            else self.min_vruntime
+        if self.ncpus > 0:
+            self._migrate(proc, self._select_cpu(se))
+        rq = self._rqs[se.cpu if se.cpu >= 0 else 0]
+        floor = rq.min_vruntime - self.slice_ns if was_blocked \
+            else rq.min_vruntime
         se.vruntime_ns = max(se.vruntime_ns, floor)
         self._enqueue(proc, now, wakeup=was_blocked)
         if was_blocked and self.trace is not None:
@@ -437,15 +604,20 @@ class Scheduler:
                             arg=se.vruntime_ns)
 
     def _maybe_mark_preempt(self, woken_se) -> None:
-        """Wakeup preemption: if the woken task out-prioritizes a running
-        one by more than the wakeup granularity, mark that task for
-        preemption at its next schedule point (or tick)."""
-        if self.ncpus <= 0 or len(self._running) < self.ncpus:
-            return  # a free slot will serve the wakeup directly
+        """Wakeup preemption: if the woken task out-prioritizes a task
+        running on one of its eligible CPUs by more than the wakeup
+        granularity, mark that task for preemption at its next schedule
+        point (or tick)."""
+        if self.ncpus <= 0:
+            return
+        cpus = self._eligible_cpus(woken_se)
+        if any(self._rqs[c].current is None for c in cpus):
+            return  # a free eligible slot will serve the wakeup directly
         gran = self.slice_ns // 2
         victim = None
         worst = woken_se.vruntime_ns + gran
-        for p in self._running.values():
+        for c in cpus:
+            p = self._rqs[c].current
             if p.se.vruntime_ns > worst and not p.se.need_resched:
                 worst = p.se.vruntime_ns
                 victim = p
@@ -455,44 +627,107 @@ class Scheduler:
     def _has_runnable(self) -> bool:
         return self._nr_runnable > 0
 
-    def _peek_runnable_vruntime(self) -> Optional[int]:
-        while self._runq:
-            vrt, seq, pid = self._runq[0]
+    def _peek(self, rq: CPURunQueue) -> Optional[int]:
+        """The queue head's vruntime, dropping stale entries."""
+        while rq.queue:
+            vrt, seq, pid = rq.queue[0]
             proc = self._procs.get(pid)
             if proc is not None and proc.se.rq_seq == seq \
-                    and proc.se.state == SCHED_RUNNABLE:
+                    and proc.se.state == SCHED_RUNNABLE \
+                    and proc.se.cpu == rq.index:
                 return vrt
-            heapq.heappop(self._runq)  # stale
+            heapq.heappop(rq.queue)  # stale
         return None
 
-    def _dispatch(self, now: int) -> None:
-        """Fill free CPU slots from the run queue in vruntime order."""
-        granted = False
-        while (self.ncpus <= 0 or len(self._running) < self.ncpus) \
-                and self._runq:
-            vrt, seq, pid = heapq.heappop(self._runq)
+    def _pick(self, rq: CPURunQueue):
+        """Pop this queue's lowest-vruntime valid task, or None."""
+        while rq.queue:
+            vrt, seq, pid = heapq.heappop(rq.queue)
             proc = self._procs.get(pid)
             if proc is None or proc.se.rq_seq != seq \
-                    or proc.se.state != SCHED_RUNNABLE:
+                    or proc.se.state != SCHED_RUNNABLE \
+                    or proc.se.cpu != rq.index:
                 continue  # stale entry
-            se = proc.se
-            se.rq_seq = -1
+            proc.se.rq_seq = -1
+            rq.nr_runnable -= 1
             self._nr_runnable -= 1
-            se.state = SCHED_RUNNING
-            self._running[pid] = proc
-            # absent tasks (wait_since < 0) were executing user code the
-            # whole time: no wall-clock stall to account
-            waited = max(now - se.wait_since_ns, 0) \
-                if se.wait_since_ns >= 0 else 0
-            se.wait_ns += waited
-            se.last_wait_ns = waited
-            self.wait_ns_by_tgid[proc.tgid] += waited
-            se.granted_at_ns = now
-            se.last_charge_ns = now
-            granted = True
-            if self.trace is not None:
-                self.trace.counters.inc("sched.switch")
-                self.trace.emit("sched_switch", pid=pid, arg=waited)
+            return proc
+        return None
+
+    def _steal_for(self, rq: CPURunQueue):
+        """Idle balance: pull the lowest-vruntime task this CPU may run
+        from the busiest other queue.  Deterministic victim order:
+        most-runnable first, then lowest index."""
+        victims = sorted(
+            (v for v in self._rqs if v is not rq and v.nr_runnable > 0),
+            key=lambda v: (-v.nr_runnable, v.index))
+        for v in victims:
+            best_key, best = None, None
+            for (vrt, seq, pid) in v.queue:
+                proc = self._procs.get(pid)
+                if proc is None:
+                    continue
+                se = proc.se
+                if se.rq_seq != seq or se.state != SCHED_RUNNABLE \
+                        or se.cpu != v.index:
+                    continue
+                if not self._cpu_allowed(se, rq.index):
+                    continue
+                if best_key is None or (vrt, seq) < best_key:
+                    best_key, best = (vrt, seq), proc
+            if best is None:
+                continue
+            best.se.rq_seq = -1
+            v.nr_runnable -= 1
+            self._nr_runnable -= 1
+            self._migrate(best, rq.index, steal=True)
+            return best
+        return None
+
+    def _grant(self, proc, rq: Optional[CPURunQueue], now: int) -> None:
+        se = proc.se
+        se.state = SCHED_RUNNING
+        if rq is not None:
+            rq.current = proc
+        self._running[proc.pid] = proc
+        # absent tasks (wait_since < 0) were executing user code the
+        # whole time: no wall-clock stall to account
+        waited = max(now - se.wait_since_ns, 0) \
+            if se.wait_since_ns >= 0 else 0
+        se.wait_ns += waited
+        se.last_wait_ns = waited
+        self.wait_ns_by_tgid[proc.tgid] += waited
+        se.granted_at_ns = now
+        se.last_charge_ns = now
+        if self.trace is not None:
+            self.trace.counters.inc("sched.switch")
+            self.trace.emit("sched_switch", pid=proc.pid, arg=waited)
+
+    def _dispatch(self, now: int) -> None:
+        """Fill free CPU slots: each from its own queue first, then
+        idle slots steal — no slot idles while affinity permits work."""
+        granted = False
+        if self.ncpus <= 0:
+            rq = self._rqs[0]
+            while True:
+                proc = self._pick(rq)
+                if proc is None:
+                    break
+                self._grant(proc, None, now)
+                granted = True
+        else:
+            for rq in self._rqs:
+                if rq.current is None:
+                    proc = self._pick(rq)
+                    if proc is not None:
+                        self._grant(proc, rq, now)
+                        granted = True
+            for rq in self._rqs:
+                if rq.current is None and self._nr_runnable > 0:
+                    proc = self._steal_for(rq)
+                    if proc is not None:
+                        self._grant(proc, rq, now)
+                        granted = True
         self._update_min_vruntime()
         self._contended = self._nr_runnable > 0 or self._nr_waiting > 0
         if granted:
@@ -506,12 +741,24 @@ class Scheduler:
         self._update_min_vruntime()
 
     def _update_min_vruntime(self) -> None:
-        cands = [p.se.vruntime_ns for p in self._running.values()]
-        head = self._peek_runnable_vruntime()
-        if head is not None:
-            cands.append(head)
-        if cands:
-            self.min_vruntime = max(self.min_vruntime, min(cands))
+        if self.ncpus <= 0:
+            rq = self._rqs[0]
+            cands = [p.se.vruntime_ns for p in self._running.values()]
+            head = self._peek(rq)
+            if head is not None:
+                cands.append(head)
+            if cands:
+                rq.min_vruntime = max(rq.min_vruntime, min(cands))
+            return
+        for rq in self._rqs:
+            cands = []
+            if rq.current is not None:
+                cands.append(rq.current.se.vruntime_ns)
+            head = self._peek(rq)
+            if head is not None:
+                cands.append(head)
+            if cands:
+                rq.min_vruntime = max(rq.min_vruntime, min(cands))
 
     def _preempt_locked(self, proc) -> bool:
         se = proc.se
@@ -669,11 +916,12 @@ class BackgroundSpinners:
     """
 
     def __init__(self, kernel, n: int = 2, syscall: str = "getpid",
-                 nice: int = 0):
+                 nice: int = 0, affinity: int = 0):
         self.kernel = kernel
         self.n = n
         self.syscall = syscall
         self.nice = nice
+        self.affinity = affinity
         self.procs = []
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -683,6 +931,8 @@ class BackgroundSpinners:
             proc = self.kernel.create_process([f"spinner{i}"], stdio=False)
             if self.nice:
                 proc.se.set_nice(self.nice)
+            if self.affinity:
+                proc.se.affinity = self.affinity
             self.procs.append(proc)
             t = threading.Thread(target=self._spin, args=(proc,),
                                  daemon=True, name=f"spinner-{proc.pid}")

@@ -70,6 +70,9 @@ TRACEPOINTS = (
     "uring_overflow",     # CQ full, completion backlogged
     "inotify_enqueue",    # fsnotify record queued (arg: mask, info: name)
     "inotify_overflow",   # inotify queue full, event dropped
+    # ids are append-only: the two SMP points land after the originals
+    "sched_migrate",      # task re-placed on another CPU (arg: dest cpu)
+    "sched_steal",        # idle CPU pulled queued work (arg: dest cpu)
 )
 
 TRACEPOINT_IDS: Dict[str, int] = {n: i for i, n in enumerate(TRACEPOINTS)}

@@ -14,7 +14,7 @@ import struct
 from typing import List
 
 from ..kernel import Kernel
-from ..kernel.errno import KernelError
+from ..kernel.errno import ENOSYS, KernelError
 from ..kernel.mm import MAP_ANONYMOUS, MAP_PRIVATE, PROT_READ, PROT_WRITE
 from ..kernel.process import Process
 from ..wali.layout import GUEST_LAYOUT
@@ -163,7 +163,7 @@ class NativeBackend(Backend):
             return k.call(p, "fdatasync", a[0])
         if name == "exit_group":
             return k.call(p, "exit_group", a[0])
-        raise KernelError(38, name)  # ENOSYS
+        raise KernelError(ENOSYS, name)
 
 
 def _s32(x: int) -> int:
