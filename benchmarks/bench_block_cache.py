@@ -1,0 +1,163 @@
+"""Block-layer benchmarks: page-cache effectiveness and fsync latency.
+
+Three experiments behind the disk cost model and the page cache:
+
+1. **cache hit vs miss** — read a multi-block file cold (every block
+   faulted off a disk that charges seek + per-block transfer time
+   through the scheduler) and again warm (every block resident).  The
+   acceptance bound: warm reads are >= 10x faster than cold reads —
+   the whole point of keeping a cache in front of a slow device.
+2. **fsync latency distribution** — p50/p99 of fsync with a one-page
+   backlog vs a writeback storm (a large dirty backlog the same fsync
+   must flush first).  Tail latency scales with the backlog the
+   durability point has to drain.
+3. **foreground writeback throttle** — dirtying far past dirty_ratio
+   forces the writer itself to flush (balance_dirty); reported as
+   pages flushed in the writer's context.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks file sizes and round
+counts for CI smoke and relaxes the cache bound — tiny runs sit closer
+to constant boot overheads.
+"""
+
+import statistics
+import time
+
+from common import quick_mode, save_report
+
+from repro.kernel import AT_FDCWD, Kernel, O_CREAT, O_RDONLY, O_WRONLY
+from repro.metrics import table
+
+QUICK = quick_mode()
+
+FILE_BLOCKS = 32 if QUICK else 64         # benchmark file size (4 KiB pages)
+READ_ROUNDS = 2 if QUICK else 4
+FSYNC_ROUNDS = 25 if QUICK else 120
+STORM_PAGES = 24 if QUICK else 48         # dirty backlog behind each fsync
+MIN_SPEEDUP = 3.0 if QUICK else 10.0      # acceptance: warm >= 10x cold
+
+# a consciously slow disk so the cost model dominates python overhead:
+# 200us seek + 100us per 4 KiB block, charged to the caller via the
+# scheduler (the process parks on the I/O waitqueue while it pays)
+DISK = "block:seek_us=200,read_us=100,write_us=100,daemon=0"
+# fast disk for the throttle experiment (we count pages, not seconds)
+DISK_FAST = "block:seek_us=0,read_us=0,write_us=0,daemon=0"
+
+
+def _pctl(samples, q):
+    return statistics.quantiles(samples, n=100)[q - 1] \
+        if len(samples) >= 2 else samples[0]
+
+
+def _bench_cold_warm():
+    """Wall seconds to read FILE_BLOCKS pages cold vs warm."""
+    size = FILE_BLOCKS * 4096
+    kern = Kernel(block=DISK)
+    p = kern.create_process(["reader"])
+    fd = kern.call(p, "openat", AT_FDCWD, "/data/big",
+                   O_CREAT | O_WRONLY, 0o644)
+    kern.call(p, "write", fd, b"b" * size)
+    kern.call(p, "fsync", fd)
+    kern.call(p, "close", fd)
+    fd = kern.call(p, "openat", AT_FDCWD, "/data/big", O_RDONLY)
+
+    cold, warm = [], []
+    for _ in range(READ_ROUNDS):
+        kern.blockdev.drop_caches()
+        t0 = time.perf_counter()
+        assert len(kern.call(p, "pread64", fd, size, 0)) == size
+        cold.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        assert len(kern.call(p, "pread64", fd, size, 0)) == size
+        warm.append(time.perf_counter() - t0)
+    return min(cold), min(warm)
+
+
+def _bench_fsync(storm_pages):
+    """fsync wall-time samples with ``storm_pages`` extra dirty pages
+    (in a second file) that the commit's flush does *not* drain, plus
+    one dirty page in the fsync'd file itself — vs a storm where the
+    backlog is in the fsync'd file and must be flushed first."""
+    kern = Kernel(block=DISK)
+    p = kern.create_process(["syncer"])
+    fd = kern.call(p, "openat", AT_FDCWD, "/data/log",
+                   O_CREAT | O_WRONLY, 0o644)
+    samples = []
+    for i in range(FSYNC_ROUNDS):
+        if storm_pages:
+            # re-dirty a large backlog the fsync must flush through
+            # the same device queue before the commit point
+            kern.call(p, "pwrite64", fd, bytes([i & 0xFF]) * 4096 *
+                      storm_pages, 4096)
+        kern.call(p, "pwrite64", fd, bytes([i & 0xFF]) * 4096, 0)
+        t0 = time.perf_counter()
+        kern.call(p, "fsync", fd)
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _bench_throttle():
+    """Dirty 4x past dirty_ratio on a tiny ratio; the writer is
+    throttled into flushing in its own context."""
+    kern = Kernel(block=DISK_FAST + ",dirty_ratio=2,dirty_background_ratio=1",
+                  trace="on")
+    fs = kern.blockdev
+    limit = fs._dirty_limit(fs.dirty_ratio)
+    p = kern.create_process(["hog"])
+    fd = kern.call(p, "openat", AT_FDCWD, "/data/hog",
+                   O_CREAT | O_WRONLY, 0o644)
+    kern.call(p, "write", fd, b"h" * (limit * 4 * 4096))
+    return (limit, fs._ndirty,
+            kern.trace.counters["block.foreground_writeback"],
+            kern.trace.counters["block.writeback_pages"])
+
+
+def test_block_cache(benchmark):
+    def sweep():
+        cold, warm = _bench_cold_warm()
+        quiet = _bench_fsync(0)
+        storm = _bench_fsync(STORM_PAGES)
+        throttle = _bench_throttle()
+        return cold, warm, quiet, storm, throttle
+
+    cold, warm, quiet, storm, throttle = \
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+    limit, ndirty, fg, wb_pages = throttle
+
+    speedup = cold / warm if warm > 0 else float("inf")
+    rows = [
+        ("cold (disk)", f"{cold * 1e3:8.3f}",
+         f"{cold / FILE_BLOCKS * 1e6:8.1f}"),
+        ("warm (cache)", f"{warm * 1e3:8.3f}",
+         f"{warm / FILE_BLOCKS * 1e6:8.1f}"),
+    ]
+    frows = [
+        ("quiet (1 page)", f"{_pctl(quiet, 50) * 1e3:7.3f}",
+         f"{_pctl(quiet, 99) * 1e3:7.3f}"),
+        (f"storm ({STORM_PAGES} pages)", f"{_pctl(storm, 50) * 1e3:7.3f}",
+         f"{_pctl(storm, 99) * 1e3:7.3f}"),
+    ]
+    out = [
+        f"file: {FILE_BLOCKS} x 4 KiB blocks on seek_us=200,"
+        f"read_us=100,write_us=100",
+        table(["read path", "ms/file", "us/block"], rows),
+        f"cache speedup: {speedup:.1f}x (bound: >= {MIN_SPEEDUP:.0f}x)",
+        "",
+        f"fsync latency, {FSYNC_ROUNDS} rounds:",
+        table(["scenario", "p50 ms", "p99 ms"], frows),
+        "",
+        f"foreground writeback: dirtied {limit * 4} pages against a "
+        f"{limit}-page dirty_ratio limit ->",
+        f"  throttle events: {fg}  pages flushed: {wb_pages}  "
+        f"dirty after write: {ndirty} (<= limit)",
+        "",
+        "cold reads pay the simulated device (seek+transfer, charged",
+        "through the scheduler while parked on the I/O waitqueue); warm",
+        "reads never leave the page cache.  fsync tails scale with the",
+        "dirty backlog the durability point must drain first.",
+    ]
+    save_report("block_cache.txt", "\n".join(out))
+
+    assert speedup >= MIN_SPEEDUP, (cold, warm)
+    assert _pctl(storm, 50) > _pctl(quiet, 50), "storm should cost more"
+    assert fg >= 1 and ndirty <= limit

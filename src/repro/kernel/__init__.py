@@ -11,6 +11,10 @@ from .arch import (
     arch_specific, common_syscalls, isa_similarity_report, syscall_names,
     union_syscalls,
 )
+from .block import (
+    BlockFS, Disk, DropCachesDevice, FileMapping, VMKnobDevice,
+    WritebackDaemon, create_blockfs,
+)
 from .errno import KernelError, errno_name
 from .eventpoll import (
     EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD, EPOLLERR, EPOLLET,
@@ -23,7 +27,7 @@ from .inotify import (
     IN_DELETE, IN_DELETE_SELF, IN_IGNORED, IN_ISDIR, IN_MASK_ADD, IN_MODIFY,
     IN_MOVE_SELF, IN_MOVED_FROM, IN_MOVED_TO, IN_NONBLOCK, IN_ONESHOT,
     IN_ONLYDIR, IN_Q_OVERFLOW, Inotify, InotifyEvent, Watch, decode_events,
-    fsnotify,
+    fsnotify, fsnotify_content,
 )
 from .calls.proc import (
     FUTEX_LOCK_PI, FUTEX_PRIVATE_FLAG, FUTEX_UNLOCK_PI, FUTEX_WAIT,
@@ -61,13 +65,15 @@ from .trace import (
 from .uring import (
     CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
     IORING_ENTER_TIMEOUT_MS,
-    IORING_OP_ACCEPT, IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
+    IORING_FSYNC_DATASYNC, IORING_OP_ACCEPT, IORING_OP_FSYNC,
+    IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
     IORING_OP_RECV, IORING_OP_SEND, IORING_OP_TIMEOUT, IORING_OP_WRITE,
     IORING_REGISTER_RING, IORING_SQ_CQ_OVERFLOW, IoURing, SQE,
 )
 from .vfs import (
-    AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_EXCL, O_NONBLOCK,
-    O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, S_IFDIR, S_IFREG, VFS,
+    AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_DIRECT, O_DSYNC,
+    O_EXCL, O_NONBLOCK, O_RDONLY, O_RDWR, O_SYNC, O_TRUNC, O_WRONLY,
+    S_IFDIR, S_IFREG, VFS,
 )
 
 __all__ = [
@@ -76,7 +82,11 @@ __all__ = [
     "IN_MASK_ADD", "IN_MODIFY", "IN_MOVE_SELF", "IN_MOVED_FROM",
     "IN_MOVED_TO", "IN_NONBLOCK", "IN_ONESHOT", "IN_ONLYDIR",
     "IN_Q_OVERFLOW", "Inotify", "InotifyEvent", "Watch", "decode_events",
-    "fsnotify",
+    "fsnotify", "fsnotify_content",
+    "BlockFS", "Disk", "DropCachesDevice", "FileMapping", "VMKnobDevice",
+    "WritebackDaemon", "create_blockfs",
+    "O_DIRECT", "O_DSYNC", "O_SYNC",
+    "IORING_FSYNC_DATASYNC", "IORING_OP_FSYNC",
     "SFD_CLOEXEC", "SFD_NONBLOCK", "SIGNALFD_SIGINFO_SIZE", "SignalFD",
     "decode_siginfo", "encode_siginfo",
     "AARCH64", "AF_INET", "AF_UNIX", "ARCHES", "ARCH_SYSCALLS", "AT_FDCWD",

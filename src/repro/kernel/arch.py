@@ -52,6 +52,7 @@ _X86_64: Dict[str, int] = {
     "statfs": 137, "fstatfs": 138, "getpriority": 140, "setpriority": 141,
     "prctl": 157, "arch_prctl": 158, "setrlimit": 160, "chroot": 161,
     "sync": 162, "gettid": 186, "readahead": 187, "futex": 202,
+    "sync_file_range": 277, "syncfs": 306,
     "inotify_init": 253, "inotify_add_watch": 254, "inotify_rm_watch": 255,
     "sched_setaffinity": 203, "sched_getaffinity": 204, "getdents64": 217,
     "set_tid_address": 218, "fadvise64": 221, "clock_settime": 227,
@@ -89,6 +90,7 @@ _GENERIC: Dict[str, int] = {
     "pselect6": 72, "ppoll": 73, "signalfd4": 74, "readlinkat": 78,
     "newfstatat": 79,
     "fstat": 80, "sync": 81, "fsync": 82, "fdatasync": 83,
+    "sync_file_range": 84, "syncfs": 267,
     "timerfd_create": 85, "timerfd_settime": 86, "timerfd_gettime": 87,
     "utimensat": 88,
     "exit": 93, "exit_group": 94, "waitid": 95, "set_tid_address": 96,

@@ -18,15 +18,15 @@ from ..fdtable import (
     OpenFile, Pipe, SEEK_CUR, SEEK_END, SEEK_SET,
 )
 from ..inotify import (
-    IN_ATTRIB, IN_CREATE, fsnotify, fsnotify_inode_gone, fsnotify_move,
-    fsnotify_name,
+    IN_ATTRIB, IN_CREATE, fsnotify_content, fsnotify_inode_gone,
+    fsnotify_move, fsnotify_name,
 )
 from ..process import Process, RLIMIT_FSIZE, RLIM_INFINITY
 from ..vfs import (
     AT_FDCWD, AT_REMOVEDIR, AT_SYMLINK_NOFOLLOW, DirEntry, Inode,
-    O_ACCMODE, O_APPEND, O_CLOEXEC, O_CREAT, O_DIRECTORY, O_EXCL,
-    O_NOFOLLOW, O_NONBLOCK, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY,
-    S_IFDIR, S_IFIFO, S_IFLNK, S_IFMT, S_IFREG,
+    O_ACCMODE, O_APPEND, O_CLOEXEC, O_CREAT, O_DIRECT, O_DIRECTORY,
+    O_DSYNC, O_EXCL, O_NOFOLLOW, O_NONBLOCK, O_RDONLY, O_RDWR, O_SYNC,
+    O_TRUNC, O_WRONLY, S_IFDIR, S_IFIFO, S_IFLNK, S_IFMT, S_IFREG,
 )
 
 # ioctl requests we answer
@@ -112,7 +112,7 @@ class FSCalls:
             fsize = proc.getrlimit(RLIMIT_FSIZE)[0]
             if fsize != RLIM_INFINITY:
                 node.fs_limit = fsize
-            parent.entries[name] = node
+            self.vfs.attach_child(parent, name, node)
             fsnotify_name(parent, node, IN_CREATE, name)
         if node.is_symlink and flags & O_NOFOLLOW:
             raise KernelError(ELOOP, path)
@@ -162,6 +162,9 @@ class FSCalls:
         data = self._blocking_io(proc, file, lambda: file.read(length))
         if file.kind == OpenFile.KIND_REG:
             self.storage_charge(len(data))
+            if file.flags & O_DIRECT and file.inode is not None \
+                    and file.inode.mapping is not None:
+                file.inode.mapping.evict_clean()  # bypass the page cache
         return data
 
     def sys_write(self, proc: Process, fd: int, data) -> int:
@@ -178,6 +181,7 @@ class FSCalls:
                 break  # regular files/devices write everything in one step
         if file.kind == OpenFile.KIND_REG:
             self.storage_charge(total)
+            self._write_through(file)
         return total
 
     def sys_pread64(self, proc: Process, fd: int, length: int,
@@ -187,6 +191,10 @@ class FSCalls:
             raise KernelError(EBADF)
         data = file.pread(length, offset)
         self.storage_charge(len(data))
+        if file.kind == OpenFile.KIND_REG and file.flags & O_DIRECT \
+                and file.inode is not None \
+                and file.inode.mapping is not None:
+            file.inode.mapping.evict_clean()
         return data
 
     def sys_pwrite64(self, proc: Process, fd: int, data, offset: int) -> int:
@@ -195,7 +203,28 @@ class FSCalls:
             raise KernelError(EBADF)
         n = file.pwrite(bytes(data), offset)
         self.storage_charge(n)
+        if file.kind == OpenFile.KIND_REG:
+            self._write_through(file)
         return n
+
+    def _write_through(self, file: OpenFile) -> None:
+        """Apply O_SYNC / O_DSYNC / O_DIRECT semantics after a write.
+
+        O_SYNC and O_DSYNC fsync (flush + metadata commit: durable);
+        O_DIRECT pushes data blocks straight through the cache *without*
+        a commit — on-disk data, uncommitted metadata, so the write is
+        still not crash-durable until an explicit fsync (the Linux
+        contract: O_DIRECT is about the cache, not durability).
+        """
+        node = file.inode
+        if node is None or node.mapping is None or self.blockdev is None:
+            return
+        if file.flags & (O_SYNC | O_DSYNC):
+            self.blockdev.fsync_inode(
+                node, datasync=(file.flags & O_SYNC) != O_SYNC)
+        elif file.flags & O_DIRECT:
+            self.blockdev.flush_inode(node)
+            node.mapping.evict_clean()
 
     def sys_readv(self, proc: Process, fd: int, lengths: List[int]) -> bytes:
         return self.sys_read(proc, fd, sum(lengths))
@@ -345,7 +374,7 @@ class FSCalls:
             raise KernelError(EEXIST, path)
         node = Inode(S_IFDIR | (mode & ~proc.umask & 0o7777),
                      proc.euid, proc.egid)
-        parent.entries[name] = node
+        self.vfs.attach_child(parent, name, node)
         parent.nlink += 1
         fsnotify_name(parent, node, IN_CREATE, name)
         return 0
@@ -384,8 +413,8 @@ class FSCalls:
                 raise KernelError(EISDIR, new)
             if node.is_dir and existing.is_dir and existing.entries:
                 raise KernelError(ENOTEMPTY, new)
-        del op.entries[oname]
-        np.entries[nname] = node
+        self.vfs._detach_child(op, oname, node)
+        self.vfs.attach_child(np, nname, node)
         if existing is not None and existing is not node:
             existing.nlink -= 1
             fsnotify_inode_gone(existing)
@@ -432,7 +461,7 @@ class FSCalls:
                      mode: int) -> int:
         node = self._resolve_at(proc, dirfd, path)
         node.mode = (node.mode & S_IFMT) | (mode & 0o7777)
-        fsnotify(node, IN_ATTRIB)
+        fsnotify_content(node, IN_ATTRIB)
         return 0
 
     def sys_chmod(self, proc: Process, path: str, mode: int) -> int:
@@ -453,7 +482,7 @@ class FSCalls:
             node.uid = uid
         if gid != 0xFFFFFFFF:
             node.gid = gid
-        fsnotify(node, IN_ATTRIB)
+        fsnotify_content(node, IN_ATTRIB)
         return 0
 
     def sys_chown(self, proc: Process, path: str, uid: int, gid: int) -> int:
@@ -501,21 +530,47 @@ class FSCalls:
             node.atime_ns = atime_ns
         if mtime_ns is not None:
             node.mtime_ns = mtime_ns
-        fsnotify(node, IN_ATTRIB)
+        fsnotify_content(node, IN_ATTRIB)
         return 0
 
-    # ---- sync & ioctl (benign no-ops / tty answers) ----
+    # ---- sync family (real durability through the block layer) ----
 
     def sys_sync(self, proc: Process) -> int:
+        if self.blockdev is not None:
+            self.blockdev.sync_all()
+        return 0
+
+    def sys_syncfs(self, proc: Process, fd: int) -> int:
+        proc.fdtable.get(fd)
+        if self.blockdev is not None:
+            self.blockdev.sync_all()
         return 0
 
     def sys_fsync(self, proc: Process, fd: int) -> int:
-        proc.fdtable.get(fd)
+        file = proc.fdtable.get(fd)
+        if self.blockdev is not None and file.inode is not None:
+            self.blockdev.fsync_inode(file.inode)
         return 0
 
     def sys_fdatasync(self, proc: Process, fd: int) -> int:
-        proc.fdtable.get(fd)
+        file = proc.fdtable.get(fd)
+        if self.blockdev is not None and file.inode is not None:
+            self.blockdev.fsync_inode(file.inode, datasync=True)
         return 0
+
+    def sys_sync_file_range(self, proc: Process, fd: int, offset: int = 0,
+                            nbytes: int = 0, flags: int = 0) -> int:
+        """Push dirty pages to disk WITHOUT a metadata commit — exactly
+        the sync_file_range(2) warning: data blocks land, but nothing
+        references them durably until a real fsync."""
+        file = proc.fdtable.get(fd)
+        if file.kind != OpenFile.KIND_REG:
+            raise KernelError(EINVAL, "sync_file_range on non-regular fd")
+        if self.blockdev is not None and file.inode is not None:
+            self.blockdev.flush_inode(file.inode)
+        return 0
+
+    # ---- ioctl & advisory no-ops ----
 
     def sys_flock(self, proc: Process, fd: int, op: int) -> int:
         proc.fdtable.get(fd)

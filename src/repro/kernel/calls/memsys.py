@@ -18,6 +18,11 @@ from ..mm import (
 )
 from ..process import Process
 
+# msync(2) flags
+MS_ASYNC = 1
+MS_INVALIDATE = 2
+MS_SYNC = 4
+
 
 class MemCalls:
     """Mixin with memory syscalls; mixed into :class:`Kernel`."""
@@ -35,6 +40,9 @@ class MemCalls:
             if file.kind != OpenFile.KIND_REG:
                 raise KernelError(EBADF, "mmap of non-regular fd")
             inode = file.inode
+            if inode is not None and inode.mapping is not None:
+                # fault the mapped range into the page cache up front
+                inode.mapping.ensure_resident(offset, length)
         return self._mm(proc).mmap(addr, length, prot, flags, inode, offset)
 
     def sys_munmap(self, proc: Process, addr: int, length: int,
@@ -57,6 +65,15 @@ class MemCalls:
                   mem_reader: Optional[Callable] = None) -> int:
         writebacks = self._mm(proc).msync(addr, length)
         self._apply_writebacks(writebacks, mem_reader)
+        if flags & MS_SYNC and self.blockdev is not None:
+            # MS_SYNC means durable on return: fsync each touched file
+            # through the block layer, same contract as file durability
+            synced = set()
+            for wb in writebacks:
+                if wb.inode is not None and wb.inode.mapping is not None \
+                        and id(wb.inode) not in synced:
+                    synced.add(id(wb.inode))
+                    self.blockdev.fsync_inode(wb.inode, datasync=True)
         return 0
 
     def sys_madvise(self, proc: Process, addr: int, length: int,
@@ -89,5 +106,6 @@ class MemCalls:
                 cur = len(wb.inode.data)
                 n = min(end, cur) - wb.file_offset
                 if n > 0:
-                    wb.inode.data[wb.file_offset:wb.file_offset + n] = \
-                        bytes(data[:n])
+                    # through write_at so block-layer dirty tracking and
+                    # content fsnotify see mmap writebacks like any write
+                    wb.inode.write_at(wb.file_offset, bytes(data[:n]))

@@ -16,7 +16,7 @@ from .errno import (
 from .eventpoll import (
     EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, WaitQueue,
 )
-from .inotify import IN_CLOSE_NOWRITE, IN_CLOSE_WRITE, fsnotify
+from .inotify import IN_CLOSE_NOWRITE, IN_CLOSE_WRITE, fsnotify_content
 from .vfs import (
     Inode, O_ACCMODE, O_APPEND, O_NONBLOCK, O_RDONLY, O_RDWR, O_WRONLY, VFS,
 )
@@ -109,9 +109,9 @@ class OpenFile:
         if self.kind == self.KIND_REG and self.inode is not None:
             # the fsnotify close hook: tail -F style watchers key on
             # IN_CLOSE_WRITE to know a writer finished its update
-            fsnotify(self.inode,
-                     IN_CLOSE_WRITE if self.writable_mode
-                     else IN_CLOSE_NOWRITE)
+            fsnotify_content(self.inode,
+                             IN_CLOSE_WRITE if self.writable_mode
+                             else IN_CLOSE_NOWRITE)
         if self.kind == self.KIND_PIPE_R:
             with self.pipe.cond:
                 self.pipe.readers -= 1
@@ -153,6 +153,9 @@ class OpenFile:
         """Non-blocking read step; pipes raise EAGAIN when empty (the caller
         in the kernel loops with the blocking machinery)."""
         if self.kind == self.KIND_REG:
+            if self.inode is not None and self.inode.generator is None \
+                    and self.inode.mapping is not None:
+                self.inode.mapping.ensure_resident(self.offset, length)
             data = self._reg_content()
             out = bytes(data[self.offset : self.offset + length])
             self.offset += len(out)
@@ -188,6 +191,9 @@ class OpenFile:
     def pread(self, length: int, offset: int) -> bytes:
         if self.kind != self.KIND_REG:
             raise KernelError(ESPIPE)
+        if self.inode is not None and self.inode.generator is None \
+                and self.inode.mapping is not None:
+            self.inode.mapping.ensure_resident(offset, length)
         data = self._reg_content()
         return bytes(data[offset : offset + length])
 

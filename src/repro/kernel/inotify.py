@@ -15,7 +15,8 @@ Linux semantics modeled here:
 * directory watches see child *namespace* events (``IN_CREATE``,
   ``IN_DELETE``, ``IN_MOVED_FROM``/``IN_MOVED_TO``) carrying the child
   name; content events (``IN_MODIFY``, ``IN_CLOSE_WRITE``...) are
-  delivered to watches on the file's own inode;
+  delivered to watches on the file's own inode *and* — dnotify-style,
+  carrying the child name — to watches on its containing directory;
 * ``rename`` emits a cookie-paired ``IN_MOVED_FROM``/``IN_MOVED_TO``
   (same nonzero cookie, FROM strictly before TO in the queue);
 * the per-instance queue is bounded: a full queue drops the event and
@@ -295,6 +296,21 @@ def fsnotify(inode, mask: int, name: str = "", cookie: int = 0) -> None:
         return
     for watch in list(watches):
         watch.owner.publish(watch, mask, name, cookie)
+
+
+def fsnotify_content(inode, mask: int, cookie: int = 0) -> None:
+    """A content event (IN_MODIFY, IN_CLOSE_WRITE...): the file's own
+    watches see it anonymously, and — like real inotify's directory
+    delivery — the containing directory's watches see it with the child
+    name attached."""
+    fsnotify(inode, mask, "", cookie)
+    parent = getattr(inode, "parent", None)
+    if parent is None or inode.is_dir:
+        return
+    name = getattr(inode, "pname", None)
+    if name is None or parent.entries.get(name) is not inode:
+        return
+    fsnotify_name(parent, inode, mask, name, cookie)
 
 
 def fsnotify_name(dir_inode, node, mask: int, name: str,

@@ -56,7 +56,8 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
                  rng_seed: int = 0xC0FFEE,
                  storage_latency_ns_per_4k: int = 0,
-                 net_backend=None, sched=None, trace=None):
+                 net_backend=None, sched=None, trace=None, block=None):
+        from .block import create_blockfs
         from .net import create_backend
         from .sched import create_scheduler
         from .trace import create_trace
@@ -112,6 +113,13 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         self.sched = create_scheduler(sched, ncpus_default=ncpus,
                                       kernel=self)
 
+        # block layer (kernel/block.py): a disk + page cache + writeback
+        # under the VFS's regular files at its mountpoint (default
+        # /data).  Specs: None = default 8 MiB disk, "off"/"none" =
+        # purely memory-backed VFS, "block:blocks=...,seek_us=...",
+        # a Disk (remount an image), or a BlockFS instance.
+        self.blockdev = create_blockfs(block, trace=self.trace)
+
         self.console = TTYDevice()
         self._boot_fs()
         self._init_proc = self._make_init()
@@ -137,6 +145,8 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         v.mknod_device("/dev/urandom", RandomDevice())
         v.mknod_device("/dev/tty", self.console)
         v.mknod_device("/dev/console", self.console)
+        if self.blockdev is not None:
+            self.blockdev.mount(v)
         procfs.register_base(self)
 
     def _make_init(self) -> Process:
@@ -224,11 +234,21 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         if trace is not None:
             trace.emit("syscall_enter", pid=proc.pid, info=name)
         try:
-            return method(proc, *args, **kwargs)
+            result = method(proc, *args, **kwargs)
+            bd = self.blockdev
+            if bd is not None and bd.has_pending():
+                # accrued disk time is settled here, at syscall exit,
+                # parking the task on the scheduler like any blocking
+                # primitive (the I/O wait is a schedule point)
+                bd.settle(self, proc)
+            return result
         except KernelError as exc:
             err = exc.errno
             raise
         finally:
+            bd = self.blockdev
+            if bd is not None:
+                bd.drop_pending()  # error paths forfeit unsettled cost
             self.sched.syscall_exit(proc)
             dt = _time.perf_counter_ns() - t0
             self.syscall_counts[name] += 1

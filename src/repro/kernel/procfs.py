@@ -91,6 +91,15 @@ def register_base(kernel) -> None:
         v.add_special_file("/proc/trace_pipe",
                            lambda proc, flags: _open_trace_pipe(
                                kernel, flags))
+    bd = getattr(kernel, "blockdev", None)
+    if bd is not None:
+        from .block import DropCachesDevice, VMKnobDevice
+        v.add_proc_file("/proc/block", lambda p: bd.stats_text().encode())
+        v.mkdirs("/proc/sys/vm")
+        for knob in ("dirty_ratio", "dirty_background_ratio",
+                     "dirty_expire_centisecs", "dirty_writeback_centisecs"):
+            v.mknod_device(f"/proc/sys/vm/{knob}", VMKnobDevice(bd, knob))
+        v.mknod_device("/proc/sys/vm/drop_caches", DropCachesDevice(bd))
 
 
 def _open_trace_pipe(kernel, flags: int) -> OpenFile:

@@ -73,6 +73,10 @@ TRACEPOINTS = (
     # ids are append-only: the two SMP points land after the originals
     "sched_migrate",      # task re-placed on another CPU (arg: dest cpu)
     "sched_steal",        # idle CPU pulled queued work (arg: dest cpu)
+    # block-layer points (ids 15-17)
+    "block_submit",       # block request issued (arg: block, info: r/w)
+    "block_complete",     # accrued device time settled (arg: ns charged)
+    "writeback",          # a flusher pass committed (arg: pages written)
 )
 
 TRACEPOINT_IDS: Dict[str, int] = {n: i for i, n in enumerate(TRACEPOINTS)}

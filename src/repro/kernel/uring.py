@@ -68,6 +68,10 @@ IORING_OP_SEND = 4
 IORING_OP_RECV = 5
 IORING_OP_POLL_ADD = 6
 IORING_OP_TIMEOUT = 7
+IORING_OP_FSYNC = 8
+
+# fsync flags (carried in sqe.off, like the timeout duration)
+IORING_FSYNC_DATASYNC = 1
 
 # sqe flags (Linux bit positions)
 IOSQE_IO_LINK = 1 << 2
@@ -97,7 +101,7 @@ _RETRY = object()  # _park sentinel: subscribed, re-check the op once
 
 _FD_OPS = frozenset({
     IORING_OP_READ, IORING_OP_WRITE, IORING_OP_ACCEPT, IORING_OP_SEND,
-    IORING_OP_RECV, IORING_OP_POLL_ADD,
+    IORING_OP_RECV, IORING_OP_POLL_ADD, IORING_OP_FSYNC,
 })
 
 
@@ -323,6 +327,24 @@ class IoURing:
             if mask:
                 return mask, None, 0
             return self._park(chain, file, events | EPOLLERR | EPOLLHUP)
+        if op == IORING_OP_FSYNC:
+            if file.kind != OpenFile.KIND_REG or file.inode is None:
+                return -EINVAL, None, 0
+            bd = getattr(chain.kernel, "blockdev", None)
+            if bd is None or file.inode.mapping is None:
+                return 0, None, 0  # nothing disk-backed: instant success
+            # run the flush/commit now, but detach its device time from
+            # the submitter: the CQE posts when the disk would be done
+            cost_ns = bd.fsync_for_uring(
+                file.inode, datasync=bool(sqe.off & IORING_FSYNC_DATASYNC))
+            if cost_ns <= 0:
+                return 0, None, 0
+            timer = threading.Timer(cost_ns / 1e9, self._fsync_fire,
+                                    args=(chain,))
+            timer.daemon = True
+            chain.timer = timer
+            timer.start()
+            return None
         raise AssertionError(f"unhandled opcode {op}")  # _FD_OPS is exhaustive
 
     def _park(self, chain: _Chain, file, mask: int):
@@ -351,6 +373,23 @@ class IoURing:
             self._complete(CQE(rest.user_data, -ECANCELED))
         chain.sqes = []
         chain.done = True
+
+    def _fsync_fire(self, chain: _Chain) -> None:
+        """The fsync's device time elapsed: post its CQE and let any
+        linked ops continue (on a syscall-side thread, like _Parked)."""
+        if self.closed or chain.done or not chain.sqes:
+            return
+        sqe = chain.sqes.pop(0)
+        chain.timer = None
+        if not (sqe.flags & IOSQE_CQE_SKIP_SUCCESS):
+            self._complete(CQE(sqe.user_data, 0))
+        if chain.sqes:
+            if not chain.queued:
+                chain.queued = True
+                self._ready.append(chain)
+        else:
+            chain.done = True
+        self.wq.wake(EPOLLIN)
 
     # ------------------------------------------------------------------
     # completion

@@ -17,8 +17,8 @@ from .errno import (
     ENOSPC, ENOTDIR, ENOTEMPTY, EPERM, EXDEV, KernelError,
 )
 from .inotify import (
-    IN_ATTRIB, IN_CREATE, IN_MODIFY, fsnotify, fsnotify_delete,
-    fsnotify_inode_gone, fsnotify_move, fsnotify_name,
+    IN_ATTRIB, IN_CREATE, IN_MODIFY, fsnotify, fsnotify_content,
+    fsnotify_delete, fsnotify_inode_gone, fsnotify_move, fsnotify_name,
 )
 
 # file type bits (mode & S_IFMT)
@@ -42,9 +42,13 @@ O_NOCTTY = 0o400
 O_TRUNC = 0o1000
 O_APPEND = 0o2000
 O_NONBLOCK = 0o4000
+O_DSYNC = 0o10000
+O_DIRECT = 0o40000
 O_DIRECTORY = 0o200000
 O_NOFOLLOW = 0o400000
 O_CLOEXEC = 0o2000000
+__O_SYNC = 0o4000000
+O_SYNC = __O_SYNC | O_DSYNC
 
 AT_FDCWD = -100
 AT_SYMLINK_NOFOLLOW = 0x100
@@ -84,7 +88,7 @@ class Inode:
     __slots__ = (
         "ino", "mode", "uid", "gid", "nlink", "data", "entries", "target",
         "rdev", "atime_ns", "mtime_ns", "ctime_ns", "generator", "device",
-        "opener", "fs_limit", "watches",
+        "opener", "fs_limit", "watches", "mapping", "parent", "pname", "sb",
     )
 
     def __init__(self, mode: int, uid: int = 0, gid: int = 0):
@@ -107,6 +111,10 @@ class Inode:
         self.opener: Optional[Callable] = None
         self.fs_limit: Optional[int] = None      # per-file size cap (ENOSPC)
         self.watches = None                      # inotify marks (lazy list)
+        self.mapping = None       # block-layer page-cache state (FileMapping)
+        self.parent = None        # containing directory (dnotify delivery)
+        self.pname = None         # name under parent
+        self.sb = None            # owning BlockFS when under a mount
         kind = mode & S_IFMT
         if kind == S_IFREG:
             self.data = bytearray()
@@ -148,6 +156,8 @@ class Inode:
 
     def read_at(self, offset: int, length: int) -> bytes:
         assert self.data is not None
+        if self.mapping is not None:
+            self.mapping.ensure_resident(offset, length)
         return bytes(self.data[offset : offset + length])
 
     def write_at(self, offset: int, buf: bytes) -> int:
@@ -155,21 +165,33 @@ class Inode:
         end = offset + len(buf)
         if self.fs_limit is not None and end > self.fs_limit:
             raise KernelError(ENOSPC, "file size cap exceeded")
+        wstart = offset
+        if self.mapping is not None:
+            # RMW edges must be cache-authoritative before the mutation;
+            # the dirty span runs back to old EOF on sparse extension
+            wstart = self.mapping.write_prepare(offset, len(buf))
         if offset > len(self.data):  # sparse write: zero-fill the hole
             self.data.extend(b"\x00" * (offset - len(self.data)))
         self.data[offset:end] = buf
         self.mtime_ns = _now_ns()
-        fsnotify(self, IN_MODIFY)
+        if self.mapping is not None:
+            self.mapping.mark_dirty(wstart, end - wstart)
+        fsnotify_content(self, IN_MODIFY)
         return len(buf)
 
     def truncate(self, length: int) -> None:
         assert self.data is not None
-        if length < len(self.data):
+        old = len(self.data)
+        if self.mapping is not None:
+            self.mapping.truncate_prepare(old, length)
+        if length < old:
             del self.data[length:]
         else:
-            self.data.extend(b"\x00" * (length - len(self.data)))
+            self.data.extend(b"\x00" * (length - old))
         self.mtime_ns = _now_ns()
-        fsnotify(self, IN_MODIFY)
+        if self.mapping is not None:
+            self.mapping.truncate_apply(old, length)
+        fsnotify_content(self, IN_MODIFY)
 
 
 class DirEntry:
@@ -285,6 +307,32 @@ class VFS:
 
     # ---- tree operations ----
 
+    def attach_child(self, parent: Inode, name: str, node: Inode) -> None:
+        """Attach ``node`` under ``parent``, keeping the parent
+        backpointer (dnotify-style content-event delivery) and block
+        superblock ownership coherent: entering a mounted subtree adopts
+        the node onto the disk, leaving one disowns it back to plain
+        memory backing."""
+        parent.entries[name] = node
+        node.parent = parent
+        node.pname = name
+        sb = parent.sb
+        if sb is not None:
+            if node.sb is not sb:
+                sb.adopt(node)
+            elif node.is_file and node.mapping is not None:
+                # moved within the mount: shape changed, data didn't
+                node.mapping.meta_dirty = True
+        elif node.sb is not None:
+            node.sb.disown(node)
+
+    @staticmethod
+    def _detach_child(parent: Inode, name: str, node: Inode) -> None:
+        del parent.entries[name]
+        if node.parent is parent and node.pname == name:
+            node.parent = None
+            node.pname = None
+
     def lookup(self, path: str, cwd: Optional[Inode] = None, follow=True,
                proc=None) -> Inode:
         return self.resolve(path, cwd or self.root, follow, proc)
@@ -302,7 +350,7 @@ class VFS:
         if name in parent.entries:
             raise KernelError(EEXIST, path)
         node = Inode(S_IFDIR | (mode & 0o7777))
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         parent.nlink += 1
         fsnotify_name(parent, node, IN_CREATE, name)
         return node
@@ -315,7 +363,7 @@ class VFS:
             child = node.entries.get(comp)
             if child is None:
                 child = Inode(S_IFDIR | 0o755)
-                node.entries[comp] = child
+                self.attach_child(node, comp, child)
                 node.nlink += 1
             node = child
         return node
@@ -331,12 +379,17 @@ class VFS:
                 raise KernelError(EISDIR, path)
             return existing
         node = Inode(S_IFREG | (mode & 0o7777))
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         fsnotify_name(parent, node, IN_CREATE, name)
         return node
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> Inode:
         node = self.create(path, mode)
+        if node.mapping is not None:
+            node.truncate(0)
+            if data:
+                node.write_at(0, bytes(data))
+            return node
         node.data[:] = data
         fsnotify(node, IN_MODIFY)
         return node
@@ -345,6 +398,8 @@ class VFS:
         node = self.lookup(path)
         if not node.is_file:
             raise KernelError(EISDIR, path)
+        if node.mapping is not None:
+            node.mapping.ensure_resident(0, len(node.data), charge=False)
         return bytes(node.data)
 
     def symlink(self, target: str, path: str,
@@ -354,7 +409,7 @@ class VFS:
             raise KernelError(EEXIST, path)
         node = Inode(S_IFLNK | 0o777)
         node.target = target
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         fsnotify_name(parent, node, IN_CREATE, name)
         return node
 
@@ -365,7 +420,7 @@ class VFS:
         parent, name = self.resolve_parent(new, cwd or self.root)
         if name in parent.entries:
             raise KernelError(EEXIST, new)
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         node.nlink += 1
         fsnotify_name(parent, node, IN_CREATE, name)
         fsnotify(node, IN_ATTRIB)  # nlink changed, like Linux
@@ -384,7 +439,7 @@ class VFS:
             parent.nlink -= 1
         elif rmdir:
             raise KernelError(ENOTDIR, path)
-        del parent.entries[name]
+        self._detach_child(parent, name, node)
         node.nlink -= 1
         fsnotify_delete(parent, node, name)
 
@@ -400,8 +455,8 @@ class VFS:
                 raise KernelError(EISDIR, new)
             if node.is_dir and existing.is_dir and existing.entries:
                 raise KernelError(ENOTEMPTY, new)
-        del op.entries[oname]
-        np.entries[nname] = node
+        self._detach_child(op, oname, node)
+        self.attach_child(np, nname, node)
         if existing is not None and existing is not node:
             # the clobbered target lost its link: watchers must learn
             existing.nlink -= 1
@@ -414,7 +469,7 @@ class VFS:
         node = Inode(mode)
         node.device = device
         node.rdev = rdev
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         return node
 
     def add_proc_file(self, path: str, generator: Callable) -> Inode:
@@ -423,7 +478,7 @@ class VFS:
         node = Inode(S_IFREG | 0o444)
         node.generator = generator
         node.data = None  # content produced on demand
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         return node
 
     def add_special_file(self, path: str, opener: Callable,
@@ -438,14 +493,14 @@ class VFS:
         node = Inode(mode)
         node.opener = opener
         node.data = None
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         return node
 
     def add_dynamic_symlink(self, path: str, generator: Callable) -> Inode:
         parent, name = self.resolve_parent(path, self.root)
         node = Inode(S_IFLNK | 0o777)
         node.generator = generator
-        parent.entries[name] = node
+        self.attach_child(parent, name, node)
         return node
 
     def readdir(self, node: Inode) -> List[DirEntry]:

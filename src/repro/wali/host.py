@@ -49,7 +49,8 @@ AUTO_PASSTHROUGH = frozenset({
     "getpid", "gettid", "getppid", "getuid", "geteuid", "getgid", "getegid",
     "setuid", "setgid", "setpgid", "getpgid", "getpgrp", "setsid", "getsid",
     "sched_yield", "getpriority", "setpriority", "nice", "umask", "fsync",
-    "fdatasync", "flock", "fchmod", "fchown", "listen", "shutdown", "sync",
+    "fdatasync", "syncfs", "sync_file_range", "flock", "fchmod", "fchown",
+    "listen", "shutdown", "sync",
     "fchdir", "alarm", "madvise", "readahead", "lseek", "ftruncate",
     "set_tid_address", "set_robust_list", "arch_prctl", "sched_setaffinity",
     "clock_getres", "syslog", "getitimer", "eventfd2", "epoll_create1",

@@ -79,7 +79,8 @@ def _build() -> Dict[str, SyscallSpec]:
         ("fchmodat", "iii"), ("chown", "iii"), ("fchown", "iii"),
         ("lchown", "iii"), ("fchownat", "iiiii"), ("truncate", "il"),
         ("ftruncate", "il"), ("umask", "i"), ("utimensat", "iiii"),
-        ("sync", ""), ("fsync", "i"), ("fdatasync", "i"), ("flock", "ii"),
+        ("sync", ""), ("fsync", "i"), ("fdatasync", "i"), ("syncfs", "i"),
+        ("sync_file_range", "illi"), ("flock", "ii"),
         ("sendfile", "iiii"), ("statfs", "ii"), ("fstatfs", "ii"),
         ("ioctl", "iii"), ("poll", "iii"), ("ppoll", "iiii"),
         ("select", "iiiii"), ("pselect6", "iiiiii"),

@@ -136,11 +136,34 @@ class TestEventGeneration:
         evs = _drain(kern, proc, ifd)
         assert [(m, n) for _, m, _, n in evs] == [
             (IN_CREATE, "f"),
+            # content events (here: the writable close) reach the parent
+            # directory watch dnotify-style, carrying the child name
+            (IN_CLOSE_WRITE, "f"),
             (IN_CREATE | IN_ISDIR, "sub"),
             (IN_CREATE, "lnk"),
             (IN_CREATE, "hard"),
             (IN_DELETE | IN_ISDIR, "sub"),
         ]
+
+    def test_dir_watch_sees_child_content_events(self, kern, proc):
+        # content events (modify/close/attrib) on a child are delivered
+        # dnotify-style to the containing directory's watch, with the
+        # child's name — watching a directory is enough to follow writes
+        ifd, wd = _setup(kern, proc)
+        fd = kern.call(proc, "open", "/tmp/d/f", O_CREAT | O_WRONLY)
+        evs = _drain(kern, proc, ifd)   # discard the IN_CREATE
+        kern.call(proc, "write", fd, b"x")
+        kern.call(proc, "ftruncate", fd, 0)
+        kern.call(proc, "close", fd)
+        kern.call(proc, "chmod", "/tmp/d/f", 0o600)
+        evs = _drain(kern, proc, ifd)
+        # write+truncate coalesce into one IN_MODIFY (tail merge)
+        assert [(m, n) for _, m, _, n in evs] == [
+            (IN_MODIFY, "f"),
+            (IN_CLOSE_WRITE, "f"),
+            (IN_ATTRIB, "f"),
+        ]
+        assert all(w == wd for w, _, _, _ in evs)
 
     def test_file_watch_modify_truncate_close_attrib(self, kern, proc):
         kern.vfs.write_file("/tmp/log", b"")

@@ -28,8 +28,9 @@ def run_guest(source, argv=None, env=None, runtime=None, files=None):
 
 class TestSpec:
     def test_spec_size_matches_paper_scale(self):
-        # the paper implements ~137-150 syscalls; our spec is in that band
-        assert 130 <= len(SYSCALLS) <= 170
+        # the paper implements ~137-150 syscalls; our spec stays near that
+        # scale (slightly above, since we also bind the full sync family)
+        assert 130 <= len(SYSCALLS) <= 180
 
     def test_implemented_coverage(self):
         names = implemented_names()
