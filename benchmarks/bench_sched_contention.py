@@ -16,11 +16,15 @@ and a nice+5 spinner gets ~1/3 the CPU of a nice-0 one (load weights).
 Quick mode (``REPRO_BENCH_QUICK=1``) shrinks iteration counts for CI.
 """
 
+import threading
 import time
 
 from common import quick_mode, save_report
 
-from repro.kernel import BackgroundSpinners, Kernel, nice_to_weight
+from repro.kernel import (
+    BackgroundSpinners, IORING_OP_NOP, IORING_SETUP_SQPOLL,
+    IOSQE_CQE_SKIP_SUCCESS, Kernel, SQE, nice_to_weight,
+)
 
 QUICK = quick_mode()
 
@@ -84,6 +88,46 @@ def _fairness_ratio(nice_levels):
     return shares
 
 
+def _sqpoll_fairness():
+    """CPU shares of a saturated SQPOLL poller racing two equal-nice
+    spinners on one slot.
+
+    The poller is a real scheduler entity (it brackets every drain pass
+    in syscall_enter/exit), so CFS must hold it to the same fair share
+    as any CPU-bound guest — a kernel-side io_uring poller must not be
+    a scheduling cheat code.  A feeder thread keeps the shared SQ queue
+    topped up with quiet NOPs (CQE_SKIP_SUCCESS: no CQ buildup), so the
+    poller never idles out.
+    """
+    kern = Kernel(sched=SCHED)
+    proc = kern.create_process(["sqpoll-owner"])
+    fd = kern.call(proc, "io_uring_setup", 256, IORING_SETUP_SQPOLL,
+                   10_000.0)
+    ring = proc.fdtable.get(fd).obj
+    spinners = BackgroundSpinners(kern, n=2).start()
+    stop = threading.Event()
+
+    def feeder():
+        while not stop.is_set():
+            while len(ring.sq_queue) < 512:
+                ring.sq_queue.append(
+                    SQE(IORING_OP_NOP, flags=IOSQE_CQE_SKIP_SUCCESS))
+            time.sleep(0.001)
+
+    t = threading.Thread(target=feeder, daemon=True)
+    t.start()
+    try:
+        time.sleep(FAIR_SECONDS)
+    finally:
+        stop.set()
+        t.join(5)
+        poller_ns = ring.sqpoll.proc.se.cpu_time_ns
+        spin_ns = spinners.cpu_times_ns()
+        spinners.stop()
+        kern.call(proc, "close", fd)
+    return poller_ns, spin_ns
+
+
 def test_sched_contention_report():
     lines = [
         "Scheduler contention: latency-probe runnable-wait vs CPU load",
@@ -137,6 +181,20 @@ def test_sched_contention_report():
         f"load-weight ratio {expected:.2f}x",
     ]
     assert weighted > 1.5, f"nice 5 did not yield CPU: {shares}"
+
+    # a saturated SQPOLL poller contends like any guest: same 1.2x bound
+    poller_ns, spin_ns = _sqpoll_fairness()
+    shares = [poller_ns] + list(spin_ns)
+    ratio = max(shares) / min(shares)
+    lines += [
+        "",
+        f"SQPOLL poller vs 2 spinners ({FAIR_SECONDS:.1f}s, 1 cpu):",
+        "  cpu shares (poller first): " +
+        ", ".join(f"{s / 1e6:.0f}ms" for s in shares),
+        f"  max/min ratio: {ratio:.3f} (bound: 1.2)",
+    ]
+    assert min(shares) > 0, f"a task starved: {shares}"
+    assert ratio <= 1.2, f"SQPOLL poller broke CFS fairness: {shares}"
 
     save_report("sched_contention.txt", "\n".join(lines))
 

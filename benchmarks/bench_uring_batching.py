@@ -26,7 +26,8 @@ from common import quick_mode, save_report
 
 from repro.apps import build
 from repro.kernel import (
-    AF_INET, EPOLL_CTL_ADD, EPOLLIN, IORING_OP_RECV, IORING_OP_SEND,
+    AF_INET, EPOLL_CTL_ADD, EPOLLIN, IORING_ENTER_SQ_WAKEUP,
+    IORING_OP_RECV, IORING_OP_SEND, IORING_SETUP_SQPOLL,
     IOSQE_CQE_SKIP_SUCCESS, Kernel, KernelError, O_NONBLOCK, SOCK_STREAM,
     SQE,
 )
@@ -40,6 +41,10 @@ ROUNDS = 3 if QUICK else 8
 BACKENDS = [("loopback", None), ("wan-1ms", "wan:latency_ms=1,seed=11")]
 GUEST_CONNS = 10 if QUICK else 100
 GUEST_REQS = 2 if QUICK else 4
+# the SQPOLL sweep: enough simulated connections that per-request
+# crossings, not setup, dominate the bill
+SQPOLL_CONNS = (300,) if QUICK else (10_000,)
+SQPOLL_ROUNDS = 2
 
 
 def _mk_pairs(kern, proc, n):
@@ -153,6 +158,61 @@ def _kernel_ring(kern, proc, pairs, rounds):
     elapsed = time.perf_counter() - t0
     crossings = kern.syscall_counts.get("io_uring_enter", 0) + \
         kern.syscall_counts.get("io_uring_setup", 0) - base
+    return crossings, ops, elapsed
+
+
+def _kernel_sqpoll(kern, proc, pairs, rounds):
+    """SQPOLL server loop: SQEs land in the shared SQ queue by plain
+    stores (the driver appends — the guest-store analog), the kernel
+    poller submits them, and CQEs are read straight off the shared CQ
+    ring.  The only crossings ever paid are the setup call and a
+    NEED_WAKEUP kick when the poller idled out."""
+    counted = ("io_uring_enter", "io_uring_setup", "io_uring_register")
+    rfd = kern.call(proc, "io_uring_setup", 1024, IORING_SETUP_SQPOLL,
+                    500.0)
+    ring = proc.fdtable.get(rfd).obj
+    base = sum(kern.syscall_counts.get(n, 0) for n in counted)
+
+    def push(sqes):
+        ring.sq_queue.extend(sqes)
+        if ring.sq_need_wakeup:  # visible in the shared header
+            kern.call(proc, "io_uring_enter", rfd, (), 0, None, 0,
+                      IORING_ENTER_SQ_WAKEUP)
+
+    push([SQE(IORING_OP_RECV, fd=srv, length=256, user_data=srv)
+          for srv, _cli in pairs])
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for _srv, cli in pairs:
+            kern.call(proc, "sendto", cli, b"ping")
+        served = 0
+        deadline = time.perf_counter() + 120
+        while served < len(pairs):
+            cqes = ring.reap(4096)
+            if not cqes:
+                if ring.sq_need_wakeup and ring.sq_pending():
+                    push([])  # the poller parked under queued work
+                assert time.perf_counter() < deadline, served
+                time.sleep(0.00005)  # CQ-ring poll, like a real guest
+                continue
+            batch = []
+            for cqe in cqes:
+                if cqe.res <= 0:
+                    continue
+                batch.append(SQE(IORING_OP_SEND, fd=cqe.user_data,
+                                 data=cqe.data,
+                                 flags=IOSQE_CQE_SKIP_SUCCESS))
+                batch.append(SQE(IORING_OP_RECV, fd=cqe.user_data,
+                                 length=256, user_data=cqe.user_data))
+                served += 1
+                ops += 1
+            push(batch)
+        for _srv, cli in pairs:
+            _drain_client(kern, proc, cli, 4)
+    elapsed = time.perf_counter() - t0
+    crossings = sum(kern.syscall_counts.get(n, 0) for n in counted) - base
+    kern.call(proc, "close", rfd)
     return crossings, ops, elapsed
 
 
@@ -288,3 +348,61 @@ def test_uring_batching(benchmark):
     guest_ratio = gep["crossings_per_op"] / gur["crossings_per_op"]
     assert guest_ratio >= 3.0, results["guest"]
     assert gur["ops_s"] >= gep["ops_s"] * 0.9, results["guest"]
+
+
+def test_uring_sqpoll_sweep(benchmark):
+    """The zero-crossing serving path at scale: enter-per-batch ring vs
+    SQPOLL (shared-queue submission, kernel-side poller) on the same
+    echo workload."""
+    def sweep():
+        out = {}
+        for n in SQPOLL_CONNS:
+            per = {}
+            for mode, fn in (("ring", _kernel_ring),
+                             ("sqpoll", _kernel_sqpoll)):
+                best = None
+                for _ in range(2):  # best-of-2, like _kernel_level
+                    kern = Kernel()
+                    proc = kern.create_process(["bench"])
+                    proc.fdtable.max_fds = 65536
+                    pairs = _mk_pairs(kern, proc, n)
+                    crossings, ops, elapsed = fn(kern, proc, pairs,
+                                                 SQPOLL_ROUNDS)
+                    if best is None or ops / elapsed > best["ops_s"]:
+                        best = {"crossings_per_op": crossings / ops,
+                                "ops_s": ops / elapsed}
+                per[mode] = best
+            out[n] = per
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, per in results.items():
+        ur, sq = per["ring"], per["sqpoll"]
+        rows.append((f"echo@{n}",
+                     f"{ur['crossings_per_op']:9.4f}",
+                     f"{sq['crossings_per_op']:9.4f}",
+                     f"{ur['ops_s']:9.0f}", f"{sq['ops_s']:9.0f}"))
+    out = [
+        table(["config", "ring x/op", "sqpoll x/op",
+               "ring ops/s", "sqpoll ops/s"], rows),
+        "",
+        "ring   = one blocking io_uring_enter per batch (PR 3 path).",
+        "sqpoll = SQEs stored into the shared SQ queue, drained by the",
+        "kernel poller task; completions read off the shared CQ ring.",
+        "sqpoll crossings = setup + NEED_WAKEUP kicks only — the serving",
+        "loop itself never crosses.",
+    ]
+    save_report("uring_sqpoll.txt", "\n".join(out))
+
+    # acceptance: under load the SQPOLL path pays < 0.05 crossings per
+    # request (vs ~1+ for enter-per-batch at low batch occupancy) at
+    # parity-or-better throughput.  The quick smoke runs 300 conns where
+    # host-thread noise dominates, so only the full sweep holds the 0.9
+    # parity bar tight.
+    parity = 0.7 if QUICK else 0.9
+    for n, per in results.items():
+        assert per["sqpoll"]["crossings_per_op"] < 0.05, (n, per)
+        assert per["sqpoll"]["ops_s"] >= per["ring"]["ops_s"] * parity, \
+            (n, per)

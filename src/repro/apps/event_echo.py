@@ -12,7 +12,12 @@ dispatched from readiness, no thread per connection.  Two serving modes:
   shared io_uring-style ring; one ``io_uring_enter`` crossing submits
   the batch and reaps every completion, so crossings are paid per
   *batch*, not per op (client pings ride ``IOSQE_IO_LINK`` chains:
-  SEND linked to the RECV of its echo).
+  SEND linked to the RECV of its echo).  The server side goes further:
+  one **multishot accept** SQE serves every connection, each connection
+  is one **multishot recv** completing into a **registered buffer**
+  slot (index = fd), and echoes are fixed-buffer SENDs — so the steady
+  state queues only one echo SQE per request and the engine never
+  re-translates a buffer address.
 
 ``argv: event_echo [nclients] [rounds] [-u]``.
 
@@ -123,6 +128,11 @@ const UD_CLI = 196608;
 const UD_SENT = 262144;
 
 buffer ubufs[32768];   // MAXFD x 128: per-fd I/O slots
+buffer u_tab[2048];    // MAXFD x 8: iovec table registering the slots
+
+// SEND | (CQE_SKIP_SUCCESS | FIXED_BUFFER) << 8: a quiet echo send
+// whose addr field is a registered-slot index, not a pointer
+const OPF_SEND_FIXED_QUIET = 49156;
 
 // fused writer for the dominant pattern — a SEND immediately followed
 // by a RECV re-arm on the same fd slot: one frame, one tail update
@@ -160,7 +170,19 @@ func u_client_round(fd: i32) {
 
 func u_serve(lfd: i32, nclients: i32, rounds: i32) {
     if (uring_init(256) < 0) { eprint("event_echo: no ring\n"); exit(1); }
-    uring_push(IORING_OP_ACCEPT, lfd, 0, 0, UD_ACCEPT + lfd);
+    // register every per-fd slot ONCE (slot index = fd): fixed-buffer
+    // recvs/sends then skip the per-op address translation
+    var t: i32 = 0;
+    while (t < MAXFD) {
+        store32(u_tab + t * 8, ubufs + t * 128);
+        store32(u_tab + t * 8 + 4, 128);
+        t = t + 1;
+    }
+    if (uring_register_buffers(u_tab, MAXFD) < 0) {
+        eprint("event_echo: no fixed buffers\n"); exit(1);
+    }
+    // one armed SQE accepts every connection the server will ever see
+    uring_accept_multishot(lfd, UD_ACCEPT + lfd);
 
     var i: i32 = 0;
     while (i < nclients) {
@@ -188,18 +210,18 @@ func u_serve(lfd: i32, nclients: i32, rounds: i32) {
             var fd: i32 = ud % 65536;
             if (tag == TAG_ACCEPT) {
                 if (res >= 0 && res < MAXFD) {
-                    // start serving the new connection, keep accepting
-                    uring_push(IORING_OP_RECV, res, ubufs + res * 128, 128,
-                          UD_SRV + res);
-                    uring_push(IORING_OP_ACCEPT, lfd, 0, 0, UD_ACCEPT + lfd);
+                    // one armed multishot recv serves the connection's
+                    // whole lifetime, landing data in slot `res` — the
+                    // accept SQE stays armed, nothing to re-queue
+                    uring_recv_multishot(res, res, 128, UD_SRV + res);
                 }
             } else { if (tag == TAG_SRV) {
                 if (res > 0) {
-                    // echo back, then re-arm the read (payload is
-                    // snapshot at submit, so re-arming is safe); the
-                    // echo send completes silently unless it fails
-                    u_sqe_send_recv(OPF_SEND_QUIET, fd, ubufs + fd * 128,
-                                    res, UD_SENT + fd, UD_SRV + fd);
+                    // the message is already in this fd's registered
+                    // slot: echo straight from it (quiet fixed send);
+                    // the multishot recv re-arms itself on reap
+                    uring_push(OPF_SEND_FIXED_QUIET, fd, fd, res,
+                          UD_SENT + fd);
                     echoes = echoes + 1;
                 } else { if (res == 0) { close(fd); }}
             } else { if (tag == TAG_CLI) {

@@ -618,10 +618,21 @@ const IORING_OP_SEND = 4;
 const IORING_OP_RECV = 5;
 const IORING_OP_POLL_ADD = 6;
 const IORING_OP_TIMEOUT = 7;
+const IORING_OP_READ_FIXED = 9;
 const IOSQE_IO_LINK = 4;
 const IOSQE_CQE_SKIP_SUCCESS = 64;
+const IOSQE_FIXED_BUFFER = 128;
 const IORING_ENTER_GETEVENTS = 1;
+const IORING_ENTER_SQ_WAKEUP = 2;
 const IORING_ENTER_TIMEOUT_MS = 16;
+const IORING_SETUP_SQPOLL = 2;
+const IORING_REGISTER_BUFFERS = 1;
+const IORING_ACCEPT_MULTISHOT = 1;
+const IORING_RECV_MULTISHOT = 2;
+const IORING_CQE_F_BUFFER = 1;
+const IORING_CQE_F_MORE = 2;
+const IORING_SQ_CQ_OVERFLOW = 1;
+const IORING_SQ_NEED_WAKEUP = 2;
 
 global __uring_fd: i32 = -1;
 global __uring_base: i32 = 0;
@@ -632,11 +643,23 @@ global __uring_sqmask: i32 = 0;
 global __uring_cqmask: i32 = 0;
 global __uring_sqbase: i32 = 0;
 global __uring_cqbase: i32 = 0;
-buffer __uring_params[8];
+// {u32 sq_entries, u32 cq_entries} written back by the engine,
+// {u32 flags, u32 sq_thread_idle_ms} filled in by the guest
+buffer __uring_params[16];
 
 // create the ring, allocate the shared region (header + SQ + CQ) and
 // register it with the engine; returns the ring fd or -1
 func uring_init(entries: i32) -> i32 {
+    return uring_init2(entries, 0, 0);
+}
+
+// the full form: flags (IORING_SETUP_SQPOLL) and the SQPOLL idle
+// window in ms (0 takes the engine default)
+func uring_init2(entries: i32, flags: i32, idle_ms: i32) -> i32 {
+    store32(__uring_params, 0);
+    store32(__uring_params + 4, 0);
+    store32(__uring_params + 8, flags);
+    store32(__uring_params + 12, idle_ms);
     var fd: i32 = cret(SYS_io_uring_setup(entries, __uring_params));
     if (fd < 0) { return -1; }
     var sqn: i32 = load32(__uring_params);
@@ -761,8 +784,74 @@ func uring_cqe_ptr(i: i32) -> i32 {
 
 func uring_cqe_data(i: i32) -> i32 { return i32(load64(uring_cqe_ptr(i))); }
 func uring_cqe_res(i: i32) -> i32 { return load32(uring_cqe_ptr(i) + 8); }
+func uring_cqe_flags(i: i32) -> i32 { return load32(uring_cqe_ptr(i) + 12); }
 func uring_cq_advance(n: i32) {
     store32(__uring_base + 12, load32(__uring_base + 12) + n);
+}
+
+// kernel-mirrored header flags: CQ_OVERFLOW / SQPOLL NEED_WAKEUP bits
+func uring_ring_flags() -> i32 { return load32(__uring_base + 28); }
+
+// ---- zero-crossing extensions: registered buffers, multishot, SQPOLL ----
+
+// register a buffer table: tab points at n {u32 addr, u32 len} iovecs.
+// The engine translates every slot ONCE; fixed-buffer SQEs then name a
+// slot index instead of a pointer and skip per-op translation.
+func uring_register_buffers(tab: i32, n: i32) -> i32 {
+    return cret(SYS_io_uring_register(__uring_fd, IORING_REGISTER_BUFFERS,
+                                      tab, n));
+}
+
+// arm a multishot accept: the one SQE posts a CQE (flagged
+// IORING_CQE_F_MORE) per accepted connection until error/cancel
+func uring_accept_multishot(fd: i32, udata: i32) -> i32 {
+    if (uring_sqe(IORING_OP_ACCEPT, fd, 0, 0, udata, 0) < 0) { return -1; }
+    var tail: i32 = load32(__uring_base + 4) - 1;
+    store64(__uring_sqbase + (tail & __uring_sqmask) * 32 + 16,
+            i64(IORING_ACCEPT_MULTISHOT));
+    return 0;
+}
+
+// arm a multishot recv completing into registered slot idx: a CQE per
+// inbound message, data landing in the slot, until EOF/error (no MORE
+// flag on the final CQE)
+func uring_recv_multishot(fd: i32, idx: i32, len: i32, udata: i32) -> i32 {
+    if (uring_sqe(IORING_OP_RECV, fd, idx, len, udata,
+                  IOSQE_FIXED_BUFFER) < 0) { return -1; }
+    var tail: i32 = load32(__uring_base + 4) - 1;
+    store64(__uring_sqbase + (tail & __uring_sqmask) * 32 + 16,
+            i64(IORING_RECV_MULTISHOT));
+    return 0;
+}
+
+// SQPOLL: queued SQEs are consumed by the kernel poller straight from
+// the shared ring — the only crossing ever paid is the wakeup kick
+// when the poller idled out (NEED_WAKEUP raised in the header)
+func uring_sqpoll_flush() -> i32 {
+    if ((uring_ring_flags() & IORING_SQ_NEED_WAKEUP) != 0) {
+        return cret(SYS_io_uring_enter(__uring_fd, 0, 0,
+                                       IORING_ENTER_SQ_WAKEUP, 0, 0));
+    }
+    return 0;
+}
+
+// SQPOLL: wait until at least min_complete CQEs are reapable.  The CQ
+// ring is checked first — the poller publishes completions without any
+// crossing, so a loaded loop never enters at all.
+func uring_sqpoll_wait(min_complete: i32, timeout_ms: i32) -> i32 {
+    uring_sqpoll_flush();
+    if (uring_cq_ready() >= min_complete) { return uring_cq_ready(); }
+    var flags: i32 = IORING_ENTER_GETEVENTS;
+    var sig: i32 = 0;
+    if (timeout_ms > 0) {
+        flags = flags | IORING_ENTER_TIMEOUT_MS;
+        sig = timeout_ms;
+    }
+    if (cret(SYS_io_uring_enter(__uring_fd, 0, min_complete, flags,
+                                sig, 0)) < 0) {
+        return -1;
+    }
+    return uring_cq_ready();
 }
 
 // ---- time ----

@@ -12,9 +12,12 @@ A TCP key-value server with **three serving modes**:
   how the server holds hundreds of concurrent clients without one LWP per
   connection.
 * ring (``-u``): the same single-threaded dispatch, but every accept,
-  request read and reply is queued on the io_uring-style submission ring;
-  one ``io_uring_enter`` crossing drains a whole batch of completions, and
-  replies for one request coalesce into a single SEND SQE — where the
+  request read and reply rides the io_uring-style submission ring; one
+  ``io_uring_enter`` crossing drains a whole batch of completions, and
+  replies for one request coalesce into a single SEND SQE.  The accept
+  path is one armed **multishot accept** SQE, every connection is one
+  **multishot recv** completing into a **registered buffer** slot
+  (index = fd), so the steady state queues only reply SQEs — where the
   epoll mode pays ``epoll_pwait + reads + one write per reply fragment``
   in crossings per request, the ring mode pays crossings per *batch*.
 
@@ -309,6 +312,7 @@ const UD_CONN = 131072;    // tag 2 << 16
 const UD_SENT = 262144;    // tag 4 << 16
 
 buffer u_rd[65536];        // EV_MAXFD x 256: per-connection recv slots
+buffer u_tab[2048];        // EV_MAXFD x 8: iovec table registering u_rd
 
 // one completed RECV: assemble lines, dispatch, coalesce the replies
 // into a single quiet SEND, re-arm the read.  returns 2 on shutdown.
@@ -342,13 +346,26 @@ func u_conn(fd: i32, res: i32) -> i32 {
         return 0;
     }
     if (action == 2) { return 2; }
-    uring_push(IORING_OP_RECV, fd, chunk, 256, UD_CONN + fd);
+    // no recv re-arm: the multishot recv stays armed and posts the
+    // next request into this connection's registered slot on reap
     return 0;
 }
 
 func ur_serve() {
     if (uring_init(256) < 0) { eprint("memcached: no ring\n"); exit(1); }
-    uring_push(IORING_OP_ACCEPT, listen_fd, 0, 0, UD_ACCEPT + listen_fd);
+    // register the per-connection recv slots once (slot index = fd):
+    // every request then lands without per-op address translation
+    var t: i32 = 0;
+    while (t < EV_MAXFD) {
+        store32(u_tab + t * 8, u_rd + t * 256);
+        store32(u_tab + t * 8 + 4, 256);
+        t = t + 1;
+    }
+    if (uring_register_buffers(u_tab, EV_MAXFD) < 0) {
+        eprint("memcached: no fixed buffers\n"); exit(1);
+    }
+    // one armed multishot accept serves every connection
+    uring_accept_multishot(listen_fd, UD_ACCEPT + listen_fd);
     while (running) {
         var n: i32 = uring_reap_batch(1, 0);
         if (n < 0) { break; }
@@ -366,11 +383,10 @@ func ur_serve() {
                     else {
                         store32(ev_lens + res * 4, 0);
                         store32(u_outlen + res * 4, 0);
-                        uring_push(IORING_OP_RECV, res, u_rd + res * 256, 256,
-                              UD_CONN + res);
+                        // one multishot fixed recv per connection;
+                        // the accept SQE stays armed by itself
+                        uring_recv_multishot(res, res, 256, UD_CONN + res);
                     }
-                    uring_push(IORING_OP_ACCEPT, listen_fd, 0, 0,
-                          UD_ACCEPT + listen_fd);
                 }
             } else { if (tag == 2) {
                 if (res > 0) {

@@ -63,12 +63,16 @@ from .trace import (
     TraceBuffer, TraceRecord, create_trace, decode_records, hist_bucket,
 )
 from .uring import (
-    CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, IORING_ENTER_GETEVENTS,
+    CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_FIXED_BUFFER, IOSQE_IO_LINK,
+    IORING_ACCEPT_MULTISHOT, IORING_CQE_BUFFER_SHIFT, IORING_CQE_F_BUFFER,
+    IORING_CQE_F_MORE, IORING_ENTER_GETEVENTS, IORING_ENTER_SQ_WAKEUP,
     IORING_ENTER_TIMEOUT_MS,
     IORING_FSYNC_DATASYNC, IORING_OP_ACCEPT, IORING_OP_FSYNC,
     IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
-    IORING_OP_RECV, IORING_OP_SEND, IORING_OP_TIMEOUT, IORING_OP_WRITE,
-    IORING_REGISTER_RING, IORING_SQ_CQ_OVERFLOW, IoURing, SQE,
+    IORING_OP_READ_FIXED, IORING_OP_RECV, IORING_OP_SEND,
+    IORING_OP_TIMEOUT, IORING_OP_WRITE, IORING_RECV_MULTISHOT,
+    IORING_REGISTER_BUFFERS, IORING_REGISTER_RING, IORING_SETUP_SQPOLL,
+    IORING_SQ_CQ_OVERFLOW, IORING_SQ_NEED_WAKEUP, IoURing, SQE, SQPoller,
 )
 from .vfs import (
     AT_FDCWD, Inode, O_APPEND, O_CLOEXEC, O_CREAT, O_DIRECT, O_DSYNC,
@@ -93,12 +97,18 @@ __all__ = [
     "AddressSpace", "CLONE_FILES", "CLONE_FS", "CLONE_SIGHAND",
     "CLONE_THREAD", "CLONE_VM", "CQE", "EPOLLERR", "EPOLLET", "EPOLLHUP",
     "EPOLLIN",
-    "IORING_ENTER_GETEVENTS", "IORING_ENTER_TIMEOUT_MS", "IORING_OP_ACCEPT",
-    "IORING_OP_NOP", "IORING_OP_POLL_ADD", "IORING_OP_READ", "IORING_OP_RECV",
+    "IORING_ACCEPT_MULTISHOT", "IORING_CQE_BUFFER_SHIFT",
+    "IORING_CQE_F_BUFFER", "IORING_CQE_F_MORE",
+    "IORING_ENTER_GETEVENTS", "IORING_ENTER_SQ_WAKEUP",
+    "IORING_ENTER_TIMEOUT_MS", "IORING_OP_ACCEPT",
+    "IORING_OP_NOP", "IORING_OP_POLL_ADD", "IORING_OP_READ",
+    "IORING_OP_READ_FIXED", "IORING_OP_RECV",
     "IORING_OP_SEND", "IORING_OP_TIMEOUT", "IORING_OP_WRITE",
-    "IORING_REGISTER_RING", "IORING_SQ_CQ_OVERFLOW",
-    "IOSQE_CQE_SKIP_SUCCESS", "IOSQE_IO_LINK",
-    "IoURing", "SQE",
+    "IORING_RECV_MULTISHOT", "IORING_REGISTER_BUFFERS",
+    "IORING_REGISTER_RING", "IORING_SETUP_SQPOLL",
+    "IORING_SQ_CQ_OVERFLOW", "IORING_SQ_NEED_WAKEUP",
+    "IOSQE_CQE_SKIP_SUCCESS", "IOSQE_FIXED_BUFFER", "IOSQE_IO_LINK",
+    "IoURing", "SQE", "SQPoller",
     "EPOLLONESHOT", "EPOLLOUT", "EPOLLRDHUP", "EPOLL_CTL_ADD",
     "EPOLL_CTL_DEL", "EPOLL_CTL_MOD", "EventFD", "EventPoll", "FDTable",
     "HostBackend", "Inode", "Kernel", "KernelError",

@@ -161,6 +161,13 @@ def _uring_stats(kernel) -> bytes:
         f"cqes_completed: {_get(kernel, 'uring.completed')}\n"
         f"cq_overflows: {_get(kernel, 'uring.cq_overflow')}\n"
         f"link_cancels: {_get(kernel, 'uring.link_cancel')}\n"
+        f"multishot_cqes: {_get(kernel, 'uring.multishot_cqes')}\n"
+        f"buffers_registered: {_get(kernel, 'uring.buffers_registered')}\n"
+        f"fixed_completions: {_get(kernel, 'uring.fixed_completions')}\n"
+        f"sqpoll_submitted: {_get(kernel, 'uring.sqpoll_submitted')}\n"
+        f"sqpoll_polls: {_get(kernel, 'uring.sqpoll_polls')}\n"
+        f"sqpoll_idles: {_get(kernel, 'uring.sqpoll_idles')}\n"
+        f"sqpoll_wakeups: {_get(kernel, 'uring.sqpoll_wakeups')}\n"
     ).encode()
 
 

@@ -77,6 +77,11 @@ TRACEPOINTS = (
     "block_submit",       # block request issued (arg: block, info: r/w)
     "block_complete",     # accrued device time settled (arg: ns charged)
     "writeback",          # a flusher pass committed (arg: pages written)
+    # zero-crossing uring points (ids 18-21)
+    "uring_multishot",    # multishot op posted a MORE CQE (arg: res)
+    "uring_register",     # buffer table registered (arg: slot count)
+    "uring_sqpoll_park",  # SQPOLL poller idled out, NEED_WAKEUP raised
+    "uring_sqpoll_wake",  # IORING_ENTER_SQ_WAKEUP revived the poller
 )
 
 TRACEPOINT_IDS: Dict[str, int] = {n: i for i, n in enumerate(TRACEPOINTS)}

@@ -29,8 +29,10 @@ from ..kernel.errno import (
 )
 from ..kernel.fdtable import OpenFile
 from ..kernel.uring import (
-    IORING_ENTER_GETEVENTS, IORING_ENTER_TIMEOUT_MS, IORING_OP_SEND,
-    IORING_OP_WRITE, IORING_REGISTER_RING, IORING_SQ_CQ_OVERFLOW, SQE,
+    IORING_CQE_F_BUFFER, IORING_ENTER_GETEVENTS, IORING_ENTER_TIMEOUT_MS,
+    IORING_OP_SEND, IORING_OP_WRITE, IORING_REGISTER_BUFFERS,
+    IORING_REGISTER_RING, IORING_SETUP_SQPOLL, IORING_SQ_CQ_OVERFLOW,
+    IORING_SQ_NEED_WAKEUP, IOSQE_FIXED_BUFFER, SQE,
 )
 from ..kernel.mm import MAP_ANONYMOUS, MREMAP_MAYMOVE
 from ..kernel.process import CLONE_VM
@@ -97,6 +99,8 @@ class WaliHost:
         self.call_total_ns: Dict[str, int] = defaultdict(int)
         self.zero_copy_calls = 0
         self.struct_copy_calls = 0
+        # per-SQE/CQE address translations skipped via registered buffers
+        self.fixed_elides = 0
 
     # ------------------------------------------------------------------
     # translation helpers (§3.2 address-space translation)
@@ -571,7 +575,12 @@ class WaliHost:
         return file.obj
 
     def w_io_uring_setup(self, entries, params_ptr):
-        fd = self.k("io_uring_setup", entries)
+        setup_flags = idle_ms = 0
+        if params_ptr:
+            setup_flags = self._u32(params_ptr + Layout.URING_PARAMS_FLAGS)
+            idle_ms = self._u32(params_ptr + Layout.URING_PARAMS_IDLE)
+        fd = self.k("io_uring_setup", entries, setup_flags,
+                    float(idle_ms) if idle_ms else None)
         if params_ptr:
             ring = self._ring(fd)
             self.copy_out(params_ptr, struct.pack("<II", ring.sq_entries,
@@ -580,6 +589,17 @@ class WaliHost:
 
     def w_io_uring_register(self, fd, opcode, arg, nr_args):
         fd = signed32(fd)
+        if opcode == IORING_REGISTER_BUFFERS:
+            # decode + bounds-check the guest iovec table exactly ONCE —
+            # fixed-buffer SQEs/CQEs then skip per-entry translation
+            table = []
+            for i in range(nr_args):
+                base, length = Layout.decode_iovec(self.mem.read_bytes(
+                    arg + i * Layout.IOVEC_SIZE, Layout.IOVEC_SIZE))
+                if length:
+                    self.mem.read_bytes(base, length)
+                table.append((base, length))
+            return self.k("io_uring_register", fd, opcode, table, nr_args)
         res = self.k("io_uring_register", fd, opcode, arg, nr_args)
         if opcode == IORING_REGISTER_RING:
             ring = self._ring(fd)
@@ -588,29 +608,43 @@ class WaliHost:
                 ring.cq_entries * Layout.URING_CQE_SIZE
             self.mem.read_bytes(arg, size)  # bounds-check the whole region
             ring.guest_base = arg
+            if ring.setup_flags & IORING_SETUP_SQPOLL:
+                # the poller drains the guest SQ ring and flushes the
+                # guest CQ ring through these hooks — no crossing needed
+                ring.sq_drain_hook = \
+                    lambda maxb: self._consume_sq(ring, maxb)
+                ring.sq_peek_hook = lambda: self._guest_sq_pending(ring)
+                ring.cq_flush_hook = lambda: self._publish_cqes(ring)
+                ring.header_flags_hook = \
+                    lambda: self._write_ring_flags(ring)
+                ring.cq_avail_hook = \
+                    lambda: self._guest_cq_occupancy(ring)
         return res
 
-    def w_io_uring_enter(self, fd, to_submit, min_complete, flags, sig,
-                         sigsz):
-        """One crossing: consume SQEs from the guest SQ ring, run them,
-        then publish every available completion into the guest CQ ring.
-
-        ``sig`` is reinterpreted as a relative timeout in milliseconds
-        when ``IORING_ENTER_TIMEOUT_MS`` is set (the EXT_ARG analog: our
-        guests never pass sigsets here).
-        """
-        fd = signed32(fd)
-        ring = self._ring(fd)
+    def _guest_sq_pending(self, ring) -> int:
         base = ring.guest_base
         if base is None:
-            raise KernelError(EINVAL, "ring memory is not registered")
-        sqn, cqn = ring.sq_entries, ring.cq_entries
+            return 0
+        return (self._u32(base + Layout.URING_SQ_TAIL)
+                - self._u32(base + Layout.URING_SQ_HEAD)) & 0xFFFFFFFF
+
+    def _guest_cq_occupancy(self, ring) -> int:
+        base = ring.guest_base
+        if base is None:
+            return 0
+        with ring._publish_lock:  # order against an in-flight flush
+            return (self._u32(base + Layout.URING_CQ_TAIL)
+                    - self._u32(base + Layout.URING_CQ_HEAD)) & 0xFFFFFFFF
+
+    def _consume_sq(self, ring, limit: int) -> List[SQE]:
+        """Decode up to ``limit`` SQEs from the guest SQ ring and advance
+        SQ_HEAD (called from ``enter`` or, for SQPOLL, the poller)."""
+        base = ring.guest_base
+        sqn = ring.sq_entries
         sq_base = base + Layout.URING_HDR_SIZE
-        cq_base = sq_base + sqn * Layout.URING_SQE_SIZE
-        # consume [sq_head, sq_tail) from the guest SQ array
         sq_head = self._u32(base + Layout.URING_SQ_HEAD)
         sq_tail = self._u32(base + Layout.URING_SQ_TAIL)
-        n = min(to_submit, (sq_tail - sq_head) & 0xFFFFFFFF, sqn)
+        n = min(limit, (sq_tail - sq_head) & 0xFFFFFFFF, sqn)
         sqes = []
         for i in range(n):
             raw = self.mem.read_bytes(
@@ -621,34 +655,111 @@ class WaliHost:
             sqe = SQE(opcode, fd=sfd, addr=addr, length=length, off=off,
                       user_data=user_data, flags=sflags)
             if opcode in (IORING_OP_WRITE, IORING_OP_SEND) and length:
-                # outbound payloads are snapshot at submission (§3.2
-                # address-space translation happens exactly once)
-                sqe.data = bytes(self.view(addr, length))
+                if sflags & IOSQE_FIXED_BUFFER:
+                    # payload lives in a registered slot: read it through
+                    # the pre-translated table, no per-SQE translation
+                    slot = ring._fixed_slot(addr)
+                    if slot is not None:
+                        sqe.data = bytes(self.mem.read_bytes(
+                            slot[0], min(length, slot[1])))
+                        self.fixed_elides += 1
+                    # a bad index falls through: the kernel op EINVALs
+                else:
+                    # outbound payloads are snapshot at submission (§3.2
+                    # address-space translation happens exactly once)
+                    sqe.data = bytes(self.view(addr, length))
             sqes.append(sqe)
         if n:
             self._put_u32(base + Layout.URING_SQ_HEAD, sq_head + n)
-        timeout_ns = None
-        if flags & IORING_ENTER_TIMEOUT_MS and sig > 0:
-            timeout_ns = sig * 1_000_000
-        min_c = min_complete if flags & IORING_ENTER_GETEVENTS else 0
-        # only reap what the guest CQ ring can absorb; the rest stays in
-        # the kernel backlog (CQ-overflow semantics)
-        cq_head = self._u32(base + Layout.URING_CQ_HEAD)
+        return sqes
+
+    def _write_cqes(self, ring, cqes) -> None:
+        """Publish reaped CQEs into the guest CQ ring + refresh header."""
+        base = ring.guest_base
+        cqn = ring.cq_entries
+        cq_base = base + Layout.URING_HDR_SIZE + \
+            ring.sq_entries * Layout.URING_SQE_SIZE
         cq_tail = self._u32(base + Layout.URING_CQ_TAIL)
-        room = cqn - ((cq_tail - cq_head) & 0xFFFFFFFF)
-        submitted, cqes = self.k("io_uring_enter", fd, sqes, min_c,
-                                 timeout_ns, max(room, 0))
         for i, cqe in enumerate(cqes):
-            if cqe.data is not None and cqe.addr:
-                self.copy_out(cqe.addr, cqe.data)
+            if cqe.data is not None:
+                if cqe.flags & IORING_CQE_F_BUFFER:
+                    # registered slot: cqe.addr was translated at
+                    # register time, so this lands without per-CQE work
+                    self.mem.write(cqe.addr, cqe.data)
+                    self.fixed_elides += 1
+                elif cqe.addr:
+                    self.copy_out(cqe.addr, cqe.data)
             self.copy_out(
                 cq_base + ((cq_tail + i) % cqn) * Layout.URING_CQE_SIZE,
                 Layout.encode_uring_cqe(cqe.user_data, cqe.res, cqe.flags))
         if cqes:
             self._put_u32(base + Layout.URING_CQ_TAIL, cq_tail + len(cqes))
         self._put_u32(base + Layout.URING_CQ_OVERFLOW, ring.overflow)
-        self._put_u32(base + Layout.URING_FLAGS,
-                      IORING_SQ_CQ_OVERFLOW if ring.overflow_pending else 0)
+        self._write_ring_flags(ring)
+
+    def _write_ring_flags(self, ring) -> None:
+        base = ring.guest_base
+        if base is None:
+            return
+        flags = 0
+        if ring.overflow_pending:
+            flags |= IORING_SQ_CQ_OVERFLOW
+        if ring.sq_need_wakeup:
+            flags |= IORING_SQ_NEED_WAKEUP
+        self._put_u32(base + Layout.URING_FLAGS, flags)
+
+    def _publish_cqes(self, ring) -> int:
+        """Flush kernel completions into whatever room the guest CQ ring
+        has (SQPOLL path: the poller calls this with zero crossings)."""
+        base = ring.guest_base
+        if base is None:
+            return 0
+        with ring._publish_lock:
+            cq_head = self._u32(base + Layout.URING_CQ_HEAD)
+            cq_tail = self._u32(base + Layout.URING_CQ_TAIL)
+            room = ring.cq_entries - ((cq_tail - cq_head) & 0xFFFFFFFF)
+            cqes = ring.reap(room) if room > 0 else []
+            self._write_cqes(ring, cqes)
+            return len(cqes)
+
+    def w_io_uring_enter(self, fd, to_submit, min_complete, flags, sig,
+                         sigsz):
+        """One crossing: consume SQEs from the guest SQ ring, run them,
+        then publish every available completion into the guest CQ ring.
+
+        ``sig`` is reinterpreted as a relative timeout in milliseconds
+        when ``IORING_ENTER_TIMEOUT_MS`` is set (the EXT_ARG analog: our
+        guests never pass sigsets here).
+
+        SQPOLL rings never submit through here — the poller owns the SQ
+        ring.  The crossing only kicks an idled poller
+        (``IORING_ENTER_SQ_WAKEUP``) and/or blocks for completions
+        (``IORING_ENTER_GETEVENTS``), then flushes the guest CQ ring.
+        """
+        fd = signed32(fd)
+        ring = self._ring(fd)
+        base = ring.guest_base
+        if base is None:
+            raise KernelError(EINVAL, "ring memory is not registered")
+        timeout_ns = None
+        if flags & IORING_ENTER_TIMEOUT_MS and sig > 0:
+            timeout_ns = sig * 1_000_000
+        min_c = min_complete if flags & IORING_ENTER_GETEVENTS else 0
+        if ring.setup_flags & IORING_SETUP_SQPOLL:
+            self.k("io_uring_enter", fd, (), min_c, timeout_ns, 0, flags)
+            self._publish_cqes(ring)
+            return 0
+        sqes = self._consume_sq(ring, to_submit)
+        # only reap what the guest CQ ring can absorb; the rest stays in
+        # the kernel backlog (CQ-overflow semantics)
+        with ring._publish_lock:
+            cq_head = self._u32(base + Layout.URING_CQ_HEAD)
+            cq_tail = self._u32(base + Layout.URING_CQ_TAIL)
+            room = ring.cq_entries - ((cq_tail - cq_head) & 0xFFFFFFFF)
+        submitted, cqes = self.k("io_uring_enter", fd, sqes, min_c,
+                                 timeout_ns, max(room, 0), flags)
+        with ring._publish_lock:
+            self._write_cqes(ring, cqes)
         return submitted
 
     # ------------------------------------------------------------------
@@ -1019,6 +1130,7 @@ class WaliHost:
             "unique_syscalls": len(self.call_counts),
             "zero_copy_translations": self.zero_copy_calls,
             "struct_copy_calls": self.struct_copy_calls,
+            "fixed_buffer_elides": self.fixed_elides,
             "wali_time_ns": self.wp.wali_time_ns,
         }
 

@@ -183,6 +183,9 @@ class Layout:
     # header (32 bytes):
     #   0 sq_head  4 sq_tail  8 sq_entries  12 cq_head  16 cq_tail
     #   20 cq_entries  24 cq_overflow  28 flags
+    # flags mirrors kernel ring state: bit 0 IORING_SQ_CQ_OVERFLOW
+    # (backlogged completions pending), bit 1 IORING_SQ_NEED_WAKEUP
+    # (the SQPOLL poller idled out; kick via IORING_ENTER_SQ_WAKEUP)
     URING_HDR_SIZE = 32
     URING_SQ_HEAD = 0
     URING_SQ_TAIL = 4
@@ -190,6 +193,13 @@ class Layout:
     URING_CQ_TAIL = 16
     URING_CQ_OVERFLOW = 24
     URING_FLAGS = 28
+
+    # io_uring_setup params (struct io_uring_params analog): the engine
+    # writes back {u32 sq_entries, u32 cq_entries} and reads
+    # {u32 flags, u32 sq_thread_idle_ms} that the guest filled in
+    URING_PARAMS_FLAGS = 8
+    URING_PARAMS_IDLE = 12
+    URING_PARAMS_SIZE = 16
 
     # sqe (32 bytes): {u8 opcode, u8 flags, u16 pad, i32 fd, u32 addr,
     #                  u32 len, u64 off, u64 user_data}

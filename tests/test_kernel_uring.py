@@ -10,10 +10,13 @@ import pytest
 
 from repro.kernel import (
     AF_INET, EPOLL_CTL_ADD, EPOLLHUP, EPOLLIN, EPOLLOUT,
-    IORING_OP_ACCEPT, IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ,
+    IORING_ACCEPT_MULTISHOT, IORING_CQE_BUFFER_SHIFT, IORING_CQE_F_BUFFER,
+    IORING_CQE_F_MORE, IORING_ENTER_SQ_WAKEUP, IORING_OP_ACCEPT,
+    IORING_OP_NOP, IORING_OP_POLL_ADD, IORING_OP_READ, IORING_OP_READ_FIXED,
     IORING_OP_RECV, IORING_OP_SEND, IORING_OP_TIMEOUT, IORING_OP_WRITE,
-    IOSQE_CQE_SKIP_SUCCESS, IOSQE_IO_LINK, Kernel, KernelError, SOCK_STREAM,
-    SQE,
+    IORING_RECV_MULTISHOT, IORING_REGISTER_BUFFERS, IORING_SETUP_SQPOLL,
+    IOSQE_CQE_SKIP_SUCCESS, IOSQE_FIXED_BUFFER, IOSQE_IO_LINK, Kernel,
+    KernelError, SOCK_STREAM, SQE,
 )
 from repro.kernel.errno import (
     EBADF, ECANCELED, EINVAL, EPIPE, ETIME,
@@ -51,9 +54,9 @@ def _pair(kern, proc):
 
 
 def _enter(kern, proc, fd, sqes=(), min_complete=0, timeout_ns=None,
-           max_cqes=None):
+           max_cqes=None, flags=0):
     return kern.call(proc, "io_uring_enter", fd, sqes, min_complete,
-                     timeout_ns, max_cqes)
+                     timeout_ns, max_cqes, flags)
 
 
 class TestRingBasics:
@@ -534,3 +537,373 @@ export func _start() {
         wp = rt.load(compile_source(with_libc(src), name="ringmem"),
                      argv=["ringmem"])
         assert wp.run() == 0
+
+    def test_guest_overflow_flag_lifecycle(self):
+        """IORING_SQ_CQ_OVERFLOW in the shared header: raised while the
+        kernel holds backlogged completions, still raised after a partial
+        drain refills the ring from the backlog, cleared only once a reap
+        fully drains the backlog — all observed guest-side with loads."""
+        from repro.apps import with_libc
+        from repro.cc import compile_source
+        from repro.wali import WaliRuntime
+
+        src = r"""
+export func _start() {
+    if (uring_init(4) < 0) { exit(1); }       // sq 4, cq 8
+    // 5 batches of 4 NOPs, never advancing the CQ head: 8 land in the
+    // guest ring, 8 fill the kernel-side ring, 4 overflow into backlog
+    var b: i32 = 0;
+    while (b < 5) {
+        var i: i32 = 0;
+        while (i < 4) {
+            uring_sqe(IORING_OP_NOP, -1, 0, 0, b * 4 + i, 0);
+            i = i + 1;
+        }
+        uring_submit();
+        b = b + 1;
+    }
+    if (uring_cq_ready() != 8) { exit(2); }
+    if ((uring_ring_flags() & IORING_SQ_CQ_OVERFLOW) == 0) { exit(3); }
+    // partial drain: the 2 freed slots refill from the kernel side but
+    // a backlog remains, so the flag must stay up
+    uring_cq_advance(2);
+    uring_submit();
+    if (uring_cq_ready() != 8) { exit(4); }
+    if ((uring_ring_flags() & IORING_SQ_CQ_OVERFLOW) == 0) { exit(5); }
+    // full drain: the backlog empties into the kernel ring, flag clears
+    uring_cq_advance(8);
+    uring_submit();
+    if (uring_cq_ready() != 8) { exit(6); }
+    if ((uring_ring_flags() & IORING_SQ_CQ_OVERFLOW) != 0) { exit(7); }
+    // the stragglers arrive; the overflow counter records all 4
+    uring_cq_advance(8);
+    uring_submit();
+    if (uring_cq_ready() != 2) { exit(8); }
+    if (load32(__uring_base + 24) != 4) { exit(9); }
+    exit(0);
+}
+"""
+        rt = WaliRuntime()
+        wp = rt.load(compile_source(with_libc(src), name="ringovf"),
+                     argv=["ringovf"])
+        assert wp.run() == 0
+
+
+class TestMultishot:
+    """Multishot accept/recv: one armed SQE, a CQE per event, each
+    flagged IORING_CQE_F_MORE until the terminal completion."""
+
+    def test_accept_posts_cqe_per_arrival(self, kern, proc):
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        lfd = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+        kern.call(proc, "bind", lfd, ("127.0.0.1", 9321))
+        kern.call(proc, "listen", lfd, 16)
+        sub, cqes = _enter(kern, proc, rfd,
+                           [SQE(IORING_OP_ACCEPT, fd=lfd,
+                                off=IORING_ACCEPT_MULTISHOT, user_data=5)])
+        assert (sub, cqes) == (1, [])
+        seen = []
+        for wave in (3, 2):  # the SQE stays armed between waves
+            for _ in range(wave):
+                c = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+                kern.call(proc, "connect", c, ("127.0.0.1", 9321))
+            got = []
+            deadline = time.monotonic() + 10
+            while len(got) < wave and time.monotonic() < deadline:
+                _s, batch = _enter(kern, proc, rfd, (), 1, 500_000_000)
+                got.extend(batch)
+            assert len(got) == wave, got
+            for c in got:
+                assert c.user_data == 5
+                assert c.res > 0
+                assert c.flags & IORING_CQE_F_MORE
+            seen.extend(c.res for c in got)
+        assert len(set(seen)) == 5  # five distinct connection fds
+
+    def test_recv_posts_cqe_per_message_then_terminal_eof(self, kern, proc):
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        sub, cqes = _enter(kern, proc, rfd,
+                           [SQE(IORING_OP_RECV, fd=a, length=64,
+                                off=IORING_RECV_MULTISHOT, user_data=7)])
+        assert (sub, cqes) == (1, [])
+        for i in range(3):
+            kern.call(proc, "sendto", b, b"msg%d" % i)
+            _s, got = _enter(kern, proc, rfd, (), 1, 2_000_000_000)
+            assert len(got) == 1
+            assert (got[0].user_data, got[0].res) == (7, 4)
+            assert got[0].data == b"msg%d" % i
+            assert got[0].flags & IORING_CQE_F_MORE
+        kern.call(proc, "close", b)  # EOF terminates the armed op
+        _s, got = _enter(kern, proc, rfd, (), 1, 2_000_000_000)
+        assert [(c.user_data, c.res) for c in got] == [(7, 0)]
+        assert not (got[0].flags & IORING_CQE_F_MORE)
+
+    def test_recv_gates_one_unreaped_completion(self, kern, proc):
+        """At most one unreaped data CQE per armed multishot recv: the
+        next message is held until the guest reaps the previous one."""
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        a, b = _pair(kern, proc)
+        _enter(kern, proc, rfd,
+               [SQE(IORING_OP_RECV, fd=a, length=64,
+                    off=IORING_RECV_MULTISHOT, user_data=3)])
+        kern.call(proc, "sendto", b, b"aa")
+        _enter(kern, proc, rfd, (), 1, 2_000_000_000, 0)  # wait, reap none
+        kern.call(proc, "sendto", b, b"bb")
+        ring = proc.fdtable.get(rfd).obj
+        # the second message must not produce a second CQE while the
+        # first sits unreaped — the armed op holds a single slot
+        _enter(kern, proc, rfd, (), 1, 2_000_000_000, 0)
+        assert ring.cq_ready() == 1
+        _s, got = _enter(kern, proc, rfd, (), 1)
+        assert [c.data for c in got] == [b"aa"]
+        # reaping released the gate: the held message now completes
+        _s, got = _enter(kern, proc, rfd, (), 1, 2_000_000_000)
+        assert [c.data for c in got] == [b"bb"]
+        assert got[0].flags & IORING_CQE_F_MORE
+
+    def test_multishot_refuses_link(self, kern, proc):
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        a, _b = _pair(kern, proc)
+        _s, cqes = _enter(kern, proc, rfd, [
+            SQE(IORING_OP_RECV, fd=a, length=64, off=IORING_RECV_MULTISHOT,
+                flags=IOSQE_IO_LINK, user_data=1),
+            SQE(IORING_OP_NOP, user_data=2),
+        ], 2)
+        assert [(c.user_data, c.res) for c in cqes] == \
+            [(1, -EINVAL), (2, -ECANCELED)]
+
+
+class TestRegisteredBuffers:
+    """IORING_REGISTER_BUFFERS: the table is installed once; fixed-buffer
+    SQEs name a slot index and complete with IORING_CQE_F_BUFFER."""
+
+    def _ring_with_table(self, kern, proc):
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        kern.call(proc, "io_uring_register", rfd, IORING_REGISTER_BUFFERS,
+                  [(0x1000, 64), (0x2000, 16)], 2)
+        return rfd
+
+    def test_read_fixed_completes_into_slot(self, kern, proc):
+        rfd = self._ring_with_table(kern, proc)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "sendto", b, b"fixed!")
+        _s, cqes = _enter(kern, proc, rfd,
+                          [SQE(IORING_OP_READ_FIXED, fd=a, addr=1,
+                               user_data=9)], 1, 2_000_000_000)
+        c = cqes[0]
+        assert (c.res, c.data) == (6, b"fixed!")
+        assert c.addr == 0x2000  # the slot base, resolved from the table
+        assert c.flags == IORING_CQE_F_BUFFER | (1 << IORING_CQE_BUFFER_SHIFT)
+
+    def test_fixed_read_truncates_to_slot_length(self, kern, proc):
+        rfd = self._ring_with_table(kern, proc)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "sendto", b, b"x" * 32)
+        _s, cqes = _enter(kern, proc, rfd,
+                          [SQE(IORING_OP_READ_FIXED, fd=a, addr=1,
+                               user_data=1)], 1, 2_000_000_000)
+        assert cqes[0].res == 16  # slot 1 holds 16 bytes, never more
+
+    def test_recv_with_fixed_buffer_flag(self, kern, proc):
+        rfd = self._ring_with_table(kern, proc)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "sendto", b, b"hi")
+        _s, cqes = _enter(kern, proc, rfd,
+                          [SQE(IORING_OP_RECV, fd=a, addr=0, length=64,
+                               flags=IOSQE_FIXED_BUFFER, user_data=2)],
+                          1, 2_000_000_000)
+        c = cqes[0]
+        assert (c.res, c.data, c.addr) == (2, b"hi", 0x1000)
+        assert c.flags & IORING_CQE_F_BUFFER
+
+    def test_bad_slot_index_completes_einval(self, kern, proc):
+        rfd = self._ring_with_table(kern, proc)
+        a, b = _pair(kern, proc)
+        kern.call(proc, "sendto", b, b"zz")
+        _s, cqes = _enter(kern, proc, rfd, [
+            SQE(IORING_OP_READ_FIXED, fd=a, addr=7, user_data=1),
+            SQE(IORING_OP_SEND, fd=a, addr=7, flags=IOSQE_FIXED_BUFFER,
+                user_data=2, data=b"zz"),
+        ], 2, 2_000_000_000)
+        by_ud = {c.user_data: c.res for c in cqes}
+        assert by_ud == {1: -EINVAL, 2: -EINVAL}
+
+    def test_register_validates_table(self, kern, proc):
+        rfd = kern.call(proc, "io_uring_setup", 8)
+        for bad in ([], [(0x1000, 0)]):
+            with pytest.raises(KernelError) as exc:
+                kern.call(proc, "io_uring_register", rfd,
+                          IORING_REGISTER_BUFFERS, bad, len(bad))
+            assert exc.value.errno == EINVAL
+        kern.call(proc, "io_uring_register", rfd, IORING_REGISTER_BUFFERS,
+                  [(0x3000, 8)], 1)
+        assert proc.fdtable.get(rfd).obj.buf_table == [(0x3000, 8)]
+
+
+class TestSQPoll:
+    """IORING_SETUP_SQPOLL: a kernel-side poller task drains the shared
+    SQ queue, so a loaded submitter pays zero enter crossings."""
+
+    def _setup(self, kern, proc, idle_ms=200.0):
+        fd = kern.call(proc, "io_uring_setup", 8, IORING_SETUP_SQPOLL,
+                       idle_ms)
+        return fd, proc.fdtable.get(fd).obj
+
+    def test_zero_crossing_submission(self, kern, proc):
+        fd, ring = self._setup(kern, proc)
+        base = kern.syscall_counts.get("io_uring_enter", 0)
+        # the shared-memory analog: the submitter appends SQEs without
+        # any syscall, the poller picks them up
+        for i in range(10):
+            ring.sq_queue.append(SQE(IORING_OP_NOP, user_data=i))
+        got = []
+        deadline = time.monotonic() + 10
+        while len(got) < 10 and time.monotonic() < deadline:
+            got.extend(ring.reap(16))
+            time.sleep(0.002)
+        assert sorted(c.user_data for c in got) == list(range(10))
+        assert kern.syscall_counts.get("io_uring_enter", 0) == base
+        kern.call(proc, "close", fd)
+
+    def test_poller_is_a_scheduled_kernel_task(self, kern, proc):
+        fd, ring = self._setup(kern, proc)
+        poller = ring.sqpoll
+        assert poller.alive
+        assert poller.proc.pid in kern.processes
+        assert poller.proc.argv == ["iou-sqp"]
+        for _ in range(200):
+            ring.sq_queue.append(
+                SQE(IORING_OP_NOP, flags=IOSQE_CQE_SKIP_SUCCESS))
+        deadline = time.monotonic() + 10
+        while ring.sq_pending() and time.monotonic() < deadline:
+            time.sleep(0.002)
+        assert ring.sq_pending() == 0
+        # CPU time accrued through the scheduler, like any guest task
+        assert poller.proc.se.cpu_time_ns > 0
+        kern.call(proc, "close", fd)
+
+    def test_need_wakeup_and_kick_cycle(self, kern, proc):
+        fd, ring = self._setup(kern, proc, idle_ms=1.0)
+        # with a 1 ms idle window the poller parks almost immediately
+        # and publishes IORING_SQ_NEED_WAKEUP
+        deadline = time.monotonic() + 5
+        while not ring.sq_need_wakeup and time.monotonic() < deadline:
+            time.sleep(0.002)
+        assert ring.sq_need_wakeup
+        ring.sq_queue.append(SQE(IORING_OP_NOP, user_data=77))
+        # one crossing revives the parked poller
+        _enter(kern, proc, fd, flags=IORING_ENTER_SQ_WAKEUP)
+        got = []
+        deadline = time.monotonic() + 10
+        while not got and time.monotonic() < deadline:
+            got.extend(ring.reap(4))
+            time.sleep(0.002)
+        assert got[0].user_data == 77
+        kern.call(proc, "close", fd)
+
+    def test_close_stops_the_poller(self, kern, proc):
+        fd, ring = self._setup(kern, proc)
+        poller = ring.sqpoll
+        kern.call(proc, "close", fd)
+        deadline = time.monotonic() + 5
+        while poller.alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not poller.alive
+        assert ring.closed  # fd drop closed the ring, ring stopped the task
+
+
+class TestEnterValidation:
+    def test_min_complete_beyond_cq_ring_is_einval(self, kern, proc):
+        """Regression: a wait for more CQEs than the ring can ever hold
+        used to hang forever; Linux rejects it up front."""
+        fd = kern.call(proc, "io_uring_setup", 8)  # cq 16
+        with pytest.raises(KernelError) as exc:
+            _enter(kern, proc, fd, (), 17, 1_000_000_000)
+        assert exc.value.errno == EINVAL
+
+
+class TestTimeoutDeterminism:
+    def test_timeout_completion_posts_on_the_syscall_thread(self, kern,
+                                                            proc):
+        """Regression: TIMEOUT used to complete on the wall-clock timer
+        thread, racing _advance.  The timer now only marks the chain;
+        the -ETIME CQE and the link cancellation are posted during the
+        blocked enter — one deterministic ordering."""
+        fd = kern.call(proc, "io_uring_setup", 8)
+        _s, cqes = _enter(kern, proc, fd, [
+            SQE(IORING_OP_TIMEOUT, off=10_000_000, flags=IOSQE_IO_LINK,
+                user_data=1),
+            SQE(IORING_OP_NOP, user_data=2),
+        ], 2, 5_000_000_000)
+        assert [(c.user_data, c.res) for c in cqes] == \
+            [(1, -ETIME), (2, -ECANCELED)]
+        ring = proc.fdtable.get(fd).obj
+        # nothing left armed: every chain retired, no wall-clock timer
+        assert all(c.done and c.timer is None for c in ring._chains)
+
+
+class TestUringRaceRegression:
+    """Regression for the off-thread waker race: _Parked wakeups and
+    timer fires used to mutate ring._ready / chain.queued without
+    ring._lock, so concurrent writers racing the reaping thread could
+    lose or double-queue a chain.  Byte-exact accounting across many
+    connections hammered from parallel writer threads catches both."""
+
+    def test_threaded_waker_stress(self):
+        import threading
+
+        k = Kernel()
+        p = k.create_process(["stress-server"])
+        rfd = k.call(p, "io_uring_setup", 64)
+        lfd = k.call(p, "socket", AF_INET, SOCK_STREAM)
+        k.call(p, "bind", lfd, ("127.0.0.1", 9777))
+        k.call(p, "listen", lfd, 64)
+
+        nwriters, per_writer, nmsgs, msg = 4, 4, 25, b"01234567"
+        nconns = nwriters * per_writer
+        writers = [k.create_process([f"stress-w{i}"])
+                   for i in range(nwriters)]
+        wfds, afds = [], []
+        for w in writers:
+            fds = []
+            for _ in range(per_writer):
+                c = k.call(w, "socket", AF_INET, SOCK_STREAM)
+                k.call(w, "connect", c, ("127.0.0.1", 9777))
+                fds.append(c)
+                afds.append(k.call(p, "accept", lfd))
+            wfds.append(fds)
+        for i, a in enumerate(afds):
+            _enter(k, p, rfd, [SQE(IORING_OP_RECV, fd=a, length=4096,
+                                   user_data=i)])
+
+        def run_writer(w, fds):
+            for _ in range(nmsgs):
+                for c in fds:
+                    k.call(w, "sendto", c, msg)
+
+        threads = [threading.Thread(target=run_writer, args=pair,
+                                    daemon=True)
+                   for pair in zip(writers, wfds)]
+        for t in threads:
+            t.start()
+
+        want = nmsgs * len(msg)
+        got = [0] * nconns
+        deadline = time.monotonic() + 30
+        while any(g < want for g in got):
+            assert time.monotonic() < deadline, got
+            _s, cqes = _enter(k, p, rfd, (), 1, 2_000_000_000)
+            rearm = []
+            for c in cqes:
+                assert c.res > 0, (c.user_data, c.res)
+                got[c.user_data] += c.res
+                if got[c.user_data] < want:
+                    rearm.append(SQE(IORING_OP_RECV, fd=afds[c.user_data],
+                                     length=4096, user_data=c.user_data))
+            if rearm:
+                _enter(k, p, rfd, rearm)
+        for t in threads:
+            t.join(10)
+        # exact byte totals: no lost wakeups, no duplicated completions
+        assert got == [want] * nconns

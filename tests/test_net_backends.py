@@ -298,6 +298,56 @@ class TestConformance:
         kern.call(proc, "sendto", a, b"untapped")
         assert tap.nbytes("data") == 11  # detached taps stop recording
 
+    def test_uring_multishot_accept_and_recv(self, kern, proc):
+        """Multishot CQE streams survive every backend: one armed accept
+        SQE posts a CQE (flagged F_MORE) per handshake whether arrivals
+        are instant or delayed, and one armed recv posts a CQE per
+        message until peer close posts the terminal no-MORE CQE."""
+        from repro.kernel import (
+            IORING_ACCEPT_MULTISHOT, IORING_CQE_F_MORE, IORING_OP_ACCEPT,
+            IORING_RECV_MULTISHOT,
+        )
+
+        rfd = kern.call(proc, "io_uring_setup", 16)
+        lfd = _listener(kern, proc, port=9460)
+        sub, cqes = kern.call(
+            proc, "io_uring_enter", rfd,
+            [SQE(IORING_OP_ACCEPT, fd=lfd, off=IORING_ACCEPT_MULTISHOT,
+                 user_data=1)])
+        assert (sub, cqes) == (1, [])
+        clients = []
+        for _ in range(3):
+            c = kern.call(proc, "socket", AF_INET, SOCK_STREAM)
+            kern.call(proc, "connect", c, ("127.0.0.1", 9460))
+            clients.append(c)
+        accepted = []
+        deadline = time.monotonic() + 10
+        while len(accepted) < 3 and time.monotonic() < deadline:
+            _s, batch = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                                  500_000_000)
+            accepted.extend(batch)
+        assert len(accepted) == 3
+        assert all(c.user_data == 1 and c.res > 0 and
+                   c.flags & IORING_CQE_F_MORE for c in accepted)
+
+        # one armed recv serves the first connection's whole lifetime
+        sfd = accepted[0].res
+        kern.call(proc, "io_uring_enter", rfd,
+                  [SQE(IORING_OP_RECV, fd=sfd, length=64,
+                       off=IORING_RECV_MULTISHOT, user_data=2)])
+        for i in range(3):
+            kern.call(proc, "sendto", clients[0], b"m%d" % i)
+            _s, got = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                                5_000_000_000)
+            assert [(c.user_data, c.res, c.data) for c in got] == \
+                [(2, 2, b"m%d" % i)]
+            assert got[0].flags & IORING_CQE_F_MORE
+        kern.call(proc, "close", clients[0])
+        _s, got = kern.call(proc, "io_uring_enter", rfd, [], 1,
+                            5_000_000_000)
+        assert [(c.user_data, c.res) for c in got] == [(2, 0)]
+        assert not (got[0].flags & IORING_CQE_F_MORE)
+
 
 @pytest.fixture
 def wan_kernel(wan_seed):
