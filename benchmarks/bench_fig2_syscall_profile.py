@@ -4,6 +4,11 @@ Runs the application suite under kernel tracing and regenerates the
 log-normalised frequency profile (aggregate row + per-app rows).  The
 paper's claim: applications use well under ~150 unique syscalls, so a thin
 interface covering that set runs most software.
+
+Counts come from the kernel's ``syscall.*`` counter cells — the same
+cells perf counting events bind to and ``counter_snapshot`` renders —
+so this figure, guest ``perf stat`` and ``/proc`` agree by
+construction.
 """
 
 from common import save_report
@@ -11,7 +16,9 @@ from common import save_report
 from repro.apps import build, install_all
 from repro.apps.lua import fib_script
 from repro.apps.sqlite import workload_script
-from repro.metrics import aggregate_profiles, profile_app, render_profile
+from repro.metrics import (
+    aggregate_profiles, profile_app, profile_from_kernel, render_profile,
+)
 from repro.wali import WaliRuntime, implemented_names
 
 
@@ -52,14 +59,8 @@ def _profiles():
                      argv=["client", "11211", "30", "1"])
     client.run()
     server.join(5)
-    from collections import Counter
-
-    from repro.metrics import SyscallProfile
-
-    counts = Counter()
-    for c in rt.kernel.proc_syscall_counts.values():
-        counts.update(c)
-    profiles.append(SyscallProfile("memcached", counts))
+    # server + client + children in one snapshot of the counter cells
+    profiles.append(profile_from_kernel("memcached", rt.kernel))
 
     return profiles
 

@@ -1,0 +1,124 @@
+"""Sampling-profiler overhead over the memcached echo workload.
+
+Three kernel configurations run the identical guest binaries
+(mini-memcached + its client, every request a blocking round trip):
+
+* ``off``     — no perf event open: ``kernel.perf.active`` is False and
+  the syscall hot path pays one attribute load + truth test.  Baseline.
+* ``997Hz``   — a system-wide sampling event at the classic profiling
+  rate.  **The contract this benchmark enforces: ≤10% slower than off**
+  (min-of-rounds at full scale; relaxed in CI quick mode where boot
+  cost dominates).
+* ``9973Hz``  — 10× the rate, reported for scale; no bound asserted
+  (at some rate a software sampler must cost something — the claim is
+  that the *useful* rate is near-free, not that sampling is free).
+
+Nobody drains the ring during the run: the ring fills, overflow is
+recorded in the lost counter, and the per-opportunity cost being
+measured is the full capture path (clock advance + frame walk + encode
++ push), which is exactly what a guest ``perf record`` imposes.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks op counts for CI smoke and
+relaxes the bound.
+"""
+
+import time
+
+from common import quick_mode, save_report
+
+from repro.apps import build
+from repro.kernel import PERF_TYPE_SAMPLING, PerfAttr
+from repro.metrics import table
+from repro.wali import WaliRuntime
+
+QUICK = quick_mode()
+
+NOPS = 30 if QUICK else 120
+ROUNDS = 2 if QUICK else 3
+# the 997 Hz budget (acceptance: ≤10% at full scale)
+MAX_997_OVERHEAD = 1.40 if QUICK else 1.10
+
+CONFIGS = [
+    ("off", 0),
+    ("997Hz", 997),
+    ("9973Hz", 9973),
+]
+
+
+def _echo_run_s(freq_hz):
+    """One memcached server+client session; wall seconds of the client."""
+    rt = WaliRuntime()
+    server = rt.load(build("mini_memcached"), argv=["memcached", "11211"])
+    server.start_in_thread()
+    for _ in range(500):
+        if b"ready" in rt.kernel.console_output():
+            break
+        time.sleep(0.01)
+    event = None
+    if freq_hz:
+        attr = PerfAttr(type=PERF_TYPE_SAMPLING, sample_freq=freq_hz,
+                        ring_capacity=4096)
+        event = rt.kernel.perf.open_event(server.proc, attr,
+                                          -1, -1, -1, 0)
+    client = rt.load(build("memcached_client"),
+                     argv=["client", "11211", str(NOPS), "1"])
+    t0 = time.perf_counter()
+    status = client.run()
+    elapsed = time.perf_counter() - t0
+    server.join(5)
+    samples = lost = 0
+    if event is not None:
+        samples, lost = event.samples, event.ring.lost
+        event.close()
+    assert status == 0, f"client failed at freq={freq_hz}"
+    assert b"client ok" in rt.kernel.console_output()
+    if rt.kernel.trace is not None:
+        rt.kernel.trace.close()
+    return elapsed, samples, lost
+
+
+def test_perf_overhead(benchmark):
+    def sweep():
+        out = {}
+        for label, freq in CONFIGS:
+            runs = [_echo_run_s(freq) for _ in range(ROUNDS)]
+            out[label] = {
+                "best_s": min(r[0] for r in runs),
+                "samples": max(r[1] for r in runs),
+                "lost": max(r[2] for r in runs),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base = results["off"]["best_s"]
+    rows = []
+    for label, _ in CONFIGS:
+        r = results[label]
+        rows.append((label, f"{r['best_s'] * 1e3:8.1f}",
+                     f"{r['best_s'] / base:5.2f}x",
+                     r["samples"], r["lost"]))
+    r997 = results["997Hz"]["best_s"] / base
+    r9973 = results["9973Hz"]["best_s"] / base
+    out = [
+        table(["config", "best ms", "vs off", "samples", "lost"], rows),
+        "",
+        f"{2 * NOPS} blocking round trips, best of {ROUNDS} rounds",
+        f"997 Hz sampling overhead:  {(r997 - 1) * 100:+.1f}% (budget +10%)",
+        f"9973 Hz sampling overhead: {(r9973 - 1) * 100:+.1f}%",
+        "",
+        "sampling opportunities ride the syscall dispatch path the",
+        "kernel already owns; with no event open the whole subsystem",
+        "is one attribute load + truth test per syscall.",
+    ]
+    save_report("perf_overhead.txt", "\n".join(out))
+
+    assert r997 <= MAX_997_OVERHEAD, results
+    # empty-report guard: the profiler must actually have sampled
+    # (at quick scale the run is shorter than one 997 Hz period on the
+    # deterministic clock, so only the 9973 Hz bound applies there)
+    assert results["9973Hz"]["samples"] > 0, results
+    if not QUICK:
+        assert results["997Hz"]["samples"] > 0, results
+    assert results["9973Hz"]["samples"] >= results["997Hz"]["samples"], \
+        results

@@ -82,6 +82,7 @@ extern func SYS_epoll_ctl(epfd: i32, op: i32, fd: i32, ev: i32) -> i64 from "wal
 extern func SYS_epoll_pwait(epfd: i32, evs: i32, maxevents: i32, timeout: i32, sigmask: i32, sigsetsize: i32) -> i64 from "wali";
 extern func SYS_timerfd_create(clockid: i32, flags: i32) -> i64 from "wali";
 extern func SYS_timerfd_settime(fd: i32, flags: i32, newval: i32, oldval: i32) -> i64 from "wali";
+extern func SYS_perf_event_open(attr: i32, pid: i32, cpu: i32, group: i32, flags: i32) -> i64 from "wali";
 extern func SYS_io_uring_setup(entries: i32, params: i32) -> i64 from "wali";
 extern func SYS_io_uring_enter(fd: i32, tosubmit: i32, mincomplete: i32, flags: i32, sig: i32, sigsz: i32) -> i64 from "wali";
 extern func SYS_io_uring_register(fd: i32, opcode: i32, arg: i32, nargs: i32) -> i64 from "wali";
@@ -853,6 +854,72 @@ func uring_sqpoll_wait(min_complete: i32, timeout_ms: i32) -> i32 {
     }
     return uring_cq_ready();
 }
+
+// ---- perf events: the guest profiling surface ----
+// attr (24 bytes): {u32 type, u32 config_ptr, u64 sample_freq,
+//                   u32 ring_capacity, u32 disabled}
+const PERF_TYPE_COUNTER = 0;
+const PERF_TYPE_TRACEPOINT = 1;
+const PERF_TYPE_SAMPLING = 2;
+const PERF_IOC_ENABLE = 0x2400;
+const PERF_IOC_DISABLE = 0x2401;
+const PERF_IOC_RESET = 0x2403;
+
+buffer __perf_attr[24];
+buffer __perf_val[8];
+
+// pid scoping follows perf_event_open: 0 = self, -1 = system-wide
+func perf_open_scoped(type: i32, config: i32, freq: i64, capacity: i32, pid: i32) -> i32 {
+    store32(__perf_attr, type);
+    store32(__perf_attr + 4, config);
+    store64(__perf_attr + 8, freq);
+    store32(__perf_attr + 16, capacity);
+    store32(__perf_attr + 20, 0);
+    return cret(SYS_perf_event_open(__perf_attr, pid, -1, -1, 0));
+}
+
+func perf_open_sampler(freq: i32, pid: i32) -> i32 {
+    return perf_open_scoped(PERF_TYPE_SAMPLING, 0, i64(freq), 0, pid);
+}
+
+func perf_open_counter(name: i32, pid: i32) -> i32 {
+    return perf_open_scoped(PERF_TYPE_COUNTER, name, i64(0), 0, pid);
+}
+
+func perf_open_tracepoint(name: i32, pid: i32) -> i32 {
+    return perf_open_scoped(PERF_TYPE_TRACEPOINT, name, i64(0), 0, pid);
+}
+
+func perf_enable(fd: i32) -> i32 { return cret(SYS_ioctl(fd, PERF_IOC_ENABLE, 0)); }
+func perf_disable(fd: i32) -> i32 { return cret(SYS_ioctl(fd, PERF_IOC_DISABLE, 0)); }
+func perf_reset(fd: i32) -> i32 { return cret(SYS_ioctl(fd, PERF_IOC_RESET, 0)); }
+
+// counting events: the 8-byte little-endian value, non-consuming
+func perf_read_count(fd: i32) -> i64 {
+    if (cret(SYS_read(fd, __perf_val, 8)) < 8) { return i64(0) - i64(1); }
+    return load64(__perf_val);
+}
+
+// sample-record accessors (header <IHH: size/type/misc, then the
+// <QiiQI body and nframes x {u16 len, name bytes})
+func ps_size(p: i32) -> i32 { return load32(p); }
+func ps_type(p: i32) -> i32 { return load16u(p + 4); }
+func ps_time_lo(p: i32) -> i32 { return i32(load64(p + 8)); }
+func ps_pid(p: i32) -> i32 { return load32(p + 16); }
+func ps_nice(p: i32) -> i32 { return load32(p + 20); }
+func ps_nframes(p: i32) -> i32 { return load32(p + 32); }
+// frame i's {len, name_ptr}: walk the variable-length tail
+func ps_frame(p: i32, i: i32) -> i32 {
+    var q: i32 = p + 36;
+    var n: i32 = 0;
+    while (n < i) {
+        q = q + 2 + load16u(q);
+        n = n + 1;
+    }
+    return q;
+}
+func ps_frame_len(f: i32) -> i32 { return load16u(f); }
+func ps_frame_name(f: i32) -> i32 { return f + 2; }
 
 // ---- time ----
 buffer __ts_buf[16];

@@ -1,0 +1,193 @@
+"""perf: the guest profiling tool (stat / record / report).
+
+The Table-1 row WASI/WASIX cannot express: a profiler running *fully
+inside the sandbox*, driving ``perf_event_open`` + ``ioctl`` + ``read``
++ ``epoll`` against the kernel's perf subsystem with no host-side help.
+
+Modes (``argv[1]``)::
+
+    perf stat <counter> [iters]       counting event demo: open the
+        named CounterRegistry / tracepoint:<point> / instructions
+        source system-wide, reset, spin `iters` getpid crossings, read
+        the 8-byte value and print it.
+    perf record <freq> <max> [pid]    sampling profiler: open a
+        sampler at `freq` Hz scoped to `pid` (-1 = system-wide), tail
+        the fd through epoll and print ONE folded-stack line per
+        sample (``frame_a;frame_b;frame_c``) — raw material for
+        metrics/flamegraph.py.
+    perf report <freq> <max> [pid]    same capture, but aggregated
+        in-guest: distinct folded stacks with counts, first-seen
+        order (deterministic under the deterministic sampling clock).
+
+Output ends with ``perf: N samples lost=L`` (or the stat line), so
+callers can assert on completeness.
+"""
+
+from .libc import with_libc
+
+PERF_SOURCE = with_libc(r"""
+const PERF_REC_SAMPLE = 9;
+const PERF_REC_LOST = 2;
+const MAX_STACKS = 64;
+
+buffer rbuf[8192];          // raw records from the perf fd
+buffer evbuf[12];           // 1 epoll_event
+buffer sbuf[512];           // one folded stack line
+buffer agg_ptr[256];        // MAX_STACKS x i32: folded-string ptrs
+buffer agg_cnt[256];        // MAX_STACKS x i32: sample counts
+global agg_n: i32 = 0;
+global lost: i32 = 0;
+
+// ---- folding: "a;b;c" of the sample record at p ----
+func fold_sample(p: i32, dst: i32) -> i32 {
+    var nf: i32 = ps_nframes(p);
+    if (nf == 0) {
+        strcpy(dst, "[unknown]");
+        return strlen(dst);
+    }
+    var f: i32 = p + 36;
+    var w: i32 = 0;
+    var i: i32 = 0;
+    while (i < nf) {
+        var len: i32 = load16u(f);
+        if (w + len + 2 > 500) { break; }
+        if (i > 0) { store8(dst + w, ';'); w = w + 1; }
+        memcopy(dst + w, f + 2, len);
+        w = w + len;
+        f = f + 2 + len;
+        i = i + 1;
+    }
+    store8(dst + w, 0);
+    return w;
+}
+
+func agg_add(s: i32) {
+    var i: i32 = 0;
+    while (i < agg_n) {
+        if (strcmp(load32(agg_ptr + i * 4), s) == 0) {
+            store32(agg_cnt + i * 4, load32(agg_cnt + i * 4) + 1);
+            return;
+        }
+        i = i + 1;
+    }
+    if (agg_n >= MAX_STACKS) { return; }
+    var copy: i32 = malloc(strlen(s) + 1);
+    if (copy == 0) { return; }
+    strcpy(copy, s);
+    store32(agg_ptr + agg_n * 4, copy);
+    store32(agg_cnt + agg_n * 4, 1);
+    agg_n = agg_n + 1;
+}
+
+// ---- perf stat ----
+func do_stat(cfg: i32, iters: i32) {
+    var type: i32 = PERF_TYPE_COUNTER;
+    if (strncmp(cfg, "tracepoint:", 11) == 0) {
+        type = PERF_TYPE_TRACEPOINT;
+        cfg = cfg + 11;
+    }
+    var fd: i32 = perf_open_scoped(type, cfg, i64(0), 0, 0 - 1);
+    if (fd < 0) { eprint("perf: bad counter\n"); exit(1); }
+    perf_reset(fd);
+    var i: i32 = 0;
+    while (i < iters) { SYS_getpid(); i = i + 1; }
+    var v: i64 = perf_read_count(fd);
+    close(fd);
+    print("perf stat ");
+    print(cfg);
+    print(": ");
+    print_int(i32(v));
+    println("");
+}
+
+// ---- perf record / report ----
+func do_record(freq: i32, max: i32, pid: i32, aggregate: i32) {
+    var fd: i32 = perf_open_sampler(freq, pid);
+    if (fd < 0) { eprint("perf: open failed\n"); exit(1); }
+    set_nonblock(fd);
+    var ep: i32 = cret(SYS_epoll_create1(0));
+    epoll_add(ep, fd, EPOLLIN);
+    var got: i32 = 0;
+    var idle: i32 = 0;
+    while (got < max) {
+        // each wait crossing is itself a sampling opportunity, so a
+        // self-scoped capture stays self-feeding; a foreign scope
+        // progresses on the target's own syscalls
+        var n: i32 = epoll_wait(ep, evbuf, 1, 20);
+        if (n < 0) { break; }
+        if (n == 0) {
+            idle = idle + 1;
+            if (idle > 500) { break; }   // ~10 s stall guard
+            continue;
+        }
+        idle = 0;
+        var r: i32 = read(fd, rbuf, 8192);
+        if (r <= 0) { continue; }
+        var p: i32 = rbuf;
+        while (p + 8 <= rbuf + r) {
+            var sz: i32 = ps_size(p);
+            if (sz < 8) { break; }
+            if (ps_type(p) == PERF_REC_SAMPLE) {
+                fold_sample(p, sbuf);
+                if (aggregate) { agg_add(sbuf); }
+                else { println(sbuf); }
+                got = got + 1;
+            }
+            if (ps_type(p) == PERF_REC_LOST) {
+                lost = lost + i32(load64(p + 8));
+            }
+            p = p + sz;
+            if (got >= max) { break; }
+        }
+    }
+    close(ep);
+    close(fd);
+    if (aggregate) {
+        var i: i32 = 0;
+        while (i < agg_n) {
+            print(load32(agg_ptr + i * 4));
+            print(" ");
+            print_int(load32(agg_cnt + i * 4));
+            println("");
+            i = i + 1;
+        }
+    }
+    print("perf: ");
+    print_int(got);
+    print(" samples lost=");
+    print_int(lost);
+    println("");
+}
+
+export func _start() {
+    __init_args();
+    if (argc() < 2) {
+        eprint("usage: perf stat <counter> [iters] | perf record|report <freq> <max> [pid]\n");
+        exit(2);
+    }
+    var mode: i32 = argv(1);
+    if (strcmp(mode, "stat") == 0) {
+        var iters: i32 = 1000;
+        if (argc() > 3) { iters = atoi(argv(3)); }
+        if (argc() < 3) { eprint("perf stat: need a counter name\n"); exit(2); }
+        do_stat(argv(2), iters);
+        exit(0);
+    }
+    var freq: i32 = 997;
+    var max: i32 = 32;
+    var pid: i32 = 0 - 1;
+    if (argc() > 2) { freq = atoi(argv(2)); }
+    if (argc() > 3) { max = atoi(argv(3)); }
+    if (argc() > 4) { pid = atoi(argv(4)); }
+    if (strcmp(mode, "record") == 0) {
+        do_record(freq, max, pid, 0);
+        exit(0);
+    }
+    if (strcmp(mode, "report") == 0) {
+        do_record(freq, max, pid, 1);
+        exit(0);
+    }
+    eprint("perf: unknown mode\n");
+    exit(2);
+}
+""")

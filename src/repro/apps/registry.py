@@ -22,6 +22,7 @@ from .libc import LIBC_SOURCE, with_libc
 from .lua import LUA_SOURCE
 from .memcached import MEMCACHED_CLIENT_SOURCE, MEMCACHED_SOURCE
 from .mqtt import MQTT_BENCH_SOURCE, MQTT_BROKER_SOURCE
+from .perf import PERF_SOURCE
 from .sh import SH_SOURCE
 from .sqlite import SQLITE_SOURCE
 from .watchd import WATCHD_SOURCE
@@ -43,6 +44,7 @@ APP_SOURCES: Dict[str, str] = {
     "paho_bench": MQTT_BENCH_SOURCE,
     "watchd": WATCHD_SOURCE,
     "ktop": KTOP_SOURCE,
+    "perf": PERF_SOURCE,
 }
 
 # mapping to the paper's Table 1 rows (what each app stands in for)
@@ -63,6 +65,7 @@ PAPER_ANALOG = {
     "event_echo": "memcached",
     "watchd": "inotify-tools",
     "ktop": "procps/trace-cmd",
+    "perf": "linux-perf",
 }
 
 _cache: Dict[str, Module] = {}

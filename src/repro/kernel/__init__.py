@@ -53,14 +53,21 @@ from .net import (
     SOCK_DGRAM,
     SOCK_STREAM, StreamBuffer, WanBackend, create_backend,
 )
+from .perf import (
+    PERF_EVENT_IOC_DISABLE, PERF_EVENT_IOC_ENABLE, PERF_EVENT_IOC_RESET,
+    PERF_RECORD_LOST, PERF_RECORD_SAMPLE, PERF_TYPE_COUNTER,
+    PERF_TYPE_SAMPLING, PERF_TYPE_TRACEPOINT, PerfAttr, PerfRing,
+    PerfSample, PerfSubsystem, decode_perf_records,
+)
 from .sched import (
     BackgroundSpinners, SCHED_BLOCKED, SCHED_DEAD, SCHED_NEW, SCHED_RUNNABLE,
     SCHED_RUNNING, SchedEntity, Scheduler, create_scheduler, nice_to_weight,
 )
 from .sockets import NetStack
 from .trace import (
-    CounterRegistry, KernelTrace, TRACE_RECORD_SIZE, TRACEPOINTS,
-    TraceBuffer, TraceRecord, create_trace, decode_records, hist_bucket,
+    CounterRegistry, KernelTrace, TRACE_RECORD_SIZE, TRACE_SCHEMAS,
+    TRACEPOINTS, TraceBuffer, TraceRecord, TypedTraceRecord, create_trace,
+    decode_records, decode_typed_records, hist_bucket,
 )
 from .uring import (
     CQE, IOSQE_CQE_SKIP_SUCCESS, IOSQE_FIXED_BUFFER, IOSQE_IO_LINK,
@@ -129,8 +136,14 @@ __all__ = [
     "FUTEX_LOCK_PI", "FUTEX_PRIVATE_FLAG", "FUTEX_UNLOCK_PI", "FUTEX_WAIT",
     "FUTEX_WAKE",
     "CounterRegistry", "KernelTrace", "TRACEPOINTS", "TRACE_RECORD_SIZE",
-    "TraceBuffer", "TraceRecord", "create_trace", "decode_records",
+    "TRACE_SCHEMAS", "TraceBuffer", "TraceRecord", "TypedTraceRecord",
+    "create_trace", "decode_records", "decode_typed_records",
     "hist_bucket",
+    "PERF_EVENT_IOC_DISABLE", "PERF_EVENT_IOC_ENABLE",
+    "PERF_EVENT_IOC_RESET", "PERF_RECORD_LOST", "PERF_RECORD_SAMPLE",
+    "PERF_TYPE_COUNTER", "PERF_TYPE_SAMPLING", "PERF_TYPE_TRACEPOINT",
+    "PerfAttr", "PerfRing", "PerfSample", "PerfSubsystem",
+    "decode_perf_records",
     "VFS", "VMA",
     "WaitQueue", "WNOHANG", "WanBackend",
     "X86_64", "arch_specific", "common_syscalls", "create_backend",

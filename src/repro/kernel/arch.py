@@ -66,7 +66,8 @@ _X86_64: Dict[str, int] = {
     "timerfd_create": 283, "timerfd_settime": 286, "timerfd_gettime": 287,
     "signalfd": 282, "accept4": 288, "signalfd4": 289, "eventfd2": 290,
     "epoll_create1": 291, "dup3": 292,
-    "pipe2": 293, "inotify_init1": 294, "prlimit64": 302, "renameat2": 316,
+    "pipe2": 293, "inotify_init1": 294, "perf_event_open": 298,
+    "prlimit64": 302, "renameat2": 316,
     "getrandom": 318,
     "memfd_create": 319, "execveat": 322, "statx": 332, "rseq": 334,
     "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
@@ -112,7 +113,8 @@ _GENERIC: Dict[str, int] = {
     "sendmsg": 211, "recvmsg": 212, "readahead": 213, "brk": 214,
     "munmap": 215, "mremap": 216, "clone": 220, "execve": 221, "mmap": 222,
     "fadvise64": 223, "mprotect": 226, "msync": 227, "mincore": 232,
-    "madvise": 233, "accept4": 242, "wait4": 260, "prlimit64": 261,
+    "madvise": 233, "perf_event_open": 241, "accept4": 242, "wait4": 260,
+    "prlimit64": 261,
     "renameat2": 276, "getrandom": 278, "memfd_create": 279, "statx": 291,
     "rseq": 293, "pidfd_open": 434, "clone3": 435, "faccessat2": 439,
     "io_uring_setup": 425, "io_uring_enter": 426, "io_uring_register": 427,

@@ -6,9 +6,10 @@ from .memsys import MemCalls
 from .misc import MiscCalls
 from .net import NetCalls
 from .notify import NotifyCalls
+from .perf import PerfCalls
 from .proc import ProcCalls
 from .sig import SigCalls
 from .uring import URingCalls
 
 __all__ = ["EventCalls", "FSCalls", "MemCalls", "MiscCalls", "NetCalls",
-           "NotifyCalls", "ProcCalls", "SigCalls", "URingCalls"]
+           "NotifyCalls", "PerfCalls", "ProcCalls", "SigCalls", "URingCalls"]

@@ -611,6 +611,8 @@ class FSCalls:
             else:
                 file.flags &= ~O_NONBLOCK
             return 0
+        if file.kind == OpenFile.KIND_PERF:
+            return file.obj.ioctl(request, arg)
         raise KernelError(ENOTTY, f"ioctl 0x{request:x}")
 
     # ---- poll ----

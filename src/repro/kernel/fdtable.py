@@ -71,6 +71,7 @@ class OpenFile:
     KIND_INOTIFY = "inotify"
     KIND_SIGNALFD = "signalfd"
     KIND_TRACE = "trace"
+    KIND_PERF = "perf"
 
     def __init__(self, kind: str, flags: int, inode: Optional[Inode] = None,
                  pipe: Optional[Pipe] = None, sock=None, path: str = "",
@@ -180,9 +181,9 @@ class OpenFile:
                 raise KernelError(EINVAL, "buffer smaller than 8 bytes")
             return self.obj.read_step().to_bytes(8, "little")
         if self.kind in (self.KIND_INOTIFY, self.KIND_SIGNALFD,
-                         self.KIND_TRACE):
+                         self.KIND_TRACE, self.KIND_PERF):
             # wire-format records (inotify_event / signalfd_siginfo /
-            # trace_pipe trace records)
+            # trace_pipe trace records / perf sample records)
             return self.obj.read_step(length)
         if self.kind == self.KIND_DIR:
             raise KernelError(EISDIR)

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional
 from .arch import X86_64
 from .calls import (
     EventCalls, FSCalls, MemCalls, MiscCalls, NetCalls, NotifyCalls,
-    ProcCalls, SigCalls, URingCalls,
+    PerfCalls, ProcCalls, SigCalls, URingCalls,
 )
 from . import procfs
 from .errno import EAGAIN, EINTR, ENOSYS, EPIPE, ETIMEDOUT, KernelError
@@ -50,7 +50,7 @@ class _TimedOut(Exception):
 
 
 class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
-             EventCalls, URingCalls, NotifyCalls):
+             EventCalls, URingCalls, NotifyCalls, PerfCalls):
     """A self-contained virtual Linux kernel."""
 
     def __init__(self, machine: str = X86_64, ncpus: int = 4,
@@ -59,6 +59,7 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
                  net_backend=None, sched=None, trace=None, block=None):
         from .block import create_blockfs
         from .net import create_backend
+        from .perf import PerfSubsystem
         from .sched import create_scheduler
         from .trace import create_trace
 
@@ -112,6 +113,12 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
         # strings ("cpus=1,slice_us=50", "off") or a Scheduler instance
         self.sched = create_scheduler(sched, ncpus_default=ncpus,
                                       kernel=self)
+
+        # perf events (kernel/perf.py): sampling profiler + counting
+        # events behind perf_event_open.  `perf.active` gates the
+        # per-syscall and per-tick hooks, keeping the disabled cost to
+        # one attribute load.
+        self.perf = PerfSubsystem(self)
 
         # block layer (kernel/block.py): a disk + page cache + writeback
         # under the VFS's regular files at its mountpoint (default
@@ -258,8 +265,12 @@ class Kernel(FSCalls, ProcCalls, SigCalls, NetCalls, MemCalls, MiscCalls,
             if trace is not None:
                 wait = self.sched_wait_ns.get(tgid, 0) - w0
                 trace.record_syscall(name, dt - wait, wait)
+                trace.counters.inc("syscall." + name)
                 trace.emit("syscall_exit", pid=proc.pid, arg=-err,
-                           info=name)
+                           info=name, args=(-err, dt - wait, wait))
+            perf = self.perf
+            if perf.active:
+                perf.on_syscall(proc)
             if self.trace_log is not None:
                 self.trace_log.append((proc.pid, name))
             for hook in self.trace_hooks:

@@ -48,6 +48,7 @@ from collections import deque
 from typing import Tuple
 
 from ..eventpoll import EPOLLIN
+from ..vfs import CharDevice
 from .base import SOCK_DGRAM, Socket
 from .loopback import LoopbackBackend
 
@@ -252,3 +253,58 @@ def _payload_bytes(payload) -> bytes:
     if isinstance(payload, (bytes, bytearray)):
         return bytes(payload)      # stream chunk
     return b""                     # eof mask
+
+
+# ----------------------------------------------------------------------
+# /proc/sys/net/wan knob devices (kernel/procfs.py mounts these)
+# ----------------------------------------------------------------------
+
+# knob -> (attribute, scale to storage units, upper bound in knob units).
+# latency/jitter are exposed in milliseconds but stored in nanoseconds;
+# probabilities live in [0, 1]; bandwidth in kbit/s (0 = unlimited).
+_WAN_KNOBS = {
+    "latency_ms": ("latency_ns", 1e6, float("inf")),
+    "jitter_ms": ("jitter_ns", 1e6, float("inf")),
+    "loss": ("loss", None, 1.0),
+    "reorder": ("reorder", None, 1.0),
+    "dup": ("dup", None, 1.0),
+    "bw_kbps": ("bw_kbps", None, float("inf")),
+}
+
+
+class WanKnobDevice(CharDevice):
+    """One writable /proc/sys/net/wan knob: live link reconfiguration.
+
+    Same validation discipline as the ``/proc/sys/vm`` knobs — a write
+    is parsed (``EINVAL`` on garbage), range-checked (``EINVAL`` out of
+    range), then applied to the running backend, so an in-flight
+    workload's link can be degraded without booting a new kernel.
+    Payloads already queued on the delay line keep their old delivery
+    times; only subsequent sends see the new impairments.
+    """
+
+    def __init__(self, backend: WanBackend, name: str):
+        if name not in _WAN_KNOBS:
+            raise ValueError(name)
+        self.backend = backend
+        self.name = name
+
+    def _read_value(self) -> float:
+        attr, scale, _ = _WAN_KNOBS[self.name]
+        value = getattr(self.backend, attr)
+        return value / scale if scale else value
+
+    def read(self, length: int) -> bytes:
+        return f"{self._read_value():g}\n".encode()[:length]
+
+    def write(self, data: bytes) -> int:
+        from ..errno import EINVAL, KernelError
+        try:
+            value = float(data.split()[0])
+        except (ValueError, IndexError):
+            raise KernelError(EINVAL, f"bad value for {self.name}")
+        attr, scale, hi = _WAN_KNOBS[self.name]
+        if not 0.0 <= value <= hi:
+            raise KernelError(EINVAL, f"{self.name} out of range")
+        setattr(self.backend, attr, int(value * scale) if scale else value)
+        return len(data)

@@ -100,6 +100,11 @@ class Process:
         self.cwd = cwd
         self.umask = 0o022
         self.mm = mm
+        # the guest interpreter (wasm.Machine) executing this task, linked
+        # by the WALI runtime at load/clone time; the perf sampler walks
+        # its frame stack for guest call-stack samples (None for tasks
+        # without a guest program)
+        self.machine = None
 
         self.dispositions = dispositions or SigDispositions()
         self.pending = PendingSignals()

@@ -17,6 +17,10 @@ Layout::
     /proc/trace           tracer state, mask, and every counter
     /proc/trace_ctl       write-side controls (on/off/clear/mask=...)
     /proc/trace_pipe      the epollable trace-record stream
+    /proc/trace_format    self-describing wire layout + payload schemas
+    /proc/perf            perf-event subsystem status
+    /proc/sys/kernel/perf_event_max_sample_rate   (writable knob)
+    /proc/sys/net/wan/*   live WAN impairment knobs (wan backend only)
 
 The stats files report from the shared
 :class:`~repro.kernel.trace.CounterRegistry` — the same numbers
@@ -87,10 +91,27 @@ def register_base(kernel) -> None:
         v.add_proc_file(
             "/proc/trace",
             lambda p: kernel.trace.status_text().encode())
+        v.add_proc_file(
+            "/proc/trace_format",
+            lambda p: kernel.trace.format_text().encode())
         v.mknod_device("/proc/trace_ctl", TraceControlDevice(kernel))
         v.add_special_file("/proc/trace_pipe",
                            lambda proc, flags: _open_trace_pipe(
                                kernel, flags))
+    perf = getattr(kernel, "perf", None)
+    if perf is not None:
+        from .perf import PerfMaxRateDevice
+        v.add_proc_file("/proc/perf",
+                        lambda p: perf.status_text().encode())
+        v.mkdirs("/proc/sys/kernel")
+        v.mknod_device("/proc/sys/kernel/perf_event_max_sample_rate",
+                       PerfMaxRateDevice(perf))
+    from .net.wan import WanBackend, WanKnobDevice, _WAN_KNOBS
+    if isinstance(kernel.net, WanBackend):
+        v.mkdirs("/proc/sys/net/wan")
+        for knob in _WAN_KNOBS:
+            v.mknod_device(f"/proc/sys/net/wan/{knob}",
+                           WanKnobDevice(kernel.net, knob))
     bd = getattr(kernel, "blockdev", None)
     if bd is not None:
         from .block import DropCachesDevice, VMKnobDevice

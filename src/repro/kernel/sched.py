@@ -601,7 +601,8 @@ class Scheduler:
         if was_blocked and self.trace is not None:
             self.trace.counters.inc("sched.wakeup")
             self.trace.emit("sched_wakeup", pid=proc.pid,
-                            arg=se.vruntime_ns)
+                            arg=se.vruntime_ns,
+                            args=(se.vruntime_ns, se.cpu))
 
     def _maybe_mark_preempt(self, woken_se) -> None:
         """Wakeup preemption: if the woken task out-prioritizes a task
@@ -701,7 +702,8 @@ class Scheduler:
         se.last_charge_ns = now
         if self.trace is not None:
             self.trace.counters.inc("sched.switch")
-            self.trace.emit("sched_switch", pid=proc.pid, arg=waited)
+            self.trace.emit("sched_switch", pid=proc.pid, arg=waited,
+                            args=(waited, se.vruntime_ns, se.nice, se.cpu))
 
     def _dispatch(self, now: int) -> None:
         """Fill free CPU slots: each from its own queue first, then
@@ -779,7 +781,8 @@ class Scheduler:
         proc.rusage.nivcsw += 1
         if self.trace is not None:
             self.trace.counters.inc("sched.preempt")
-            self.trace.emit("sched_preempt", pid=proc.pid, arg=ran)
+            self.trace.emit("sched_preempt", pid=proc.pid, arg=ran,
+                            args=(ran, se.vruntime_ns))
         self._enqueue(proc, now)
         self._dispatch(now)
         return se.state != SCHED_RUNNING
@@ -804,8 +807,14 @@ class Scheduler:
                 proc.rusage.nivcsw += 1
                 if self.trace is not None:
                     self.trace.counters.inc("sched.preempt")
-                    self.trace.emit("sched_preempt", pid=proc.pid, arg=ran)
+                    self.trace.emit("sched_preempt", pid=proc.pid, arg=ran,
+                                    args=(ran, se.vruntime_ns))
                 self._enqueue(proc, now, absent=True)
+        k = self.kernel
+        if k is not None:
+            perf = getattr(k, "perf", None)
+            if perf is not None and perf.active:
+                perf.on_tick(self._running.values())
         self._dispatch(now)
 
     def _steal_timeout_s(self, now: int) -> float:

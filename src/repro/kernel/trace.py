@@ -90,7 +90,38 @@ TRACEPOINT_IDS: Dict[str, int] = {n: i for i, n in enumerate(TRACEPOINTS)}
 _RECORD = struct.Struct("<QHHiq16s")
 TRACE_RECORD_SIZE = _RECORD.size          # 40
 TRACE_DROP_ID = 0xFFFF                    # the drop marker's pseudo-id
+TRACE_AUX_ID = 0xFFFE                     # typed-payload continuation
 TRACE_FLAG_DROP = 0x1
+TRACE_FLAG_AUX = 0x2
+
+# ---- typed argument payloads (perf-style events) --------------------------
+#
+# A tracepoint with a schema can carry structured arguments beyond the
+# 16-byte info field: the payload is struct-packed and emitted as AUX
+# continuation records right behind the parent — same timestamp, id
+# TRACE_AUX_ID, flags TRACE_FLAG_AUX, the parent's point id in the pid
+# field, `(chunk_seq << 32) | chunk_bytes` in arg, and up to 16 payload
+# bytes per chunk in info.  Old 40-byte readers keep working: every
+# record is still exactly 40 bytes and AUX records never set the drop
+# bit.  Payload emission is opt-in (`payload=on` in trace_ctl; default
+# off) so exact-record captures stay byte-identical.  The schemas are
+# self-describing via /proc/trace_format (see KernelTrace.format_text).
+
+TRACE_SCHEMAS: Dict[str, tuple] = {
+    "sched_switch": (("wait_ns", "q"), ("vruntime_ns", "q"),
+                     ("nice", "i"), ("cpu", "i")),
+    "sched_wakeup": (("vruntime_ns", "q"), ("cpu", "i")),
+    "sched_preempt": (("ran_ns", "q"), ("vruntime_ns", "q")),
+    "syscall_exit": (("errno", "i"), ("service_ns", "q"),
+                     ("wait_ns", "q")),
+    "net_deliver": (("bytes", "q"),),
+    "block_submit": (("block", "q"), ("write", "i")),
+}
+
+_SCHEMA_STRUCTS: Dict[str, struct.Struct] = {
+    point: struct.Struct("<" + "".join(fmt for _, fmt in fields))
+    for point, fields in TRACE_SCHEMAS.items()
+}
 
 # the trace clock: fixed epoch + 1 µs per event, per KernelTrace instance
 # (separate from the VFS inode clock so tracing never perturbs stat-shaped
@@ -155,8 +186,10 @@ class TraceEvent:
         self.info = info
 
     def encode(self) -> bytes:
+        info = self.info if isinstance(self.info, bytes) \
+            else self.info.encode()
         return _RECORD.pack(self.ts_ns, self.id, self.flags, self.pid,
-                            self.arg, self.info.encode()[:16])
+                            self.arg, info[:16])
 
     def __repr__(self) -> str:
         name = TRACEPOINTS[self.id] if self.id < len(TRACEPOINTS) \
@@ -186,10 +219,70 @@ def decode_records(data: bytes) -> List[TraceRecord]:
     for off in range(0, len(data) - TRACE_RECORD_SIZE + 1,
                      TRACE_RECORD_SIZE):
         ts, id_, flags, pid, arg, info = _RECORD.unpack_from(data, off)
-        point = TRACEPOINTS[id_] if id_ < len(TRACEPOINTS) else "drop"
+        if id_ < len(TRACEPOINTS):
+            point = TRACEPOINTS[id_]
+        else:
+            point = "aux" if id_ == TRACE_AUX_ID else "drop"
         out.append(TraceRecord(ts, point, flags, pid, arg,
                                info.split(b"\x00", 1)[0].decode(
                                    errors="replace")))
+    return out
+
+
+class TypedTraceRecord(NamedTuple):
+    """A decoded record with its stitched typed payload (or None)."""
+
+    ts_ns: int
+    point: str
+    flags: int
+    pid: int
+    arg: int
+    info: str
+    payload: Optional[dict]
+
+    @property
+    def is_drop_marker(self) -> bool:
+        return bool(self.flags & TRACE_FLAG_DROP)
+
+
+def decode_typed_records(data: bytes) -> List["TypedTraceRecord"]:
+    """Like :func:`decode_records`, but AUX continuation records are
+    stitched back onto their parent as a decoded ``payload`` dict.
+
+    AUX chunks ride directly behind the parent with the same timestamp
+    and the parent's point id in their pid field; an incomplete payload
+    (ring overflow swallowed a chunk) decodes to ``payload=None``.  AUX
+    records never appear as rows of their own.
+    """
+    out: List[TypedTraceRecord] = []
+    chunks: Dict[int, bytearray] = {}  # out-index -> payload bytes so far
+    for off in range(0, len(data) - TRACE_RECORD_SIZE + 1,
+                     TRACE_RECORD_SIZE):
+        ts, id_, flags, pid, arg, info = _RECORD.unpack_from(data, off)
+        if id_ == TRACE_AUX_ID and flags & TRACE_FLAG_AUX:
+            # pid carries the parent's point id, arg the chunk length
+            if out and out[-1].ts_ns == ts and pid < len(TRACEPOINTS) \
+                    and out[-1].point == TRACEPOINTS[pid]:
+                nbytes = arg & 0xFFFFFFFF
+                chunks.setdefault(len(out) - 1,
+                                  bytearray()).extend(info[:nbytes])
+            continue
+        if id_ < len(TRACEPOINTS):
+            point = TRACEPOINTS[id_]
+        else:
+            point = "drop"
+        out.append(TypedTraceRecord(
+            ts, point, flags, pid, arg,
+            info.split(b"\x00", 1)[0].decode(errors="replace"), None))
+    for idx, buf in chunks.items():
+        rec = out[idx]
+        codec = _SCHEMA_STRUCTS.get(rec.point)
+        if codec is None or len(buf) != codec.size:
+            continue
+        values = codec.unpack(bytes(buf))
+        payload = {name: value for (name, _), value
+                   in zip(TRACE_SCHEMAS[rec.point], values)}
+        out[idx] = rec._replace(payload=payload)
     return out
 
 
@@ -304,6 +397,12 @@ class KernelTrace:
         # wake would trace itself forever
         self._local = threading.local()
         self._wq_hook: Optional[Callable[[int], None]] = None
+        # typed-payload emission (perf-style events): opt-in so exact
+        # 40-byte record captures stay byte-identical by default
+        self.payloads = False
+        # perf counting events attach probes here; None (the common
+        # case) keeps emit's extra cost to one load + identity test
+        self._probes: Optional[Dict[str, List[Callable]]] = None
 
     # ---- the trace clock ----
 
@@ -313,8 +412,21 @@ class KernelTrace:
     # ---- emission ----
 
     def emit(self, point: str, pid: int = 0, arg: int = 0,
-             info: str = "") -> None:
-        """Record one event if tracing is on and ``point`` is unmasked."""
+             info: str = "", args: Optional[tuple] = None) -> None:
+        """Record one event if tracing is on and ``point`` is unmasked.
+
+        ``args`` are the point's typed arguments (in schema order, see
+        :data:`TRACE_SCHEMAS`); they are packed into AUX continuation
+        records when payload emission is on, and fed to perf tracepoint
+        probes regardless.  Probes fire *before* the enabled/mask
+        check: a perf counter bound to a tracepoint counts firings even
+        while trace recording is off, like perf vs ftrace on Linux.
+        """
+        if self._probes is not None:
+            fns = self._probes.get(point)
+            if fns:
+                for fn in fns:
+                    fn(pid, arg, info)
         if not self.enabled or point not in self.mask:
             return
         if getattr(self._local, "busy", False):
@@ -322,11 +434,48 @@ class KernelTrace:
         self._local.busy = True
         try:
             self.counters.inc("trace.events")
-            self.buffer.push(TraceEvent(self.now_ns(),
-                                        TRACEPOINT_IDS[point], 0, pid,
+            ts = self.now_ns()
+            self.buffer.push(TraceEvent(ts, TRACEPOINT_IDS[point], 0, pid,
                                         arg, info))
+            if args is not None and self.payloads:
+                codec = _SCHEMA_STRUCTS.get(point)
+                if codec is not None:
+                    self._push_payload(ts, point, codec.pack(*args))
         finally:
             self._local.busy = False
+
+    def _push_payload(self, ts: int, point: str, payload: bytes) -> None:
+        """Emit AUX continuation records carrying a packed payload."""
+        point_id = TRACEPOINT_IDS[point]
+        for seq, off in enumerate(range(0, len(payload), 16)):
+            chunk = payload[off : off + 16]
+            self.buffer.push(TraceEvent(
+                ts, TRACE_AUX_ID, TRACE_FLAG_AUX, point_id,
+                (seq << 32) | len(chunk), chunk))
+
+    # ---- perf probes (kernel/perf.py counting events) ----
+
+    def add_probe(self, point: str, fn: Callable) -> None:
+        if point not in TRACEPOINT_IDS:
+            raise KernelError(EINVAL, f"unknown tracepoint {point}")
+        if self._probes is None:
+            self._probes = {}
+        self._probes.setdefault(point, []).append(fn)
+
+    def remove_probe(self, point: str, fn: Callable) -> None:
+        if self._probes is None:
+            return
+        fns = self._probes.get(point)
+        if fns is None:
+            return
+        try:
+            fns.remove(fn)
+        except ValueError:
+            return
+        if not fns:
+            del self._probes[point]
+        if not self._probes:
+            self._probes = None
 
     def record_syscall(self, name: str, service_ns: int,
                        wait_ns: int) -> None:
@@ -385,6 +534,7 @@ class KernelTrace:
             mask=none       mask everything (histograms stay on)
             mask=a,b,c      unmask exactly the listed points
             +name | -name   unmask / mask one point
+            payload=on|off  emit typed AUX payload records (default off)
         """
         for chunk in text.replace(";", "\n").splitlines():
             cmd = chunk.strip()
@@ -403,6 +553,8 @@ class KernelTrace:
             elif cmd.startswith("mask="):
                 self.set_mask(p.strip() for p in cmd[5:].split(",")
                               if p.strip())
+            elif cmd in ("payload=on", "payload=off"):
+                self.payloads = cmd.endswith("on")
             elif cmd.startswith("+") or cmd.startswith("-"):
                 name = cmd[1:].strip()
                 if name not in TRACEPOINT_IDS:
@@ -427,6 +579,22 @@ class KernelTrace:
             lines.append(f"  {flag}{point}")
         for name, value in self.counters.snapshot().items():
             lines.append(f"{name}: {value}")
+        return "\n".join(lines) + "\n"
+
+    def format_text(self) -> str:
+        """The ``/proc/trace_format`` rendering: the wire layout plus the
+        per-point typed payload schemas, so readers can self-describe."""
+        lines = [
+            f"record: <QHHiq16s size {TRACE_RECORD_SIZE} "
+            "(ts_ns:u64 id:u16 flags:u16 pid:i32 arg:i64 info:16s)",
+            f"drop: id {TRACE_DROP_ID:#06x} flag {TRACE_FLAG_DROP:#x}",
+            f"aux: id {TRACE_AUX_ID:#06x} flag {TRACE_FLAG_AUX:#x} "
+            "(pid=parent point id, arg=(seq<<32)|nbytes, info=chunk)",
+            f"payloads: {'on' if self.payloads else 'off'}",
+        ]
+        for point, schema in sorted(TRACE_SCHEMAS.items()):
+            fields = " ".join(f"{name}:{fmt}" for name, fmt in schema)
+            lines.append(f"{point}: {fields}")
         return "\n".join(lines) + "\n"
 
     def close(self) -> None:

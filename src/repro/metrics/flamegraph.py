@@ -1,0 +1,124 @@
+"""Folded-stack flamegraphs for the perf sampling profiler.
+
+The guest ``perf record`` tool (apps/perf.py) prints one folded stack
+per sample — ``frame_a;frame_b;frame_c``, root first, leaf last — the
+same wire format Brendan Gregg's ``stackcollapse-*`` scripts emit.
+This module is the host-side half: it canonicalises those lines into
+a fold (``{stack_tuple: count}``), round-trips them through the text
+format, and renders a terminal flamegraph (indentation = depth, bar
+width = inclusive sample share).
+
+The canonical text form is deterministic — one ``a;b;c N`` line per
+distinct stack, sorted lexicographically — so two captures of the same
+deterministic run compare with string equality.  Property tested:
+``fold(unfold(text)) == text`` and sample counts are conserved through
+every transformation here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+Stack = Tuple[str, ...]
+Fold = Dict[Stack, int]
+
+StacksInput = Union[Mapping[Stack, int], Iterable[Tuple[Stack, int]]]
+
+
+def fold(stacks: StacksInput) -> str:
+    """Render stacks to canonical folded text (``a;b;c N`` per line).
+
+    Accepts a ``{stack: count}`` mapping or an iterable of
+    ``(stack, count)`` pairs (duplicates are merged).  Zero-count and
+    empty stacks are dropped; output lines are sorted so equal folds
+    produce byte-identical text.
+    """
+    merged: Fold = {}
+    items = stacks.items() if isinstance(stacks, Mapping) else stacks
+    for stack, count in items:
+        if count and stack:
+            key = tuple(stack)
+            merged[key] = merged.get(key, 0) + count
+    lines = [f"{';'.join(stack)} {count}"
+             for stack, count in sorted(merged.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def unfold(text: str) -> Fold:
+    """Parse folded text back into ``{stack: count}``.
+
+    Tolerates the guest tool's two output shapes: ``a;b;c N`` (report
+    mode / canonical) and a bare ``a;b;c`` per-sample line (record
+    mode, count 1).  Frame names cannot contain spaces, so the count
+    is whatever trails the last space — when it parses as an integer.
+    """
+    out: Fold = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack_part, count = line, 1
+        if " " in line:
+            head, tail = line.rsplit(" ", 1)
+            try:
+                count = int(tail)
+                stack_part = head
+            except ValueError:
+                pass
+        stack = tuple(f for f in stack_part.split(";") if f)
+        if stack and count > 0:
+            out[stack] = out.get(stack, 0) + count
+    return out
+
+
+def from_samples(samples: Iterable) -> Fold:
+    """Fold decoded :class:`~repro.kernel.perf.PerfSample` records.
+
+    Lost markers carry no stack and are skipped (their count is
+    reported by the ring, not the profile); samples with an empty
+    stack land under ``("[unknown]",)`` so totals stay conserved.
+    """
+    out: Fold = {}
+    for s in samples:
+        if getattr(s, "is_lost_marker", False):
+            continue
+        stack = tuple(s.frames) or ("[unknown]",)
+        out[stack] = out.get(stack, 0) + 1
+    return out
+
+
+def total_samples(folded: Fold) -> int:
+    return sum(folded.values())
+
+
+def _tree(folded: Fold) -> Dict:
+    """Nest the fold into ``{frame: [inclusive, children_dict]}``."""
+    root: Dict = {}
+    for stack, count in sorted(folded.items()):
+        node = root
+        for frame in stack:
+            entry = node.setdefault(frame, [0, {}])
+            entry[0] += count
+            node = entry[1]
+    return root
+
+
+def render(folded: Fold, width: int = 40) -> str:
+    """Terminal flamegraph: depth as indentation, inclusive share as a
+    bar.  Sibling order is deterministic (hotter first, then name)."""
+    total = total_samples(folded)
+    if total == 0:
+        return "(no samples)\n"
+    lines: List[str] = [f"flamegraph: {total} samples"]
+
+    def walk(node: Dict, depth: int) -> None:
+        for frame in sorted(node, key=lambda f: (-node[f][0], f)):
+            inclusive, children = node[frame]
+            share = inclusive / total
+            bar = "#" * max(1, int(round(width * share)))
+            lines.append(f"{'  ' * depth}{frame:<{30 - 2 * depth}} "
+                         f"{inclusive:>6}  {share * 100:5.1f}%  {bar}")
+            walk(children, depth + 1)
+
+    walk(_tree(folded), 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,119 @@
+"""``perf report`` — call-chain tables over a folded-stack profile.
+
+Consumes the fold produced by :mod:`repro.metrics.flamegraph` (from
+guest ``perf record`` output or host-decoded samples) and renders the
+two classic views:
+
+* **top-down** — per frame, *inclusive* samples: every sample whose
+  stack contains the frame anywhere.  Answers "where does time go from
+  the roots down".
+* **bottom-up** — per frame, *self* samples: samples where the frame
+  is the leaf.  Answers "which code is actually on-CPU".
+
+Both views also exist as ``--json`` machine-readable output with a
+stable key order, so CI can diff reports across runs byte-for-byte.
+
+CLI::
+
+    python -m repro.metrics.perf_report [--json] [folded.txt]
+
+reads folded lines (``a;b;c N`` or bare per-sample stacks) from the
+file or stdin.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+from .flamegraph import Fold, total_samples, unfold
+from .report import table
+
+
+def frame_totals(folded: Fold) -> Dict[str, Tuple[int, int]]:
+    """Per-frame ``(inclusive, self)`` sample counts.
+
+    A frame appearing multiple times in one stack (recursion) still
+    counts that stack's samples once toward its inclusive total.
+    """
+    totals: Dict[str, List[int]] = {}
+    for stack, count in folded.items():
+        for frame in set(stack):
+            totals.setdefault(frame, [0, 0])[0] += count
+        if stack:
+            totals.setdefault(stack[-1], [0, 0])[1] += count
+    return {f: (inc, self_) for f, (inc, self_) in totals.items()}
+
+
+def _rows(folded: Fold, by_self: bool) -> List[Tuple[str, int, int, float]]:
+    total = total_samples(folded)
+    rows = []
+    for frame, (inc, self_) in frame_totals(folded).items():
+        key = self_ if by_self else inc
+        share = (key / total * 100.0) if total else 0.0
+        rows.append((frame, inc, self_, share))
+    rows.sort(key=lambda r: (-(r[2] if by_self else r[1]), r[0]))
+    return rows
+
+
+def top_down_table(folded: Fold) -> str:
+    rows = [(f, inc, self_, f"{share:5.1f}%")
+            for f, inc, self_, share in _rows(folded, by_self=False)]
+    return table(("frame", "inclusive", "self", "incl%"), rows)
+
+
+def bottom_up_table(folded: Fold) -> str:
+    rows = [(f, self_, inc, f"{share:5.1f}%")
+            for f, inc, self_, share in _rows(folded, by_self=True)
+            if self_ > 0]
+    return table(("frame", "self", "inclusive", "self%"), rows)
+
+
+def hottest_frames(folded: Fold, n: int = 5) -> List[str]:
+    """The ``n`` hottest frames by self samples (the on-CPU leaves)."""
+    return [f for f, _, self_, _ in _rows(folded, by_self=True)
+            if self_ > 0][:n]
+
+
+def report_dict(folded: Fold) -> Dict:
+    """The machine-readable report; key order is fixed and all lists
+    are sorted, so ``json.dumps`` output is stable across runs."""
+    return {
+        "total_samples": total_samples(folded),
+        "stacks": [{"stack": list(stack), "count": count}
+                   for stack, count in sorted(folded.items())],
+        "frames": [{"frame": f, "inclusive": inc, "self": self_}
+                   for f, (inc, self_) in sorted(frame_totals(
+                       folded).items())],
+    }
+
+
+def report_json(folded: Fold) -> str:
+    return json.dumps(report_dict(folded), indent=2, sort_keys=False)
+
+
+def render_perf_report(folded: Fold) -> str:
+    return "\n".join([
+        f"== perf report: {total_samples(folded)} samples ==",
+        "",
+        "-- top-down (inclusive) --",
+        top_down_table(folded),
+        "",
+        "-- bottom-up (self) --",
+        bottom_up_table(folded),
+    ])
+
+
+def main(argv: List[str]) -> int:
+    json_mode = "--json" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    text = (open(paths[0], "r", encoding="utf-8").read() if paths
+            else sys.stdin.read())
+    folded = unfold(text)
+    print(report_json(folded) if json_mode else render_perf_report(folded))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main(sys.argv[1:]))

@@ -3,6 +3,13 @@
 Runs an application under WALI with kernel tracing on, collects per-syscall
 invocation counts, and renders the log-normalised frequency profile the
 paper uses to argue that a modest syscall subset covers real software.
+
+Counts come from the kernel's shared ``CounterRegistry`` cells
+(``syscall.<name>``) — the same source perf counting events read — so
+host-side profiles, guest ``perf stat`` and ``/proc`` can never drift
+from each other.  A kernel built with tracing ablated
+(``Kernel(trace="off")``) has no counters; there the profile falls back
+to the per-process bookkeeping in ``proc_syscall_counts``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..wali import WaliRuntime
+
+_SYSCALL_PREFIX = "syscall."
 
 
 @dataclass
@@ -29,6 +38,29 @@ class SyscallProfile:
         return sum(self.counts.values())
 
 
+def syscall_counts(kernel) -> Counter:
+    """Kernel-wide per-syscall invocation counts (all processes).
+
+    Prefers the ``syscall.*`` counter cells (what perf counting events
+    bind to); falls back to ``proc_syscall_counts`` when tracing is
+    ablated.
+    """
+    if kernel.trace is not None:
+        return Counter({
+            name[len(_SYSCALL_PREFIX):]: value
+            for name, value in kernel.trace.counters.snapshot().items()
+            if name.startswith(_SYSCALL_PREFIX) and value})
+    counts: Counter = Counter()
+    for c in kernel.proc_syscall_counts.values():
+        counts.update(c)
+    return counts
+
+
+def profile_from_kernel(app_name: str, kernel) -> SyscallProfile:
+    """Snapshot a kernel's whole syscall history as one profile."""
+    return SyscallProfile(app_name, syscall_counts(kernel))
+
+
 def profile_app(app_name: str, module, argv=None, env=None, files=None,
                 stdin: bytes = b"", runtime: Optional[WaliRuntime] = None,
                 setup=None) -> SyscallProfile:
@@ -42,13 +74,11 @@ def profile_app(app_name: str, module, argv=None, env=None, files=None,
     if setup is not None:
         setup(rt)
     wp = rt.load(module, argv=argv or [app_name], env=env or {})
-    before = Counter(rt.kernel.proc_syscall_counts[wp.proc.tgid])
+    # diff of the kernel-wide counters: children of the same run
+    # (pipelines, forked workers) are included automatically
+    before = syscall_counts(rt.kernel)
     wp.run()
-    after = Counter(rt.kernel.proc_syscall_counts[wp.proc.tgid])
-    # include children of the same run (pipelines, forked workers)
-    counts = Counter()
-    for tgid, c in rt.kernel.proc_syscall_counts.items():
-        counts.update(c)
+    counts = syscall_counts(rt.kernel)
     counts.subtract(before)
     return SyscallProfile(app_name, +counts)
 

@@ -19,6 +19,8 @@ with bucket-width resolution — exactly the fidelity ftrace's
 
 from __future__ import annotations
 
+import json
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..kernel.trace import TraceRecord, decode_records
@@ -150,3 +152,62 @@ def render_trace_report(trace,
         sections += ["", "== counters ==",
                      table(("counter", "value"), list(counters.items()))]
     return "\n".join(sections)
+
+
+def trace_report_dict(trace, pipe_bytes: Optional[bytes] = None) -> Dict:
+    """Machine-readable form of :func:`render_trace_report`.
+
+    Key order is fixed and every list is sorted, so the JSON rendering
+    is byte-stable across identical runs — CI diffs it directly.
+    """
+    out: Dict = {
+        "latency": [
+            {"syscall": name, "calls": calls,
+             "service_p50_ns": sp50, "service_p99_ns": sp99,
+             "wait_p50_ns": wp50, "wait_p99_ns": wp99}
+            for name, calls, sp50, sp99, wp50, wp99 in latency_rows(trace)
+        ],
+        "counters": dict(sorted(trace.counters.snapshot().items())),
+    }
+    if pipe_bytes is not None:
+        summary = summarize_events(decode_records(pipe_bytes))
+        out["events"] = {
+            sub: dict(sorted(info.items()))
+            for sub, info in sorted(summary.items())
+        }
+    return out
+
+
+def trace_report_json(trace, pipe_bytes: Optional[bytes] = None) -> str:
+    return json.dumps(trace_report_dict(trace, pipe_bytes), indent=2,
+                      sort_keys=False)
+
+
+def main(argv: List[str]) -> int:
+    """CLI over a raw ``/proc/trace_pipe`` capture file.
+
+    ``python -m repro.metrics.trace_report [--json] capture.bin``
+    renders the per-subsystem event summary (there is no live kernel
+    behind a capture file, so latency histograms are absent).
+    """
+    json_mode = "--json" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    if not paths:
+        print("usage: trace_report [--json] <trace_pipe capture>",
+              file=sys.stderr)
+        return 2
+    with open(paths[0], "rb") as fh:
+        records = decode_records(fh.read())
+    if json_mode:
+        summary = summarize_events(records)
+        print(json.dumps(
+            {sub: dict(sorted(info.items()))
+             for sub, info in sorted(summary.items())},
+            indent=2, sort_keys=False))
+    else:
+        print(event_table(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main(sys.argv[1:]))

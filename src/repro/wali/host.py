@@ -76,7 +76,7 @@ STRUCT_CALLS = frozenset({
     "sendmsg", "recvmsg", "poll", "ppoll", "select", "pselect6", "utimensat",
     "epoll_ctl", "epoll_pwait", "epoll_wait", "timerfd_settime",
     "timerfd_gettime", "io_uring_setup", "io_uring_enter",
-    "io_uring_register", "signalfd4",
+    "io_uring_register", "signalfd4", "perf_event_open",
 })
 
 _WINSIZE = struct.Struct("<HHHH")
@@ -559,6 +559,21 @@ class WaliHost:
     def w_signalfd4(self, fd, mask_ptr, sizemask, flags):
         mask = self.mem.load_i64(mask_ptr) if mask_ptr else 0
         return self.k("signalfd4", signed32(fd), mask, flags)
+
+    # ---- perf events: the profiling fd surface ----
+
+    def w_perf_event_open(self, attr_ptr, pid, cpu, group_fd, flags):
+        from ..kernel.perf import PerfAttr
+        if attr_ptr == 0:
+            raise KernelError(EFAULT, "NULL perf attr")
+        type_, config_ptr, freq, capacity, disabled = \
+            Layout.decode_perf_attr(
+                self.mem.read_bytes(attr_ptr, Layout.PERF_ATTR_SIZE))
+        config = self.cstr(config_ptr) if config_ptr else ""
+        attr = PerfAttr(type=type_, config=config, sample_freq=freq,
+                        ring_capacity=capacity, disabled=bool(disabled))
+        return self.k("perf_event_open", attr, signed32(pid), signed32(cpu),
+                      signed32(group_fd), flags)
 
     # ---- io_uring: batched submission/completion crossings ----
 

@@ -254,6 +254,25 @@ class Layout:
         signo, _errno, code, pid, uid = struct.unpack_from("<IiiII", data)
         return signo, code, pid, uid
 
+    # perf_event_attr (compact repro form, 24 bytes): {u32 type,
+    # u32 config_ptr (NUL-terminated name in guest memory), u64
+    # sample_freq, u32 ring_capacity, u32 disabled}
+    PERF_ATTR_SIZE = 24
+
+    @staticmethod
+    def decode_perf_attr(data: bytes):
+        """``(type, config_ptr, sample_freq, ring_capacity, disabled)``."""
+        return struct.unpack_from("<IIQII", data)
+
+    @staticmethod
+    def encode_perf_attr(type: int, config_ptr: int, sample_freq: int,
+                         ring_capacity: int = 0,
+                         disabled: int = 0) -> bytes:
+        return struct.pack("<IIQII", type & 0xFFFFFFFF,
+                           config_ptr & 0xFFFFFFFF, sample_freq,
+                           ring_capacity & 0xFFFFFFFF,
+                           disabled & 0xFFFFFFFF)
+
     # ksigaction (portable WALI form): {u32 handler, u32 flags, u64 mask}
     SIGACTION_SIZE = 16
 

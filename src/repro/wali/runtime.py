@@ -64,6 +64,8 @@ class WaliProcess:
         imports = self.host.imports()
         self.instance = instantiate(module, imports, scheme=self.rt.scheme)
         self.machine = Machine(self.instance)
+        # the perf sampler walks this interpreter's frame stack
+        self.proc.machine = self.machine
         if self.instance.memory is not None:
             self.pool = MmapPool(self.instance.memory)
             self.proc.mm = self.pool.space
@@ -135,6 +137,7 @@ class WaliProcess:
         child.module = self.module
         child.instance = self.instance.clone()
         child.machine = self.machine.clone(child.instance)
+        child_proc.machine = child.machine
         child.host = WaliHost(self.rt, child)
         # the cloned instance must call the *child's* host functions
         self._rebind_host(child)
@@ -233,6 +236,7 @@ class WaliRuntime:
         child.module = wp.module
         child.instance = wp.instance.thread_clone()
         child.machine = Machine(child.instance)
+        child_proc.machine = child.machine
         child.host = WaliHost(self, child)
         wp._rebind_host(child)
         child.pool = wp.pool           # CLONE_VM: shared address space

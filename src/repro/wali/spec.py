@@ -149,6 +149,8 @@ def _build() -> Dict[str, SyscallSpec]:
         # registered via io_uring_register; one enter drains a batch)
         ("io_uring_setup", "ii"), ("io_uring_enter", "iiiiii"),
         ("io_uring_register", "iiii"),
+        # profiling: perf events behind fds (sampling + counting)
+        ("perf_event_open", "iiiii"),
     ])
 
     return table

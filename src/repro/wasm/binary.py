@@ -9,7 +9,7 @@ the LEB128 primitives.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .errors import DecodeError
 from .module import (
@@ -431,6 +431,20 @@ def encode_module(m: Module) -> bytes:
             p += encode_uleb(len(d.data)) + d.data
         out += _section(SEC_DATA, bytes(p))
 
+    # standard "name" custom section (function-name subsection only):
+    # keeps debug names across install/execve so the perf profiler can
+    # symbolize guest call stacks from a decoded binary
+    named = [(i, fn.name) for i, fn in enumerate(m.funcs) if fn.name]
+    if named:
+        nimp = sum(1 for im in m.imports if im.kind == KIND_FUNC)
+        sub = bytearray(encode_uleb(len(named)))
+        for i, nm in named:
+            b = nm.encode()
+            sub += encode_uleb(nimp + i) + encode_uleb(len(b)) + b
+        payload = bytearray(b"\x04name\x01")
+        payload += encode_uleb(len(sub)) + bytes(sub)
+        out += _section(0, bytes(payload))
+
     return bytes(out)
 
 
@@ -446,6 +460,7 @@ def decode_module(buf: bytes, name: str = "") -> Module:
     r = Reader(buf, 8)
     m = Module(name=name)
     func_type_idxs: List[int] = []
+    func_names: Dict[int, str] = {}
     last_id = 0
     while not r.eof():
         sec_id = r.byte()
@@ -534,8 +549,28 @@ def decode_module(buf: bytes, name: str = "") -> Module:
                 n = sr.uleb()
                 m.datas.append(DataSegment(mi, off, sr.bytes(n)))
         elif sec_id == 0:
-            pass  # custom section: skipped
+            # custom section: only the "name" section (function-name
+            # subsection) is understood; anything else, or malformed
+            # debug info, is skipped — it can't affect semantics
+            try:
+                if sr.name() == "name":
+                    while not sr.eof():
+                        sub_id = sr.byte()
+                        sub_end = sr.uleb() + sr.pos
+                        if sub_id == 1:  # function names
+                            for _ in range(sr.uleb()):
+                                idx = sr.uleb()
+                                func_names[idx] = sr.name()
+                        sr.pos = sub_end
+            except (DecodeError, UnicodeDecodeError):
+                pass
         else:
             raise DecodeError(f"unknown section id {sec_id}")
         r.pos = end
+    if func_names:
+        nimp = sum(1 for im in m.imports if im.kind == KIND_FUNC)
+        for idx, nm in func_names.items():
+            j = idx - nimp
+            if 0 <= j < len(m.funcs):
+                m.funcs[j].name = nm
     return m
